@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: GSPC sample-set density.
+ *
+ * The paper dedicates 16 of every 1024 sets to learning (density
+ * 1/64).  Sparser sampling starves the counters (slow adaptation to
+ * phase changes within a frame); denser sampling wastes more of the
+ * cache on SRRIP-managed sets that forgo the policy's benefit.  This
+ * harness sweeps the density and reports misses normalized to the
+ * paper's design point.
+ */
+
+#include <iostream>
+
+#include "analysis/offline_sim.hh"
+#include "bench/bench_util.hh"
+#include "core/gspc_family.hh"
+#include "workload/frame_set.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    const RenderScale scale = scaleFromEnv();
+    const LlcConfig llc =
+        scaledLlcConfig(8ull << 20, scale.pixelScale());
+
+    // sampleLog2: 4 -> 1/16 density, 6 -> 1/64 (paper), 8 -> 1/256.
+    const std::vector<unsigned> densities{4, 5, 6, 7, 8};
+
+    std::cout << "=== Ablation: GSPC sample-set density (scale "
+              << scale.linear << ") ===\n\n";
+
+    std::map<unsigned, double> misses;
+    std::uint64_t frames = 0;
+    for (const FrameSpec &spec : frameSetFromEnv()) {
+        const FrameTrace trace =
+            renderFrame(*spec.app, spec.frameIndex, scale);
+        for (const unsigned log2 : densities) {
+            GspcParams params;
+            params.sampleLog2 = log2;
+            PolicySpec policy;
+            policy.name = "GSPC(1/" + std::to_string(1u << log2) + ")";
+            policy.factory =
+                GspcFamilyPolicy::factory(GspcVariant::Gspc, params);
+            policy.uncachedDisplay = true;
+            misses[log2] += missMetric(runTrace(trace, policy, llc));
+        }
+        ++frames;
+    }
+
+    TablePrinter tp({"sample density", "misses vs 1/64"});
+    for (const unsigned log2 : densities) {
+        tp.addRow({"1/" + std::to_string(1u << log2),
+                   fmt(misses.at(log2) / misses.at(6), 4)});
+    }
+    tp.print(std::cout);
+    std::cout << "(" << frames << " frames)\n";
+    return 0;
+}

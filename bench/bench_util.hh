@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benchmark harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper: it sweeps the 52-frame workload set under the relevant
+ * policies and prints the same rows/series the paper plots.
+ * Absolute values differ from the paper (the substrate is this
+ * library's simulator, not the authors' testbed); EXPERIMENTS.md
+ * compares the shapes.
+ *
+ * Environment knobs: GLLC_SCALE (default 4; 1 = paper-size machine)
+ * and GLLC_FRAMES (default all 52).
+ */
+
+#ifndef GLLC_BENCH_BENCH_UTIL_HH
+#define GLLC_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "analysis/sweep.hh"
+#include "common/stats.hh"
+
+namespace gllc
+{
+
+/** Print the standard bench banner. */
+inline void
+benchBanner(const std::string &what, const PolicySweep &sweep)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "LLC " << sweep.llcConfig().capacityBytes / 1024
+              << " KB " << sweep.llcConfig().ways << "-way "
+              << sweep.llcConfig().banks << "-bank, scale "
+              << sweep.scale().linear << ", "
+              << sweep.cells().size() << " (frame,policy) cells\n\n";
+}
+
+} // namespace gllc
+
+#endif // GLLC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Extension: GSPC with dead-fill bypass (GSPC+B).
+ *
+ * The paper inserts dead-predicted texture/Z blocks at RRPV 3; the
+ * authors' exclusive-LLC line of work (§1.1.1, refs [4][11])
+ * suggests bypassing such fills altogether, sparing the RRPV-3
+ * resident they would displace.  This harness compares GSPC and
+ * GSPC+B (both with uncached display) against DRRIP.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    PolicySweep sweep({"DRRIP", "GSPC+UCD", "GSPC+B+UCD", "Belady"});
+    sweep.run();
+    benchBanner("Extension: dead-fill bypass (GSPC+B)", sweep);
+    sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
+                               "DRRIP");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension: performance vs LLC capacity.
+ *
+ * Figures 15/16 give two points (8 and 16 MB); this harness traces
+ * the whole curve from 4 to 32 MB for GSPC vs DRRIP (both +UCD),
+ * showing where the paper's observation — the GSPC advantage grows
+ * with capacity — saturates: once the render-to-texture working set
+ * fits under protection, extra capacity helps both policies alike.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "gpu/gpu_simulator.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    const RenderScale scale = scaleFromEnv();
+    const auto frames = frameSetFromEnv();
+
+    std::cout << "=== Extension: GSPC speedup vs LLC capacity "
+              << "(scale " << scale.linear << ") ===\n\n";
+
+    TablePrinter tp({"LLC (full-scale)", "GSPC+UCD speedup",
+                     "GSPC+UCD miss ratio"});
+
+    for (const std::uint64_t mb : {4, 8, 16, 32}) {
+        GpuConfig gpu = GpuConfig::baseline();
+        gpu.llcCapacityBytes = mb << 20;
+
+        double speedup_sum = 0, ratio_sum = 0, n = 0;
+        for (const FrameSpec &spec : frames) {
+            const FrameTrace trace =
+                renderFrame(*spec.app, spec.frameIndex, scale);
+            const FrameSimResult drrip = simulateFrame(
+                trace, policySpec("DRRIP+UCD"), gpu, scale);
+            const FrameSimResult gspc = simulateFrame(
+                trace, policySpec("GSPC+UCD"), gpu, scale);
+            speedup_sum += gspc.timing.fps / drrip.timing.fps;
+            ratio_sum +=
+                static_cast<double>(gspc.llcStats.totalMisses())
+                / static_cast<double>(drrip.llcStats.totalMisses());
+            n += 1;
+        }
+        tp.addRow({std::to_string(mb) + " MB",
+                   fmt(speedup_sum / n, 3), fmt(ratio_sum / n, 3)});
+    }
+    tp.print(std::cout);
+    return 0;
+}

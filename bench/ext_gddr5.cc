@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Extension: a discrete-GPU GDDR5 memory system.
+ *
+ * Section 4 frames the large LLC as a bandwidth filter in front of
+ * "the GDDRx DRAM" of a discrete GPU.  This harness runs the 8 MB
+ * configuration against a 4-channel GDDR5-class memory system
+ * (double the DDR3-1600 bandwidth, longer latencies and smaller 2 KB
+ * rows), extending the Figure 17 memory-system axis to the discrete
+ * GPU regime: more bandwidth absorbs miss volume, but the smaller
+ * row buffers make the schedule more sensitive to the access
+ * pattern, so the GSPC advantage need not shrink monotonically.
+ */
+
+#include "bench/perf_util.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    GpuConfig gpu = GpuConfig::baseline();
+    gpu.dram = DramConfig::gddr5();
+    runPerfFigure("Extension: GDDR5-class memory system", gpu,
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Extension: display scan-out bandwidth contention.
+ *
+ * The paper's simulator does not model the display engine; in a
+ * real system the scan-out of the front buffer steals a constant
+ * slice of DRAM bandwidth (60 Hz x front-buffer size).  This
+ * harness re-runs the Figure 15 comparison with that load enabled:
+ * with less bandwidth headroom, frames become more memory-bound and
+ * a policy that removes DRAM traffic (GSPC) is worth slightly more.
+ */
+
+#include "bench/perf_util.hh"
+#include "common/env.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    GpuConfig gpu = GpuConfig::baseline();
+    gpu.scanoutHz = 60.0;
+    // Front buffer at the scaled resolution (4 B per pixel).
+    const RenderScale scale = scaleFromEnv();
+    gpu.scanoutBytes = 4ull * (1920 / scale.linear)
+        * (1200 / scale.linear);
+    runPerfFigure("Extension: 60 Hz scan-out contention", gpu,
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 8: percentage of the render target and texture fills that
+ * two-bit DRRIP inserts with RRPV = 3 (predicted dead on arrival).
+ *
+ * Paper averages: ~36% of texture fills and ~25% of render target
+ * fills get RRPV 3 — not aggressive enough for texture (Section 2.3)
+ * and potentially harmful for the future-consumed render targets.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    PolicySweep sweep({"DRRIP"});
+    sweep.run();
+    benchBanner("Figure 8: DRRIP fills at RRPV=3", sweep);
+
+    std::map<std::string, FillHistogram> per_app;
+    FillHistogram all;
+    for (const SweepCell &cell : sweep.cells()) {
+        per_app[cell.app].merge(cell.result.fills);
+        all.merge(cell.result.fills);
+    }
+
+    TablePrinter tp({"app", "RT fills @RRPV3", "TEX fills @RRPV3"});
+    auto pct = [](const FillHistogram &h, PolicyStream s) {
+        return fmtPct(safeRatio(
+            static_cast<double>(h.fillsAt(s, 3)),
+            static_cast<double>(h.fills(s))));
+    };
+    for (const std::string &app : sweep.appOrder()) {
+        const FillHistogram &h = per_app.at(app);
+        tp.addRow({app, pct(h, PolicyStream::RenderTarget),
+                   pct(h, PolicyStream::Texture)});
+    }
+    tp.addRow({"ALL", pct(all, PolicyStream::RenderTarget),
+               pct(all, PolicyStream::Texture)});
+    tp.print(std::cout);
+    return 0;
+}

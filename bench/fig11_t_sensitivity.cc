@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 11: sensitivity of GSPZTC to the threshold parameter t
+ * (reuse-probability threshold 1/(t+1)), reported as the percent
+ * change in LLC misses relative to t = 16.
+ *
+ * Paper result: t = 8 is the most robust setting; t = 2 and t = 4
+ * lose in a few applications (Dirt, HAWX, Unigine) while Assassin's
+ * Creed slightly prefers t = 2.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    PolicySweep sweep({"GSPZTC(t=16)", "GSPZTC(t=8)", "GSPZTC(t=4)",
+                       "GSPZTC(t=2)"});
+    sweep.run();
+    benchBanner("Figure 11: GSPZTC threshold sensitivity", sweep);
+
+    const auto totals = sweep.totalsByApp(missMetric);
+
+    TablePrinter tp({"app", "t=2", "t=4", "t=8"});
+    for (const std::string &app : sweep.appOrder()) {
+        const double base = totals.at(app).at("GSPZTC(t=16)");
+        auto delta = [&](const std::string &p) {
+            return fmt(100.0 * (totals.at(app).at(p) / base - 1.0), 2)
+                + "%";
+        };
+        tp.addRow({app, delta("GSPZTC(t=2)"), delta("GSPZTC(t=4)"),
+                   delta("GSPZTC(t=8)")});
+    }
+    const auto means = sweep.meanNormalized(missMetric, "GSPZTC(t=16)");
+    tp.addRow({"MEAN",
+               fmt(100.0 * (means.at("GSPZTC(t=2)") - 1.0), 2) + "%",
+               fmt(100.0 * (means.at("GSPZTC(t=4)") - 1.0), 2) + "%",
+               fmt(100.0 * (means.at("GSPZTC(t=8)") - 1.0), 2) + "%"});
+    std::cout << "percent change in LLC misses relative to t=16 "
+              << "(positive = more misses)\n";
+    tp.print(std::cout);
+    return 0;
+}

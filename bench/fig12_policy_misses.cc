@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 12 (and Table 6): LLC miss counts for the full policy
+ * lineup normalized to two-bit DRRIP on the 8 MB 16-way LLC.
+ *
+ * Paper averages (misses vs DRRIP): NRU +6.2%, SHiP-mem ~0%,
+ * GS-DRRIP -2.9%, GSPZTC -4.8%, GSPZTC+TSE -11.5%, GSPC -11.8%,
+ * GSPC+UCD -13.1%, DRRIP+UCD ~0%.  Assassin's Creed is the largest
+ * gainer (-29.6% under GSPC+UCD); no application loses under GSPC.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "analysis/report.hh"
+#include "bench/bench_util.hh"
+
+using namespace gllc;
+
+int
+main(int argc, char **argv)
+{
+    PolicySweep sweep({"DRRIP", "NRU", "SHiP-mem", "GS-DRRIP",
+                       "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD",
+                       "DRRIP+UCD"});
+    sweep.run();
+    benchBanner("Figure 12: LLC misses across policies", sweep);
+    sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
+                               "DRRIP");
+
+    // --csv <path>: dump every (app, frame, policy) cell for
+    // plotting / regression tracking.
+    if (argc == 3 && std::string(argv[1]) == "--csv") {
+        std::ofstream csv(argv[2]);
+        writeSweepCsv(sweep, csv);
+        std::cout << "wrote " << argv[2] << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 15: rendering performance (frames/second) of NRU, GS-DRRIP
+ * and GSPC relative to DRRIP on the baseline GPU with the 8 MB
+ * 16-way LLC (all policies with uncached displayable color).
+ *
+ * Paper averages: NRU -7%, GS-DRRIP +0.8%, GSPC +8.0% (up to +18.2%
+ * in Assassin's Creed); GSPC delivers 26.1 fps in absolute terms.
+ */
+
+#include "bench/perf_util.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    runPerfFigure("Figure 15: performance on the 8 MB LLC",
+                  GpuConfig::baseline(),
+                  {"DRRIP+UCD", "NRU+UCD", "GS-DRRIP+UCD",
+                   "GSPC+UCD"});
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 16: rendering performance on a 16 MB 16-way LLC.
+ *
+ * Paper averages: NRU -3%, GS-DRRIP +4%, GSPC +11.8% (up to +27% in
+ * Assassin's Creed); GSPC's absolute frame rate improves 24.1% over
+ * its own 8 MB result.
+ */
+
+#include "bench/perf_util.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    runPerfFigure("Figure 16: performance on the 16 MB LLC",
+                  GpuConfig::baseline16M(),
+                  {"DRRIP+UCD", "NRU+UCD", "GS-DRRIP+UCD",
+                   "GSPC+UCD"});
+    return 0;
+}

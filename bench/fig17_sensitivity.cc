@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 17: sensitivity of GSPC (and NRU) to the memory system and
+ * GPU strength, on the 8 MB LLC.
+ *
+ *  - upper panel: dual-channel DDR3-1867 10-10-10 DRAM.
+ *    Paper: NRU -7%, GSPC +7.1% (slightly below the +8.0% of the
+ *    slower DDR3-1600 baseline).
+ *  - lower panel: less aggressive GPU with 512 shader threads
+ *    (64 cores) and 8 samplers.  Paper: NRU -5.3%, GSPC +5.9% —
+ *    internal bottlenecks reduce memory sensitivity.
+ */
+
+#include "bench/perf_util.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    runPerfFigure("Figure 17 upper: DDR3-1867 10-10-10",
+                  GpuConfig::fastDram(),
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+    runPerfFigure("Figure 17 lower: 512-thread / 8-sampler GPU",
+                  GpuConfig::lessAggressive(),
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared harness for the performance figures (15, 16, 17): full GPU
+ * simulation (render caches -> LLC -> DDR3 -> frame-time model) of
+ * the frame set under several policies, reporting frame rates
+ * normalized to the DRRIP baseline.
+ *
+ * Following Section 5.2, every policy here runs with uncached
+ * displayable color ("NRU, GS-DRRIP, GSPC, and DRRIP will stand for
+ * NRU+UCD, GS-DRRIP+UCD, GSPC+UCD, and DRRIP+UCD").
+ */
+
+#ifndef GLLC_BENCH_PERF_UTIL_HH
+#define GLLC_BENCH_PERF_UTIL_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "gpu/gpu_simulator.hh"
+#include "workload/trace_cache.hh"
+
+namespace gllc
+{
+
+/** Simulate the frame set on @p gpu and print normalized FPS. */
+inline void
+runPerfFigure(const std::string &what, const GpuConfig &gpu,
+              const std::vector<std::string> &policies,
+              const std::string &baseline = "DRRIP+UCD")
+{
+    const RenderScale scale = scaleFromEnv();
+    const auto frames = frameSetFromEnv();
+
+    std::cout << "=== " << what << " ===\n"
+              << "GPU: " << gpu.shaderCores << " cores x "
+              << gpu.threadsPerCore << " threads, " << gpu.samplers
+              << " samplers, LLC "
+              << (gpu.llcCapacityBytes >> 20) << " MB (scaled /"
+              << scale.pixelScale() << "), " << gpu.dram.name
+              << ", scale " << scale.linear << "\n\n";
+
+    // fps per (app, policy) averaged over the app's frames, plus the
+    // overall per-frame normalized means.
+    std::map<std::string, std::map<std::string, double>> app_fps;
+    std::map<std::string, std::uint32_t> app_frames;
+    std::map<std::string, double> norm_sum;
+    double mean_fps_baseline = 0, mean_fps_count = 0;
+    std::map<std::string, double> mean_fps;
+
+    for (const FrameSpec &spec : frames) {
+        const FrameTrace trace =
+            cachedRenderFrame(*spec.app, spec.frameIndex, scale);
+        std::map<std::string, double> fps;
+        for (const std::string &p : policies) {
+            const FrameSimResult r =
+                simulateFrame(trace, policySpec(p), gpu, scale);
+            fps[p] = r.timing.fps;
+            app_fps[spec.app->name][p] += r.timing.fps;
+            mean_fps[p] += r.timing.fps;
+        }
+        ++app_frames[spec.app->name];
+        for (const std::string &p : policies)
+            norm_sum[p] += fps.at(p) / fps.at(baseline);
+        mean_fps_baseline += fps.at(baseline);
+        mean_fps_count += 1;
+    }
+
+    std::vector<std::string> header{"app"};
+    for (const std::string &p : policies) {
+        if (p != baseline)
+            header.push_back(p);
+    }
+    TablePrinter tp(header);
+    for (const AppProfile &app : paperApps()) {
+        const auto it = app_fps.find(app.name);
+        if (it == app_fps.end())
+            continue;
+        std::vector<std::string> row{app.name};
+        const double base = it->second.at(baseline);
+        for (const std::string &p : policies) {
+            if (p != baseline)
+                row.push_back(fmt(it->second.at(p) / base, 3));
+        }
+        tp.addRow(std::move(row));
+    }
+    std::vector<std::string> mean_row{"MEAN"};
+    for (const std::string &p : policies) {
+        if (p != baseline)
+            mean_row.push_back(fmt(norm_sum.at(p) / mean_fps_count, 3));
+    }
+    tp.addRow(std::move(mean_row));
+
+    std::cout << "frame rate normalized to " << baseline << "\n";
+    tp.print(std::cout);
+    std::cout << "\nabsolute mean fps:";
+    for (const std::string &p : policies) {
+        std::cout << "  " << p << " "
+                  << fmt(mean_fps.at(p) / mean_fps_count, 1);
+    }
+    std::cout << "\n\n";
+}
+
+} // namespace gllc
+
+#endif // GLLC_BENCH_PERF_UTIL_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 1: the DirectX applications, plus the properties of the
+ * synthetic frames standing in for the captures (DESIGN.md).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "workload/frame_set.hh"
+
+using namespace gllc;
+
+int
+main()
+{
+    const RenderScale scale = scaleFromEnv();
+    std::cout << "=== Table 1: DirectX applications (scale "
+              << scale.linear << ") ===\n\n";
+
+    TablePrinter tp({"Application", "DirectX", "Resolution", "frames",
+                     "LLC accesses/frame", "distinct blocks"});
+    for (const AppProfile &app : paperApps()) {
+        const FrameTrace trace = renderFrame(app, 0, scale);
+        tp.addRow({app.name, std::to_string(app.directxVersion),
+                   std::to_string(app.width) + "x"
+                       + std::to_string(app.height),
+                   std::to_string(app.frames),
+                   std::to_string(trace.accesses.size()),
+                   std::to_string(trace.distinctBlocks())});
+    }
+    tp.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Example: explore the GSPC design space from the command line.
+ *
+ * Builds a GSPC variant from command-line knobs and compares it
+ * against the paper's design point and DRRIP on a frame subset.
+ *
+ * Usage:
+ *   ablation_explorer [t=8] [counter_bits=8] [sample_log2=6]
+ *                     [bypass=0] [variant=gspc|tse|gspztc]
+ *
+ * e.g.  ablation_explorer 4 6 7 1 gspc
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/sweep.hh"
+#include "common/stats.hh"
+#include "core/gspc_family.hh"
+
+using namespace gllc;
+
+int
+main(int argc, char **argv)
+{
+    GspcParams params;
+    if (argc > 1)
+        params.t = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    if (argc > 2)
+        params.counterBits =
+            static_cast<unsigned>(std::atoi(argv[2]));
+    if (argc > 3)
+        params.sampleLog2 =
+            static_cast<unsigned>(std::atoi(argv[3]));
+    if (argc > 4)
+        params.bypassDeadFills = std::atoi(argv[4]) != 0;
+    params.accBits = params.counterBits > 1 ? params.counterBits - 1
+                                            : 1;
+
+    GspcVariant variant = GspcVariant::Gspc;
+    if (argc > 5) {
+        const std::string v = argv[5];
+        if (v == "tse")
+            variant = GspcVariant::GspztcTse;
+        else if (v == "gspztc")
+            variant = GspcVariant::Gspztc;
+    }
+
+    std::cout << "candidate: t=" << params.t << " counters="
+              << params.counterBits << "b sampling=1/"
+              << (1u << params.sampleLog2) << " bypass="
+              << (params.bypassDeadFills ? "on" : "off") << "\n\n";
+
+    // Custom policies enter the sweep through the registry-free
+    // path: run the frames manually with three specs.
+    PolicySpec candidate;
+    candidate.name = "candidate";
+    candidate.factory = GspcFamilyPolicy::factory(variant, params);
+    candidate.uncachedDisplay = true;
+
+    const RenderScale scale = scaleFromEnv();
+    const LlcConfig llc =
+        scaledLlcConfig(8ull << 20, scale.pixelScale());
+
+    double drrip = 0, paper = 0, cand = 0;
+    for (const FrameSpec &spec : frameSetFromEnv()) {
+        const FrameTrace trace =
+            renderFrame(*spec.app, spec.frameIndex, scale);
+        drrip += missMetric(
+            runTrace(trace, policySpec("DRRIP"), llc));
+        paper += missMetric(
+            runTrace(trace, policySpec("GSPC+UCD"), llc));
+        cand += missMetric(runTrace(trace, candidate, llc));
+    }
+
+    TablePrinter tp({"policy", "misses vs DRRIP"});
+    tp.addRow({"GSPC+UCD (paper design)", fmt(paper / drrip, 4)});
+    tp.addRow({"candidate", fmt(cand / drrip, 4)});
+    tp.print(std::cout);
+    return 0;
+}

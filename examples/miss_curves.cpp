@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Example: LRU miss-ratio curves per application.
+ *
+ * Places the paper's 8 MB and 16 MB LLC design points (scaled) on
+ * each workload's Mattson curve: how much of the miss traffic is
+ * capacity-fixable at all, and how much only a smarter policy (or
+ * Belady) can recover.
+ */
+
+#include <iostream>
+
+#include "analysis/miss_curve.hh"
+#include "common/stats.hh"
+#include "workload/frame_set.hh"
+
+using namespace gllc;
+
+int
+main(int argc, char **argv)
+{
+    const RenderScale scale = scaleFromEnv();
+    const std::uint64_t llc8 =
+        (8ull << 20) / kBlockBytes / scale.pixelScale();
+
+    std::vector<const AppProfile *> apps;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            apps.push_back(&findApp(argv[i]));
+    } else {
+        for (const AppProfile &a : paperApps())
+            apps.push_back(&a);
+    }
+
+    TablePrinter tp({"app", "1/4 LLC", "1/2 LLC", "8MB LLC",
+                     "16MB LLC", "4x LLC"});
+    for (const AppProfile *app : apps) {
+        const FrameTrace trace = renderFrame(*app, 0, scale);
+        const ReuseDistanceHistogram unified = unifyHistograms(
+            measureReuseDistances(trace.accesses));
+        tp.addRow({app->name,
+                   fmtPct(lruMissRatioAt(unified, llc8 / 4)),
+                   fmtPct(lruMissRatioAt(unified, llc8 / 2)),
+                   fmtPct(lruMissRatioAt(unified, llc8)),
+                   fmtPct(lruMissRatioAt(unified, llc8 * 2)),
+                   fmtPct(lruMissRatioAt(unified, llc8 * 4))});
+    }
+    std::cout << "idealized (fully associative) LRU miss ratios at "
+              << "scaled capacities\n";
+    tp.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Policy-independent reuse characterization (Section 2.3).
+ *
+ * Attached to a BankedLlc as an observer, the Characterizer follows
+ * block lifetimes to reproduce the paper's analysis figures under
+ * any replacement policy:
+ *
+ *  - the RT-bit protocol: every render-target block is tagged; a
+ *    texture-sampler hit to a tagged block is an inter-stream reuse
+ *    and a "consumption" (Figure 6); the tag drops on consumption
+ *    and eviction.
+ *  - texture/Z epochs: a block's lifetime is split into epochs E_k
+ *    demarcated by its LLC hits; death ratio of E_k is the fraction
+ *    of lifetimes that reach E_k but not E_{k+1} (Figures 7 and 9).
+ */
+
+#ifndef GLLC_ANALYSIS_CHARACTERIZER_HH
+#define GLLC_ANALYSIS_CHARACTERIZER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/banked_llc.hh"
+
+namespace gllc
+{
+
+/** Aggregated characterization counters for one simulation run. */
+struct Characterization
+{
+    static constexpr unsigned kEpochs = 4;  ///< E0..E2, E>=3
+
+    /** Texture-sampler LLC hits that consumed a render target. */
+    std::uint64_t interTexHits = 0;
+
+    /** Texture-sampler LLC hits within the texture stream. */
+    std::uint64_t intraTexHits = 0;
+
+    /** RT-bit set events (distinct productions, Figure 6 lower). */
+    std::uint64_t rtProductions = 0;
+
+    /** RT blocks consumed by the sampler from the LLC. */
+    std::uint64_t rtConsumptions = 0;
+
+    /** Intra-stream texture hits per epoch (Figure 7 upper). */
+    std::array<std::uint64_t, kEpochs> texEpochHits{};
+
+    /** Texture lifetimes that attained epoch k (Figure 7 lower). */
+    std::array<std::uint64_t, kEpochs> texReach{};
+
+    /** Z lifetimes that attained epoch k (Figure 9). */
+    std::array<std::uint64_t, kEpochs> zReach{};
+
+    /** Death ratio of texture epoch k: 1 - reach[k+1]/reach[k]. */
+    double texDeathRatio(unsigned k) const;
+
+    /** Death ratio of Z epoch k. */
+    double zDeathRatio(unsigned k) const;
+
+    /** Fraction of produced RT blocks consumed by the sampler. */
+    double rtConsumptionRate() const;
+
+    void merge(const Characterization &other);
+};
+
+/** The observer that produces a Characterization. */
+class Characterizer : public LlcObserver
+{
+  public:
+    void onHit(const MemAccess &access) override;
+    void onMiss(const MemAccess &access) override;
+    void onEvict(Addr block_addr) override;
+
+    const Characterization &result() const { return stats_; }
+
+  private:
+    enum class Kind : std::uint8_t { None, Texture, Z };
+
+    struct BlockMeta
+    {
+        Kind kind = Kind::None;
+        bool rtBit = false;
+        std::uint8_t hits = 0;  ///< epoch index within the lifetime
+    };
+
+    /** Begin a texture lifetime for @p meta (enters E0). */
+    void startTexLifetime(BlockMeta &meta);
+
+    /** Begin a Z lifetime. */
+    void startZLifetime(BlockMeta &meta);
+
+    /** The fill portion of servicing a miss (keyed by block). */
+    void installMeta(const MemAccess &access);
+
+    std::unordered_map<Addr, BlockMeta> meta_;
+    /** The block address whose fill follows the pending miss. */
+    Characterization stats_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_CHARACTERIZER_HH

@@ -1,0 +1,50 @@
+#include "analysis/miss_curve.hh"
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+ReuseDistanceHistogram
+unifyHistograms(const StreamReuseDistances &per_stream)
+{
+    ReuseDistanceHistogram unified;
+    for (const auto &h : per_stream)
+        unified.merge(h);
+    return unified;
+}
+
+double
+lruMissRatioAt(const ReuseDistanceHistogram &unified,
+               std::uint64_t capacity_blocks)
+{
+    const std::uint64_t total = unified.accesses();
+    if (total == 0)
+        return 0.0;
+    // Hits are the reused accesses whose distance fits the capacity;
+    // everything else (cold + far reuse) misses.
+    const std::uint64_t reused = total - unified.cold;
+    const double hit_fraction =
+        unified.fractionBelow(capacity_blocks);
+    const double hits = hit_fraction * static_cast<double>(reused);
+    return 1.0 - hits / static_cast<double>(total);
+}
+
+std::vector<MissCurvePoint>
+lruMissCurve(const std::vector<MemAccess> &trace,
+             std::uint64_t min_blocks, std::uint64_t max_blocks)
+{
+    GLLC_ASSERT(min_blocks >= 1 && min_blocks <= max_blocks);
+    const ReuseDistanceHistogram unified =
+        unifyHistograms(measureReuseDistances(trace));
+
+    std::vector<MissCurvePoint> curve;
+    for (std::uint64_t c = min_blocks; c <= max_blocks; c *= 2) {
+        curve.push_back(MissCurvePoint{c, lruMissRatioAt(unified, c)});
+        if (c > max_blocks / 2)
+            break;
+    }
+    return curve;
+}
+
+} // namespace gllc

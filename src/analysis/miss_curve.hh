@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Mattson-style LRU miss-ratio curves.
+ *
+ * A fully associative LRU cache of capacity C misses exactly the
+ * accesses whose stack distance is >= C (plus the cold misses), so
+ * one stack-distance pass yields the entire miss-ratio curve
+ * [Mattson+, 1970 — the paper's reference for Belady/stack
+ * analysis].  Used to place the paper's 8/16 MB design points on
+ * each workload's curve (examples/miss_curves).
+ */
+
+#ifndef GLLC_ANALYSIS_MISS_CURVE_HH
+#define GLLC_ANALYSIS_MISS_CURVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/reuse_distance.hh"
+
+namespace gllc
+{
+
+/** One point of a miss-ratio curve. */
+struct MissCurvePoint
+{
+    /** Cache capacity in 64 B blocks. */
+    std::uint64_t blocks = 0;
+
+    /** LRU miss ratio at that capacity (including cold misses). */
+    double missRatio = 0.0;
+};
+
+/**
+ * LRU miss-ratio curve of @p trace at power-of-two capacities from
+ * @p min_blocks to @p max_blocks (fully associative idealization).
+ */
+std::vector<MissCurvePoint>
+lruMissCurve(const std::vector<MemAccess> &trace,
+             std::uint64_t min_blocks, std::uint64_t max_blocks);
+
+/** LRU miss ratio of a precomputed unified histogram at capacity. */
+double lruMissRatioAt(const ReuseDistanceHistogram &unified,
+                      std::uint64_t capacity_blocks);
+
+/** Merge the per-stream histograms into one unified histogram. */
+ReuseDistanceHistogram
+unifyHistograms(const StreamReuseDistances &per_stream);
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_MISS_CURVE_HH

@@ -1,0 +1,109 @@
+#include "analysis/occupancy.hh"
+
+#include <unordered_map>
+
+#include "cache/policy/belady.hh"
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Observer maintaining per-stream resident block counts. */
+class OccupancyObserver : public LlcObserver
+{
+  public:
+    void
+    onMiss(const MemAccess &access) override
+    {
+        // The cache will fill this block.
+        setOwner(blockNumber(access.addr), access.stream);
+    }
+
+    void
+    onHit(const MemAccess &access) override
+    {
+        // Ownership follows use: a texture hit to a render target
+        // re-attributes the block (dynamic texturing).
+        setOwner(blockNumber(access.addr), access.stream);
+    }
+
+    void
+    onEvict(Addr block_addr) override
+    {
+        const auto it = owner_.find(blockNumber(block_addr));
+        if (it != owner_.end()) {
+            --counts_[static_cast<std::size_t>(it->second)];
+            owner_.erase(it);
+        }
+    }
+
+    const std::array<std::uint32_t, kNumStreams> &
+    counts() const
+    {
+        return counts_;
+    }
+
+  private:
+    void
+    setOwner(Addr block, StreamType stream)
+    {
+        const auto it = owner_.find(block);
+        if (it != owner_.end()) {
+            if (it->second == stream)
+                return;
+            --counts_[static_cast<std::size_t>(it->second)];
+            it->second = stream;
+        } else {
+            owner_.emplace(block, stream);
+        }
+        ++counts_[static_cast<std::size_t>(stream)];
+    }
+
+    std::unordered_map<Addr, StreamType> owner_;
+    std::array<std::uint32_t, kNumStreams> counts_{};
+};
+
+} // namespace
+
+std::vector<OccupancySample>
+trackOccupancy(const FrameTrace &trace, const PolicySpec &spec,
+               const LlcConfig &llc_config,
+               std::uint32_t sample_count)
+{
+    GLLC_ASSERT(sample_count >= 1);
+
+    LlcConfig config = llc_config;
+    if (spec.uncachedDisplay)
+        config.bypass = displayBypass();
+    BankedLlc llc(config, spec.factory);
+
+    OccupancyObserver observer;
+    llc.setObserver(&observer);
+
+    std::vector<std::uint64_t> oracle;
+    if (spec.needsOracle)
+        oracle = buildNextUseOracle(trace.accesses);
+
+    const std::uint64_t period = std::max<std::uint64_t>(
+        1, trace.accesses.size() / sample_count);
+
+    std::vector<OccupancySample> samples;
+    for (std::size_t i = 0; i < trace.accesses.size(); ++i) {
+        llc.access(trace.accesses[i], i,
+                   spec.needsOracle ? oracle[i] : kNever);
+        const bool last = (i + 1 == trace.accesses.size());
+        if (((i + 1) % period == 0 && samples.size() + 1 < sample_count)
+            || last) {
+            OccupancySample s;
+            s.accessIndex = i + 1;
+            s.blocks = observer.counts();
+            samples.push_back(s);
+        }
+    }
+    return samples;
+}
+
+} // namespace gllc

@@ -1,0 +1,70 @@
+#include "analysis/offline_sim.hh"
+
+#include <algorithm>
+
+#include "cache/policy/belady.hh"
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+RunResult
+runTrace(const FrameTrace &trace, const PolicySpec &spec,
+         const LlcConfig &llc_config, const RunOptions &options)
+{
+    LlcConfig config = llc_config;
+    if (spec.uncachedDisplay)
+        config.bypass = displayBypass();
+
+    BankedLlc llc(config, spec.factory);
+
+    Characterizer characterizer;
+    llc.setObserver(&characterizer);
+
+    std::vector<std::uint64_t> oracle;
+    if (spec.needsOracle)
+        oracle = buildNextUseOracle(trace.accesses);
+
+    RunResult result;
+    for (std::size_t i = 0; i < trace.accesses.size(); ++i) {
+        const MemAccess &a = trace.accesses[i];
+        const std::uint64_t next_use =
+            spec.needsOracle ? oracle[i] : kNever;
+        const LlcAccessResult r = llc.access(a, i, next_use);
+
+        if (options.collectDramTrace) {
+            if (!r.hit) {
+                // Fill read or bypassed access goes to DRAM.  Write
+                // allocations without fetch (store misses) still
+                // appear as writes.
+                result.dramTrace.emplace_back(a.addr, a.stream,
+                                              a.isWrite, a.cycle);
+            }
+            if (r.writeback) {
+                result.dramTrace.emplace_back(r.writebackAddr,
+                                              StreamType::Other, true,
+                                              a.cycle);
+            }
+        }
+    }
+
+    result.stats = llc.stats();
+    result.characterization = characterizer.result();
+    result.fills = llc.mergedFillHistogram();
+    return result;
+}
+
+LlcConfig
+scaledLlcConfig(std::uint64_t full_capacity_bytes,
+                std::uint32_t pixel_scale)
+{
+    LlcConfig config;
+    config.capacityBytes =
+        std::max<std::uint64_t>(full_capacity_bytes / pixel_scale,
+                                64 * 1024);
+    config.ways = 16;
+    config.banks = 4;
+    return config;
+}
+
+} // namespace gllc

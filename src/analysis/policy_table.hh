@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Named registry of every evaluated LLC policy (Table 6 and more).
+ *
+ * Benchmarks and examples refer to policies by the names the paper
+ * uses; a "+UCD" suffix selects the uncached-displayable-color
+ * configuration of the same policy.
+ */
+
+#ifndef GLLC_ANALYSIS_POLICY_TABLE_HH
+#define GLLC_ANALYSIS_POLICY_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+
+namespace gllc
+{
+
+/** Everything needed to instantiate one evaluated policy. */
+struct PolicySpec
+{
+    std::string name;
+
+    /** Creates one per-bank ReplacementPolicy instance. */
+    PolicyFactory factory;
+
+    /** Requires the Belady next-use oracle. */
+    bool needsOracle = false;
+
+    /** Display stream bypasses the LLC (UCD). */
+    bool uncachedDisplay = false;
+};
+
+/**
+ * Look up a policy by name.  Recognized base names: NRU, LRU,
+ * Random, SRRIP, DRRIP, DRRIP-4, GS-DRRIP, GS-DRRIP-4, SHiP-mem,
+ * Belady, GSPZTC, GSPZTC+TSE, GSPC, and GSPZTC(t=N) for threshold
+ * sweeps.  Any name may carry a "+UCD" suffix.  Unknown names are
+ * fatal.
+ */
+PolicySpec policySpec(const std::string &name);
+
+/** All registered base policy names (no UCD variants). */
+std::vector<std::string> allPolicyNames();
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_POLICY_TABLE_HH

@@ -1,0 +1,29 @@
+#include "analysis/report.hh"
+
+#include <ostream>
+
+namespace gllc
+{
+
+void
+writeSweepCsv(const PolicySweep &sweep, std::ostream &os)
+{
+    os << "app,frame,policy,accesses,hits,misses,writebacks,"
+       << "tex_hit_rate,rt_hit_rate,z_hit_rate,"
+       << "rt_productions,rt_consumptions,"
+       << "inter_tex_hits,intra_tex_hits\n";
+    for (const SweepCell &cell : sweep.cells()) {
+        const LlcStats &s = cell.result.stats;
+        const Characterization &ch = cell.result.characterization;
+        os << cell.app << ',' << cell.frameIndex << ',' << cell.policy
+           << ',' << s.totalAccesses() << ',' << s.totalHits() << ','
+           << s.totalMisses() << ',' << s.writebacks << ','
+           << s.hitRate(StreamType::Texture) << ','
+           << s.hitRate(StreamType::RenderTarget) << ','
+           << s.hitRate(StreamType::Z) << ',' << ch.rtProductions
+           << ',' << ch.rtConsumptions << ',' << ch.interTexHits
+           << ',' << ch.intraTexHits << '\n';
+    }
+}
+
+} // namespace gllc

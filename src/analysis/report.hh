@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Machine-readable result export.
+ *
+ * The benchmark harnesses print human-readable tables; for plotting
+ * or regression tracking, the same sweep results can be dumped as
+ * CSV: one row per (application, frame, policy) cell with the common
+ * metrics, ready for any dataframe tool.
+ */
+
+#ifndef GLLC_ANALYSIS_REPORT_HH
+#define GLLC_ANALYSIS_REPORT_HH
+
+#include <iosfwd>
+
+#include "analysis/sweep.hh"
+
+namespace gllc
+{
+
+/**
+ * Write every sweep cell as a CSV row:
+ *   app,frame,policy,accesses,hits,misses,writebacks,
+ *   tex_hit_rate,rt_hit_rate,z_hit_rate,
+ *   rt_productions,rt_consumptions,inter_tex_hits,intra_tex_hits
+ */
+void writeSweepCsv(const PolicySweep &sweep, std::ostream &os);
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_REPORT_HH

@@ -1,0 +1,130 @@
+#include "analysis/reuse_distance.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gllc
+{
+
+unsigned
+ReuseDistanceHistogram::binOf(std::uint64_t distance)
+{
+    if (distance == 0)
+        return 0;
+    unsigned bin = 1;
+    while (bin + 1 < kBins && (distance >> bin) != 0)
+        ++bin;
+    return bin;
+}
+
+std::uint64_t
+ReuseDistanceHistogram::accesses() const
+{
+    std::uint64_t total = cold;
+    for (const auto b : bins)
+        total += b;
+    return total;
+}
+
+double
+ReuseDistanceHistogram::fractionBelow(std::uint64_t limit_blocks) const
+{
+    std::uint64_t reused = 0, below = 0;
+    std::uint64_t bin_lo = 0;
+    for (unsigned i = 0; i < kBins; ++i) {
+        reused += bins[i];
+        // Bin i covers [2^(i-1), 2^i); count it as below the limit
+        // when its upper edge fits.
+        const std::uint64_t bin_hi =
+            (i == 0) ? 1 : (std::uint64_t{1} << i);
+        if (bin_hi <= limit_blocks)
+            below += bins[i];
+        bin_lo = bin_hi;
+    }
+    (void)bin_lo;
+    return reused == 0
+        ? 0.0
+        : static_cast<double>(below) / static_cast<double>(reused);
+}
+
+void
+ReuseDistanceHistogram::merge(const ReuseDistanceHistogram &other)
+{
+    cold += other.cold;
+    for (unsigned i = 0; i < kBins; ++i)
+        bins[i] += other.bins[i];
+}
+
+namespace
+{
+
+/** Fenwick tree over access positions (1s at last-access slots). */
+class Fenwick
+{
+  public:
+    explicit Fenwick(std::size_t n)
+        : tree_(n + 1, 0)
+    {
+    }
+
+    void
+    add(std::size_t i, int delta)
+    {
+        for (++i; i < tree_.size(); i += i & (~i + 1))
+            tree_[i] += delta;
+    }
+
+    /** Sum of [0, i). */
+    std::int64_t
+    prefix(std::size_t i) const
+    {
+        std::int64_t s = 0;
+        for (; i > 0; i -= i & (~i + 1))
+            s += tree_[i];
+        return s;
+    }
+
+    std::int64_t
+    total() const
+    {
+        return prefix(tree_.size() - 1);
+    }
+
+  private:
+    std::vector<std::int64_t> tree_;
+};
+
+} // namespace
+
+StreamReuseDistances
+measureReuseDistances(const std::vector<MemAccess> &trace)
+{
+    StreamReuseDistances result{};
+    Fenwick fen(trace.size());
+    std::unordered_map<Addr, std::size_t> last_seen;
+    last_seen.reserve(trace.size() / 4 + 1);
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Addr block = blockNumber(trace[i].addr);
+        auto &hist =
+            result[static_cast<std::size_t>(trace[i].stream)];
+        const auto it = last_seen.find(block);
+        if (it == last_seen.end()) {
+            ++hist.cold;
+        } else {
+            // Distinct blocks touched since the previous access =
+            // number of last-access markers after that position.
+            const std::int64_t after =
+                fen.total() - fen.prefix(it->second + 1);
+            hist.record(static_cast<std::uint64_t>(after));
+            fen.add(it->second, -1);
+        }
+        fen.add(i, +1);
+        last_seen[block] = i;
+    }
+    return result;
+}
+
+} // namespace gllc

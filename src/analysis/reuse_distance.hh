@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Exact LRU stack-distance (reuse-distance) measurement.
+ *
+ * The characterization of Section 2 is epoch-based; reuse distances
+ * are the complementary view: how many *distinct* blocks separate an
+ * access from the previous access to the same block.  Distances
+ * below the cache's block capacity are capturable by LRU-like
+ * policies; the far-flung graphics reuses the paper targets show up
+ * as a heavy tail beyond it.  Used by examples/reuse_distances and
+ * the workload validation tests.
+ */
+
+#ifndef GLLC_ANALYSIS_REUSE_DISTANCE_HH
+#define GLLC_ANALYSIS_REUSE_DISTANCE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace gllc
+{
+
+/** Log2-binned histogram of reuse distances. */
+struct ReuseDistanceHistogram
+{
+    static constexpr unsigned kBins = 32;
+
+    /** bins[i] counts distances in [2^(i-1), 2^i), bins[0] is 0. */
+    std::array<std::uint64_t, kBins> bins{};
+
+    /** First-ever accesses (no reuse distance). */
+    std::uint64_t cold = 0;
+
+    /** Bin index for a distance. */
+    static unsigned binOf(std::uint64_t distance);
+
+    void
+    record(std::uint64_t distance)
+    {
+        ++bins[binOf(distance)];
+    }
+
+    std::uint64_t accesses() const;
+
+    /** Fraction of reused accesses with distance < limit blocks. */
+    double fractionBelow(std::uint64_t limit_blocks) const;
+
+    void merge(const ReuseDistanceHistogram &other);
+};
+
+/** Per-stream reuse-distance histograms over a unified stack. */
+using StreamReuseDistances =
+    std::array<ReuseDistanceHistogram, kNumStreams>;
+
+/**
+ * Measure exact LRU stack distances for every access of @p trace
+ * over one unified stack (the LLC's view), attributing each access's
+ * distance to its stream.  O(n log n) via a Fenwick tree.
+ */
+StreamReuseDistances
+measureReuseDistances(const std::vector<MemAccess> &trace);
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_REUSE_DISTANCE_HH

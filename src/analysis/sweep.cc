@@ -1,0 +1,154 @@
+#include "analysis/sweep.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "workload/trace_cache.hh"
+#include "common/stats.hh"
+
+namespace gllc
+{
+
+double
+missMetric(const RunResult &r)
+{
+    return static_cast<double>(r.stats.totalMisses());
+}
+
+PolicySweep::PolicySweep(std::vector<std::string> policy_names,
+                         std::uint64_t full_llc_bytes)
+    : policies_(std::move(policy_names)),
+      scale_(scaleFromEnv()),
+      frames_(frameSetFromEnv()),
+      llcConfig_(scaledLlcConfig(full_llc_bytes, scale_.pixelScale()))
+{
+    GLLC_ASSERT(!policies_.empty());
+}
+
+void
+PolicySweep::run(const std::function<void(const SweepCell &,
+                                          const FrameTrace &)> &per_frame)
+{
+    cells_.clear();
+    cells_.reserve(frames_.size() * policies_.size());
+
+    for (const FrameSpec &spec : frames_) {
+        const FrameTrace trace =
+            cachedRenderFrame(*spec.app, spec.frameIndex, scale_);
+
+        for (const std::string &policy : policies_) {
+            SweepCell cell;
+            cell.app = spec.app->name;
+            cell.frameIndex = spec.frameIndex;
+            cell.policy = policy;
+
+            RunOptions options;
+            options.collectDramTrace = collectDram_;
+            cell.result = runTrace(trace, policySpec(policy),
+                                   llcConfig_, options);
+
+            if (per_frame)
+                per_frame(cell, trace);
+
+            // DRAM traces are large; do not retain them.
+            cell.result.dramTrace.clear();
+            cell.result.dramTrace.shrink_to_fit();
+            cells_.push_back(std::move(cell));
+        }
+    }
+}
+
+std::vector<std::string>
+PolicySweep::appOrder() const
+{
+    std::vector<std::string> order;
+    for (const AppProfile &app : paperApps()) {
+        for (const SweepCell &cell : cells_) {
+            if (cell.app == app.name) {
+                order.push_back(app.name);
+                break;
+            }
+        }
+    }
+    return order;
+}
+
+std::map<std::string, std::map<std::string, double>>
+PolicySweep::totalsByApp(const Metric &metric) const
+{
+    std::map<std::string, std::map<std::string, double>> totals;
+    for (const SweepCell &cell : cells_)
+        totals[cell.app][cell.policy] += metric(cell.result);
+    return totals;
+}
+
+std::map<std::string, double>
+PolicySweep::meanNormalized(const Metric &metric,
+                            const std::string &baseline) const
+{
+    // Collect per-frame baseline values.
+    std::map<std::pair<std::string, std::uint32_t>, double> base;
+    for (const SweepCell &cell : cells_) {
+        if (cell.policy == baseline)
+            base[{cell.app, cell.frameIndex}] = metric(cell.result);
+    }
+    GLLC_ASSERT_MSG(!base.empty(), "baseline policy \"%s\" not swept",
+                    baseline.c_str());
+
+    std::map<std::string, std::vector<double>> ratios;
+    for (const SweepCell &cell : cells_) {
+        const auto it = base.find({cell.app, cell.frameIndex});
+        GLLC_ASSERT(it != base.end());
+        if (it->second > 0.0)
+            ratios[cell.policy].push_back(metric(cell.result)
+                                          / it->second);
+    }
+
+    std::map<std::string, double> means;
+    for (const auto &[policy, values] : ratios)
+        means[policy] = mean(values);
+    return means;
+}
+
+void
+PolicySweep::printNormalizedTable(std::ostream &os,
+                                  const std::string &title,
+                                  const Metric &metric,
+                                  const std::string &baseline) const
+{
+    const auto totals = totalsByApp(metric);
+
+    std::vector<std::string> header{"app"};
+    for (const std::string &p : policies_) {
+        if (p != baseline)
+            header.push_back(p);
+    }
+    TablePrinter tp(header);
+
+    for (const std::string &app : appOrder()) {
+        const auto &row = totals.at(app);
+        const double base = row.at(baseline);
+        std::vector<std::string> cells{app};
+        for (const std::string &p : policies_) {
+            if (p == baseline)
+                continue;
+            cells.push_back(base > 0.0 ? fmt(row.at(p) / base, 3)
+                                       : "n/a");
+        }
+        tp.addRow(std::move(cells));
+    }
+
+    const auto means = meanNormalized(metric, baseline);
+    std::vector<std::string> mean_row{"MEAN"};
+    for (const std::string &p : policies_) {
+        if (p != baseline)
+            mean_row.push_back(fmt(means.at(p), 3));
+    }
+    tp.addRow(std::move(mean_row));
+
+    os << title << " (normalized to " << baseline << ")\n";
+    tp.print(os);
+    os << '\n';
+}
+
+} // namespace gllc

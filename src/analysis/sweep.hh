@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Frame-set sweep engine shared by the benchmark harnesses.
+ *
+ * Each benchmark regenerates one of the paper's figures: it walks
+ * the 52-frame set, replays every frame under a list of policies,
+ * and prints per-application rows plus the cross-frame mean, which
+ * is how the paper aggregates (per-frame values averaged over all
+ * 52 frames; per-app bars average that title's frames).
+ *
+ * Frames are expensive to generate, so the sweep generates each
+ * frame trace once and replays it under every policy before moving
+ * on.
+ */
+
+#ifndef GLLC_ANALYSIS_SWEEP_HH
+#define GLLC_ANALYSIS_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/offline_sim.hh"
+#include "workload/frame_set.hh"
+
+namespace gllc
+{
+
+/** Results of one (frame, policy) replay. */
+struct SweepCell
+{
+    std::string app;
+    std::uint32_t frameIndex = 0;
+    std::string policy;
+    RunResult result;
+};
+
+/** Environment-configured sweep over frames x policies. */
+class PolicySweep
+{
+  public:
+    /**
+     * @param policy_names policies to evaluate (policySpec names)
+     * @param full_llc_bytes unscaled LLC capacity (8 MB baseline)
+     */
+    PolicySweep(std::vector<std::string> policy_names,
+                std::uint64_t full_llc_bytes = 8ull << 20);
+
+    /** Collect the DRAM trace of every replay (timing benches). */
+    void setCollectDramTrace(bool collect) { collectDram_ = collect; }
+
+    /**
+     * Run the sweep.  @p per_frame (optional) observes each cell as
+     * it completes, e.g. to feed a timing model; the cell's
+     * dramTrace is valid during the callback only if enabled.
+     */
+    void run(const std::function<void(const SweepCell &,
+                                      const FrameTrace &)> &per_frame
+             = nullptr);
+
+    /** Per-app total of a per-cell metric, plus "MEAN" of ratios. */
+    using Metric = std::function<double(const RunResult &)>;
+
+    /**
+     * Sum @p metric per (app, policy); rows ordered like Table 1.
+     */
+    std::map<std::string, std::map<std::string, double>>
+    totalsByApp(const Metric &metric) const;
+
+    /**
+     * Print a table of per-app values of @p metric for every policy
+     * normalized to @p baseline (the paper's usual presentation),
+     * with a final MEAN row averaging the per-frame ratios.
+     */
+    void printNormalizedTable(std::ostream &os, const std::string &title,
+                              const Metric &metric,
+                              const std::string &baseline) const;
+
+    /** Mean over frames of (metric / baseline metric) per policy. */
+    std::map<std::string, double>
+    meanNormalized(const Metric &metric,
+                   const std::string &baseline) const;
+
+    const std::vector<SweepCell> &cells() const { return cells_; }
+    const std::vector<std::string> &policies() const { return policies_; }
+    const RenderScale &scale() const { return scale_; }
+    const LlcConfig &llcConfig() const { return llcConfig_; }
+
+    /** Application names in Table 1 order (only those swept). */
+    std::vector<std::string> appOrder() const;
+
+  private:
+    std::vector<std::string> policies_;
+    RenderScale scale_;
+    std::vector<FrameSpec> frames_;
+    LlcConfig llcConfig_;
+    bool collectDram_ = false;
+    std::vector<SweepCell> cells_;
+};
+
+/** Common metric: total LLC misses (including bypasses). */
+double missMetric(const RunResult &r);
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_SWEEP_HH

@@ -1,0 +1,199 @@
+#include "cache/banked_llc.hh"
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+std::uint64_t
+LlcStats::totalAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : stream)
+        n += s.accesses;
+    return n;
+}
+
+std::uint64_t
+LlcStats::totalHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : stream)
+        n += s.hits;
+    return n;
+}
+
+std::uint64_t
+LlcStats::totalMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : stream)
+        n += s.misses + s.bypasses;
+    return n;
+}
+
+double
+LlcStats::hitRate(StreamType s) const
+{
+    const PerStream &ps = of(s);
+    return (ps.accesses == 0)
+        ? 0.0
+        : static_cast<double>(ps.hits) / static_cast<double>(ps.accesses);
+}
+
+void
+LlcStats::merge(const LlcStats &other)
+{
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        stream[i].accesses += other.stream[i].accesses;
+        stream[i].hits += other.stream[i].hits;
+        stream[i].misses += other.stream[i].misses;
+        stream[i].bypasses += other.stream[i].bypasses;
+    }
+    writebacks += other.writebacks;
+    evictions += other.evictions;
+}
+
+std::function<bool(const MemAccess &)>
+displayBypass()
+{
+    return [](const MemAccess &a) {
+        return a.stream == StreamType::Display;
+    };
+}
+
+BankedLlc::BankedLlc(const LlcConfig &config, const PolicyFactory &factory)
+    : geom_(config.capacityBytes, config.ways, config.banks),
+      config_(config)
+{
+    banks_.resize(geom_.banks());
+    for (auto &bank : banks_) {
+        bank.entries.assign(
+            static_cast<std::size_t>(geom_.setsPerBank()) * geom_.ways(),
+            Entry{});
+        bank.policy = factory();
+        GLLC_ASSERT(bank.policy != nullptr);
+        bank.policy->configure(geom_.setsPerBank(), geom_.ways());
+    }
+}
+
+std::uint32_t
+BankedLlc::findWay(const Bank &bank, std::uint32_t set, Addr tag) const
+{
+    const std::size_t base =
+        static_cast<std::size_t>(set) * geom_.ways();
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+        const Entry &e = bank.entries[base + w];
+        if (e.valid && e.tag == tag)
+            return w;
+    }
+    return geom_.ways();
+}
+
+bool
+BankedLlc::isResident(Addr addr) const
+{
+    const Bank &bank = banks_[geom_.bankOf(addr)];
+    return findWay(bank, geom_.setOf(addr), geom_.tagOf(addr))
+        != geom_.ways();
+}
+
+LlcAccessResult
+BankedLlc::access(const MemAccess &access, std::uint64_t index,
+                  std::uint64_t next_use)
+{
+    LlcAccessResult result;
+    const std::uint32_t bank_id = geom_.bankOf(access.addr);
+    Bank &bank = banks_[bank_id];
+    const std::uint32_t set = geom_.setOf(access.addr);
+    const Addr tag = geom_.tagOf(access.addr);
+
+    auto &sstats = stats_.stream[static_cast<std::size_t>(access.stream)];
+    ++sstats.accesses;
+
+    const AccessInfo info{&access, index, next_use};
+    const std::uint32_t way = findWay(bank, set, tag);
+
+    if (way != geom_.ways()) {
+        // Hit (bypassed streams can still hit blocks another stream
+        // allocated; the data is resident either way).
+        ++sstats.hits;
+        result.hit = true;
+        Entry &e = entryAt(bank, set, way);
+        e.dirty = e.dirty || access.isWrite;
+        bank.policy->onHit(set, way, info);
+        if (observer_ != nullptr)
+            observer_->onHit(access);
+        return result;
+    }
+
+    if ((config_.bypass && config_.bypass(access))
+        || bank.policy->shouldBypass(set, info)) {
+        ++sstats.bypasses;
+        result.bypassed = true;
+        if (observer_ != nullptr)
+            observer_->onBypass(access);
+        return result;
+    }
+
+    // Miss: always fill (Section 2: "A miss in the LLC always fills
+    // the requested block into the LLC").
+    ++sstats.misses;
+
+    // Prefer an invalid frame; otherwise ask the policy for a victim.
+    std::uint32_t fill_way = geom_.ways();
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.ways();
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+        if (!bank.entries[base + w].valid) {
+            fill_way = w;
+            break;
+        }
+    }
+
+    if (fill_way == geom_.ways()) {
+        fill_way = bank.policy->selectVictim(set);
+        GLLC_ASSERT(fill_way < geom_.ways());
+        Entry &victim = entryAt(bank, set, fill_way);
+        GLLC_ASSERT(victim.valid);
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            result.writeback = true;
+            result.writebackAddr = victim.tag << kBlockShift;
+        }
+        bank.policy->onEvict(set, fill_way);
+        if (observer_ != nullptr)
+            observer_->onEvict(victim.tag << kBlockShift);
+    }
+
+    if (observer_ != nullptr)
+        observer_->onMiss(access);
+
+    Entry &e = entryAt(bank, set, fill_way);
+    e.tag = tag;
+    e.valid = true;
+    e.dirty = access.isWrite;
+    bank.policy->onFill(set, fill_way, info);
+    return result;
+}
+
+FillHistogram
+BankedLlc::mergedFillHistogram() const
+{
+    FillHistogram merged;
+    for (const auto &bank : banks_) {
+        const FillHistogram *h = bank.policy->fillHistogram();
+        if (h != nullptr)
+            merged.merge(*h);
+    }
+    return merged;
+}
+
+ReplacementPolicy &
+BankedLlc::bankPolicy(std::uint32_t bank)
+{
+    GLLC_ASSERT(bank < banks_.size());
+    return *banks_[bank].policy;
+}
+
+} // namespace gllc

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Banked non-inclusive/non-exclusive LLC model.
+ *
+ * Models the paper's shared GPU LLC (Section 4): 64 B blocks, block-
+ * interleaved banks, write-allocate, fill-on-miss, per-stream
+ * statistics.  Replacement is delegated to one ReplacementPolicy
+ * instance per bank.  An optional bypass predicate implements the
+ * "uncached displayable color" (UCD) configurations: bypassed
+ * accesses still probe the tag store (for coherence with blocks a
+ * different stream may have cached) but never allocate.
+ */
+
+#ifndef GLLC_CACHE_BANKED_LLC_HH
+#define GLLC_CACHE_BANKED_LLC_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/replacement.hh"
+
+namespace gllc
+{
+
+/** Per-stream and aggregate LLC statistics. */
+struct LlcStats
+{
+    struct PerStream
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;    ///< misses that allocated
+        std::uint64_t bypasses = 0;  ///< misses that did not allocate
+    };
+
+    std::array<PerStream, kNumStreams> stream{};
+    std::uint64_t writebacks = 0;  ///< dirty evictions toward DRAM
+    std::uint64_t evictions = 0;
+
+    const PerStream &
+    of(StreamType s) const
+    {
+        return stream[static_cast<std::size_t>(s)];
+    }
+
+    std::uint64_t totalAccesses() const;
+    std::uint64_t totalHits() const;
+
+    /** All accesses that went to DRAM (misses + bypasses). */
+    std::uint64_t totalMisses() const;
+
+    /** Hit rate of one stream (0 when it had no accesses). */
+    double hitRate(StreamType s) const;
+
+    /** Accumulate another frame's statistics. */
+    void merge(const LlcStats &other);
+};
+
+/**
+ * Observation hooks for characterization layers (epoch tracking,
+ * RT-bit inter-stream reuse classification) that must follow block
+ * lifetimes without perturbing the policy under test.
+ */
+class LlcObserver
+{
+  public:
+    virtual ~LlcObserver() = default;
+
+    /** Access hit a resident block. */
+    virtual void onHit(const MemAccess &access) { (void)access; }
+
+    /** Access missed and will allocate. */
+    virtual void onMiss(const MemAccess &access) { (void)access; }
+
+    /** Access missed and bypassed (no allocation). */
+    virtual void onBypass(const MemAccess &access) { (void)access; }
+
+    /** Valid block at block-aligned address was evicted. */
+    virtual void onEvict(Addr block_addr) { (void)block_addr; }
+};
+
+/** Result of one LLC access, for the timing model. */
+struct LlcAccessResult
+{
+    bool hit = false;
+    bool bypassed = false;
+
+    /** A dirty block was written back to DRAM. */
+    bool writeback = false;
+
+    /** Block-aligned address of the written-back block. */
+    Addr writebackAddr = 0;
+};
+
+/** Configuration for a BankedLlc instance. */
+struct LlcConfig
+{
+    std::uint64_t capacityBytes = 8ull << 20;
+    std::uint32_t ways = 16;
+    std::uint32_t banks = 4;
+
+    /** Accesses for which this returns true never allocate (UCD). */
+    std::function<bool(const MemAccess &)> bypass;
+};
+
+/** Returns the standard UCD bypass predicate (display stream). */
+std::function<bool(const MemAccess &)> displayBypass();
+
+/** The banked LLC. */
+class BankedLlc
+{
+  public:
+    BankedLlc(const LlcConfig &config, const PolicyFactory &factory);
+
+    /**
+     * Service one access.
+     * @param access the load/store
+     * @param index global trace position (Belady bookkeeping)
+     * @param next_use trace index of the next access to this block,
+     *        or kNever; only meaningful under oracle policies
+     */
+    LlcAccessResult access(const MemAccess &access,
+                           std::uint64_t index = 0,
+                           std::uint64_t next_use = kNever);
+
+    /** Probe only: true when the block is resident. No side effects. */
+    bool isResident(Addr addr) const;
+
+    const LlcStats &stats() const { return stats_; }
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Attach an observer (not owned); nullptr detaches. */
+    void setObserver(LlcObserver *observer) { observer_ = observer; }
+
+    /** Merged insertion-RRPV histogram across banks, if available. */
+    FillHistogram mergedFillHistogram() const;
+
+    /** Per-bank policy access (tests and characterization). */
+    ReplacementPolicy &bankPolicy(std::uint32_t bank);
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct Bank
+    {
+        std::vector<Entry> entries;
+        std::unique_ptr<ReplacementPolicy> policy;
+    };
+
+    Entry &
+    entryAt(Bank &bank, std::uint32_t set, std::uint32_t way)
+    {
+        return bank.entries[static_cast<std::size_t>(set) * geom_.ways()
+                            + way];
+    }
+
+    /** Find the way holding addr in the set, or ways() if absent. */
+    std::uint32_t findWay(const Bank &bank, std::uint32_t set,
+                          Addr tag) const;
+
+    CacheGeometry geom_;
+    LlcConfig config_;
+    std::vector<Bank> banks_;
+    LlcStats stats_;
+    LlcObserver *observer_ = nullptr;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_BANKED_LLC_HH

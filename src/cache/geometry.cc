@@ -1,0 +1,40 @@
+#include "cache/geometry.hh"
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+CacheGeometry::CacheGeometry(std::uint64_t capacity_bytes,
+                             std::uint32_t ways, std::uint32_t banks)
+    : capacity_(capacity_bytes), ways_(ways), banks_(banks)
+{
+    GLLC_ASSERT(capacity_bytes > 0 && ways > 0 && banks > 0);
+    const std::uint64_t blocks = capacity_bytes / kBlockBytes;
+    GLLC_ASSERT_MSG(blocks * kBlockBytes == capacity_bytes,
+                    "capacity %llu not a multiple of the block size",
+                    static_cast<unsigned long long>(capacity_bytes));
+    GLLC_ASSERT_MSG(blocks % (static_cast<std::uint64_t>(ways) * banks)
+                        == 0,
+                    "capacity %llu not divisible into %u ways x %u banks",
+                    static_cast<unsigned long long>(capacity_bytes),
+                    ways, banks);
+    const std::uint64_t sets = blocks / ways / banks;
+    GLLC_ASSERT_MSG(isPow2(sets) && isPow2(banks),
+                    "sets (%llu) and banks (%u) must be powers of two",
+                    static_cast<unsigned long long>(sets), banks);
+    setsPerBank_ = static_cast<std::uint32_t>(sets);
+}
+
+} // namespace gllc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cache geometry: capacity/way/bank arithmetic and address mapping.
+ */
+
+#ifndef GLLC_CACHE_GEOMETRY_HH
+#define GLLC_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gllc
+{
+
+/**
+ * Geometry of a banked set-associative cache with 64 B blocks.
+ *
+ * Banks are block-interleaved: bank = blockNumber mod banks, and the
+ * remaining block-number bits index the per-bank set array.  The
+ * paper's 8 MB 16-way LLC uses 4 banks of 2 MB (Section 4).
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity across banks
+     * @param ways associativity
+     * @param banks number of banks (1 for the small render caches)
+     */
+    CacheGeometry(std::uint64_t capacity_bytes, std::uint32_t ways,
+                  std::uint32_t banks = 1);
+
+    std::uint64_t capacityBytes() const { return capacity_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t banks() const { return banks_; }
+
+    /** Sets within one bank. */
+    std::uint32_t setsPerBank() const { return setsPerBank_; }
+
+    /** Total sets across all banks. */
+    std::uint32_t totalSets() const { return setsPerBank_ * banks_; }
+
+    /** Total block frames across all banks. */
+    std::uint64_t totalBlocks() const
+    {
+        return static_cast<std::uint64_t>(totalSets()) * ways_;
+    }
+
+    /** Bank servicing the given address. */
+    std::uint32_t
+    bankOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(blockNumber(addr) % banks_);
+    }
+
+    /** Set index within the servicing bank. */
+    std::uint32_t
+    setOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(
+            (blockNumber(addr) / banks_) % setsPerBank_);
+    }
+
+    /** Tag stored for the given address (full block number). */
+    Addr tagOf(Addr addr) const { return blockNumber(addr); }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint32_t ways_;
+    std::uint32_t banks_;
+    std::uint32_t setsPerBank_;
+};
+
+/**
+ * Generalized sample-set predicate: one sample per 2^log2_density
+ * sets, identified by a Boolean function of the set-index bits
+ * ((set mod D) == (set / D) mod D with D = 2^log2_density), which
+ * selects one set per D-set constituency with a shifting offset.
+ */
+constexpr bool
+isSampleSetAt(std::uint32_t set, unsigned log2_density)
+{
+    const std::uint32_t mask = (1u << log2_density) - 1;
+    return (set & mask) == ((set >> log2_density) & mask);
+}
+
+/**
+ * Sample-set predicate used by the GSPC family (Section 3): sixteen
+ * sample sets in every 1024 sets (a 1/64 density at any power-of-two
+ * set count).
+ */
+constexpr bool
+isSampleSet(std::uint32_t set)
+{
+    return isSampleSetAt(set, 6);
+}
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_GEOMETRY_HH

@@ -1,0 +1,69 @@
+#include "cache/policy/belady.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gllc
+{
+
+std::vector<std::uint64_t>
+buildNextUseOracle(const std::vector<MemAccess> &trace)
+{
+    std::vector<std::uint64_t> next_use(trace.size(), kNever);
+    std::unordered_map<Addr, std::uint64_t> last_seen;
+    last_seen.reserve(trace.size() / 4 + 1);
+    for (std::size_t i = trace.size(); i-- > 0;) {
+        const Addr block = blockNumber(trace[i].addr);
+        const auto it = last_seen.find(block);
+        if (it != last_seen.end())
+            next_use[i] = it->second;
+        last_seen[block] = i;
+    }
+    return next_use;
+}
+
+void
+BeladyPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    nextUse_.assign(static_cast<std::size_t>(sets) * ways, kNever);
+}
+
+std::uint32_t
+BeladyPolicy::selectVictim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t victim = 0;
+    std::uint64_t farthest = nextUse_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (nextUse_[base + w] > farthest) {
+            farthest = nextUse_[base + w];
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+BeladyPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                     const AccessInfo &info)
+{
+    nextUse_[static_cast<std::size_t>(set) * ways_ + way] = info.nextUse;
+}
+
+void
+BeladyPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &info)
+{
+    nextUse_[static_cast<std::size_t>(set) * ways_ + way] = info.nextUse;
+}
+
+PolicyFactory
+BeladyPolicy::factory()
+{
+    return [] { return std::make_unique<BeladyPolicy>(); };
+}
+
+} // namespace gllc

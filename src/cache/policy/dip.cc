@@ -1,0 +1,89 @@
+#include "cache/policy/dip.hh"
+
+#include <algorithm>
+
+namespace gllc
+{
+
+DipPolicy::DipPolicy()
+    : clock_(1ull << 32), psel_(10)
+{
+}
+
+void
+DipPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    clock_ = 1ull << 32;
+    stamp_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void
+DipPolicy::touchMru(std::uint32_t set, std::uint32_t way)
+{
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+void
+DipPolicy::touchLru(std::uint32_t set, std::uint32_t way)
+{
+    // Below every live stamp in the set: evicted next unless hit.
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint64_t min_stamp = ~0ull;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        min_stamp = std::min(min_stamp, stamp_[base + w]);
+    stamp_[base + way] = (min_stamp > 0) ? min_stamp - 1 : 0;
+}
+
+std::uint32_t
+DipPolicy::selectVictim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (stamp_[base + w] < stamp_[base + victim])
+            victim = w;
+    }
+    return victim;
+}
+
+void
+DipPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                  const AccessInfo &)
+{
+    const DuelRole role = duelRole(set, 0);
+    bool use_bip;
+    switch (role) {
+      case DuelRole::SrripLeader:  // reuse the leader families: LRU
+        psel_.up();
+        use_bip = false;
+        break;
+      case DuelRole::BrripLeader:  // BIP leaders
+        psel_.down();
+        use_bip = true;
+        break;
+      default:
+        use_bip = psel_.upperHalf();
+        break;
+    }
+
+    if (use_bip && ++bipCount_ % 32 != 0)
+        touchLru(set, way);
+    else
+        touchMru(set, way);
+}
+
+void
+DipPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                 const AccessInfo &)
+{
+    touchMru(set, way);
+}
+
+PolicyFactory
+DipPolicy::factory()
+{
+    return [] { return std::make_unique<DipPolicy>(); };
+}
+
+} // namespace gllc

@@ -1,0 +1,88 @@
+#include "cache/policy/drrip.hh"
+
+namespace gllc
+{
+
+DuelRole
+duelRole(std::uint32_t set, unsigned group)
+{
+    const std::uint32_t offset = set & 63u;
+    if (offset == 2u * group)
+        return DuelRole::SrripLeader;
+    if (offset == (2u * group + 33u) % 64u)
+        return DuelRole::BrripLeader;
+    return DuelRole::Follower;
+}
+
+DrripPolicy::DrripPolicy(unsigned bits)
+    : bits_(bits), rrip_(bits), psel_(10)
+{
+}
+
+void
+DrripPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    rrip_.configure(sets, ways);
+}
+
+std::uint32_t
+DrripPolicy::selectVictim(std::uint32_t set)
+{
+    return rrip_.selectVictim(set);
+}
+
+void
+DrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &info)
+{
+    // A fill is a miss: leader-set misses steer the PSEL duel.  A
+    // miss in an SRRIP leader votes against SRRIP (psel up) and vice
+    // versa; followers copy whichever family has fewer misses.
+    const DuelRole role = duelRole(set, 0);
+    bool use_brrip;
+    switch (role) {
+      case DuelRole::SrripLeader:
+        psel_.up();
+        use_brrip = false;
+        break;
+      case DuelRole::BrripLeader:
+        psel_.down();
+        use_brrip = true;
+        break;
+      default:
+        use_brrip = psel_.upperHalf();
+        break;
+    }
+
+    const std::uint8_t rrpv = use_brrip
+        ? throttle_.insertionRrpv(rrip_)
+        : rrip_.distantRrpv();
+    rrip_.fill(set, way, rrpv, info.pstream());
+}
+
+void
+DrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &)
+{
+    rrip_.set(set, way, 0);
+}
+
+const FillHistogram *
+DrripPolicy::fillHistogram() const
+{
+    return &rrip_.histogram();
+}
+
+std::string
+DrripPolicy::name() const
+{
+    return "DRRIP-" + std::to_string(bits_);
+}
+
+PolicyFactory
+DrripPolicy::factory(unsigned bits)
+{
+    return [bits] { return std::make_unique<DrripPolicy>(bits); };
+}
+
+} // namespace gllc

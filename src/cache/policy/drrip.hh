@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dynamic re-reference interval prediction (DRRIP) [Jaleel+, ISCA'10]
+ * — the paper's baseline policy.
+ *
+ * Set-dueling chooses between SRRIP insertion (RRPV 2^n - 2) and
+ * BRRIP insertion (RRPV 2^n - 1, with a 1/32 long-interval throttle).
+ * One group of leader sets always inserts SRRIP-style, another always
+ * BRRIP-style; a PSEL counter counts their misses and follower sets
+ * copy the winner.
+ */
+
+#ifndef GLLC_CACHE_POLICY_DRRIP_HH
+#define GLLC_CACHE_POLICY_DRRIP_HH
+
+#include <cstdint>
+
+#include "cache/rrip.hh"
+#include "common/sat_counter.hh"
+
+namespace gllc
+{
+
+/** Leader-set classification shared by DRRIP and GS-DRRIP. */
+enum class DuelRole : std::uint8_t
+{
+    SrripLeader,
+    BrripLeader,
+    Follower,
+};
+
+/**
+ * Leader-set mapping: within each 64-set constituency, set offset
+ * `2 * group` leads SRRIP and offset `2 * group + 33` leads BRRIP for
+ * dueling group `group` (DRRIP uses one group; GS-DRRIP one per
+ * stream).  The +33 skew keeps the two leader families apart.
+ */
+DuelRole duelRole(std::uint32_t set, unsigned group);
+
+/** Shared BRRIP insertion throttle: distant 1 time in 32. */
+class BrripThrottle
+{
+  public:
+    /** RRPV to use for the next BRRIP-style insertion. */
+    std::uint8_t
+    insertionRrpv(const RripState &rrip)
+    {
+        if (++count_ >= 32) {
+            count_ = 0;
+            return rrip.distantRrpv();
+        }
+        return rrip.maxRrpv();
+    }
+
+  private:
+    std::uint32_t count_ = 0;
+};
+
+class DrripPolicy : public ReplacementPolicy
+{
+  public:
+    /** @param bits RRPV width (2 baseline, 4 in Figure 14). */
+    explicit DrripPolicy(unsigned bits = 2);
+
+    void configure(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint32_t selectVictim(std::uint32_t set) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    const FillHistogram *fillHistogram() const override;
+    std::string name() const override;
+
+    static PolicyFactory factory(unsigned bits = 2);
+
+  private:
+    unsigned bits_;
+    RripState rrip_;
+    BrripThrottle throttle_;
+    DuelCounter psel_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_POLICY_DRRIP_HH

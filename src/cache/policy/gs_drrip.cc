@@ -1,0 +1,78 @@
+#include "cache/policy/gs_drrip.hh"
+
+namespace gllc
+{
+
+GsDrripPolicy::GsDrripPolicy(unsigned bits)
+    : bits_(bits), rrip_(bits),
+      psel_{DuelCounter(10), DuelCounter(10), DuelCounter(10),
+            DuelCounter(10)}
+{
+}
+
+void
+GsDrripPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    rrip_.configure(sets, ways);
+}
+
+std::uint32_t
+GsDrripPolicy::selectVictim(std::uint32_t set)
+{
+    return rrip_.selectVictim(set);
+}
+
+void
+GsDrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                      const AccessInfo &info)
+{
+    const auto stream = static_cast<std::size_t>(info.pstream());
+    const DuelRole role = duelRole(set, static_cast<unsigned>(stream));
+
+    bool use_brrip;
+    switch (role) {
+      case DuelRole::SrripLeader:
+        psel_[stream].up();
+        use_brrip = false;
+        break;
+      case DuelRole::BrripLeader:
+        psel_[stream].down();
+        use_brrip = true;
+        break;
+      default:
+        use_brrip = psel_[stream].upperHalf();
+        break;
+    }
+
+    const std::uint8_t rrpv = use_brrip
+        ? throttle_[stream].insertionRrpv(rrip_)
+        : rrip_.distantRrpv();
+    rrip_.fill(set, way, rrpv, info.pstream());
+}
+
+void
+GsDrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                     const AccessInfo &)
+{
+    rrip_.set(set, way, 0);
+}
+
+const FillHistogram *
+GsDrripPolicy::fillHistogram() const
+{
+    return &rrip_.histogram();
+}
+
+std::string
+GsDrripPolicy::name() const
+{
+    return "GS-DRRIP-" + std::to_string(bits_);
+}
+
+PolicyFactory
+GsDrripPolicy::factory(unsigned bits)
+{
+    return [bits] { return std::make_unique<GsDrripPolicy>(bits); };
+}
+
+} // namespace gllc

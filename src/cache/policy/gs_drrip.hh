@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Graphics stream-aware DRRIP (GS-DRRIP), the paper's adaptation of
+ * thread-aware DRRIP [Jaleel+, PACT'08] to the four graphics streams.
+ *
+ * Each policy stream (Z, TEX, RT, Rest) duels independently: it has
+ * its own pair of leader-set families and its own PSEL counter, so a
+ * stream can choose SRRIP-style insertion while another chooses
+ * BRRIP-style.  An access only votes in a leader set of its own
+ * stream; in every other set it follows its stream's PSEL.
+ */
+
+#ifndef GLLC_CACHE_POLICY_GS_DRRIP_HH
+#define GLLC_CACHE_POLICY_GS_DRRIP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cache/policy/drrip.hh"
+#include "cache/rrip.hh"
+
+namespace gllc
+{
+
+class GsDrripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit GsDrripPolicy(unsigned bits = 2);
+
+    void configure(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint32_t selectVictim(std::uint32_t set) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    const FillHistogram *fillHistogram() const override;
+    std::string name() const override;
+
+    static PolicyFactory factory(unsigned bits = 2);
+
+  private:
+    unsigned bits_;
+    RripState rrip_;
+    std::array<BrripThrottle, kNumPolicyStreams> throttle_;
+    std::array<DuelCounter, kNumPolicyStreams> psel_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_POLICY_GS_DRRIP_HH

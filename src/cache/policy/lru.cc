@@ -1,0 +1,51 @@
+#include "cache/policy/lru.hh"
+
+namespace gllc
+{
+
+void
+LruPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    clock_ = 0;
+    stamp_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+std::uint32_t
+LruPolicy::selectVictim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (stamp_[base + w] < stamp_[base + victim])
+            victim = w;
+    }
+    return victim;
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                  const AccessInfo &)
+{
+    touch(set, way);
+}
+
+void
+LruPolicy::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    touch(set, way);
+}
+
+PolicyFactory
+LruPolicy::factory()
+{
+    return [] { return std::make_unique<LruPolicy>(); };
+}
+
+} // namespace gllc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Single-bit not-recently-used replacement (Figure 1 baseline).
+ *
+ * Each block has one reference bit, set on fill and on hit.  The
+ * victim is the lowest-numbered way with a clear bit; when every bit
+ * in the set is set, all bits are cleared first.
+ */
+
+#ifndef GLLC_CACHE_POLICY_NRU_HH
+#define GLLC_CACHE_POLICY_NRU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hh"
+
+namespace gllc
+{
+
+class NruPolicy : public ReplacementPolicy
+{
+  public:
+    void configure(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint32_t selectVictim(std::uint32_t set) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::string name() const override { return "NRU"; }
+
+    static PolicyFactory factory();
+
+  private:
+    std::uint32_t ways_ = 0;
+    std::vector<std::uint8_t> referenced_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_POLICY_NRU_HH

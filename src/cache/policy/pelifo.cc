@@ -1,0 +1,107 @@
+#include "cache/policy/pelifo.hh"
+
+namespace gllc
+{
+
+PeLifoPolicy::PeLifoPolicy() = default;
+
+void
+PeLifoPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    fillClock_ = 0;
+    fillSeq_.assign(static_cast<std::size_t>(sets) * ways, 0);
+    positionHits_.assign(ways, 0);
+    totalHits_ = 0;
+}
+
+std::uint32_t
+PeLifoPolicy::stackPosition(std::uint32_t set, std::uint32_t way) const
+{
+    // Position = number of blocks in the set filled more recently.
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    const std::uint64_t mine = fillSeq_[base + way];
+    std::uint32_t pos = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        pos += (fillSeq_[base + w] > mine);
+    return pos;
+}
+
+std::uint32_t
+PeLifoPolicy::escapePoint() const
+{
+    // Deepest position still carrying at least 1/16 of the hits.
+    if (totalHits_ == 0)
+        return 0;  // no information: assume only the top escapes
+    std::uint32_t ep = 0;
+    for (std::uint32_t p = 0; p < ways_; ++p) {
+        if (positionHits_[p] * 16 >= totalHits_)
+            ep = p;
+    }
+    return ep;
+}
+
+std::uint32_t
+PeLifoPolicy::selectVictim(std::uint32_t set)
+{
+    // Victimize the deepest *dead* fill-stack position — one whose
+    // share of the observed hits is negligible.  On streaming
+    // traffic only the top is dead (hits, if any, come from the
+    // pinned bottom), giving LIFO's thrash resistance; on
+    // recency-friendly traffic the dead region is the deep end and
+    // the policy degrades gracefully toward LRU/FIFO.
+    std::uint32_t target;
+    if (totalHits_ == 0) {
+        target = 0;  // no information: assume everything dies young
+    } else {
+        target = ways_;  // "none dead" sentinel
+        for (std::uint32_t p = 0; p < ways_; ++p) {
+            if (positionHits_[p] * 16 < totalHits_)
+                target = p;
+        }
+        if (target == ways_)
+            target = ways_ - 1;  // all depths live: fill-FIFO
+    }
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (stackPosition(set, w) == target)
+            return w;
+    }
+    // Unreachable (positions are a permutation), but fall back to
+    // the oldest fill.
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (fillSeq_[base + w] < fillSeq_[base + victim])
+            victim = w;
+    }
+    return victim;
+}
+
+void
+PeLifoPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                     const AccessInfo &)
+{
+    fillSeq_[static_cast<std::size_t>(set) * ways_ + way] =
+        ++fillClock_;
+}
+
+void
+PeLifoPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &)
+{
+    ++positionHits_[stackPosition(set, way)];
+    if (++totalHits_ >= (1u << 16)) {
+        // Periodic decay keeps the escape point adaptive.
+        for (auto &h : positionHits_)
+            h >>= 1;
+        totalHits_ >>= 1;
+    }
+}
+
+PolicyFactory
+PeLifoPolicy::factory()
+{
+    return [] { return std::make_unique<PeLifoPolicy>(); };
+}
+
+} // namespace gllc

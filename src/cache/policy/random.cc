@@ -1,0 +1,29 @@
+#include "cache/policy/random.hh"
+
+namespace gllc
+{
+
+RandomPolicy::RandomPolicy(std::uint64_t seed)
+    : rng_(seed)
+{
+}
+
+void
+RandomPolicy::configure(std::uint32_t, std::uint32_t ways)
+{
+    ways_ = ways;
+}
+
+std::uint32_t
+RandomPolicy::selectVictim(std::uint32_t)
+{
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+}
+
+PolicyFactory
+RandomPolicy::factory(std::uint64_t seed)
+{
+    return [seed] { return std::make_unique<RandomPolicy>(seed); };
+}
+
+} // namespace gllc

@@ -1,0 +1,75 @@
+#include "cache/policy/ship_mem.hh"
+
+namespace gllc
+{
+
+ShipMemPolicy::ShipMemPolicy(unsigned bits)
+    : rrip_(bits)
+{
+}
+
+void
+ShipMemPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    rrip_.configure(sets, ways);
+    blocks_.assign(static_cast<std::size_t>(sets) * ways, BlockState{});
+    // Start counters weakly confident of reuse so cold regions are
+    // not immediately condemned.
+    table_.assign(kTableEntries, SatCounter(3, 1));
+}
+
+std::uint32_t
+ShipMemPolicy::selectVictim(std::uint32_t set)
+{
+    return rrip_.selectVictim(set);
+}
+
+void
+ShipMemPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                      const AccessInfo &info)
+{
+    const std::uint32_t sig = signatureOf(info.access->addr);
+    BlockState &b = block(set, way);
+    b.signature = static_cast<std::uint16_t>(sig);
+    b.outcome = false;
+
+    const std::uint8_t rrpv = (table_[sig].value() == 0)
+        ? rrip_.maxRrpv()
+        : rrip_.distantRrpv();
+    rrip_.fill(set, way, rrpv, info.pstream());
+}
+
+void
+ShipMemPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                     const AccessInfo &)
+{
+    BlockState &b = block(set, way);
+    if (!b.outcome) {
+        b.outcome = true;
+        table_[b.signature].increment();
+    }
+    rrip_.set(set, way, 0);
+}
+
+void
+ShipMemPolicy::onEvict(std::uint32_t set, std::uint32_t way)
+{
+    BlockState &b = block(set, way);
+    if (!b.outcome)
+        table_[b.signature].decrement();
+}
+
+const FillHistogram *
+ShipMemPolicy::fillHistogram() const
+{
+    return &rrip_.histogram();
+}
+
+PolicyFactory
+ShipMemPolicy::factory(unsigned bits)
+{
+    return [bits] { return std::make_unique<ShipMemPolicy>(bits); };
+}
+
+} // namespace gllc

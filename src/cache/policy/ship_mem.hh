@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SHiP-mem: memory-region signature-based hit prediction
+ * [Wu+, MICRO'11], as configured in Section 5.1 of the paper.
+ *
+ * The physical address space is divided into contiguous 16 KB
+ * regions; a 14-bit region id (address bits [27:14]) indexes a
+ * 16K-entry table of 3-bit saturating counters per LLC bank.  A hit
+ * to a block increments its region counter once per residency; an
+ * eviction without reuse decrements it.  Fills insert at RRPV 3 when
+ * the region counter is zero, else at RRPV 2.
+ */
+
+#ifndef GLLC_CACHE_POLICY_SHIP_MEM_HH
+#define GLLC_CACHE_POLICY_SHIP_MEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/rrip.hh"
+#include "common/sat_counter.hh"
+
+namespace gllc
+{
+
+class ShipMemPolicy : public ReplacementPolicy
+{
+  public:
+    explicit ShipMemPolicy(unsigned bits = 2);
+
+    void configure(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint32_t selectVictim(std::uint32_t set) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    void onEvict(std::uint32_t set, std::uint32_t way) override;
+    const FillHistogram *fillHistogram() const override;
+    std::string name() const override { return "SHiP-mem"; }
+
+    static PolicyFactory factory(unsigned bits = 2);
+
+    /** Region signature: address bits [27:14]. */
+    static std::uint32_t
+    signatureOf(Addr addr)
+    {
+        return static_cast<std::uint32_t>((addr >> 14) & 0x3fffu);
+    }
+
+  private:
+    static constexpr std::size_t kTableEntries = 16 * 1024;
+
+    struct BlockState
+    {
+        std::uint16_t signature = 0;
+        bool outcome = false;  ///< re-referenced during residency
+    };
+
+    BlockState &
+    block(std::uint32_t set, std::uint32_t way)
+    {
+        return blocks_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    RripState rrip_;
+    std::uint32_t ways_ = 0;
+    std::vector<BlockState> blocks_;
+    std::vector<SatCounter> table_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_POLICY_SHIP_MEM_HH

@@ -1,0 +1,55 @@
+#include "cache/policy/srrip.hh"
+
+namespace gllc
+{
+
+SrripPolicy::SrripPolicy(unsigned bits)
+    : bits_(bits), rrip_(bits)
+{
+}
+
+void
+SrripPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    rrip_.configure(sets, ways);
+}
+
+std::uint32_t
+SrripPolicy::selectVictim(std::uint32_t set)
+{
+    return rrip_.selectVictim(set);
+}
+
+void
+SrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &info)
+{
+    rrip_.fill(set, way, rrip_.distantRrpv(), info.pstream());
+}
+
+void
+SrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &)
+{
+    rrip_.set(set, way, 0);
+}
+
+const FillHistogram *
+SrripPolicy::fillHistogram() const
+{
+    return &rrip_.histogram();
+}
+
+std::string
+SrripPolicy::name() const
+{
+    return "SRRIP-" + std::to_string(bits_);
+}
+
+PolicyFactory
+SrripPolicy::factory(unsigned bits)
+{
+    return [bits] { return std::make_unique<SrripPolicy>(bits); };
+}
+
+} // namespace gllc

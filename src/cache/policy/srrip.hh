@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static re-reference interval prediction (SRRIP) [Jaleel+, ISCA'10].
+ *
+ * Every fill is inserted at the distant RRPV (2^n - 2); hits promote
+ * to zero.  The GSPC sample sets run exactly this policy (Table 2).
+ */
+
+#ifndef GLLC_CACHE_POLICY_SRRIP_HH
+#define GLLC_CACHE_POLICY_SRRIP_HH
+
+#include <cstdint>
+
+#include "cache/rrip.hh"
+
+namespace gllc
+{
+
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    /** @param bits RRPV width (2 in the paper's baseline). */
+    explicit SrripPolicy(unsigned bits = 2);
+
+    void configure(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint32_t selectVictim(std::uint32_t set) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    const FillHistogram *fillHistogram() const override;
+    std::string name() const override;
+
+    static PolicyFactory factory(unsigned bits = 2);
+
+  private:
+    unsigned bits_;
+    RripState rrip_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_POLICY_SRRIP_HH

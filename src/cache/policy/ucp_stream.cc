@@ -1,0 +1,213 @@
+#include "cache/policy/ucp_stream.hh"
+
+#include <algorithm>
+
+#include "cache/geometry.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gllc
+{
+
+UcpStreamPolicy::UcpStreamPolicy(std::uint32_t repartition_period)
+    : period_(repartition_period)
+{
+    GLLC_ASSERT(repartition_period >= 1024);
+}
+
+void
+UcpStreamPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    owner_.assign(static_cast<std::size_t>(sets) * ways,
+                  static_cast<std::uint8_t>(PolicyStream::Rest));
+    stamp_.assign(static_cast<std::size_t>(sets) * ways, 0);
+
+    sampleIndex_.assign(sets, -1);
+    std::int32_t samples = 0;
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        if (isSampleSet(s))
+            sampleIndex_[s] = samples++;
+    }
+    for (auto &u : umon_) {
+        u.sets.assign(static_cast<std::size_t>(std::max(samples, 1)),
+                      {});
+        u.positionHits.assign(ways, 0);
+    }
+
+    // Start with an even split.
+    const std::uint32_t share = std::max<std::uint32_t>(
+        1, ways / static_cast<std::uint32_t>(kNumPolicyStreams));
+    allocation_.fill(share);
+    allocation_[0] += ways
+        - share * static_cast<std::uint32_t>(kNumPolicyStreams);
+}
+
+void
+UcpStreamPolicy::Umon::access(std::uint32_t sample_index, Addr tag,
+                              std::uint32_t ways)
+{
+    auto &lru = sets[sample_index];
+    for (std::size_t pos = 0; pos < lru.size(); ++pos) {
+        if (lru[pos] == tag) {
+            ++positionHits[pos];
+            lru.erase(lru.begin() + static_cast<std::ptrdiff_t>(pos));
+            lru.insert(lru.begin(), tag);
+            return;
+        }
+    }
+    lru.insert(lru.begin(), tag);
+    if (lru.size() > ways)
+        lru.pop_back();
+}
+
+void
+UcpStreamPolicy::Umon::halve()
+{
+    for (auto &h : positionHits)
+        h >>= 1;
+}
+
+std::uint64_t
+UcpStreamPolicy::utility(const Umon &umon, std::uint32_t from,
+                         std::uint32_t to) const
+{
+    std::uint64_t sum = 0;
+    for (std::uint32_t p = from; p < to && p < ways_; ++p)
+        sum += umon.positionHits[p];
+    return sum;
+}
+
+void
+UcpStreamPolicy::repartition()
+{
+    // Lookahead allocation (Qureshi & Patt): every stream keeps a
+    // minimum of one way; repeatedly grant the block of ways with
+    // the maximum marginal utility *per way*, looking ahead across
+    // block sizes so that all-or-nothing utility curves (e.g. a
+    // cyclic working set that only pays off once it fits) are
+    // handled.
+    std::array<std::uint32_t, kNumPolicyStreams> alloc;
+    alloc.fill(1);
+    std::uint32_t remaining =
+        ways_ - static_cast<std::uint32_t>(kNumPolicyStreams);
+    while (remaining > 0) {
+        std::size_t best_stream = kNumPolicyStreams;
+        std::uint32_t best_k = 1;
+        double best_rate = 0.0;
+        for (std::size_t s = 0; s < kNumPolicyStreams; ++s) {
+            for (std::uint32_t k = 1; k <= remaining; ++k) {
+                const double rate =
+                    static_cast<double>(
+                        utility(umon_[s], alloc[s], alloc[s] + k))
+                    / k;
+                if (rate > best_rate) {
+                    best_stream = s;
+                    best_k = k;
+                    best_rate = rate;
+                }
+            }
+        }
+        if (best_stream == kNumPolicyStreams) {
+            // No stream shows any marginal utility: spread the rest
+            // evenly.
+            for (std::size_t s = 0; remaining > 0;
+                 s = (s + 1) % kNumPolicyStreams) {
+                ++alloc[s];
+                --remaining;
+            }
+            break;
+        }
+        alloc[best_stream] += best_k;
+        remaining -= best_k;
+    }
+    allocation_ = alloc;
+    for (auto &u : umon_)
+        u.halve();
+}
+
+std::uint32_t
+UcpStreamPolicy::selectVictim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+
+    // Occupancy per stream in this set.
+    std::array<std::uint32_t, kNumPolicyStreams> occupancy{};
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        ++occupancy[owner_[base + w]];
+
+    // Victimize the LRU block among streams over their allocation;
+    // if no stream exceeds its share (allocation drift), fall back
+    // to the global LRU block.
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (occupancy[owner_[base + w]]
+            <= allocation_[owner_[base + w]]) {
+            continue;
+        }
+        if (victim == ways_ || stamp_[base + w] < stamp_[base + victim])
+            victim = w;
+    }
+    if (victim != ways_)
+        return victim;
+
+    victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (stamp_[base + w] < stamp_[base + victim])
+            victim = w;
+    }
+    return victim;
+}
+
+void
+UcpStreamPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                        const AccessInfo &info)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    owner_[idx] = static_cast<std::uint8_t>(info.pstream());
+    stamp_[idx] = ++clock_;
+
+    if (sampleIndex_[set] >= 0) {
+        umon_[static_cast<std::size_t>(info.pstream())].access(
+            static_cast<std::uint32_t>(sampleIndex_[set]),
+            blockNumber(info.access->addr), ways_);
+    }
+    if (++accesses_ % period_ == 0)
+        repartition();
+}
+
+void
+UcpStreamPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                       const AccessInfo &info)
+{
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    stamp_[idx] = ++clock_;
+    // A hit by another stream re-tags the block: the consumer now
+    // "owns" it (this is exactly where partitioning fights the
+    // inter-stream sharing the paper describes).
+    owner_[idx] = static_cast<std::uint8_t>(info.pstream());
+
+    if (sampleIndex_[set] >= 0) {
+        umon_[static_cast<std::size_t>(info.pstream())].access(
+            static_cast<std::uint32_t>(sampleIndex_[set]),
+            blockNumber(info.access->addr), ways_);
+    }
+    if (++accesses_ % period_ == 0)
+        repartition();
+}
+
+void
+UcpStreamPolicy::onEvict(std::uint32_t set, std::uint32_t way)
+{
+    owner_[static_cast<std::size_t>(set) * ways_ + way] =
+        static_cast<std::uint8_t>(PolicyStream::Rest);
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+PolicyFactory
+UcpStreamPolicy::factory()
+{
+    return [] { return std::make_unique<UcpStreamPolicy>(); };
+}
+
+} // namespace gllc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Replacement-policy interface for the banked LLC model.
+ *
+ * One policy instance manages one LLC bank (GSPC's learning counters
+ * are per bank, Section 3).  The cache owns the tag store; policies
+ * own whatever per-block replacement state they need, sized in
+ * configure().  Invalid ways are always filled first by the cache,
+ * so selectVictim() only runs on full sets.
+ */
+
+#ifndef GLLC_CACHE_REPLACEMENT_HH
+#define GLLC_CACHE_REPLACEMENT_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "trace/access.hh"
+
+namespace gllc
+{
+
+/** Sentinel next-use index meaning "never referenced again". */
+constexpr std::uint64_t kNever = ~static_cast<std::uint64_t>(0);
+
+/**
+ * Everything a policy may inspect about the access being serviced.
+ *
+ * nextUse is only populated when the driving simulator was asked to
+ * build a future-knowledge oracle (Belady); online policies must not
+ * depend on it.
+ */
+struct AccessInfo
+{
+    const MemAccess *access = nullptr;
+
+    /** Global position of this access in the frame trace. */
+    std::uint64_t index = 0;
+
+    /** Trace index of the next access to the same block, or kNever. */
+    std::uint64_t nextUse = kNever;
+
+    StreamType stream() const { return access->stream; }
+    PolicyStream pstream() const { return policyStream(access->stream); }
+};
+
+/**
+ * Histogram of insertion RRPVs per policy stream, exposed by the
+ * RRIP-family policies so Figure 8 (fraction of RT/TEX fills at
+ * RRPV=3 under DRRIP) can be reproduced for any of them.
+ */
+struct FillHistogram
+{
+    static constexpr unsigned kMaxRrpv = 16;
+
+    std::array<std::array<std::uint64_t, kMaxRrpv>, kNumPolicyStreams>
+        counts{};
+
+    void
+    record(PolicyStream s, unsigned rrpv)
+    {
+        ++counts[static_cast<std::size_t>(s)][rrpv];
+    }
+
+    std::uint64_t
+    fills(PolicyStream s) const
+    {
+        std::uint64_t total = 0;
+        for (const auto c : counts[static_cast<std::size_t>(s)])
+            total += c;
+        return total;
+    }
+
+    std::uint64_t
+    fillsAt(PolicyStream s, unsigned rrpv) const
+    {
+        return counts[static_cast<std::size_t>(s)][rrpv];
+    }
+
+    void
+    merge(const FillHistogram &other)
+    {
+        for (std::size_t s = 0; s < kNumPolicyStreams; ++s)
+            for (unsigned r = 0; r < kMaxRrpv; ++r)
+                counts[s][r] += other.counts[s][r];
+    }
+};
+
+/** Replacement policy for one cache bank. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Size internal state for a bank of the given geometry. */
+    virtual void configure(std::uint32_t sets, std::uint32_t ways) = 0;
+
+    /** Choose a victim way in a full set. */
+    virtual std::uint32_t selectVictim(std::uint32_t set) = 0;
+
+    /** A block was just installed in (set, way). */
+    virtual void onFill(std::uint32_t set, std::uint32_t way,
+                        const AccessInfo &info) = 0;
+
+    /** The access hit the valid block in (set, way). */
+    virtual void onHit(std::uint32_t set, std::uint32_t way,
+                       const AccessInfo &info) = 0;
+
+    /** The valid block in (set, way) is about to be evicted. */
+    virtual void
+    onEvict(std::uint32_t set, std::uint32_t way)
+    {
+        (void)set;
+        (void)way;
+    }
+
+    /** Insertion-RRPV histogram, if this policy keeps one. */
+    virtual const FillHistogram *fillHistogram() const { return nullptr; }
+
+    /**
+     * Consulted on a miss before allocation: returning true makes
+     * the access bypass the cache entirely (serviced by DRAM, no
+     * fill, no eviction).  Bypass-capable policies (e.g. GSPC+B)
+     * override this; the default always allocates, as the paper's
+     * LLC does ("a miss in the LLC always fills the requested
+     * block").
+     */
+    virtual bool
+    shouldBypass(std::uint32_t set, const AccessInfo &info) const
+    {
+        (void)set;
+        (void)info;
+        return false;
+    }
+
+    virtual std::string name() const = 0;
+};
+
+/** Factory producing one policy instance per LLC bank. */
+using PolicyFactory =
+    std::function<std::unique_ptr<ReplacementPolicy>()>;
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_REPLACEMENT_HH

@@ -1,0 +1,35 @@
+#include "cache/rrip.hh"
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+RripState::RripState(unsigned bits)
+    : max_(static_cast<std::uint8_t>((1u << bits) - 1))
+{
+    GLLC_ASSERT(bits >= 1 && bits <= 4);
+}
+
+void
+RripState::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    rrpv_.assign(static_cast<std::size_t>(sets) * ways, max_);
+}
+
+std::uint32_t
+RripState::selectVictim(std::uint32_t set)
+{
+    std::uint8_t *row = &rrpv_[static_cast<std::size_t>(set) * ways_];
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (row[w] == max_)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            ++row[w];
+    }
+}
+
+} // namespace gllc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared RRIP replacement machinery.
+ *
+ * Every RRIP-family policy (SRRIP, DRRIP, GS-DRRIP, SHiP-mem and the
+ * GSPC family) shares the same victim-selection rule: evict the
+ * lowest-numbered way whose RRPV equals 2^n - 1, aging the whole set
+ * in unit steps when no such way exists (Section 1, baseline
+ * description).  RripState centralizes the RRPV array, the victim
+ * scan and the insertion-RRPV bookkeeping for Figure 8.
+ */
+
+#ifndef GLLC_CACHE_RRIP_HH
+#define GLLC_CACHE_RRIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hh"
+
+namespace gllc
+{
+
+/** Per-bank array of n-bit re-reference prediction values. */
+class RripState
+{
+  public:
+    /** @param bits RRPV width; the paper uses 2 (and 4 in Fig 14). */
+    explicit RripState(unsigned bits);
+
+    void configure(std::uint32_t sets, std::uint32_t ways);
+
+    /** Maximum RRPV (2^n - 1): "no near-future reuse", the victim. */
+    std::uint8_t maxRrpv() const { return max_; }
+
+    /** "Long re-reference interval" insertion value (2^n - 2). */
+    std::uint8_t distantRrpv() const { return max_ - 1; }
+
+    /**
+     * RRIP victim selection: first way at maxRrpv, aging all ways in
+     * unit steps until one qualifies.  Ties break toward the minimum
+     * physical way id (Section 1).
+     */
+    std::uint32_t selectVictim(std::uint32_t set);
+
+    /** Install a block with the given RRPV, recording the fill. */
+    void
+    fill(std::uint32_t set, std::uint32_t way, std::uint8_t rrpv,
+         PolicyStream stream)
+    {
+        at(set, way) = rrpv;
+        hist_.record(stream, rrpv);
+    }
+
+    /** Update the RRPV of a resident block (promotion/demotion). */
+    void
+    set(std::uint32_t set, std::uint32_t way, std::uint8_t rrpv)
+    {
+        at(set, way) = rrpv;
+    }
+
+    std::uint8_t
+    get(std::uint32_t set, std::uint32_t way) const
+    {
+        return rrpv_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    const FillHistogram &histogram() const { return hist_; }
+
+  private:
+    std::uint8_t &
+    at(std::uint32_t set, std::uint32_t way)
+    {
+        return rrpv_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    std::uint8_t max_;
+    std::uint32_t ways_ = 0;
+    std::vector<std::uint8_t> rrpv_;
+    FillHistogram hist_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CACHE_RRIP_HH

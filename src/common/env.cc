@@ -1,0 +1,31 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+std::int64_t
+envInt(const std::string &name, std::int64_t fallback)
+{
+    const char *raw = std::getenv(name.c_str());
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(raw, &end, 0);
+    if (end == raw || *end != '\0')
+        fatal("environment variable %s=\"%s\" is not an integer",
+              name.c_str(), raw);
+    return v;
+}
+
+std::string
+envString(const std::string &name, const std::string &fallback)
+{
+    const char *raw = std::getenv(name.c_str());
+    return (raw == nullptr) ? fallback : std::string(raw);
+}
+
+} // namespace gllc

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Helpers for reading experiment knobs from the environment.
+ *
+ * Benchmarks honour a handful of environment variables so that the
+ * full-scale paper configuration and quick smoke configurations can
+ * be selected without recompiling:
+ *
+ *   GLLC_SCALE   linear resolution divisor (default 4; 1 = paper size)
+ *   GLLC_FRAMES  cap on the number of frames simulated (default: all)
+ */
+
+#ifndef GLLC_COMMON_ENV_HH
+#define GLLC_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gllc
+{
+
+/** Read an integer environment variable, with fallback. */
+std::int64_t envInt(const std::string &name, std::int64_t fallback);
+
+/** Read a string environment variable, with fallback. */
+std::string envString(const std::string &name, const std::string &fallback);
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_ENV_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- internal invariant violated (a gllc bug); aborts.
+ * fatal()  -- unusable user configuration; exits with status 1.
+ * warn()   -- something questionable but survivable.
+ */
+
+#ifndef GLLC_COMMON_LOGGING_HH
+#define GLLC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+
+namespace gllc
+{
+
+/** Abort with a formatted message; use for internal invariant failures. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for bad user configuration. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like check that stays active in release builds.
+ * Use for invariants whose violation would silently corrupt results.
+ */
+#define GLLC_ASSERT(cond)                                               \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::gllc::panic("assertion failed: %s (%s:%d)",               \
+                          #cond, __FILE__, __LINE__);                   \
+    } while (0)
+
+/** GLLC_ASSERT with an extra printf-style explanation. */
+#define GLLC_ASSERT_MSG(cond, ...)                                      \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::gllc::warn(__VA_ARGS__);                                  \
+            ::gllc::panic("assertion failed: %s (%s:%d)",               \
+                          #cond, __FILE__, __LINE__);                   \
+        }                                                               \
+    } while (0)
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_LOGGING_HH

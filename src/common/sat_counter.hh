@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Saturating hardware-style counters.
+ *
+ * The GSPC policies (Section 3 of the paper) are built around small
+ * saturating event counters: 8-bit FILL/HIT/PROD/CONS counters per
+ * LLC bank and a 7-bit ACC(ALL) counter whose saturation triggers a
+ * halving of the others.  SatCounter models exactly that behaviour.
+ */
+
+#ifndef GLLC_COMMON_SAT_COUNTER_HH
+#define GLLC_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+/** An n-bit unsigned saturating counter (n <= 32). */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 8, std::uint32_t initial = 0)
+        : max_((bits >= 32) ? 0xffffffffu
+                            : ((1u << bits) - 1)),
+          value_(initial)
+    {
+        GLLC_ASSERT(bits >= 1 && bits <= 32);
+        GLLC_ASSERT(initial <= max_);
+    }
+
+    /** Increment, clamping at the maximum representable value. */
+    void
+    increment(std::uint32_t by = 1)
+    {
+        value_ = (value_ + by >= max_ || value_ + by < value_)
+            ? max_ : value_ + by;
+    }
+
+    /** Decrement, clamping at zero. */
+    void
+    decrement(std::uint32_t by = 1)
+    {
+        value_ = (by >= value_) ? 0 : value_ - by;
+    }
+
+    /** Halve the counter (used on ACC(ALL) saturation). */
+    void halve() { value_ >>= 1; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    std::uint32_t value() const { return value_; }
+    std::uint32_t max() const { return max_; }
+    bool saturated() const { return value_ == max_; }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+/**
+ * An n-bit up/down counter biased around its midpoint, as used for
+ * DRRIP set-dueling PSEL counters.
+ */
+class DuelCounter
+{
+  public:
+    explicit DuelCounter(unsigned bits = 10)
+        : max_((1u << bits) - 1), value_(1u << (bits - 1))
+    {
+        GLLC_ASSERT(bits >= 2 && bits <= 31);
+    }
+
+    void up() { if (value_ < max_) ++value_; }
+    void down() { if (value_ > 0) --value_; }
+
+    /** True when the counter sits strictly above its midpoint. */
+    bool upperHalf() const { return value_ > (max_ + 1) / 2; }
+
+    std::uint32_t value() const { return value_; }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_SAT_COUNTER_HH

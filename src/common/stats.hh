@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small statistics and reporting helpers.
+ *
+ * The benchmark harnesses print the same rows the paper's figures
+ * plot; TablePrinter produces those fixed-width tables, and the mean
+ * helpers compute the cross-frame aggregates the paper reports
+ * (arithmetic means of ratios, geometric means for speedups).
+ */
+
+#ifndef GLLC_COMMON_STATS_HH
+#define GLLC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gllc
+{
+
+/** Arithmetic mean; returns 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; all samples must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Ratio a/b guarding against a zero denominator. */
+double safeRatio(double a, double b);
+
+/**
+ * Fixed-width text table writer.
+ *
+ * Usage:
+ *   TablePrinter tp({"app", "NRU", "Belady"});
+ *   tp.addRow({"BioShock", "1.07", "0.63"});
+ *   tp.print(std::cout);
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append a data row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmt(double v, int decimals = 3);
+
+/** Format a percentage (0.123 -> "12.3%"). */
+std::string fmtPct(double fraction, int decimals = 1);
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the gllc library.
+ */
+
+#ifndef GLLC_COMMON_TYPES_HH
+#define GLLC_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace gllc
+{
+
+/** Byte address in the simulated GPU physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count (GPU clock domain unless noted). */
+using Cycle = std::uint64_t;
+
+/** Event/statistic counter. */
+using Counter = std::uint64_t;
+
+/** Cache block (line) size used by every cache level in the model. */
+constexpr std::uint32_t kBlockBytes = 64;
+
+/** log2 of the cache block size. */
+constexpr std::uint32_t kBlockShift = 6;
+
+/** Convert a byte address to the containing block number. */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Convert a byte address to the aligned address of its block. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_TYPES_HH

@@ -1,0 +1,263 @@
+#include "core/gspc_family.hh"
+
+#include "cache/geometry.hh"
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+GspcFamilyPolicy::GspcFamilyPolicy(GspcVariant variant, std::uint32_t t)
+    : GspcFamilyPolicy(variant, GspcParams{t, 8, 7, 6})
+{
+}
+
+GspcFamilyPolicy::GspcFamilyPolicy(GspcVariant variant,
+                                   const GspcParams &params)
+    : variant_(variant), params_(params), t_(params.t), rrip_(2),
+      counters_(params.counterBits, params.accBits)
+{
+    GLLC_ASSERT(params.t >= 1);
+    GLLC_ASSERT(params.sampleLog2 >= 2 && params.sampleLog2 <= 10);
+}
+
+void
+GspcFamilyPolicy::configure(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    rrip_.configure(sets, ways);
+    state_.assign(static_cast<std::size_t>(sets) * ways,
+                  BlockState::TexE0);
+}
+
+std::uint32_t
+GspcFamilyPolicy::selectVictim(std::uint32_t set)
+{
+    return rrip_.selectVictim(set);
+}
+
+std::uint8_t
+GspcFamilyPolicy::texE0Rrpv() const
+{
+    const bool distant = (variant_ == GspcVariant::Gspztc)
+        ? counters_.texDistantAgg(t_)
+        : counters_.texDistantEpoch(0, t_);
+    // Inserting surviving texture blocks at RRPV 2 hurts (Section 3),
+    // so the paper's policies use 0 when not condemning them.
+    return distant ? rrip_.maxRrpv() : 0;
+}
+
+void
+GspcFamilyPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                         const AccessInfo &info)
+{
+    const bool sample = isSampleSetAt(set, params_.sampleLog2);
+    const PolicyStream ps = info.pstream();
+
+    // Default new-block state: a later texture touch would see E0.
+    BlockState next_state = BlockState::TexE0;
+    std::uint8_t rrpv = rrip_.distantRrpv();  // SRRIP-style default
+
+    if (sample) {
+        // Sample sets execute SRRIP for every stream (Table 2) and
+        // only learn.
+        counters_.recordAccess();
+        switch (ps) {
+          case PolicyStream::Z:
+            counters_.recordZFill();
+            break;
+          case PolicyStream::Texture:
+            counters_.recordTexFillAgg();
+            counters_.recordTexFillEpoch(0);
+            break;
+          case PolicyStream::RenderTarget:
+            counters_.recordRtProduce();
+            next_state = BlockState::RenderTarget;
+            break;
+          default:
+            break;
+        }
+        rrip_.fill(set, way, rrpv, ps);
+        stateAt(set, way) = next_state;
+        return;
+    }
+
+    switch (ps) {
+      case PolicyStream::Z:
+        rrpv = counters_.zDistant(t_) ? rrip_.maxRrpv()
+                                      : rrip_.distantRrpv();
+        break;
+      case PolicyStream::Texture:
+        rrpv = texE0Rrpv();
+        break;
+      case PolicyStream::RenderTarget:
+        next_state = BlockState::RenderTarget;
+        if (variant_ == GspcVariant::Gspc) {
+            switch (counters_.rtProtection()) {
+              case RtProtection::Distant:
+                rrpv = rrip_.maxRrpv();
+                break;
+              case RtProtection::Intermediate:
+                rrpv = rrip_.distantRrpv();
+                break;
+              case RtProtection::Protect:
+                rrpv = 0;
+                break;
+            }
+        } else {
+            // GSPZTC/GSPZTC+TSE: maximum protection for render
+            // targets to enable RT->TEX reuse through the LLC.
+            rrpv = 0;
+        }
+        break;
+      default:
+        rrpv = rrip_.distantRrpv();
+        break;
+    }
+
+    rrip_.fill(set, way, rrpv, ps);
+    stateAt(set, way) = next_state;
+}
+
+void
+GspcFamilyPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                        const AccessInfo &info)
+{
+    const bool sample = isSampleSetAt(set, params_.sampleLog2);
+    const PolicyStream ps = info.pstream();
+    BlockState &state = stateAt(set, way);
+
+    if (sample)
+        counters_.recordAccess();
+
+    if (ps == PolicyStream::Texture) {
+        if (state == BlockState::RenderTarget) {
+            // RT->TEX consumption: the block becomes a texture block
+            // and (re)enters epoch E0 (Figure 10).
+            if (sample) {
+                counters_.recordRtConsume();
+                counters_.recordTexFillAgg();
+                counters_.recordTexFillEpoch(0);
+            }
+            state = BlockState::TexE0;
+            rrip_.set(set, way, sample ? 0 : texE0Rrpv());
+            return;
+        }
+
+        if (state == BlockState::TexE0) {
+            if (sample) {
+                counters_.recordTexHitAgg();
+                counters_.recordTexHitEpoch(0);
+                counters_.recordTexFillEpoch(1);
+            }
+            state = BlockState::TexE1;
+            std::uint8_t rrpv = 0;
+            if (!sample && variant_ != GspcVariant::Gspztc) {
+                rrpv = counters_.texDistantEpoch(1, t_) ? rrip_.maxRrpv()
+                                                        : 0;
+            }
+            rrip_.set(set, way, rrpv);
+            return;
+        }
+
+        if (state == BlockState::TexE1) {
+            if (sample) {
+                counters_.recordTexHitAgg();
+                counters_.recordTexHitEpoch(1);
+            }
+            state = BlockState::TexE2Plus;
+        } else {
+            // E>=2 stays E>=2.
+            if (sample)
+                counters_.recordTexHitAgg();
+            state = BlockState::TexE2Plus;
+        }
+        rrip_.set(set, way, 0);
+        return;
+    }
+
+    if (ps == PolicyStream::RenderTarget) {
+        // RT hit (blending), or the application reuses an existing
+        // surface as a new render target: state 11, RRPV 0.
+        state = BlockState::RenderTarget;
+        rrip_.set(set, way, 0);
+        return;
+    }
+
+    if (ps == PolicyStream::Z && sample)
+        counters_.recordZHit();
+
+    rrip_.set(set, way, 0);
+}
+
+bool
+GspcFamilyPolicy::shouldBypass(std::uint32_t set,
+                               const AccessInfo &info) const
+{
+    if (!params_.bypassDeadFills)
+        return false;
+    // Sample sets must keep allocating or the counters starve.
+    if (isSampleSetAt(set, params_.sampleLog2))
+        return false;
+    switch (info.pstream()) {
+      case PolicyStream::Texture:
+        return (variant_ == GspcVariant::Gspztc)
+            ? counters_.texDistantAgg(t_)
+            : counters_.texDistantEpoch(0, t_);
+      case PolicyStream::Z:
+        return counters_.zDistant(t_);
+      default:
+        return false;
+    }
+}
+
+void
+GspcFamilyPolicy::onEvict(std::uint32_t set, std::uint32_t way)
+{
+    // The RT bit / state is conceptually cleared on eviction; the
+    // next fill rewrites it, but reset keeps introspection honest.
+    stateAt(set, way) = BlockState::TexE0;
+}
+
+const FillHistogram *
+GspcFamilyPolicy::fillHistogram() const
+{
+    return &rrip_.histogram();
+}
+
+std::string
+GspcFamilyPolicy::name() const
+{
+    std::string base;
+    switch (variant_) {
+      case GspcVariant::Gspztc:
+        base = "GSPZTC";
+        break;
+      case GspcVariant::GspztcTse:
+        base = "GSPZTC+TSE";
+        break;
+      case GspcVariant::Gspc:
+        base = "GSPC";
+        break;
+    }
+    if (params_.bypassDeadFills)
+        base += "+B";
+    return base;
+}
+
+PolicyFactory
+GspcFamilyPolicy::factory(GspcVariant variant, std::uint32_t t)
+{
+    return [variant, t] {
+        return std::make_unique<GspcFamilyPolicy>(variant, t);
+    };
+}
+
+PolicyFactory
+GspcFamilyPolicy::factory(GspcVariant variant, const GspcParams &params)
+{
+    return [variant, params] {
+        return std::make_unique<GspcFamilyPolicy>(variant, params);
+    };
+}
+
+} // namespace gllc

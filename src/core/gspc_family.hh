@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Graphics stream-aware probabilistic caching — the paper's proposal.
+ *
+ * Section 3 derives three increasingly capable policies; they share
+ * the victim-selection rule (2-bit RRIP), the sample-set learning
+ * machinery (Table 2) and the per-block state of Figure 10, so all
+ * three are implemented by GspcFamilyPolicy with a Variant switch:
+ *
+ *  - Variant::Gspztc      Table 3. Probabilistic Z and texture
+ *    insertion from aggregate FILL/HIT counters; render targets
+ *    always inserted at RRPV 0.
+ *  - Variant::GspztcTse   Table 4. Adds texture-sampler epochs
+ *    E0/E1/E>=2 in two state bits per block; insertion and promotion
+ *    RRPVs for texture come from per-epoch FILL/HIT counters.
+ *  - Variant::Gspc        Table 5. Adds dynamic render-target
+ *    protection from the PROD/CONS (production/consumption) ratio
+ *    with 1/16 and 1/8 thresholds.
+ *
+ * Block state encoding (Figure 10): 00 = texture epoch E0,
+ * 01 = E1, 10 = E>=2, 11 = render target (replaces the RT bit).
+ *
+ * The threshold parameter t (reuse probability threshold 1/(t+1))
+ * defaults to 8, the paper's most robust setting (Figure 11).
+ */
+
+#ifndef GLLC_CORE_GSPC_FAMILY_HH
+#define GLLC_CORE_GSPC_FAMILY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/rrip.hh"
+#include "core/stream_counters.hh"
+
+namespace gllc
+{
+
+/** Which member of the GSPC family a policy instance implements. */
+enum class GspcVariant : std::uint8_t
+{
+    Gspztc,      ///< Table 3
+    GspztcTse,   ///< Table 4
+    Gspc,        ///< Table 5
+};
+
+/** Figure 10 block states. */
+enum class BlockState : std::uint8_t
+{
+    TexE0 = 0b00,
+    TexE1 = 0b01,
+    TexE2Plus = 0b10,
+    RenderTarget = 0b11,
+};
+
+/**
+ * Tunable implementation parameters of the GSPC family, exposed for
+ * the ablation benches; the defaults are the paper's design point.
+ */
+struct GspcParams
+{
+    /** Reuse-probability threshold parameter (Figure 11). */
+    std::uint32_t t = 8;
+
+    /** FILL/HIT/PROD/CONS counter width. */
+    unsigned counterBits = 8;
+
+    /** ACC(ALL) width: halving period is 2^accBits - 1. */
+    unsigned accBits = 7;
+
+    /** One sample set per 2^sampleLog2 sets (paper: 16/1024). */
+    unsigned sampleLog2 = 6;
+
+    /**
+     * GSPC+B extension: bypass (never allocate) texture and Z fills
+     * whose learned reuse probability is below the threshold,
+     * instead of inserting them at RRPV 3.  Follows the bypass
+     * direction of the authors' exclusive-LLC work cited in §1.1.1;
+     * off in the paper's design.
+     */
+    bool bypassDeadFills = false;
+};
+
+class GspcFamilyPolicy : public ReplacementPolicy
+{
+  public:
+    explicit GspcFamilyPolicy(GspcVariant variant, std::uint32_t t = 8);
+
+    GspcFamilyPolicy(GspcVariant variant, const GspcParams &params);
+
+    void configure(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint32_t selectVictim(std::uint32_t set) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    void onEvict(std::uint32_t set, std::uint32_t way) override;
+    bool shouldBypass(std::uint32_t set,
+                      const AccessInfo &info) const override;
+    const FillHistogram *fillHistogram() const override;
+    std::string name() const override;
+
+    /** The bank's learning counters (tests/introspection). */
+    const StreamReuseCounters &counters() const { return counters_; }
+
+    /** Figure 10 state of a resident block (tests/introspection). */
+    BlockState
+    blockState(std::uint32_t set, std::uint32_t way) const
+    {
+        return state_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    /** Current RRPV of a block (tests/introspection). */
+    std::uint8_t
+    rrpvOf(std::uint32_t set, std::uint32_t way) const
+    {
+        return rrip_.get(set, way);
+    }
+
+    static PolicyFactory factory(GspcVariant variant, std::uint32_t t = 8);
+
+    /** Factory with full parameter control (ablations). */
+    static PolicyFactory factory(GspcVariant variant,
+                                 const GspcParams &params);
+
+  private:
+    BlockState &
+    stateAt(std::uint32_t set, std::uint32_t way)
+    {
+        return state_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+
+    /** Insertion RRPV for a texture block entering epoch E0. */
+    std::uint8_t texE0Rrpv() const;
+
+    GspcVariant variant_;
+    GspcParams params_;
+    std::uint32_t t_;
+    RripState rrip_;
+    StreamReuseCounters counters_;
+    std::uint32_t ways_ = 0;
+    std::vector<BlockState> state_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CORE_GSPC_FAMILY_HH

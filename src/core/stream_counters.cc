@@ -1,0 +1,125 @@
+#include "core/stream_counters.hh"
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+StreamReuseCounters::StreamReuseCounters(unsigned counter_bits,
+                                         unsigned acc_bits)
+    : fillZ_(counter_bits), hitZ_(counter_bits),
+      fillTexAgg_(counter_bits), hitTexAgg_(counter_bits),
+      fillTexE_{SatCounter(counter_bits), SatCounter(counter_bits)},
+      hitTexE_{SatCounter(counter_bits), SatCounter(counter_bits)},
+      prod_(counter_bits), cons_(counter_bits), acc_(acc_bits)
+{
+}
+
+void
+StreamReuseCounters::recordZFill()
+{
+    fillZ_.increment();
+}
+
+void
+StreamReuseCounters::recordZHit()
+{
+    hitZ_.increment();
+}
+
+void
+StreamReuseCounters::recordTexFillAgg()
+{
+    fillTexAgg_.increment();
+}
+
+void
+StreamReuseCounters::recordTexHitAgg()
+{
+    hitTexAgg_.increment();
+}
+
+void
+StreamReuseCounters::recordTexFillEpoch(unsigned epoch)
+{
+    GLLC_ASSERT(epoch < 2);
+    fillTexE_[epoch].increment();
+}
+
+void
+StreamReuseCounters::recordTexHitEpoch(unsigned epoch)
+{
+    GLLC_ASSERT(epoch < 2);
+    hitTexE_[epoch].increment();
+}
+
+void
+StreamReuseCounters::recordRtProduce()
+{
+    prod_.increment();
+}
+
+void
+StreamReuseCounters::recordRtConsume()
+{
+    cons_.increment();
+}
+
+void
+StreamReuseCounters::recordAccess()
+{
+    acc_.increment();
+    if (acc_.saturated()) {
+        halveAll();
+        acc_.reset();
+    }
+}
+
+void
+StreamReuseCounters::halveAll()
+{
+    fillZ_.halve();
+    hitZ_.halve();
+    fillTexAgg_.halve();
+    hitTexAgg_.halve();
+    for (auto &c : fillTexE_)
+        c.halve();
+    for (auto &c : hitTexE_)
+        c.halve();
+    prod_.halve();
+    cons_.halve();
+}
+
+bool
+StreamReuseCounters::zDistant(std::uint32_t t) const
+{
+    return fillZ_.value() > t * hitZ_.value();
+}
+
+bool
+StreamReuseCounters::texDistantAgg(std::uint32_t t) const
+{
+    return fillTexAgg_.value() > t * hitTexAgg_.value();
+}
+
+bool
+StreamReuseCounters::texDistantEpoch(unsigned epoch,
+                                     std::uint32_t t) const
+{
+    GLLC_ASSERT(epoch < 2);
+    return fillTexE_[epoch].value() > t * hitTexE_[epoch].value();
+}
+
+RtProtection
+StreamReuseCounters::rtProtection() const
+{
+    const std::uint64_t p = prod_.value();
+    const std::uint64_t c = cons_.value();
+    if (p > 16 * c)
+        return RtProtection::Distant;
+    if (p > 8 * c)
+        return RtProtection::Intermediate;
+    return RtProtection::Protect;
+}
+
+} // namespace gllc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-bank graphics-stream reuse-probability counters (Section 3).
+ *
+ * The GSPC family learns stream reuse probabilities from the sample
+ * sets with a handful of saturating counters per LLC bank:
+ *
+ *   FILL(Z), HIT(Z)            8-bit  Z-stream reuse probability
+ *   FILL(E,TEX), HIT(E,TEX)    8-bit  texture epoch E in {0, 1}
+ *   FILL(TEX), HIT(TEX)        8-bit  aggregate (GSPZTC only)
+ *   PROD, CONS                 8-bit  RT production / RT->TEX
+ *                                     consumption (GSPC only)
+ *   ACC(ALL)                   7-bit  all sample-set accesses
+ *
+ * Whenever ACC(ALL) saturates, every other counter is halved and ACC
+ * resets, giving an exponentially decayed estimate that adapts to
+ * phase changes within a frame.
+ */
+
+#ifndef GLLC_CORE_STREAM_COUNTERS_HH
+#define GLLC_CORE_STREAM_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/sat_counter.hh"
+
+namespace gllc
+{
+
+/** Protection level chosen for a render-target fill (Table 5). */
+enum class RtProtection : std::uint8_t
+{
+    Distant,       ///< consumption probability < 1/16: RRPV 3
+    Intermediate,  ///< in [1/16, 1/8): RRPV 2
+    Protect,       ///< >= 1/8: RRPV 0
+};
+
+/** The counters of one LLC bank. */
+class StreamReuseCounters
+{
+  public:
+    /**
+     * @param counter_bits width of the FILL/HIT/PROD/CONS counters
+     *        (8 in the paper)
+     * @param acc_bits width of ACC(ALL) (7 in the paper); halving
+     *        happens every 2^acc_bits - 1 sample accesses
+     */
+    explicit StreamReuseCounters(unsigned counter_bits = 8,
+                                 unsigned acc_bits = 7);
+
+    /// @name Sample-set event recording
+    /// @{
+    void recordZFill();
+    void recordZHit();
+
+    /** Aggregate texture fill (GSPZTC); covers RT->TEX conversions. */
+    void recordTexFillAgg();
+    /** Aggregate texture hit to a non-RT block (GSPZTC). */
+    void recordTexHitAgg();
+
+    /** Texture block entered epoch E (fill or RT->TEX conversion). */
+    void recordTexFillEpoch(unsigned epoch);
+    /** Texture hit observed in epoch E. */
+    void recordTexHitEpoch(unsigned epoch);
+
+    /** Render-target fill into a sample set (PROD). */
+    void recordRtProduce();
+    /** Render target consumed by the sampler from the LLC (CONS). */
+    void recordRtConsume();
+
+    /** Any access to a sample set: ACC(ALL)++, halving on saturation. */
+    void recordAccess();
+    /// @}
+
+    /// @name Insertion decisions (non-sample sets)
+    /// @{
+    /** True when FILL(Z) > t * HIT(Z): insert Z at RRPV 3. */
+    bool zDistant(std::uint32_t t) const;
+
+    /** True when FILL(TEX) > t * HIT(TEX) (aggregate, GSPZTC). */
+    bool texDistantAgg(std::uint32_t t) const;
+
+    /** True when FILL(E,TEX) > t * HIT(E,TEX) (TSE/GSPC). */
+    bool texDistantEpoch(unsigned epoch, std::uint32_t t) const;
+
+    /** RT insertion protection from the PROD/CONS ratio (Table 5). */
+    RtProtection rtProtection() const;
+    /// @}
+
+    /// @name Raw values (tests, introspection)
+    /// @{
+    std::uint32_t fillZ() const { return fillZ_.value(); }
+    std::uint32_t hitZ() const { return hitZ_.value(); }
+    std::uint32_t fillTexAgg() const { return fillTexAgg_.value(); }
+    std::uint32_t hitTexAgg() const { return hitTexAgg_.value(); }
+    std::uint32_t fillTex(unsigned e) const { return fillTexE_[e].value(); }
+    std::uint32_t hitTex(unsigned e) const { return hitTexE_[e].value(); }
+    std::uint32_t prod() const { return prod_.value(); }
+    std::uint32_t cons() const { return cons_.value(); }
+    std::uint32_t acc() const { return acc_.value(); }
+    /// @}
+
+  private:
+    void halveAll();
+
+    SatCounter fillZ_;
+    SatCounter hitZ_;
+    SatCounter fillTexAgg_;
+    SatCounter hitTexAgg_;
+    SatCounter fillTexE_[2];
+    SatCounter hitTexE_[2];
+    SatCounter prod_;
+    SatCounter cons_;
+    SatCounter acc_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_CORE_STREAM_COUNTERS_HH

@@ -1,0 +1,180 @@
+#include "dram/dram_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+DramConfig
+DramConfig::ddr3_1600()
+{
+    DramConfig c;
+    c.name = "DDR3-1600 15-15-15";
+    c.clockMhz = 800.0;
+    c.tCas = c.tRcd = c.tRp = 15;
+    return c;
+}
+
+DramConfig
+DramConfig::ddr3_1867()
+{
+    DramConfig c;
+    c.name = "DDR3-1867 10-10-10";
+    c.clockMhz = 933.0;
+    c.tCas = c.tRcd = c.tRp = 10;
+    c.tWtr = 9;
+    c.tRefi = 7277;  // 7.8 us at 933 MHz
+    c.tRfc = 243;    // 260 ns at 933 MHz
+    return c;
+}
+
+DramConfig
+DramConfig::gddr5()
+{
+    DramConfig c;
+    c.name = "GDDR5-5000";
+    c.channels = 4;
+    c.banksPerChannel = 16;
+    c.clockMhz = 1250.0;
+    c.tCas = 18;
+    c.tRcd = 18;
+    c.tRp = 18;
+    c.rowBytes = 2048;
+    c.tWtr = 12;
+    c.tRefi = 9750;   // 7.8 us at 1250 MHz
+    c.tRfc = 325;     // 260 ns at 1250 MHz
+    return c;
+}
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config)
+{
+    GLLC_ASSERT(config.channels > 0 && config.banksPerChannel > 0);
+    GLLC_ASSERT((config.channels & (config.channels - 1)) == 0);
+    GLLC_ASSERT(
+        (config.banksPerChannel & (config.banksPerChannel - 1)) == 0);
+}
+
+std::uint32_t
+DramModel::channelOf(Addr addr) const
+{
+    // Block-interleaved channels maximize delivered bandwidth on
+    // streaming access patterns.
+    return static_cast<std::uint32_t>(blockNumber(addr)
+                                      & (config_.channels - 1));
+}
+
+std::uint32_t
+DramModel::bankOf(Addr addr) const
+{
+    const std::uint64_t blocks_per_row = config_.rowBytes / kBlockBytes;
+    const std::uint64_t row_seq =
+        (blockNumber(addr) / config_.channels) / blocks_per_row;
+    return static_cast<std::uint32_t>(row_seq
+                                      & (config_.banksPerChannel - 1));
+}
+
+std::uint64_t
+DramModel::rowOf(Addr addr) const
+{
+    const std::uint64_t blocks_per_row = config_.rowBytes / kBlockBytes;
+    return (blockNumber(addr) / config_.channels) / blocks_per_row
+        / config_.banksPerChannel;
+}
+
+DramStats
+DramModel::simulate(const std::vector<DramRequest> &requests)
+{
+    struct BankState
+    {
+        std::uint64_t row = ~0ull;
+        std::uint64_t ready = 0;
+        bool open = false;
+    };
+
+    const std::uint32_t nch = config_.channels;
+    const std::uint32_t nbank = config_.banksPerChannel;
+
+    std::vector<BankState> banks(
+        static_cast<std::size_t>(nch) * nbank);
+    std::vector<std::uint64_t> bus_free(nch, 0);
+    std::vector<bool> last_was_write(nch, false);
+    std::vector<std::uint64_t> refresh_done(nch, 0);
+
+    DramStats stats;
+    std::uint64_t last_arrival = 0;
+
+    for (const DramRequest &req : requests) {
+        GLLC_ASSERT(req.arrival >= last_arrival);
+        last_arrival = req.arrival;
+
+        const std::uint32_t ch = channelOf(req.addr);
+        const std::uint32_t bk = bankOf(req.addr);
+        const std::uint64_t row = rowOf(req.addr);
+        BankState &bank = banks[static_cast<std::size_t>(ch) * nbank
+                                + bk];
+
+        std::uint64_t start = std::max(req.arrival, bank.ready);
+
+        // All-bank refresh: when the schedule crosses a tREFI
+        // boundary the channel stalls for tRFC and every row closes.
+        if (config_.tRefi != 0) {
+            const std::uint64_t window = start / config_.tRefi;
+            if (window > refresh_done[ch]) {
+                refresh_done[ch] = window;
+                ++stats.refreshes;
+                start += config_.tRfc;
+                for (std::uint32_t b = 0; b < nbank; ++b) {
+                    banks[static_cast<std::size_t>(ch) * nbank + b]
+                        .open = false;
+                }
+            }
+        }
+
+        // Row misses pay precharge + activate before the CAS; row
+        // hits pipeline CAS-to-CAS at the burst rate, so the bank is
+        // only occupied for the burst.
+        std::uint64_t cas_ready = start;
+        if (bank.open && bank.row == row) {
+            ++stats.rowHits;
+        } else {
+            ++stats.rowMisses;
+            cas_ready += (bank.open ? config_.tRp : 0) + config_.tRcd;
+            bank.open = true;
+            bank.row = row;
+        }
+
+        const std::uint64_t data_ready = cas_ready + config_.tCas;
+        std::uint64_t bus_earliest = bus_free[ch];
+        if (!req.isWrite && last_was_write[ch]) {
+            // Write-to-read turnaround on the shared data bus.
+            bus_earliest += config_.tWtr;
+            ++stats.turnarounds;
+        }
+        last_was_write[ch] = req.isWrite;
+        const std::uint64_t bus_start =
+            std::max(data_ready, bus_earliest);
+        const std::uint64_t completion =
+            bus_start + config_.burstCycles();
+
+        bus_free[ch] = completion;
+        // The bank can accept the next CAS one burst after this one;
+        // the data return (tCAS) overlaps with it.
+        bank.ready = cas_ready + config_.burstCycles();
+        stats.busBusyCycles += config_.burstCycles();
+
+        ++stats.requests;
+        if (req.isWrite)
+            ++stats.writes;
+        else
+            ++stats.reads;
+        stats.finishCycle = std::max(stats.finishCycle, completion);
+        stats.totalLatency += completion - req.arrival;
+    }
+
+    return stats;
+}
+
+} // namespace gllc

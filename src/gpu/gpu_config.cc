@@ -1,0 +1,37 @@
+#include "gpu/gpu_config.hh"
+
+namespace gllc
+{
+
+GpuConfig
+GpuConfig::baseline()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::baseline16M()
+{
+    GpuConfig c;
+    c.llcCapacityBytes = 16ull << 20;
+    return c;
+}
+
+GpuConfig
+GpuConfig::fastDram()
+{
+    GpuConfig c;
+    c.dram = DramConfig::ddr3_1867();
+    return c;
+}
+
+GpuConfig
+GpuConfig::lessAggressive()
+{
+    GpuConfig c;
+    c.shaderCores = 64;
+    c.samplers = 8;
+    return c;
+}
+
+} // namespace gllc

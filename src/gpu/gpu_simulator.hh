@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Full GPU simulation of one frame: workload -> render caches ->
+ * LLC(policy) -> DRAM -> frame time.
+ */
+
+#ifndef GLLC_GPU_GPU_SIMULATOR_HH
+#define GLLC_GPU_GPU_SIMULATOR_HH
+
+#include <string>
+
+#include "analysis/offline_sim.hh"
+#include "gpu/timing_model.hh"
+#include "workload/frame_renderer.hh"
+
+namespace gllc
+{
+
+/** Outcome of simulating one frame end to end. */
+struct FrameSimResult
+{
+    FrameTiming timing;
+    LlcStats llcStats;
+    Characterization characterization;
+};
+
+/**
+ * Simulate one already-rendered frame trace under @p policy on
+ * @p config.  The LLC geometry is taken from the config, scaled by
+ * @p scale to match the trace.
+ */
+FrameSimResult simulateFrame(const FrameTrace &trace,
+                             const PolicySpec &policy,
+                             const GpuConfig &config,
+                             const RenderScale &scale);
+
+} // namespace gllc
+
+#endif // GLLC_GPU_GPU_SIMULATOR_HH

@@ -1,0 +1,153 @@
+#include "gpu/timing_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "dram/dram_model.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Build the DRAM request stream, stretching arrivals by @p factor. */
+std::vector<DramRequest>
+buildRequests(const std::vector<MemAccess> &dram_trace,
+              double gpu_to_dram_cycles, double stretch)
+{
+    std::vector<DramRequest> reqs;
+    reqs.reserve(dram_trace.size());
+    std::uint64_t last = 0;
+    for (const MemAccess &a : dram_trace) {
+        DramRequest r;
+        r.addr = a.addr;
+        r.arrival = static_cast<std::uint64_t>(
+            static_cast<double>(a.cycle) * stretch
+            * gpu_to_dram_cycles);
+        // Trace order is service order; keep arrivals monotone even
+        // if cycle stamps repeat.
+        r.arrival = std::max(r.arrival, last);
+        last = r.arrival;
+        r.isWrite = a.isWrite;
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+} // namespace
+
+FrameTiming
+timeFrame(const FrameWork &work, const LlcStats &llc_stats,
+          const std::vector<MemAccess> &dram_trace,
+          const GpuConfig &config)
+{
+    FrameTiming t;
+
+    // Compute bound: pixel + vertex shading through the ALU pipes at
+    // the sustained (not peak) rate.
+    const double sustained_ops = static_cast<double>(config.shaderCores)
+        * config.opsPerCoreCycle * config.shaderEfficiency;
+    const double vertex_ops =
+        static_cast<double>(work.verticesShaded) * 24.0;
+    t.computeCycles =
+        (static_cast<double>(work.shaderOps) + vertex_ops)
+        / sustained_ops;
+
+    // Sampler bound: fixed-function texel fill rate.
+    t.samplerCycles = static_cast<double>(work.texelRequests)
+        / (static_cast<double>(config.samplers)
+           * config.texelsPerSamplerCycle);
+
+    // LLC occupancy bound: one access per bank per LLC cycle.
+    const double llc_accesses =
+        static_cast<double>(llc_stats.totalAccesses());
+    t.llcCycles = llc_accesses / config.llcBanks
+        * (config.coreClockGhz / config.llcClockGhz);
+
+    // The execution-bound portion of the frame: the shader engine
+    // issues memory traffic over this window.
+    const double issue_span = std::max<double>(
+        1.0, static_cast<double>(work.issueCycles));
+    const double base =
+        std::max({t.computeCycles, t.samplerCycles, t.llcCycles});
+
+    // DRAM schedule: arrivals spread over the execution window; the
+    // schedule length beyond the window is the memory overhang.
+    DramModel dram(config.dram);
+    const double gpu_to_dram =
+        (config.dram.clockMhz / 1000.0) / config.coreClockGhz;
+    const double stretch = std::max(1.0, base / issue_span);
+    std::vector<DramRequest> requests =
+        buildRequests(dram_trace, gpu_to_dram, stretch);
+
+    // Optional display engine: scan-out reads the front buffer at
+    // the refresh rate, a constant background load on the memory
+    // system (interleaved by arrival time).
+    if (config.scanoutHz > 0.0 && config.scanoutBytes > 0
+        && !requests.empty()) {
+        const double window_dram =
+            static_cast<double>(requests.back().arrival) + 1.0;
+        const double window_s = window_dram
+            / (config.dram.clockMhz * 1e6);
+        const std::uint64_t blocks = static_cast<std::uint64_t>(
+            window_s * config.scanoutHz
+            * static_cast<double>(config.scanoutBytes) / kBlockBytes);
+        std::vector<DramRequest> merged;
+        merged.reserve(requests.size() + blocks);
+        // Front buffer placed beyond the render surfaces.
+        const Addr scan_base = 1ull << 40;
+        std::size_t r = 0;
+        for (std::uint64_t b = 0; b < blocks; ++b) {
+            DramRequest s;
+            s.addr = scan_base + (b * kBlockBytes)
+                % std::max<std::uint64_t>(config.scanoutBytes,
+                                          kBlockBytes);
+            s.arrival = static_cast<std::uint64_t>(
+                static_cast<double>(b) * window_dram
+                / static_cast<double>(blocks));
+            s.isWrite = false;
+            while (r < requests.size()
+                   && requests[r].arrival <= s.arrival)
+                merged.push_back(requests[r++]);
+            merged.push_back(s);
+        }
+        while (r < requests.size())
+            merged.push_back(requests[r++]);
+        requests = std::move(merged);
+    }
+
+    const DramStats dstats = dram.simulate(requests);
+    t.dramCycles =
+        static_cast<double>(dstats.finishCycle) / gpu_to_dram;
+    t.rowHitRate = dstats.requests == 0
+        ? 0.0
+        : static_cast<double>(dstats.rowHits)
+            / static_cast<double>(dstats.requests);
+
+    const double overhang = std::max(0.0, t.dramCycles - base);
+
+    // Exposed latency: each miss stalls one thread context for the
+    // LLC round trip plus an unloaded DRAM access (queueing is
+    // already captured by the schedule); T contexts overlap stalls.
+    const double llc_latency_core_cycles =
+        config.llcLatencyLlcCycles
+        * (config.coreClockGhz / config.llcClockGhz);
+    const double unloaded_dram =
+        (config.dram.tRcd + config.dram.tCas
+         + config.dram.burstCycles())
+        / gpu_to_dram;
+    const double misses =
+        static_cast<double>(llc_stats.totalMisses());
+    t.exposedCycles = misses * (llc_latency_core_cycles + unloaded_dram)
+        / config.totalThreads();
+
+    // Thread switching hides part of the memory overhang (Section
+    // 5.3); the rest is exposed frame time.
+    t.frameCycles =
+        base + config.hidingBeta * overhang + t.exposedCycles;
+    t.fps = config.coreClockGhz * 1e9 / std::max(1.0, t.frameCycles);
+    return t;
+}
+
+} // namespace gllc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Frame-time model.
+ *
+ * GPUs hide memory latency with massive thread-level parallelism
+ * (Section 5.3: "it is necessary to save a significantly large
+ * volume of LLC misses to achieve reasonable performance
+ * improvements"), so a frame's time is modelled as the maximum of
+ * the machine's throughput bounds plus a small exposed-latency term:
+ *
+ *   frame = max(compute, sampler, LLC occupancy, DRAM schedule)
+ *           + sum(miss latency) / (thread contexts * overlap)
+ *
+ * The DRAM schedule bound comes from the event-driven DDR3 model
+ * (dram/) fed with the replay's miss/writeback trace; the arrival
+ * process is stretched to the running frame-time estimate and the
+ * model iterated to a fixed point.
+ */
+
+#ifndef GLLC_GPU_TIMING_MODEL_HH
+#define GLLC_GPU_TIMING_MODEL_HH
+
+#include <vector>
+
+#include "cache/banked_llc.hh"
+#include "gpu/gpu_config.hh"
+#include "trace/frame_trace.hh"
+
+namespace gllc
+{
+
+/** Timing breakdown of one frame on one machine configuration. */
+struct FrameTiming
+{
+    /// @name Throughput bounds, in GPU core cycles
+    /// @{
+    double computeCycles = 0;
+    double samplerCycles = 0;
+    double llcCycles = 0;
+    double dramCycles = 0;
+    /// @}
+
+    /** Exposed memory latency after thread overlap. */
+    double exposedCycles = 0;
+
+    /** Resulting frame time in GPU core cycles. */
+    double frameCycles = 0;
+
+    /** Frames per second at the simulated scale. */
+    double fps = 0;
+
+    /** DRAM row-buffer hit rate achieved. */
+    double rowHitRate = 0;
+};
+
+/**
+ * Evaluate the frame-time model.
+ *
+ * @param work the frame's work counters
+ * @param llc_stats replay statistics (access/hit/miss volumes)
+ * @param dram_trace DRAM-bound accesses in trace order, cycle-stamped
+ * @param config the machine
+ */
+FrameTiming timeFrame(const FrameWork &work, const LlcStats &llc_stats,
+                      const std::vector<MemAccess> &dram_trace,
+                      const GpuConfig &config);
+
+} // namespace gllc
+
+#endif // GLLC_GPU_TIMING_MODEL_HH

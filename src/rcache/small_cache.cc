@@ -1,0 +1,113 @@
+#include "rcache/small_cache.hh"
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+std::uint32_t
+floorPow2(std::uint32_t x)
+{
+    GLLC_ASSERT(x > 0);
+    while ((x & (x - 1)) != 0)
+        x &= x - 1;
+    return x;
+}
+
+} // namespace
+
+SmallCache::SmallCache(std::string name, std::uint32_t blocks,
+                       std::uint32_t ways, bool write_allocate)
+    : name_(std::move(name)), writeAllocate_(write_allocate)
+{
+    GLLC_ASSERT(blocks > 0 && ways > 0);
+    blocks = floorPow2(blocks);
+    ways_ = std::min(ways, blocks);
+    sets_ = blocks / floorPow2(ways_);
+    ways_ = blocks / sets_;
+    entries_.assign(static_cast<std::size_t>(sets_) * ways_, Entry{});
+}
+
+bool
+SmallCache::access(Addr addr, bool is_write, StreamType stream,
+                   std::uint32_t cycle, std::vector<MemAccess> &out)
+{
+    ++stats_.accesses;
+    const std::uint32_t set = setOf(addr);
+    const Addr tag = blockNumber(addr);
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.tag == tag) {
+            ++stats_.hits;
+            e.stamp = ++clock_;
+            e.dirty = e.dirty || is_write;
+            return true;
+        }
+    }
+
+    // Miss.  Read-only caches forward writes without allocating.
+    if (is_write && !writeAllocate_) {
+        out.emplace_back(blockAlign(addr), stream, true, cycle);
+        return false;
+    }
+
+    const bool emit_fill = !is_write;
+
+    // Victim: invalid frame first, else LRU.
+    std::uint32_t victim = 0;
+    bool found_invalid = false;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!entries_[base + w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+        if (entries_[base + w].stamp < entries_[base + victim].stamp)
+            victim = w;
+    }
+
+    Entry &e = entries_[base + victim];
+    if (!found_invalid && e.valid && e.dirty) {
+        ++stats_.writebacks;
+        out.emplace_back(e.tag << kBlockShift, e.stream, true, cycle);
+    }
+
+    // Read misses fetch the block from the LLC.  Store misses
+    // allocate silently: render-target/depth tiles are written
+    // whole, so nothing is fetched and the LLC sees the data only
+    // when the dirty block is written back.
+    if (emit_fill)
+        out.emplace_back(blockAlign(addr), stream, false, cycle);
+
+    e.tag = tag;
+    e.valid = true;
+    e.dirty = is_write;
+    e.stream = stream;
+    e.stamp = ++clock_;
+    return false;
+}
+
+void
+SmallCache::flush(std::uint32_t cycle, std::vector<MemAccess> &out)
+{
+    std::uint32_t drained = 0;
+    for (Entry &e : entries_) {
+        if (e.valid && e.dirty) {
+            ++stats_.writebacks;
+            // Flushes drain at a finite rate; spreading the stamps
+            // keeps the DRAM arrival process realistic.
+            out.emplace_back(e.tag << kBlockShift, e.stream, true,
+                             cycle + drained / 2);
+            ++drained;
+        }
+        e.valid = false;
+        e.dirty = false;
+    }
+}
+
+} // namespace gllc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small single-bank LRU cache used for the per-stream render caches.
+ *
+ * Section 1: "a single level of vertex and vertex index cache, Z
+ * cache, render target cache, stencil cache, HiZ cache ... can be
+ * found in any typical GPU."  These caches filter near-term temporal
+ * locality; their misses and dirty writebacks form the LLC access
+ * streams.  Each resident block remembers the LLC stream tag it was
+ * brought in with so writebacks are attributed correctly (the render
+ * target cache holds both RT and displayable-color blocks).
+ */
+
+#ifndef GLLC_RCACHE_SMALL_CACHE_HH
+#define GLLC_RCACHE_SMALL_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace gllc
+{
+
+/** Statistics for one render cache. */
+struct SmallCacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t writebacks = 0;
+
+    std::uint64_t misses() const { return accesses - hits; }
+};
+
+class SmallCache
+{
+  public:
+    /**
+     * @param name for reporting
+     * @param blocks total 64 B block frames (power of two)
+     * @param ways associativity (clamped to the block count)
+     * @param write_allocate false for read-only caches (texture,
+     *        vertex) that can never hold dirty data
+     */
+    SmallCache(std::string name, std::uint32_t blocks, std::uint32_t ways,
+               bool write_allocate = true);
+
+    /**
+     * Service one access.  On a miss, appends the LLC fill request
+     * (and a writeback, if a dirty block was displaced) to @p out.
+     *
+     * @param addr byte address
+     * @param is_write store?
+     * @param stream LLC stream tag for traffic caused by this access
+     * @param cycle issue cycle stamped onto emitted LLC accesses
+     * @param out receives the LLC-bound accesses
+     * @return true on hit
+     */
+    bool access(Addr addr, bool is_write, StreamType stream,
+                std::uint32_t cycle, std::vector<MemAccess> &out);
+
+    /**
+     * Write back every dirty block (pass/frame boundary flush) and
+     * invalidate the cache contents.
+     */
+    void flush(std::uint32_t cycle, std::vector<MemAccess> &out);
+
+    const SmallCacheStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t sets() const { return sets_; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        std::uint64_t stamp = 0;
+        StreamType stream = StreamType::Other;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint32_t setOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(blockNumber(addr)
+                                          & (sets_ - 1));
+    }
+
+    std::string name_;
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    bool writeAllocate_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+    SmallCacheStats stats_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_RCACHE_SMALL_CACHE_HH

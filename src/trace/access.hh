@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The LLC access record.
+ *
+ * A FrameTrace is a sequence of MemAccess records: the load/store
+ * stream a GPU's render caches emit toward the LLC while rendering
+ * one frame.  Records are packed to 16 bytes so multi-million-access
+ * frames stay cheap to hold in memory.
+ */
+
+#ifndef GLLC_TRACE_ACCESS_HH
+#define GLLC_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/stream.hh"
+
+namespace gllc
+{
+
+/** One load/store presented to the LLC. */
+struct MemAccess
+{
+    /** Byte address (block-aligned by the render caches). */
+    Addr addr = 0;
+
+    /**
+     * Abstract GPU-clock issue cycle assigned by the workload model;
+     * used by the DRAM/timing models to shape the arrival process.
+     */
+    std::uint32_t cycle = 0;
+
+    /** Source graphics stream. */
+    StreamType stream = StreamType::Other;
+
+    /** True for stores (render-cache writebacks and write-through). */
+    bool isWrite = false;
+
+    std::uint16_t pad_ = 0;
+
+    MemAccess() = default;
+
+    MemAccess(Addr a, StreamType s, bool write, std::uint32_t cyc = 0)
+        : addr(a), cycle(cyc), stream(s), isWrite(write)
+    {}
+};
+
+static_assert(sizeof(MemAccess) == 16, "MemAccess must stay packed");
+
+} // namespace gllc
+
+#endif // GLLC_TRACE_ACCESS_HH

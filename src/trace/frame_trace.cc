@@ -1,0 +1,27 @@
+#include "trace/frame_trace.hh"
+
+#include <unordered_set>
+
+namespace gllc
+{
+
+std::array<std::uint64_t, kNumStreams>
+FrameTrace::streamCounts() const
+{
+    std::array<std::uint64_t, kNumStreams> counts{};
+    for (const MemAccess &a : accesses)
+        ++counts[static_cast<std::size_t>(a.stream)];
+    return counts;
+}
+
+std::uint64_t
+FrameTrace::distinctBlocks() const
+{
+    std::unordered_set<Addr> blocks;
+    blocks.reserve(accesses.size() / 4);
+    for (const MemAccess &a : accesses)
+        blocks.insert(blockNumber(a.addr));
+    return blocks.size();
+}
+
+} // namespace gllc

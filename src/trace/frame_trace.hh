@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-frame LLC access trace plus the workload metadata the timing
+ * model needs to turn cache results into a frame time.
+ */
+
+#ifndef GLLC_TRACE_FRAME_TRACE_HH
+#define GLLC_TRACE_FRAME_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace gllc
+{
+
+/**
+ * Aggregate work counts for one rendered frame, reported by the
+ * workload model.  These bound the frame time independently of the
+ * memory system (Section 4's shader/sampler throughput parameters).
+ */
+struct FrameWork
+{
+    /** Single-precision shader ALU operations executed. */
+    std::uint64_t shaderOps = 0;
+
+    /** Texels requested from the fixed-function samplers. */
+    std::uint64_t texelRequests = 0;
+
+    /** Pixels shaded (post early-Z). */
+    std::uint64_t pixelsShaded = 0;
+
+    /** Vertices transformed. */
+    std::uint64_t verticesShaded = 0;
+
+    /** Raw (pre-render-cache) memory operations issued. */
+    std::uint64_t rawMemOps = 0;
+
+    /** Abstract GPU cycles consumed by the generator's work cursor. */
+    std::uint64_t issueCycles = 0;
+};
+
+/** A rendered frame: its LLC access stream and work metadata. */
+struct FrameTrace
+{
+    /** "<app>/f<index>", e.g. "BioShock/f2". */
+    std::string name;
+
+    /** Application the frame belongs to. */
+    std::string app;
+
+    /** Frame index within the application's capture set. */
+    std::uint32_t frameIndex = 0;
+
+    /** Accesses in LLC arrival order. */
+    std::vector<MemAccess> accesses;
+
+    /** Work counters for the timing model. */
+    FrameWork work;
+
+    /** Count accesses per stream (helper for Figure 4). */
+    std::array<std::uint64_t, kNumStreams> streamCounts() const;
+
+    /** Number of distinct 64 B blocks touched (cold-miss lower bound). */
+    std::uint64_t distinctBlocks() const;
+};
+
+} // namespace gllc
+
+#endif // GLLC_TRACE_FRAME_TRACE_HH

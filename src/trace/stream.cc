@@ -1,0 +1,32 @@
+#include "trace/stream.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+const std::string &
+streamName(StreamType s)
+{
+    static const std::array<std::string, kNumStreams> names = {
+        "VTX", "HiZ", "Z", "STC", "RT", "TEX", "DISP", "OTHER",
+    };
+    const auto idx = static_cast<std::size_t>(s);
+    GLLC_ASSERT(idx < kNumStreams);
+    return names[idx];
+}
+
+const std::string &
+policyStreamName(PolicyStream s)
+{
+    static const std::array<std::string, kNumPolicyStreams> names = {
+        "Z", "TEX", "RT", "REST",
+    };
+    const auto idx = static_cast<std::size_t>(s);
+    GLLC_ASSERT(idx < kNumPolicyStreams);
+    return names[idx];
+}
+
+} // namespace gllc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * 3D graphics data stream identities.
+ *
+ * Section 2.1 of the paper: a DirectX rendering pipeline generates
+ * access streams to distinct data structures.  Each LLC access is
+ * tagged with the identity of the render cache it came from; the
+ * GSPC policies key their reuse-probability counters on this tag.
+ */
+
+#ifndef GLLC_TRACE_STREAM_HH
+#define GLLC_TRACE_STREAM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gllc
+{
+
+/**
+ * The graphics data stream an LLC access belongs to.
+ *
+ * Display is the final back-buffer (displayable color) stream; the
+ * paper notes it is itself a render target, so policies that are not
+ * display-aware treat it as RenderTarget (see policyStream()).
+ */
+enum class StreamType : std::uint8_t
+{
+    Vertex = 0,     ///< vertex + vertex-index cache misses
+    HiZ,            ///< hierarchical depth cache misses
+    Z,              ///< depth cache misses
+    Stencil,        ///< stencil cache misses
+    RenderTarget,   ///< render-target (color) cache traffic
+    Texture,        ///< texture sampler hierarchy (L3) misses
+    Display,        ///< displayable color written to the back buffer
+    Other,          ///< shader code, constants, misc state
+    kCount
+};
+
+constexpr std::size_t kNumStreams =
+    static_cast<std::size_t>(StreamType::kCount);
+
+/**
+ * The coarse four-way stream classification the GSPC policies use
+ * (Section 3: "We partition the LLC accesses into four streams,
+ * namely, Z, texture sampler, render targets, and the rest").
+ */
+enum class PolicyStream : std::uint8_t
+{
+    Z = 0,
+    Texture,
+    RenderTarget,
+    Rest,
+    kCount
+};
+
+constexpr std::size_t kNumPolicyStreams =
+    static_cast<std::size_t>(PolicyStream::kCount);
+
+/** Map a pipeline stream to the policy-visible four-way class. */
+constexpr PolicyStream
+policyStream(StreamType s)
+{
+    switch (s) {
+      case StreamType::Z:
+        return PolicyStream::Z;
+      case StreamType::Texture:
+        return PolicyStream::Texture;
+      case StreamType::RenderTarget:
+      case StreamType::Display:  // displayable color is a render target
+        return PolicyStream::RenderTarget;
+      default:
+        return PolicyStream::Rest;
+    }
+}
+
+/** Human-readable stream name ("Z", "TEX", ...). */
+const std::string &streamName(StreamType s);
+
+/** Human-readable policy-stream name. */
+const std::string &policyStreamName(PolicyStream s);
+
+} // namespace gllc
+
+#endif // GLLC_TRACE_STREAM_HH

@@ -1,0 +1,131 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'G', 'L', 'L', 'C', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        fatal("trace file truncated while reading %zu bytes",
+              sizeof(T));
+    return value;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const auto len = readPod<std::uint32_t>(is);
+    if (len > (1u << 20))
+        fatal("trace file corrupt: absurd string length %u", len);
+    std::string s(len, '\0');
+    is.read(s.data(), len);
+    if (!is)
+        fatal("trace file truncated while reading a string");
+    return s;
+}
+
+} // namespace
+
+void
+writeTrace(const FrameTrace &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writeString(os, trace.name);
+    writeString(os, trace.app);
+    writePod<std::uint32_t>(os, trace.frameIndex);
+    writePod<std::uint64_t>(os, trace.work.shaderOps);
+    writePod<std::uint64_t>(os, trace.work.texelRequests);
+    writePod<std::uint64_t>(os, trace.work.pixelsShaded);
+    writePod<std::uint64_t>(os, trace.work.verticesShaded);
+    writePod<std::uint64_t>(os, trace.work.rawMemOps);
+    writePod<std::uint64_t>(os, trace.work.issueCycles);
+    writePod<std::uint64_t>(
+        os, static_cast<std::uint64_t>(trace.accesses.size()));
+    os.write(reinterpret_cast<const char *>(trace.accesses.data()),
+             static_cast<std::streamsize>(trace.accesses.size()
+                                          * sizeof(MemAccess)));
+}
+
+void
+writeTraceFile(const FrameTrace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open \"%s\" for writing", path.c_str());
+    writeTrace(trace, os);
+    os.flush();
+    if (!os)
+        fatal("write to \"%s\" failed", path.c_str());
+}
+
+FrameTrace
+readTrace(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("not a gllc trace file (bad magic)");
+
+    FrameTrace trace;
+    trace.name = readString(is);
+    trace.app = readString(is);
+    trace.frameIndex = readPod<std::uint32_t>(is);
+    trace.work.shaderOps = readPod<std::uint64_t>(is);
+    trace.work.texelRequests = readPod<std::uint64_t>(is);
+    trace.work.pixelsShaded = readPod<std::uint64_t>(is);
+    trace.work.verticesShaded = readPod<std::uint64_t>(is);
+    trace.work.rawMemOps = readPod<std::uint64_t>(is);
+    trace.work.issueCycles = readPod<std::uint64_t>(is);
+
+    const auto count = readPod<std::uint64_t>(is);
+    if (count > (1ull << 32))
+        fatal("trace file corrupt: absurd access count");
+    trace.accesses.resize(count);
+    is.read(reinterpret_cast<char *>(trace.accesses.data()),
+            static_cast<std::streamsize>(count * sizeof(MemAccess)));
+    if (!is)
+        fatal("trace file truncated while reading %llu accesses",
+              static_cast<unsigned long long>(count));
+    return trace;
+}
+
+FrameTrace
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open \"%s\" for reading", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace gllc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary serialization of frame traces.
+ *
+ * Generating a frame trace costs far more than replaying it, so the
+ * harnesses can cache traces on disk: `tracegen` writes them and any
+ * replay tool loads them back.  The format is a fixed little-endian
+ * header followed by the packed MemAccess records:
+ *
+ *   magic   "GLLCTRC1"                      8 bytes
+ *   names   u32 length + bytes, twice       (trace name, app name)
+ *   u32     frameIndex
+ *   u64 x 6 FrameWork counters
+ *   u64     access count
+ *   records 16-byte MemAccess entries
+ */
+
+#ifndef GLLC_TRACE_TRACE_IO_HH
+#define GLLC_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/frame_trace.hh"
+
+namespace gllc
+{
+
+/** Serialize @p trace to a stream. */
+void writeTrace(const FrameTrace &trace, std::ostream &os);
+
+/** Serialize @p trace to a file; fatal on I/O failure. */
+void writeTraceFile(const FrameTrace &trace, const std::string &path);
+
+/** Deserialize a trace from a stream; fatal on malformed input. */
+FrameTrace readTrace(std::istream &is);
+
+/** Deserialize a trace from a file; fatal on I/O failure. */
+FrameTrace readTraceFile(const std::string &path);
+
+} // namespace gllc
+
+#endif // GLLC_TRACE_TRACE_IO_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Application profiles for the twelve DirectX workloads of Table 1.
+ *
+ * We cannot redistribute DirectX captures of the commercial titles,
+ * so each application is modelled by a parameterized multi-pass
+ * frame renderer (frame_renderer.hh).  The knobs below control the
+ * properties the LLC policies are sensitive to: the stream mix, the
+ * far-flung intra-stream texture reuse (epoch structure of Figure
+ * 7), the render-target-to-texture consumption topology (Figure 6)
+ * and the displayable-color share.  DESIGN.md documents the
+ * substitution; EXPERIMENTS.md compares the resulting
+ * characterization with the paper's.
+ */
+
+#ifndef GLLC_WORKLOAD_APP_PROFILE_HH
+#define GLLC_WORKLOAD_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gllc
+{
+
+/** Workload knobs for one application (values at full resolution). */
+struct AppProfile
+{
+    std::string name;
+    int directxVersion = 10;
+    std::uint32_t width = 1920;
+    std::uint32_t height = 1200;
+
+    /** Frames captured from this title (the 12 apps sum to 52). */
+    std::uint32_t frames = 4;
+
+    /** Base seed; frame i uses seed ^ f(i). */
+    std::uint64_t seed = 1;
+
+    /// @name Geometry
+    /// @{
+    std::uint32_t triangles = 600000;  ///< main-pass triangles
+    double triPixels = 9.0;            ///< mean triangle area (px)
+    double frontToBack = 0.6;          ///< draw sorting quality [0,1]
+    double trisPerDraw = 180.0;
+
+    /**
+     * Fraction of draws using the DirectX 11 tessellation stages
+     * (hull shader / tessellator / domain shader, Section 2.1): the
+     * patch expands into finer on-chip triangles (no vertex-buffer
+     * traffic for the generated vertices) whose domain shader
+     * samples a displacement map.  Zero for DirectX 10 titles.
+     */
+    double tessellatedDraws = 0.0;
+    /// @}
+
+    /// @name Static texturing
+    /// @{
+    std::uint32_t textureCount = 64;
+    std::uint32_t textureEdge = 1024;   ///< square texture edge (texels)
+    double zipfTheta = 0.6;             ///< texture popularity skew
+    std::uint32_t textureLayers = 2;    ///< layers sampled per draw
+    std::uint32_t anchorsPerTexture = 24;  ///< fewer => more reuse
+    /// @}
+
+    /// @name Dynamic texturing (render-to-texture)
+    /// @{
+    std::uint32_t offscreenTargets = 2;  ///< producer passes
+    double offscreenScale = 0.5;         ///< target edge / screen edge
+    double consumeFraction = 0.5;        ///< map area sampled later
+    std::uint32_t postChainLength = 2;   ///< full-screen post passes
+    /// @}
+
+    /// @name Raster behaviour
+    /// @{
+    double blendFraction = 0.15;  ///< transparent draw fraction
+    bool usesStencil = false;
+    /** Probability a draw's mesh sits in the scene's focus region. */
+    double clusterFocus = 0.55;
+    /// @}
+
+    /// @name Shading / misc
+    /// @{
+    double shaderOpsPerPixel = 90.0;
+    double otherBlocksPerDraw = 4.0;  ///< constants/shader-code reads
+    /// @}
+};
+
+/** The twelve applications of Table 1 with calibrated knobs. */
+const std::vector<AppProfile> &paperApps();
+
+/** Look up a paper application by (abbreviated) name. */
+const AppProfile &findApp(const std::string &name);
+
+} // namespace gllc
+
+#endif // GLLC_WORKLOAD_APP_PROFILE_HH

@@ -1,0 +1,52 @@
+#include "workload/frame_set.hh"
+
+#include <algorithm>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+std::vector<FrameSpec>
+paperFrameSet()
+{
+    std::vector<FrameSpec> frames;
+    for (const AppProfile &app : paperApps()) {
+        for (std::uint32_t f = 0; f < app.frames; ++f)
+            frames.push_back(FrameSpec{&app, f});
+    }
+    GLLC_ASSERT(frames.size() == 52);
+    return frames;
+}
+
+std::vector<FrameSpec>
+frameSetFromEnv()
+{
+    const auto limit = envInt("GLLC_FRAMES", 0);
+    std::vector<FrameSpec> all = paperFrameSet();
+    if (limit <= 0 || static_cast<std::size_t>(limit) >= all.size())
+        return all;
+
+    // Round-robin over applications: frame 0 of every app first.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const FrameSpec &a, const FrameSpec &b) {
+                         return a.frameIndex < b.frameIndex;
+                     });
+    all.resize(static_cast<std::size_t>(limit));
+    return all;
+}
+
+RenderScale
+scaleFromEnv()
+{
+    RenderScale scale;
+    const auto s = envInt("GLLC_SCALE", 4);
+    if (s < 1 || s > 16)
+        fatal("GLLC_SCALE=%lld out of range [1,16]",
+              static_cast<long long>(s));
+    scale.linear = static_cast<std::uint32_t>(s);
+    return scale;
+}
+
+} // namespace gllc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The 52-frame evaluation set (Section 4).
+ */
+
+#ifndef GLLC_WORKLOAD_FRAME_SET_HH
+#define GLLC_WORKLOAD_FRAME_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/app_profile.hh"
+#include "workload/frame_renderer.hh"
+
+namespace gllc
+{
+
+/** One frame to render: an application plus a frame index. */
+struct FrameSpec
+{
+    const AppProfile *app = nullptr;
+    std::uint32_t frameIndex = 0;
+};
+
+/**
+ * The full 52-frame set: every application of Table 1 with its
+ * per-application frame count.
+ */
+std::vector<FrameSpec> paperFrameSet();
+
+/**
+ * Frame set truncated per the GLLC_FRAMES environment variable
+ * (<= 0 or unset keeps all 52), with frames drawn round-robin across
+ * applications so a truncated run still spans every title.
+ */
+std::vector<FrameSpec> frameSetFromEnv();
+
+/** RenderScale from the GLLC_SCALE environment variable (default 4). */
+RenderScale scaleFromEnv();
+
+} // namespace gllc
+
+#endif // GLLC_WORKLOAD_FRAME_SET_HH

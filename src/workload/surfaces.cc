@@ -1,0 +1,78 @@
+#include "workload/surfaces.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Tile edge in elements for a given element size (64 B tiles). */
+std::uint32_t
+tileEdgeFor(std::uint32_t bytes_per_element)
+{
+    switch (bytes_per_element) {
+      case 1:
+        return 8;   // 8x8 x 1 B
+      case 4:
+        return 4;   // 4x4 x 4 B
+      default:
+        GLLC_ASSERT_MSG(false, "unsupported element size %u",
+                        bytes_per_element);
+        return 0;
+    }
+}
+
+} // namespace
+
+Surface
+Surface::make2D(GpuMemory &mem, SurfaceKind kind, const std::string &name,
+                std::uint32_t width, std::uint32_t height,
+                std::uint32_t bytes_per_element)
+{
+    GLLC_ASSERT(width > 0 && height > 0);
+    Surface s;
+    s.kind_ = kind;
+    s.name_ = name;
+    s.width_ = width;
+    s.height_ = height;
+    s.tileEdge_ = tileEdgeFor(bytes_per_element);
+    s.tilesPerRow_ = (width + s.tileEdge_ - 1) / s.tileEdge_;
+    const std::uint32_t tile_rows =
+        (height + s.tileEdge_ - 1) / s.tileEdge_;
+    s.bytes_ = static_cast<std::uint64_t>(s.tilesPerRow_) * tile_rows
+        * kBlockBytes;
+    s.base_ = mem.allocate(s.bytes_, name);
+    return s;
+}
+
+Surface
+Surface::makeLinear(GpuMemory &mem, SurfaceKind kind,
+                    const std::string &name, std::uint64_t bytes)
+{
+    Surface s;
+    s.kind_ = kind;
+    s.name_ = name;
+    s.bytes_ = (bytes + kBlockBytes - 1) / kBlockBytes * kBlockBytes;
+    s.base_ = mem.allocate(s.bytes_, name);
+    s.width_ = static_cast<std::uint32_t>(s.bytes_);
+    s.height_ = 1;
+    return s;
+}
+
+Addr
+Surface::tileAddress(std::uint32_t x, std::uint32_t y) const
+{
+    x = std::min(x, width_ - 1);
+    y = std::min(y, height_ - 1);
+    const std::uint32_t tx = x / tileEdge_;
+    const std::uint32_t ty = y / tileEdge_;
+    return base_
+        + (static_cast<std::uint64_t>(ty) * tilesPerRow_ + tx)
+            * kBlockBytes;
+}
+
+} // namespace gllc

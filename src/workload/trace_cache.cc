@@ -1,0 +1,44 @@
+#include "workload/trace_cache.hh"
+
+#include <fstream>
+
+#include "common/env.hh"
+#include "trace/trace_io.hh"
+
+namespace gllc
+{
+
+std::string
+traceCachePath(const AppProfile &app, std::uint32_t frame_index,
+               const RenderScale &scale, const std::string &cache_dir)
+{
+    const std::string dir =
+        cache_dir.empty() ? envString("GLLC_TRACE_CACHE", "")
+                          : cache_dir;
+    if (dir.empty())
+        return "";
+    return dir + "/" + app.name + "_f" + std::to_string(frame_index)
+        + "_s" + std::to_string(scale.linear)
+        + (scale.scatterPages ? "" : "_noscatter") + ".gltrc";
+}
+
+FrameTrace
+cachedRenderFrame(const AppProfile &app, std::uint32_t frame_index,
+                  const RenderScale &scale,
+                  const std::string &cache_dir)
+{
+    const std::string path =
+        traceCachePath(app, frame_index, scale, cache_dir);
+    if (path.empty())
+        return renderFrame(app, frame_index, scale);
+
+    // Probe without going through the fatal()-on-missing reader.
+    if (std::ifstream probe(path, std::ios::binary); probe.good())
+        return readTraceFile(path);
+
+    FrameTrace trace = renderFrame(app, frame_index, scale);
+    writeTraceFile(trace, path);
+    return trace;
+}
+
+} // namespace gllc

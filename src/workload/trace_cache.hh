@@ -1,0 +1,42 @@
+/**
+ * @file
+ * On-disk frame-trace cache.
+ *
+ * Rendering a frame costs far more than replaying it; when the same
+ * frame set is swept repeatedly (bench iteration, calibration), the
+ * generated traces can be cached on disk via trace_io.  Opt-in: set
+ * GLLC_TRACE_CACHE=<dir> and every harness that renders through
+ * cachedRenderFrame() reuses cached traces keyed by application,
+ * frame index and scale.
+ */
+
+#ifndef GLLC_WORKLOAD_TRACE_CACHE_HH
+#define GLLC_WORKLOAD_TRACE_CACHE_HH
+
+#include <string>
+
+#include "workload/frame_renderer.hh"
+
+namespace gllc
+{
+
+/**
+ * Render a frame, using the trace cache directory if one is
+ * configured (GLLC_TRACE_CACHE, or @p cache_dir when nonempty).
+ * Falls back to plain rendering when caching is off; a cache miss
+ * renders and then populates the cache.
+ */
+FrameTrace cachedRenderFrame(const AppProfile &app,
+                             std::uint32_t frame_index,
+                             const RenderScale &scale,
+                             const std::string &cache_dir = "");
+
+/** The cache file path a given frame would use ("" if caching off). */
+std::string traceCachePath(const AppProfile &app,
+                           std::uint32_t frame_index,
+                           const RenderScale &scale,
+                           const std::string &cache_dir = "");
+
+} // namespace gllc
+
+#endif // GLLC_WORKLOAD_TRACE_CACHE_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for Belady's optimal policy and its next-use oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/banked_llc.hh"
+#include "cache/policy/belady.hh"
+#include "cache/policy/lru.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+std::vector<MemAccess>
+trace(std::initializer_list<Addr> blocks)
+{
+    std::vector<MemAccess> t;
+    for (const Addr b : blocks)
+        t.emplace_back(b * kBlockBytes, StreamType::Other, false);
+    return t;
+}
+
+/** Replay a trace and return total misses. */
+std::uint64_t
+replay(const std::vector<MemAccess> &t, const PolicyFactory &factory,
+       std::uint64_t capacity, bool oracle)
+{
+    LlcConfig config;
+    config.capacityBytes = capacity;
+    config.ways = 2;
+    config.banks = 1;
+    BankedLlc llc(config, factory);
+    std::vector<std::uint64_t> next_use;
+    if (oracle)
+        next_use = buildNextUseOracle(t);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        llc.access(t[i], i, oracle ? next_use[i] : kNever);
+    return llc.stats().totalMisses();
+}
+
+} // namespace
+
+TEST(Oracle, NextUsePointsForward)
+{
+    const auto t = trace({1, 2, 1, 3, 2, 1});
+    const auto next = buildNextUseOracle(t);
+    EXPECT_EQ(next[0], 2u);      // block 1 next at index 2
+    EXPECT_EQ(next[1], 4u);      // block 2 next at index 4
+    EXPECT_EQ(next[2], 5u);      // block 1 again at 5
+    EXPECT_EQ(next[3], kNever);  // block 3 never again
+    EXPECT_EQ(next[4], kNever);
+    EXPECT_EQ(next[5], kNever);
+}
+
+TEST(Oracle, EmptyTrace)
+{
+    EXPECT_TRUE(buildNextUseOracle({}).empty());
+}
+
+TEST(Oracle, SubBlockOffsetsShareNextUse)
+{
+    std::vector<MemAccess> t;
+    t.emplace_back(0, StreamType::Other, false);
+    t.emplace_back(32, StreamType::Other, false);  // same block
+    const auto next = buildNextUseOracle(t);
+    EXPECT_EQ(next[0], 1u);
+    EXPECT_EQ(next[1], kNever);
+}
+
+TEST(Belady, KeepsBlockWithNearestUse)
+{
+    // 2-way cache; blocks 1 and 2 resident; block 3 arrives.  Block
+    // 2 is reused sooner than block 1, so block 1 must be evicted.
+    const auto t = trace({1, 2, 3, 2, 1});
+    const std::uint64_t misses =
+        replay(t, BeladyPolicy::factory(), 128, true);
+    // Misses: 1, 2, 3 cold; 2 hits; 1 misses again (was evicted).
+    EXPECT_EQ(misses, 4u);
+}
+
+TEST(Belady, NeverUsedAgainEvictedFirst)
+{
+    const auto t = trace({1, 2, 3, 1, 2, 1, 2});
+    // Block 3 is dead on arrival: OPT victimizes it (or rather never
+    // lets it displace the useful pair beyond one of them once).
+    const std::uint64_t misses =
+        replay(t, BeladyPolicy::factory(), 128, true);
+    // Cold misses 1, 2, 3; then 1 misses once more at most.
+    EXPECT_LE(misses, 4u);
+}
+
+TEST(Belady, BeatsLruOnCyclicTrace)
+{
+    // Cyclic access over 3 blocks in a 2-way cache: LRU misses every
+    // time; OPT hits half the steady-state accesses.
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 60; ++i)
+        blocks.push_back(1 + (i % 3));
+    std::vector<MemAccess> t;
+    for (const Addr b : blocks)
+        t.emplace_back(b * kBlockBytes, StreamType::Other, false);
+
+    const auto lru = replay(t, LruPolicy::factory(), 128, false);
+    const auto opt = replay(t, BeladyPolicy::factory(), 128, true);
+    EXPECT_EQ(lru, 60u);  // LRU thrashes completely
+    EXPECT_LT(opt, 35u);
+}
+
+TEST(Belady, HitUpdatesNextUse)
+{
+    // Block 1 is hit at index 2 and must then be prioritized by its
+    // NEW next use (index 6), not the stale one.
+    const auto t = trace({1, 2, 1, 3, 4, 2, 1});
+    const std::uint64_t misses =
+        replay(t, BeladyPolicy::factory(), 128, true);
+    // Optimal play: cold 1,2,3,4 = 4 misses; keep 1 or 2
+    // judiciously; at most one extra miss.
+    EXPECT_LE(misses, 6u);
+    EXPECT_GE(misses, 4u);
+}
+
+TEST(Belady, PerfectOnFittingWorkingSet)
+{
+    std::vector<Addr> blocks;
+    for (int rep = 0; rep < 10; ++rep)
+        for (Addr b = 1; b <= 2; ++b)
+            blocks.push_back(b);
+    std::vector<MemAccess> t;
+    for (const Addr b : blocks)
+        t.emplace_back(b * kBlockBytes, StreamType::Other, false);
+    EXPECT_EQ(replay(t, BeladyPolicy::factory(), 128, true), 2u);
+}

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Unit tests for src/common: saturating counters, RNG, statistics
+ * helpers and environment parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/rng.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+
+using namespace gllc;
+
+TEST(SatCounter, StartsAtInitialValue)
+{
+    EXPECT_EQ(SatCounter(8).value(), 0u);
+    EXPECT_EQ(SatCounter(8, 42).value(), 42u);
+}
+
+TEST(SatCounter, MaxMatchesWidth)
+{
+    EXPECT_EQ(SatCounter(1).max(), 1u);
+    EXPECT_EQ(SatCounter(3).max(), 7u);
+    EXPECT_EQ(SatCounter(7).max(), 127u);
+    EXPECT_EQ(SatCounter(8).max(), 255u);
+}
+
+TEST(SatCounter, IncrementSaturatesAtMax)
+{
+    SatCounter c(3);
+    for (int i = 0; i < 20; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, IncrementByAmountSaturates)
+{
+    SatCounter c(8);
+    c.increment(300);
+    EXPECT_EQ(c.value(), 255u);
+}
+
+TEST(SatCounter, DecrementClampsAtZero)
+{
+    SatCounter c(8, 2);
+    c.decrement();
+    c.decrement();
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, HalveShiftsRight)
+{
+    SatCounter c(8, 101);
+    c.halve();
+    EXPECT_EQ(c.value(), 50u);
+    c.halve();
+    EXPECT_EQ(c.value(), 25u);
+}
+
+TEST(SatCounter, ResetZeroes)
+{
+    SatCounter c(8, 200);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.saturated());
+}
+
+TEST(DuelCounter, StartsAtMidpoint)
+{
+    DuelCounter d(10);
+    EXPECT_EQ(d.value(), 512u);
+    EXPECT_FALSE(d.upperHalf());
+}
+
+TEST(DuelCounter, UpDownMove)
+{
+    DuelCounter d(10);
+    d.up();
+    EXPECT_TRUE(d.upperHalf());
+    d.down();
+    d.down();
+    EXPECT_FALSE(d.upperHalf());
+}
+
+TEST(DuelCounter, ClampsAtBounds)
+{
+    DuelCounter d(4);
+    for (int i = 0; i < 100; ++i)
+        d.up();
+    EXPECT_EQ(d.value(), 15u);
+    for (int i = 0; i < 100; ++i)
+        d.down();
+    EXPECT_EQ(d.value(), 0u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMeanAndSpread)
+{
+    Rng rng(17);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng a(42);
+    Rng fork = a.fork(1);
+    // The fork should not replay the parent's stream.
+    Rng b(42);
+    b.next();  // parent consumed one value while forking
+    EXPECT_NE(fork.next(), b.next());
+}
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    Rng rng(1);
+    ZipfSampler zipf(10, 0.0);
+    std::array<int, 10> counts{};
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (const int c : counts)
+        EXPECT_NEAR(c / 50000.0, 0.1, 0.02);
+}
+
+TEST(Zipf, SkewPrefersLowRanks)
+{
+    Rng rng(1);
+    ZipfSampler zipf(50, 1.0);
+    std::array<int, 50> counts{};
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[49]);
+}
+
+TEST(Zipf, SamplesWithinPopulation)
+{
+    Rng rng(2);
+    ZipfSampler zipf(3, 0.8);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(zipf.sample(rng), 3u);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, SafeRatioGuardsZero)
+{
+    EXPECT_EQ(safeRatio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(6.0, 3.0), 2.0);
+}
+
+TEST(Stats, FmtDecimals)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Stats, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.123), "12.3%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(Stats, TablePrinterAlignsColumns)
+{
+    TablePrinter tp({"a", "bbbb"});
+    tp.addRow({"xxx", "y"});
+    std::ostringstream os;
+    tp.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a    bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xxx  y"), std::string::npos);
+    EXPECT_EQ(tp.rows(), 1u);
+}
+
+TEST(Env, IntFallbackWhenUnset)
+{
+    ::unsetenv("GLLC_TEST_INT");
+    EXPECT_EQ(envInt("GLLC_TEST_INT", 7), 7);
+}
+
+TEST(Env, IntParsesValue)
+{
+    ::setenv("GLLC_TEST_INT", "42", 1);
+    EXPECT_EQ(envInt("GLLC_TEST_INT", 7), 42);
+    ::setenv("GLLC_TEST_INT", "-3", 1);
+    EXPECT_EQ(envInt("GLLC_TEST_INT", 7), -3);
+    ::unsetenv("GLLC_TEST_INT");
+}
+
+TEST(Env, StringFallback)
+{
+    ::unsetenv("GLLC_TEST_STR");
+    EXPECT_EQ(envString("GLLC_TEST_STR", "dflt"), "dflt");
+    ::setenv("GLLC_TEST_STR", "abc", 1);
+    EXPECT_EQ(envString("GLLC_TEST_STR", "dflt"), "abc");
+    ::unsetenv("GLLC_TEST_STR");
+}
+
+TEST(EnvDeath, MalformedIntIsFatal)
+{
+    ::setenv("GLLC_TEST_INT", "notanumber", 1);
+    EXPECT_EXIT(envInt("GLLC_TEST_INT", 0),
+                ::testing::ExitedWithCode(1), "not an integer");
+    ::unsetenv("GLLC_TEST_INT");
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for cache geometry and the sample-set predicate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+
+using namespace gllc;
+
+TEST(Geometry, PaperLlcDimensions)
+{
+    // 8 MB, 16-way, 4 banks (Section 4).
+    const CacheGeometry g(8ull << 20, 16, 4);
+    EXPECT_EQ(g.setsPerBank(), 2048u);
+    EXPECT_EQ(g.totalSets(), 8192u);
+    EXPECT_EQ(g.totalBlocks(), (8ull << 20) / 64);
+}
+
+TEST(Geometry, SingleBankRenderCache)
+{
+    // 32 KB 32-way Z cache.
+    const CacheGeometry g(32 * 1024, 32, 1);
+    EXPECT_EQ(g.setsPerBank(), 16u);
+}
+
+TEST(Geometry, FullyAssociativeOneSet)
+{
+    // 1 KB 16-way vertex index cache: a single set.
+    const CacheGeometry g(1024, 16, 1);
+    EXPECT_EQ(g.setsPerBank(), 1u);
+}
+
+TEST(Geometry, BankInterleavesAtBlockGranularity)
+{
+    const CacheGeometry g(8ull << 20, 16, 4);
+    EXPECT_EQ(g.bankOf(0 * 64), 0u);
+    EXPECT_EQ(g.bankOf(1 * 64), 1u);
+    EXPECT_EQ(g.bankOf(2 * 64), 2u);
+    EXPECT_EQ(g.bankOf(3 * 64), 3u);
+    EXPECT_EQ(g.bankOf(4 * 64), 0u);
+}
+
+TEST(Geometry, SetWrapsAfterBankStride)
+{
+    const CacheGeometry g(8ull << 20, 16, 4);
+    // Consecutive blocks within one bank advance the set by one.
+    EXPECT_EQ(g.setOf(0), 0u);
+    EXPECT_EQ(g.setOf(4 * 64), 1u);
+    const Addr wrap = static_cast<Addr>(4) * 2048 * 64;
+    EXPECT_EQ(g.setOf(wrap), 0u);
+    EXPECT_EQ(g.bankOf(wrap), 0u);
+}
+
+TEST(Geometry, OffsetsWithinBlockMapTogether)
+{
+    const CacheGeometry g(1 << 20, 16, 4);
+    EXPECT_EQ(g.setOf(1000), g.setOf(blockAlign(1000)));
+    EXPECT_EQ(g.bankOf(1000), g.bankOf(blockAlign(1000)));
+    EXPECT_EQ(g.tagOf(1000), g.tagOf(1023));
+    EXPECT_NE(g.tagOf(1000), g.tagOf(1088));
+}
+
+TEST(Geometry, BlockHelpers)
+{
+    EXPECT_EQ(blockNumber(0), 0u);
+    EXPECT_EQ(blockNumber(63), 0u);
+    EXPECT_EQ(blockNumber(64), 1u);
+    EXPECT_EQ(blockAlign(130), 128u);
+}
+
+TEST(GeometryDeath, RejectsNonDivisibleCapacity)
+{
+    EXPECT_DEATH(CacheGeometry(1000, 16, 1), "");
+}
+
+TEST(GeometryDeath, RejectsNonPow2Sets)
+{
+    // 3 KB 16-way -> 3 sets: not a power of two.
+    EXPECT_DEATH(CacheGeometry(3 * 1024, 16, 1), "");
+}
+
+TEST(SampleSets, SixteenPer1024)
+{
+    int samples = 0;
+    for (std::uint32_t set = 0; set < 1024; ++set)
+        samples += isSampleSet(set);
+    EXPECT_EQ(samples, 16);
+}
+
+TEST(SampleSets, DensityHoldsAtEverySize)
+{
+    for (const std::uint32_t sets : {128u, 256u, 2048u, 8192u}) {
+        int samples = 0;
+        for (std::uint32_t set = 0; set < sets; ++set)
+            samples += isSampleSet(set);
+        EXPECT_EQ(samples, static_cast<int>(sets / 64))
+            << "at " << sets << " sets";
+    }
+}
+
+TEST(SampleSets, SetZeroIsSample)
+{
+    // (0 & 63) == (0 >> 6): the first set always samples.
+    EXPECT_TRUE(isSampleSet(0));
+    EXPECT_FALSE(isSampleSet(1));
+    EXPECT_TRUE(isSampleSet(65));  // 65 & 63 == 1 == 65 >> 6
+}

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Event-by-event verification of the GSPC family against the
+ * paper's Tables 3, 4 and 5 and the Figure 10 state machine.
+ *
+ * Set 0 is a sample set ((0 & 63) == (0 >> 6)); set 1 is not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+#include "core/gspc_family.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+constexpr std::uint32_t kSample = 0;
+constexpr std::uint32_t kNonSample = 1;
+
+MemAccess
+acc(StreamType s, Addr block = 0, bool write = false)
+{
+    return MemAccess(block * kBlockBytes, s, write);
+}
+
+AccessInfo
+info(const MemAccess &a)
+{
+    return AccessInfo{&a, 0, kNever};
+}
+
+/** Policy with 128 sets x 4 ways, ready for event injection. */
+std::unique_ptr<GspcFamilyPolicy>
+makePolicy(GspcVariant variant, std::uint32_t t = 8)
+{
+    auto p = std::make_unique<GspcFamilyPolicy>(variant, t);
+    p->configure(128, 4);
+    return p;
+}
+
+/**
+ * Drive Z fills/hits into the sample set until FILL(Z) > t*HIT(Z)
+ * (or the opposite), so non-sample insertion decisions can be
+ * checked in both counter regimes.
+ */
+void
+trainZDead(GspcFamilyPolicy &p, int fills)
+{
+    const MemAccess z = acc(StreamType::Z);
+    for (int i = 0; i < fills; ++i)
+        p.onFill(kSample, 0, info(z));
+}
+
+void
+trainZAlive(GspcFamilyPolicy &p, int hits)
+{
+    const MemAccess z = acc(StreamType::Z);
+    for (int i = 0; i < hits; ++i)
+        p.onHit(kSample, 0, info(z));
+}
+
+} // namespace
+
+TEST(SampleSets, Table2SrripForEveryStream)
+{
+    // Sample sets execute SRRIP: every fill at RRPV 2, every hit
+    // promotes to 0 — for all streams, including render targets.
+    auto p = makePolicy(GspcVariant::Gspc);
+    for (const StreamType s :
+         {StreamType::Z, StreamType::Texture, StreamType::RenderTarget,
+          StreamType::Vertex, StreamType::Display}) {
+        const MemAccess a = acc(s);
+        p->onFill(kSample, 0, info(a));
+        EXPECT_EQ(p->rrpvOf(kSample, 0), 2) << streamName(s);
+        p->onHit(kSample, 0, info(a));
+        EXPECT_EQ(p->rrpvOf(kSample, 0), 0) << streamName(s);
+    }
+}
+
+TEST(Gspztc, Table3ZFillCounters)
+{
+    auto p = makePolicy(GspcVariant::Gspztc);
+    const MemAccess z = acc(StreamType::Z);
+    p->onFill(kSample, 0, info(z));
+    EXPECT_EQ(p->counters().fillZ(), 1u);
+    EXPECT_EQ(p->counters().acc(), 1u);
+    p->onHit(kSample, 0, info(z));
+    EXPECT_EQ(p->counters().hitZ(), 1u);
+    EXPECT_EQ(p->counters().acc(), 2u);
+}
+
+TEST(Gspztc, Table3NonSampleDoesNotLearn)
+{
+    auto p = makePolicy(GspcVariant::Gspztc);
+    const MemAccess z = acc(StreamType::Z);
+    p->onFill(kNonSample, 0, info(z));
+    p->onHit(kNonSample, 0, info(z));
+    EXPECT_EQ(p->counters().fillZ(), 0u);
+    EXPECT_EQ(p->counters().hitZ(), 0u);
+    EXPECT_EQ(p->counters().acc(), 0u);
+}
+
+TEST(Gspztc, Table3ZInsertionBothRegimes)
+{
+    auto p = makePolicy(GspcVariant::Gspztc, 8);
+    const MemAccess z = acc(StreamType::Z);
+
+    // Dead regime: FILL(Z)=9 > 8*HIT(Z)=8.
+    trainZDead(*p, 9);
+    trainZAlive(*p, 1);
+    p->onFill(kNonSample, 0, info(z));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 3);
+
+    // Alive regime: one more hit makes 9 > 16 false.
+    trainZAlive(*p, 1);
+    p->onFill(kNonSample, 1, info(z));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 1), 2);
+}
+
+TEST(Gspztc, Table3TexInsertionDistantOrZero)
+{
+    auto p = makePolicy(GspcVariant::Gspztc, 8);
+    const MemAccess tex = acc(StreamType::Texture);
+
+    // Train texture dead: aggregate fills only.
+    for (int i = 0; i < 9; ++i)
+        p->onFill(kSample, 0, info(tex));
+    p->onFill(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 3);
+
+    // Train alive: hits to a non-RT texture block.
+    for (int i = 0; i < 9; ++i)
+        p->onHit(kSample, 0, info(tex));
+    p->onFill(kNonSample, 1, info(tex));
+    // "otherwise the texture block is filled with RRPV zero because
+    // filling it with RRPV two hurts performance" (Section 3).
+    EXPECT_EQ(p->rrpvOf(kNonSample, 1), 0);
+}
+
+TEST(Gspztc, Table3RtFillAlwaysZeroInNonSamples)
+{
+    auto p = makePolicy(GspcVariant::Gspztc);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    p->onFill(kNonSample, 0, info(rt));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 0);
+    EXPECT_EQ(p->blockState(kNonSample, 0),
+              BlockState::RenderTarget);
+}
+
+TEST(Gspztc, Table3OtherFillDistantAnyHitZero)
+{
+    auto p = makePolicy(GspcVariant::Gspztc);
+    const MemAccess v = acc(StreamType::Vertex);
+    p->onFill(kNonSample, 0, info(v));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 2);
+    p->onHit(kNonSample, 0, info(v));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 0);
+}
+
+TEST(Gspztc, Table3RtToTexHitCountsAsTexFill)
+{
+    auto p = makePolicy(GspcVariant::Gspztc);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    const MemAccess tex = acc(StreamType::Texture);
+    p->onFill(kSample, 0, info(rt));
+    EXPECT_EQ(p->counters().fillTexAgg(), 0u);
+    p->onHit(kSample, 0, info(tex));
+    // Table 3: RT->TEX hit increments FILL(TEX), not HIT(TEX).
+    EXPECT_EQ(p->counters().fillTexAgg(), 1u);
+    EXPECT_EQ(p->counters().hitTexAgg(), 0u);
+    EXPECT_EQ(p->rrpvOf(kSample, 0), 0);
+    // And the block has ceased to be a render target.
+    EXPECT_EQ(p->blockState(kSample, 0), BlockState::TexE0);
+}
+
+TEST(Fig10, TextureEpochProgression)
+{
+    auto p = makePolicy(GspcVariant::GspztcTse);
+    const MemAccess tex = acc(StreamType::Texture);
+    p->onFill(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::TexE0);
+    p->onHit(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::TexE1);
+    p->onHit(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::TexE2Plus);
+    p->onHit(kNonSample, 0, info(tex));
+    // E>=2 is absorbing until eviction or RT reacquisition.
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::TexE2Plus);
+}
+
+TEST(Fig10, RtReacquisitionFromAnyTexState)
+{
+    auto p = makePolicy(GspcVariant::GspztcTse);
+    const MemAccess tex = acc(StreamType::Texture);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    p->onFill(kNonSample, 0, info(tex));
+    p->onHit(kNonSample, 0, info(tex));  // E1
+    p->onHit(kNonSample, 0, info(rt));   // application reuses surface
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::RenderTarget);
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 0);  // RT hit rule
+}
+
+TEST(Fig10, EvictionResetsState)
+{
+    auto p = makePolicy(GspcVariant::Gspc);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    p->onFill(kNonSample, 0, info(rt));
+    p->onEvict(kNonSample, 0);
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::TexE0);
+}
+
+TEST(Tse, Table4SampleEpochCounters)
+{
+    auto p = makePolicy(GspcVariant::GspztcTse);
+    const MemAccess tex = acc(StreamType::Texture);
+
+    p->onFill(kSample, 0, info(tex));
+    EXPECT_EQ(p->counters().fillTex(0), 1u);
+
+    p->onHit(kSample, 0, info(tex));  // E0 -> E1
+    EXPECT_EQ(p->counters().hitTex(0), 1u);
+    EXPECT_EQ(p->counters().fillTex(1), 1u);
+
+    p->onHit(kSample, 0, info(tex));  // E1 -> E2+
+    EXPECT_EQ(p->counters().hitTex(1), 1u);
+
+    p->onHit(kSample, 0, info(tex));  // E2+ stays; no epoch counters
+    EXPECT_EQ(p->counters().hitTex(0), 1u);
+    EXPECT_EQ(p->counters().hitTex(1), 1u);
+}
+
+TEST(Tse, Table4NonSampleE0InsertionUsesEpoch0Counters)
+{
+    auto p = makePolicy(GspcVariant::GspztcTse, 8);
+    const MemAccess tex = acc(StreamType::Texture);
+    // E0 dead: 9 fills, 1 hit (9 > 8).
+    for (int i = 0; i < 8; ++i)
+        p->onFill(kSample, 0, info(tex));
+    p->onHit(kSample, 0, info(tex));  // also fills E1 counter
+    p->onFill(kSample, 0, info(tex));
+
+    p->onFill(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 3);
+}
+
+TEST(Tse, Table4TexHitRrpvDependsOnE1Counters)
+{
+    auto p = makePolicy(GspcVariant::GspztcTse, 8);
+    const MemAccess tex = acc(StreamType::Texture);
+
+    // Make E1 dead: several E0 hits (each counts FILL(1)) but no
+    // second hits.
+    for (int i = 0; i < 9; ++i) {
+        p->onFill(kSample, 0, info(tex));
+        p->onHit(kSample, 0, info(tex));   // FILL(1)++, HIT(0)++
+        p->onEvict(kSample, 0);
+    }
+    EXPECT_GT(p->counters().fillTex(1), 8u * p->counters().hitTex(1));
+
+    // Non-sample: texture hit in E0 must demote to RRPV 3 because
+    // the E1 reuse probability is below 1/9.
+    p->onFill(kNonSample, 0, info(tex));
+    p->onHit(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::TexE1);
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 3);
+
+    // A further hit (E1 -> E2+) always promotes to 0 (Table 4 Else).
+    p->onHit(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 0);
+}
+
+TEST(Tse, GspztcIgnoresEpochCountersOnHit)
+{
+    // Under plain GSPZTC a texture hit always promotes to 0, even
+    // when the E1 counters would say "dead" (that is TSE's edge).
+    auto p = makePolicy(GspcVariant::Gspztc, 8);
+    const MemAccess tex = acc(StreamType::Texture);
+    for (int i = 0; i < 9; ++i) {
+        p->onFill(kSample, 0, info(tex));
+        p->onHit(kSample, 0, info(tex));
+        p->onEvict(kSample, 0);
+    }
+    p->onFill(kNonSample, 0, info(tex));
+    p->onHit(kNonSample, 0, info(tex));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 0);
+}
+
+TEST(Gspc, Table5ProdConsCounting)
+{
+    auto p = makePolicy(GspcVariant::Gspc);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    const MemAccess tex = acc(StreamType::Texture);
+
+    p->onFill(kSample, 0, info(rt));
+    EXPECT_EQ(p->counters().prod(), 1u);
+    EXPECT_EQ(p->counters().cons(), 0u);
+
+    // RT hit (blending) does not produce again.
+    p->onHit(kSample, 0, info(rt));
+    EXPECT_EQ(p->counters().prod(), 1u);
+
+    // RT->TEX consumption.
+    p->onHit(kSample, 0, info(tex));
+    EXPECT_EQ(p->counters().cons(), 1u);
+    EXPECT_EQ(p->counters().fillTex(0), 1u);  // enters E0 (Table 4)
+}
+
+TEST(Gspc, Table5NonSampleProductionNotCounted)
+{
+    auto p = makePolicy(GspcVariant::Gspc);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    p->onFill(kNonSample, 0, info(rt));
+    EXPECT_EQ(p->counters().prod(), 0u);
+}
+
+TEST(Gspc, Table5RtInsertionThreeBands)
+{
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    const MemAccess tex = acc(StreamType::Texture);
+
+    // Band 1: PROD > 16*CONS -> RRPV 3.
+    {
+        auto p = makePolicy(GspcVariant::Gspc);
+        for (int i = 0; i < 17; ++i) {
+            p->onFill(kSample, 0, info(rt));
+            p->onEvict(kSample, 0);
+        }
+        // CONS = 0 -> 17 > 0.
+        p->onFill(kNonSample, 0, info(rt));
+        EXPECT_EQ(p->rrpvOf(kNonSample, 0), 3);
+        EXPECT_EQ(p->blockState(kNonSample, 0),
+                  BlockState::RenderTarget);
+    }
+
+    // Band 2: 16*CONS >= PROD > 8*CONS -> RRPV 2.
+    {
+        auto p = makePolicy(GspcVariant::Gspc);
+        for (int i = 0; i < 10; ++i) {
+            p->onFill(kSample, 0, info(rt));
+            if (i == 0)
+                p->onHit(kSample, 0, info(tex));  // one consumption
+            p->onEvict(kSample, 0);
+        }
+        // PROD = 10, CONS = 1: 10 > 16 false, 10 > 8 true.
+        p->onFill(kNonSample, 0, info(rt));
+        EXPECT_EQ(p->rrpvOf(kNonSample, 0), 2);
+    }
+
+    // Band 3: consumption probability >= 1/8 -> RRPV 0.
+    {
+        auto p = makePolicy(GspcVariant::Gspc);
+        for (int i = 0; i < 8; ++i) {
+            p->onFill(kSample, 0, info(rt));
+            if (i < 2)
+                p->onHit(kSample, 0, info(tex));
+            p->onEvict(kSample, 0);
+        }
+        // PROD = 8, CONS = 2: 8 > 32 false, 8 > 16 false.
+        p->onFill(kNonSample, 0, info(rt));
+        EXPECT_EQ(p->rrpvOf(kNonSample, 0), 0);
+    }
+}
+
+TEST(Gspc, Table5RtBlendHitAlwaysZero)
+{
+    auto p = makePolicy(GspcVariant::Gspc);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    p->onFill(kNonSample, 0, info(rt));
+    p->onHit(kNonSample, 0, info(rt));
+    EXPECT_EQ(p->rrpvOf(kNonSample, 0), 0);
+    EXPECT_EQ(p->blockState(kNonSample, 0), BlockState::RenderTarget);
+}
+
+TEST(Gspc, DisplayTreatedAsRenderTarget)
+{
+    // "displayable color is a render target": display fills follow
+    // the RT rules and pollute PROD (the motivation for +UCD).
+    auto p = makePolicy(GspcVariant::Gspc);
+    const MemAccess disp = acc(StreamType::Display, 0, true);
+    p->onFill(kSample, 0, info(disp));
+    EXPECT_EQ(p->counters().prod(), 1u);
+    EXPECT_EQ(p->blockState(kSample, 0), BlockState::RenderTarget);
+}
+
+TEST(GspcFamily, Names)
+{
+    EXPECT_EQ(GspcFamilyPolicy(GspcVariant::Gspztc).name(), "GSPZTC");
+    EXPECT_EQ(GspcFamilyPolicy(GspcVariant::GspztcTse).name(),
+              "GSPZTC+TSE");
+    EXPECT_EQ(GspcFamilyPolicy(GspcVariant::Gspc).name(), "GSPC");
+}
+
+TEST(GspcFamily, VictimSelectionIsRrip)
+{
+    auto p = makePolicy(GspcVariant::Gspc);
+    const MemAccess v = acc(StreamType::Vertex);
+    const MemAccess rt = acc(StreamType::RenderTarget, 0, true);
+    p->onFill(kNonSample, 0, info(v));   // RRPV 2
+    p->onFill(kNonSample, 1, info(rt));  // RRPV 0 (protect band)
+    p->onFill(kNonSample, 2, info(v));   // RRPV 2
+    p->onFill(kNonSample, 3, info(v));   // RRPV 2
+    // Aging promotes the three RRPV-2 vertex blocks to 3; min way
+    // id among them wins.
+    EXPECT_EQ(p->selectVictim(kNonSample), 0u);
+}
+
+TEST(GspcFamily, FillHistogramExposed)
+{
+    auto p = makePolicy(GspcVariant::Gspc);
+    const MemAccess tex = acc(StreamType::Texture);
+    p->onFill(kNonSample, 0, info(tex));
+    ASSERT_NE(p->fillHistogram(), nullptr);
+    EXPECT_EQ(p->fillHistogram()->fills(PolicyStream::Texture), 1u);
+}

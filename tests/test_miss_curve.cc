@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the Mattson miss-ratio-curve tool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/miss_curve.hh"
+#include "analysis/offline_sim.hh"
+#include "common/rng.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+std::vector<MemAccess>
+cyclic(Addr working_set, int reps)
+{
+    std::vector<MemAccess> t;
+    for (int r = 0; r < reps; ++r)
+        for (Addr b = 0; b < working_set; ++b)
+            t.emplace_back(b * kBlockBytes, StreamType::Other, false);
+    return t;
+}
+
+} // namespace
+
+TEST(MissCurve, CyclicKneeAtWorkingSetSize)
+{
+    // A cyclic scan of W blocks: LRU misses everything below W and
+    // only the cold misses at or above it.
+    const auto t = cyclic(64, 10);
+    const ReuseDistanceHistogram unified =
+        unifyHistograms(measureReuseDistances(t));
+
+    // Below the knee: every access misses.
+    EXPECT_DOUBLE_EQ(lruMissRatioAt(unified, 32), 1.0);
+    // At/above the knee: only the 64 cold misses of 640 accesses.
+    EXPECT_NEAR(lruMissRatioAt(unified, 64), 64.0 / 640.0, 1e-12);
+    EXPECT_NEAR(lruMissRatioAt(unified, 1024), 0.1, 1e-12);
+}
+
+TEST(MissCurve, MonotoneNonIncreasing)
+{
+    Rng rng(3);
+    std::vector<MemAccess> t;
+    for (int i = 0; i < 20000; ++i) {
+        t.emplace_back(rng.below(4096) * kBlockBytes,
+                       StreamType::Other, false);
+    }
+    const auto curve = lruMissCurve(t, 16, 8192);
+    ASSERT_GE(curve.size(), 3u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LE(curve[i].missRatio, curve[i - 1].missRatio);
+        EXPECT_EQ(curve[i].blocks, 2 * curve[i - 1].blocks);
+    }
+}
+
+TEST(MissCurve, MatchesFullyAssociativeLruReplay)
+{
+    // The analytic curve must agree with an actual fully
+    // associative LRU cache replay at the same capacity.
+    Rng rng(9);
+    FrameTrace trace;
+    for (int i = 0; i < 8000; ++i) {
+        trace.accesses.emplace_back(rng.below(512) * kBlockBytes,
+                                    StreamType::Other, false);
+    }
+
+    const std::uint64_t capacity_blocks = 128;
+    LlcConfig config;
+    config.capacityBytes = capacity_blocks * kBlockBytes;
+    config.ways = static_cast<std::uint32_t>(capacity_blocks);
+    config.banks = 1;  // fully associative: 1 set
+    const RunResult r = runTrace(trace, policySpec("LRU"), config);
+    const double replay_ratio =
+        static_cast<double>(r.stats.totalMisses())
+        / static_cast<double>(trace.accesses.size());
+
+    const ReuseDistanceHistogram unified = unifyHistograms(
+        measureReuseDistances(trace.accesses));
+    EXPECT_NEAR(lruMissRatioAt(unified, capacity_blocks),
+                replay_ratio, 1e-9);
+}
+
+TEST(MissCurve, EmptyTraceIsZero)
+{
+    const ReuseDistanceHistogram unified =
+        unifyHistograms(measureReuseDistances({}));
+    EXPECT_DOUBLE_EQ(lruMissRatioAt(unified, 64), 0.0);
+}
+
+TEST(MissCurve, ColdOnlyTraceAlwaysMisses)
+{
+    std::vector<MemAccess> t;
+    for (Addr b = 0; b < 100; ++b)
+        t.emplace_back(b * kBlockBytes, StreamType::Other, false);
+    const ReuseDistanceHistogram unified =
+        unifyHistograms(measureReuseDistances(t));
+    EXPECT_DOUBLE_EQ(lruMissRatioAt(unified, 1u << 20), 1.0);
+}

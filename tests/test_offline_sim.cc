@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the offline LLC replay harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/offline_sim.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+FrameTrace
+syntheticTrace()
+{
+    FrameTrace t;
+    t.name = "synthetic";
+    // RT production, consumption, a Z pair, display writes.
+    for (Addr b = 0; b < 64; ++b)
+        t.accesses.emplace_back(b * kBlockBytes,
+                                StreamType::RenderTarget, true);
+    for (Addr b = 0; b < 64; ++b)
+        t.accesses.emplace_back(b * kBlockBytes, StreamType::Texture,
+                                false);
+    for (Addr b = 100; b < 132; ++b)
+        t.accesses.emplace_back(b * kBlockBytes, StreamType::Z, true);
+    for (Addr b = 200; b < 232; ++b)
+        t.accesses.emplace_back(b * kBlockBytes, StreamType::Display,
+                                true);
+    return t;
+}
+
+LlcConfig
+tinyLlc()
+{
+    LlcConfig c;
+    c.capacityBytes = 64 * 1024;
+    c.ways = 16;
+    c.banks = 4;
+    return c;
+}
+
+} // namespace
+
+TEST(OfflineSim, StatsCoverWholeTrace)
+{
+    const FrameTrace t = syntheticTrace();
+    const RunResult r = runTrace(t, policySpec("DRRIP"), tinyLlc());
+    EXPECT_EQ(r.stats.totalAccesses(), t.accesses.size());
+    // Everything fits in 1024 blocks: texture reads all hit.
+    EXPECT_EQ(r.stats.of(StreamType::Texture).hits, 64u);
+    EXPECT_EQ(r.characterization.rtConsumptions, 64u);
+}
+
+TEST(OfflineSim, BeladyOracleBuiltOnDemand)
+{
+    const FrameTrace t = syntheticTrace();
+    const RunResult r = runTrace(t, policySpec("Belady"), tinyLlc());
+    EXPECT_EQ(r.stats.of(StreamType::Texture).hits, 64u);
+}
+
+TEST(OfflineSim, UcdBypassesDisplayOnly)
+{
+    const FrameTrace t = syntheticTrace();
+    const RunResult r =
+        runTrace(t, policySpec("DRRIP+UCD"), tinyLlc());
+    EXPECT_EQ(r.stats.of(StreamType::Display).bypasses, 32u);
+    EXPECT_EQ(r.stats.of(StreamType::Display).misses, 0u);
+    EXPECT_EQ(r.stats.of(StreamType::Z).misses, 32u);
+}
+
+TEST(OfflineSim, DramTraceOnRequest)
+{
+    const FrameTrace t = syntheticTrace();
+    RunOptions options;
+    options.collectDramTrace = true;
+    const RunResult r =
+        runTrace(t, policySpec("DRRIP"), tinyLlc(), options);
+    // Misses: 64 RT + 32 Z + 32 display = 128 (textures hit); no
+    // capacity evictions, so no writebacks.
+    EXPECT_EQ(r.dramTrace.size(), 128u);
+    const RunResult no_collect =
+        runTrace(t, policySpec("DRRIP"), tinyLlc());
+    EXPECT_TRUE(no_collect.dramTrace.empty());
+}
+
+TEST(OfflineSim, DramTraceIncludesWritebacks)
+{
+    // Overflow a tiny LLC with dirty blocks: writebacks appear.
+    FrameTrace t;
+    for (Addr b = 0; b < 1024; ++b)
+        t.accesses.emplace_back(b * kBlockBytes,
+                                StreamType::RenderTarget, true);
+    LlcConfig config;
+    config.capacityBytes = 16 * 1024;  // 256 blocks
+    config.ways = 4;
+    config.banks = 1;
+    RunOptions options;
+    options.collectDramTrace = true;
+    const RunResult r =
+        runTrace(t, policySpec("LRU"), config, options);
+    EXPECT_GT(r.dramTrace.size(), 1024u);
+    EXPECT_EQ(r.stats.writebacks, r.dramTrace.size() - 1024u);
+}
+
+TEST(OfflineSim, FillHistogramReturned)
+{
+    const FrameTrace t = syntheticTrace();
+    const RunResult r = runTrace(t, policySpec("DRRIP"), tinyLlc());
+    EXPECT_EQ(r.fills.fills(PolicyStream::RenderTarget), 64u + 32u);
+    EXPECT_EQ(r.fills.fills(PolicyStream::Z), 32u);
+    EXPECT_EQ(r.fills.fills(PolicyStream::Texture), 0u);  // all hits
+}
+
+TEST(OfflineSim, ScaledLlcConfig)
+{
+    const LlcConfig full = scaledLlcConfig(8ull << 20, 1);
+    EXPECT_EQ(full.capacityBytes, 8ull << 20);
+    const LlcConfig quarter = scaledLlcConfig(8ull << 20, 16);
+    EXPECT_EQ(quarter.capacityBytes, 512u * 1024);
+    // Floor guards tiny scales.
+    const LlcConfig tiny = scaledLlcConfig(1 << 20, 256);
+    EXPECT_EQ(tiny.capacityBytes, 64u * 1024);
+}
+
+TEST(OfflineSim, PoliciesAreIndependentAcrossRuns)
+{
+    const FrameTrace t = syntheticTrace();
+    const RunResult a = runTrace(t, policySpec("GSPC"), tinyLlc());
+    const RunResult b = runTrace(t, policySpec("GSPC"), tinyLlc());
+    EXPECT_EQ(a.stats.totalMisses(), b.stats.totalMisses());
+    EXPECT_EQ(a.characterization.rtConsumptions,
+              b.characterization.rtConsumptions);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the simplified pseudo-LIFO policy (paper reference [5]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/banked_llc.hh"
+#include "cache/policy/pelifo.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+MemAccess
+acc(Addr block)
+{
+    return MemAccess(block * kBlockBytes, StreamType::Other, false);
+}
+
+AccessInfo
+info(const MemAccess &a)
+{
+    return AccessInfo{&a, 0, kNever};
+}
+
+} // namespace
+
+TEST(PeLifo, StackPositionsFollowFillOrder)
+{
+    PeLifoPolicy p;
+    p.configure(1, 4);
+    const MemAccess a = acc(1);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, info(a));
+    // Way 3 filled last: position 0 (top of the fill stack).
+    EXPECT_EQ(p.stackPosition(0, 3), 0u);
+    EXPECT_EQ(p.stackPosition(0, 2), 1u);
+    EXPECT_EQ(p.stackPosition(0, 1), 2u);
+    EXPECT_EQ(p.stackPosition(0, 0), 3u);
+}
+
+TEST(PeLifo, RefillMovesBlockToTop)
+{
+    PeLifoPolicy p;
+    p.configure(1, 4);
+    const MemAccess a = acc(1);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, info(a));
+    p.onFill(0, 0, info(a));  // way 0 refilled
+    EXPECT_EQ(p.stackPosition(0, 0), 0u);
+    EXPECT_EQ(p.stackPosition(0, 3), 1u);
+}
+
+TEST(PeLifo, NoInformationEvictsTheTop)
+{
+    // Without hit history every block is assumed to die young: the
+    // victim is the top of the fill stack, protecting the deep
+    // stack (LIFO thrash resistance).
+    PeLifoPolicy p;
+    p.configure(1, 4);
+    const MemAccess a = acc(1);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, info(a));
+    EXPECT_EQ(p.escapePoint(), 0u);
+    const std::uint32_t victim = p.selectVictim(0);
+    EXPECT_EQ(p.stackPosition(0, victim), 0u);
+}
+
+TEST(PeLifo, DeepHitsLowerTheEscapePoint)
+{
+    PeLifoPolicy p;
+    p.configure(1, 4);
+    const MemAccess a = acc(1);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(0, w, info(a));
+    // Hits at depth 3 (way 0 is the deepest block): depths 0..2
+    // are dead, so the victim comes from the deepest dead position
+    // and the proven hitter at the bottom is protected.
+    for (int i = 0; i < 100; ++i)
+        p.onHit(0, 0, info(a));
+    EXPECT_EQ(p.escapePoint(), 3u);
+    EXPECT_EQ(p.stackPosition(0, p.selectVictim(0)), 2u);
+}
+
+TEST(PeLifo, MidStackHitsCarveADeadRegion)
+{
+    PeLifoPolicy p;
+    p.configure(1, 8);
+    const MemAccess a = acc(1);
+    for (std::uint32_t w = 0; w < 8; ++w)
+        p.onFill(0, w, info(a));
+    // All hits at depth 2: every other depth is dead and the
+    // victim comes from the deepest dead position (LRU-like among
+    // the dead), leaving the hit-carrying depth alone.
+    for (int i = 0; i < 100; ++i)
+        p.onHit(0, 5, info(a));  // way 5 sits at depth 2
+    EXPECT_EQ(p.escapePoint(), 2u);
+    EXPECT_EQ(p.stackPosition(0, p.selectVictim(0)), 7u);
+}
+
+TEST(PeLifo, SurvivesThrashingBetterThanItsFillFifo)
+{
+    // Cyclic loop over 2x the cache: keeping the deep stack pinned
+    // must produce real hits (a pure FIFO/LRU would miss always).
+    LlcConfig config;
+    config.capacityBytes = 64 * 1024;  // 1024 blocks
+    config.ways = 16;
+    config.banks = 1;
+    BankedLlc llc(config, PeLifoPolicy::factory());
+    for (int rep = 0; rep < 30; ++rep)
+        for (Addr b = 0; b < 2048; ++b)
+            llc.access(acc(b));
+    const double hit_rate =
+        static_cast<double>(llc.stats().totalHits())
+        / static_cast<double>(llc.stats().totalAccesses());
+    EXPECT_GT(hit_rate, 0.25);
+}
+
+TEST(PeLifo, Name)
+{
+    EXPECT_EQ(PeLifoPolicy().name(), "peLIFO");
+}

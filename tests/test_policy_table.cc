@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the named policy registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/policy_table.hh"
+
+using namespace gllc;
+
+TEST(PolicyTable, AllNamesInstantiate)
+{
+    for (const std::string &name : allPolicyNames()) {
+        const PolicySpec spec = policySpec(name);
+        EXPECT_EQ(spec.name, name);
+        ASSERT_TRUE(spec.factory != nullptr) << name;
+        auto policy = spec.factory();
+        ASSERT_NE(policy, nullptr) << name;
+        policy->configure(128, 16);
+    }
+}
+
+TEST(PolicyTable, InstanceNamesMatchRegistry)
+{
+    for (const std::string &name : allPolicyNames()) {
+        if (name == "DRRIP" || name == "GS-DRRIP" || name == "SRRIP") {
+            // Registry short names map to the width-suffixed
+            // instance names.
+            continue;
+        }
+        const PolicySpec spec = policySpec(name);
+        EXPECT_EQ(spec.factory()->name(), name);
+    }
+    EXPECT_EQ(policySpec("DRRIP").factory()->name(), "DRRIP-2");
+    EXPECT_EQ(policySpec("GS-DRRIP").factory()->name(), "GS-DRRIP-2");
+}
+
+TEST(PolicyTable, UcdSuffixSetsFlag)
+{
+    const PolicySpec plain = policySpec("GSPC");
+    EXPECT_FALSE(plain.uncachedDisplay);
+    const PolicySpec ucd = policySpec("GSPC+UCD");
+    EXPECT_TRUE(ucd.uncachedDisplay);
+    EXPECT_EQ(ucd.name, "GSPC+UCD");
+    EXPECT_EQ(ucd.factory()->name(), "GSPC");
+}
+
+TEST(PolicyTable, UcdComposesWithEveryBase)
+{
+    for (const std::string &name : allPolicyNames()) {
+        const PolicySpec spec = policySpec(name + "+UCD");
+        EXPECT_TRUE(spec.uncachedDisplay) << name;
+    }
+}
+
+TEST(PolicyTable, BeladyNeedsOracle)
+{
+    EXPECT_TRUE(policySpec("Belady").needsOracle);
+    EXPECT_TRUE(policySpec("Belady+UCD").needsOracle);
+    EXPECT_FALSE(policySpec("DRRIP").needsOracle);
+    EXPECT_FALSE(policySpec("GSPC").needsOracle);
+}
+
+TEST(PolicyTable, ThresholdSweepForm)
+{
+    for (const unsigned t : {2u, 4u, 8u, 16u}) {
+        const std::string name =
+            "GSPZTC(t=" + std::to_string(t) + ")";
+        const PolicySpec spec = policySpec(name);
+        auto policy = spec.factory();
+        EXPECT_EQ(policy->name(), "GSPZTC");
+    }
+}
+
+TEST(PolicyTableDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(policySpec("NotAPolicy"),
+                ::testing::ExitedWithCode(1), "unknown policy");
+}
+
+TEST(PolicyTableDeath, MalformedThresholdIsFatal)
+{
+    EXPECT_EXIT(policySpec("GSPZTC(t=x)"),
+                ::testing::ExitedWithCode(1), "unknown policy");
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the render-cache complex front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcache/render_caches.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+RenderCacheConfig
+tinyConfig()
+{
+    RenderCacheConfig c;
+    return c.scaled(16);
+}
+
+Addr
+block(Addr n)
+{
+    return n * kBlockBytes;
+}
+
+} // namespace
+
+TEST(RenderCaches, StreamsAreTaggedBySource)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    rcc.vertexIndexRead(block(1), 0, out);
+    rcc.vertexRead(block(100), 0, out);
+    rcc.hizAccess(block(200), false, 0, out);
+    rcc.zAccess(block(300), false, 0, out);
+    rcc.stencilAccess(block(400), false, 0, out);
+    rcc.textureRead(block(500), 0, 0, out);
+    rcc.otherRead(block(600), 0, out);
+
+    ASSERT_EQ(out.size(), 7u);
+    EXPECT_EQ(out[0].stream, StreamType::Vertex);
+    EXPECT_EQ(out[1].stream, StreamType::Vertex);
+    EXPECT_EQ(out[2].stream, StreamType::HiZ);
+    EXPECT_EQ(out[3].stream, StreamType::Z);
+    EXPECT_EQ(out[4].stream, StreamType::Stencil);
+    EXPECT_EQ(out[5].stream, StreamType::Texture);
+    EXPECT_EQ(out[6].stream, StreamType::Other);
+}
+
+TEST(RenderCaches, ColorStreamSelectable)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    rcc.colorAccess(block(1), false, StreamType::RenderTarget, 0, out);
+    rcc.colorAccess(block(2), false, StreamType::Display, 0, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].stream, StreamType::RenderTarget);
+    EXPECT_EQ(out[1].stream, StreamType::Display);
+}
+
+TEST(RenderCaches, NearReuseIsFiltered)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    rcc.zAccess(block(7), false, 0, out);
+    const std::size_t after_first = out.size();
+    rcc.zAccess(block(7), true, 0, out);   // hit, no new traffic
+    rcc.zAccess(block(7), false, 0, out);  // hit
+    EXPECT_EQ(out.size(), after_first);
+    EXPECT_EQ(rcc.zStats().hits, 2u);
+}
+
+TEST(RenderCaches, PassBoundaryFlushesColorAndDepth)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    rcc.colorAccess(block(1), true, StreamType::RenderTarget, 0, out);
+    rcc.zAccess(block(2), true, 0, out);
+    rcc.hizAccess(block(3), true, 0, out);
+    out.clear();
+
+    rcc.passBoundary(50, out);
+    // Three dirty blocks written back.
+    EXPECT_EQ(out.size(), 3u);
+    for (const MemAccess &a : out)
+        EXPECT_TRUE(a.isWrite);
+
+    // Afterwards the caches are cold again.
+    out.clear();
+    rcc.zAccess(block(2), false, 0, out);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(RenderCaches, PassBoundaryLeavesTextureHierarchyWarm)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    rcc.textureRead(block(9), 0, 0, out);
+    out.clear();
+    rcc.passBoundary(0, out);
+    out.clear();
+    rcc.textureRead(block(9), 0, 0, out);
+    EXPECT_TRUE(out.empty());  // still cached across the pass
+}
+
+TEST(RenderCaches, FrameBoundaryColdsEverything)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    rcc.textureRead(block(9), 0, 0, out);
+    rcc.vertexRead(block(50), 0, out);
+    out.clear();
+    rcc.frameBoundary(0, out);
+    out.clear();
+    rcc.textureRead(block(9), 0, 0, out);
+    rcc.vertexRead(block(50), 0, out);
+    EXPECT_EQ(out.size(), 2u);  // both cold again
+}
+
+TEST(RenderCaches, WritebackKeepsProducerStream)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    rcc.colorAccess(block(1), true, StreamType::Display, 0, out);
+    out.clear();
+    rcc.passBoundary(0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].stream, StreamType::Display);
+}
+
+TEST(RenderCaches, ScaledConfigHasFloors)
+{
+    RenderCacheConfig c;
+    const RenderCacheConfig s = c.scaled(1024);
+    EXPECT_GE(s.zBlocks, 48u);
+    EXPECT_GE(s.rtBlocks, 24u);
+    EXPECT_GE(s.vtxIndexBlocks, 4u);
+    EXPECT_GE(s.texture.l3Blocks, 96u);
+    // Scale 1 is the identity.
+    const RenderCacheConfig id = c.scaled(1);
+    EXPECT_EQ(id.zBlocks, c.zBlocks);
+}
+
+TEST(RenderCaches, StatsAccumulate)
+{
+    RenderCacheComplex rcc(tinyConfig());
+    std::vector<MemAccess> out;
+    for (int i = 0; i < 5; ++i)
+        rcc.colorAccess(block(1), true, StreamType::RenderTarget, 0,
+                        out);
+    EXPECT_EQ(rcc.rtStats().accesses, 5u);
+    EXPECT_EQ(rcc.rtStats().hits, 4u);
+}

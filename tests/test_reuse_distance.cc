@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the exact stack-distance measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/reuse_distance.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+std::vector<MemAccess>
+trace(std::initializer_list<Addr> blocks,
+      StreamType s = StreamType::Other)
+{
+    std::vector<MemAccess> t;
+    for (const Addr b : blocks)
+        t.emplace_back(b * kBlockBytes, s, false);
+    return t;
+}
+
+std::uint64_t
+reusedAt(const ReuseDistanceHistogram &h, std::uint64_t distance)
+{
+    return h.bins[ReuseDistanceHistogram::binOf(distance)];
+}
+
+} // namespace
+
+TEST(ReuseDistance, BinEdges)
+{
+    EXPECT_EQ(ReuseDistanceHistogram::binOf(0), 0u);
+    EXPECT_EQ(ReuseDistanceHistogram::binOf(1), 1u);
+    EXPECT_EQ(ReuseDistanceHistogram::binOf(2), 2u);
+    EXPECT_EQ(ReuseDistanceHistogram::binOf(3), 2u);
+    EXPECT_EQ(ReuseDistanceHistogram::binOf(4), 3u);
+    EXPECT_EQ(ReuseDistanceHistogram::binOf(7), 3u);
+    EXPECT_EQ(ReuseDistanceHistogram::binOf(8), 4u);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceZero)
+{
+    const auto d = measureReuseDistances(trace({1, 1}));
+    const auto &h = d[static_cast<std::size_t>(StreamType::Other)];
+    EXPECT_EQ(h.cold, 1u);
+    EXPECT_EQ(h.bins[0], 1u);
+}
+
+TEST(ReuseDistance, DistinctBlocksBetween)
+{
+    // 1, 2, 3, 1: two distinct blocks between the two 1s.
+    const auto d = measureReuseDistances(trace({1, 2, 3, 1}));
+    const auto &h = d[static_cast<std::size_t>(StreamType::Other)];
+    EXPECT_EQ(h.cold, 3u);
+    EXPECT_EQ(reusedAt(h, 2), 1u);
+}
+
+TEST(ReuseDistance, RepeatsDoNotInflateDistance)
+{
+    // 1, 2, 2, 2, 1: only ONE distinct block between the 1s.
+    const auto d = measureReuseDistances(trace({1, 2, 2, 2, 1}));
+    const auto &h = d[static_cast<std::size_t>(StreamType::Other)];
+    EXPECT_EQ(reusedAt(h, 1), 1u);   // the far 1
+    EXPECT_EQ(h.bins[0], 2u);        // the adjacent 2s
+}
+
+TEST(ReuseDistance, AttributedToAccessingStream)
+{
+    std::vector<MemAccess> t;
+    t.emplace_back(1 * kBlockBytes, StreamType::RenderTarget, true);
+    t.emplace_back(1 * kBlockBytes, StreamType::Texture, false);
+    const auto d = measureReuseDistances(t);
+    EXPECT_EQ(d[static_cast<std::size_t>(StreamType::RenderTarget)]
+                  .cold,
+              1u);
+    EXPECT_EQ(
+        d[static_cast<std::size_t>(StreamType::Texture)].bins[0],
+        1u);
+}
+
+TEST(ReuseDistance, CyclicPatternHasConstantDistance)
+{
+    std::vector<Addr> blocks;
+    for (int rep = 0; rep < 10; ++rep)
+        for (Addr b = 0; b < 8; ++b)
+            blocks.push_back(b);
+    std::vector<MemAccess> t;
+    for (const Addr b : blocks)
+        t.emplace_back(b * kBlockBytes, StreamType::Other, false);
+    const auto d = measureReuseDistances(t);
+    const auto &h = d[static_cast<std::size_t>(StreamType::Other)];
+    EXPECT_EQ(h.cold, 8u);
+    // Every reuse sees exactly 7 distinct blocks in between.
+    EXPECT_EQ(reusedAt(h, 7), 72u);
+}
+
+TEST(ReuseDistance, FractionBelow)
+{
+    ReuseDistanceHistogram h;
+    h.record(0);    // bin 0, upper edge 1
+    h.record(1);    // bin 1, upper edge 2
+    h.record(100);  // bin 7, upper edge 128
+    EXPECT_DOUBLE_EQ(h.fractionBelow(2), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(128), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(1), 1.0 / 3.0);
+}
+
+TEST(ReuseDistance, MergeAddsBins)
+{
+    ReuseDistanceHistogram a, b;
+    a.record(0);
+    a.cold = 2;
+    b.record(0);
+    b.record(5);
+    a.merge(b);
+    EXPECT_EQ(a.cold, 2u);
+    EXPECT_EQ(a.bins[0], 2u);
+    EXPECT_EQ(a.accesses(), 5u);
+}
+
+TEST(ReuseDistance, EmptyTrace)
+{
+    const auto d = measureReuseDistances({});
+    for (const auto &h : d)
+        EXPECT_EQ(h.accesses(), 0u);
+}
+
+TEST(ReuseDistance, SubBlockOffsetsAreSameBlock)
+{
+    std::vector<MemAccess> t;
+    t.emplace_back(0, StreamType::Other, false);
+    t.emplace_back(32, StreamType::Other, false);
+    const auto d = measureReuseDistances(t);
+    const auto &h = d[static_cast<std::size_t>(StreamType::Other)];
+    EXPECT_EQ(h.cold, 1u);
+    EXPECT_EQ(h.bins[0], 1u);
+}

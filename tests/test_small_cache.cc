@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the render-cache building block.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcache/small_cache.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+Addr
+block(Addr n)
+{
+    return n * kBlockBytes;
+}
+
+} // namespace
+
+TEST(SmallCache, HitAfterFill)
+{
+    SmallCache c("t", 16, 4);
+    std::vector<MemAccess> out;
+    EXPECT_FALSE(c.access(block(1), false, StreamType::Z, 0, out));
+    EXPECT_TRUE(c.access(block(1), false, StreamType::Z, 0, out));
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses(), 1u);
+}
+
+TEST(SmallCache, ReadMissEmitsFillRequest)
+{
+    SmallCache c("t", 16, 4);
+    std::vector<MemAccess> out;
+    c.access(block(3) + 17, false, StreamType::Texture, 42, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].addr, block(3));  // block aligned
+    EXPECT_EQ(out[0].stream, StreamType::Texture);
+    EXPECT_FALSE(out[0].isWrite);
+    EXPECT_EQ(out[0].cycle, 42u);
+}
+
+TEST(SmallCache, StoreMissAllocatesSilently)
+{
+    // Whole-tile writes allocate without fetching (fast clear /
+    // full-line write); the LLC sees the data at writeback time.
+    SmallCache c("t", 16, 4);
+    std::vector<MemAccess> out;
+    c.access(block(5), true, StreamType::RenderTarget, 0, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_TRUE(c.access(block(5), false, StreamType::RenderTarget, 0,
+                         out));
+}
+
+TEST(SmallCache, DirtyEvictionEmitsWriteback)
+{
+    SmallCache c("t", 4, 4);  // one set of 4 ways
+    std::vector<MemAccess> out;
+    c.access(block(0), true, StreamType::RenderTarget, 0, out);
+    for (Addr i = 1; i <= 4; ++i)
+        c.access(block(i), false, StreamType::Z, 7, out);
+    // Evicting dirty block 0 produced a writeback with the RT tag it
+    // was filled under.
+    bool found_wb = false;
+    for (const MemAccess &a : out) {
+        if (a.isWrite) {
+            found_wb = true;
+            EXPECT_EQ(a.addr, block(0));
+            EXPECT_EQ(a.stream, StreamType::RenderTarget);
+        }
+    }
+    EXPECT_TRUE(found_wb);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(SmallCache, LruVictimOrder)
+{
+    SmallCache c("t", 4, 4);
+    std::vector<MemAccess> out;
+    for (Addr i = 0; i < 4; ++i)
+        c.access(block(i), false, StreamType::Z, 0, out);
+    c.access(block(0), false, StreamType::Z, 0, out);  // 0 -> MRU
+    c.access(block(9), false, StreamType::Z, 0, out);  // evicts 1
+    EXPECT_TRUE(c.access(block(0), false, StreamType::Z, 0, out));
+    EXPECT_FALSE(c.access(block(1), false, StreamType::Z, 0, out));
+}
+
+TEST(SmallCache, ReadOnlyCacheForwardsWrites)
+{
+    SmallCache c("t", 16, 4, /*write_allocate=*/false);
+    std::vector<MemAccess> out;
+    c.access(block(2), true, StreamType::Texture, 5, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].isWrite);
+    // And the write did not allocate.
+    EXPECT_FALSE(c.access(block(2), false, StreamType::Texture, 5,
+                          out));
+}
+
+TEST(SmallCache, FlushWritesBackAllDirtyAndInvalidates)
+{
+    SmallCache c("t", 8, 4);
+    std::vector<MemAccess> out;
+    c.access(block(1), true, StreamType::RenderTarget, 0, out);
+    c.access(block(2), true, StreamType::Display, 0, out);
+    c.access(block(3), false, StreamType::Z, 0, out);
+    out.clear();
+    c.flush(100, out);
+    EXPECT_EQ(out.size(), 2u);  // only the dirty blocks
+    for (const MemAccess &a : out)
+        EXPECT_TRUE(a.isWrite);
+    // Everything is invalid afterwards.
+    EXPECT_FALSE(c.access(block(1), false, StreamType::Z, 0, out));
+    EXPECT_FALSE(c.access(block(3), false, StreamType::Z, 0, out));
+}
+
+TEST(SmallCache, FlushPreservesStreamTags)
+{
+    SmallCache c("t", 8, 4);
+    std::vector<MemAccess> out;
+    c.access(block(1), true, StreamType::Display, 0, out);
+    out.clear();
+    c.flush(0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].stream, StreamType::Display);
+}
+
+TEST(SmallCache, GeometryClampsWaysToBlocks)
+{
+    // 1 KB / 16-way vertex index cache: 16 blocks, fully assoc.
+    SmallCache c("vtxidx", 16, 16);
+    EXPECT_EQ(c.sets(), 1u);
+    EXPECT_EQ(c.ways(), 16u);
+
+    // Asking for 128 ways with 16 blocks clamps.
+    SmallCache c2("vtx", 16, 128);
+    EXPECT_EQ(c2.ways(), 16u);
+}
+
+TEST(SmallCache, NonPow2BlocksRoundedDown)
+{
+    SmallCache c("t", 24, 24);
+    EXPECT_EQ(c.sets() * c.ways(), 16u);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the per-bank GSPC learning counters (Section 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stream_counters.hh"
+
+using namespace gllc;
+
+TEST(Counters, StartAtZero)
+{
+    const StreamReuseCounters c;
+    EXPECT_EQ(c.fillZ(), 0u);
+    EXPECT_EQ(c.hitZ(), 0u);
+    EXPECT_EQ(c.fillTexAgg(), 0u);
+    EXPECT_EQ(c.fillTex(0), 0u);
+    EXPECT_EQ(c.fillTex(1), 0u);
+    EXPECT_EQ(c.prod(), 0u);
+    EXPECT_EQ(c.cons(), 0u);
+    EXPECT_EQ(c.acc(), 0u);
+}
+
+TEST(Counters, EventRecording)
+{
+    StreamReuseCounters c;
+    c.recordZFill();
+    c.recordZFill();
+    c.recordZHit();
+    c.recordTexFillAgg();
+    c.recordTexHitAgg();
+    c.recordTexFillEpoch(0);
+    c.recordTexFillEpoch(1);
+    c.recordTexHitEpoch(1);
+    c.recordRtProduce();
+    c.recordRtConsume();
+    EXPECT_EQ(c.fillZ(), 2u);
+    EXPECT_EQ(c.hitZ(), 1u);
+    EXPECT_EQ(c.fillTexAgg(), 1u);
+    EXPECT_EQ(c.hitTexAgg(), 1u);
+    EXPECT_EQ(c.fillTex(0), 1u);
+    EXPECT_EQ(c.fillTex(1), 1u);
+    EXPECT_EQ(c.hitTex(1), 1u);
+    EXPECT_EQ(c.prod(), 1u);
+    EXPECT_EQ(c.cons(), 1u);
+}
+
+TEST(Counters, EightBitSaturation)
+{
+    StreamReuseCounters c;
+    for (int i = 0; i < 300; ++i)
+        c.recordZFill();
+    EXPECT_EQ(c.fillZ(), 255u);
+}
+
+TEST(Counters, AccSaturationHalvesEverything)
+{
+    StreamReuseCounters c;
+    for (int i = 0; i < 100; ++i) {
+        c.recordZFill();
+        c.recordTexFillEpoch(0);
+        c.recordRtProduce();
+    }
+    EXPECT_EQ(c.fillZ(), 100u);
+    // ACC(ALL) is 7 bits: it saturates at 127 accesses and the next
+    // recordAccess halves the stream counters and resets ACC.
+    for (int i = 0; i < 127; ++i)
+        c.recordAccess();
+    EXPECT_EQ(c.acc(), 0u);  // saturated and reset
+    EXPECT_EQ(c.fillZ(), 50u);
+    EXPECT_EQ(c.fillTex(0), 50u);
+    EXPECT_EQ(c.prod(), 50u);
+}
+
+TEST(Counters, ZDistantThreshold)
+{
+    StreamReuseCounters c;
+    // FILL(Z) > t*HIT(Z): with 9 fills, 1 hit, t=8 -> 9 > 8: distant.
+    for (int i = 0; i < 9; ++i)
+        c.recordZFill();
+    c.recordZHit();
+    EXPECT_TRUE(c.zDistant(8));
+    // One more hit: 9 > 16 is false.
+    c.recordZHit();
+    EXPECT_FALSE(c.zDistant(8));
+    // Lower t makes condemnation harder to avoid... t=2: 9 > 4 true.
+    EXPECT_TRUE(c.zDistant(2));
+}
+
+TEST(Counters, ZDistantWithZeroHitsAndFills)
+{
+    StreamReuseCounters c;
+    EXPECT_FALSE(c.zDistant(8));  // 0 > 0 is false
+    c.recordZFill();
+    EXPECT_TRUE(c.zDistant(8));   // 1 > 0
+}
+
+TEST(Counters, TexThresholdsSeparateEpochs)
+{
+    StreamReuseCounters c;
+    for (int i = 0; i < 10; ++i)
+        c.recordTexFillEpoch(0);
+    for (int i = 0; i < 2; ++i)
+        c.recordTexHitEpoch(0);
+    c.recordTexFillEpoch(1);
+    c.recordTexHitEpoch(1);
+    // E0: 10 > 8*2 false -> not distant; E1: 1 > 8 false.
+    EXPECT_FALSE(c.texDistantEpoch(0, 8));
+    EXPECT_FALSE(c.texDistantEpoch(1, 8));
+    // At t=4: E0 10 > 8 -> distant; E1 1 > 4 false.
+    EXPECT_TRUE(c.texDistantEpoch(0, 4));
+    EXPECT_FALSE(c.texDistantEpoch(1, 4));
+}
+
+TEST(Counters, TexAggregateThresholdIndependent)
+{
+    StreamReuseCounters c;
+    for (int i = 0; i < 5; ++i)
+        c.recordTexFillAgg();
+    EXPECT_TRUE(c.texDistantAgg(8));
+    c.recordTexHitAgg();
+    EXPECT_FALSE(c.texDistantAgg(8));  // 5 > 8 false
+}
+
+TEST(Counters, RtProtectionBands)
+{
+    // Table 5: PROD > 16*CONS -> Distant; 16*CONS >= PROD > 8*CONS
+    // -> Intermediate; else Protect.
+    StreamReuseCounters c;
+    // CONS = 0, PROD = 0: 0 > 0 false; 0 > 0 false -> Protect.
+    EXPECT_EQ(c.rtProtection(), RtProtection::Protect);
+
+    for (int i = 0; i < 17; ++i)
+        c.recordRtProduce();
+    c.recordRtConsume();
+    // PROD=17, CONS=1: 17 > 16 -> Distant.
+    EXPECT_EQ(c.rtProtection(), RtProtection::Distant);
+
+    c.recordRtConsume();
+    // PROD=17, CONS=2: 17 > 32 false; 17 > 16 -> Intermediate.
+    EXPECT_EQ(c.rtProtection(), RtProtection::Intermediate);
+
+    c.recordRtConsume();
+    // PROD=17, CONS=3: 17 > 24 false -> Protect.
+    EXPECT_EQ(c.rtProtection(), RtProtection::Protect);
+}
+
+TEST(Counters, RtProtectionBoundaryExactlyEight)
+{
+    StreamReuseCounters c;
+    for (int i = 0; i < 8; ++i)
+        c.recordRtProduce();
+    c.recordRtConsume();
+    // PROD = 8 = 8*CONS: "PROD > 8*CONS" is false -> Protect.
+    EXPECT_EQ(c.rtProtection(), RtProtection::Protect);
+}

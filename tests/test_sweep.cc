@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the frame-set sweep engine and the CSV export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/report.hh"
+#include "analysis/sweep.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** RAII environment setup: 2 frames at scale 8 keeps tests fast. */
+class SweepEnv : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::setenv("GLLC_FRAMES", "2", 1);
+        ::setenv("GLLC_SCALE", "8", 1);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("GLLC_FRAMES");
+        ::unsetenv("GLLC_SCALE");
+    }
+};
+
+} // namespace
+
+TEST_F(SweepEnv, RunsEveryFramePolicyPair)
+{
+    PolicySweep sweep({"DRRIP", "NRU"});
+    sweep.run();
+    EXPECT_EQ(sweep.cells().size(), 4u);  // 2 frames x 2 policies
+    EXPECT_EQ(sweep.scale().linear, 8u);
+    // 8 MB scaled by 1/64 -> 128 KB.
+    EXPECT_EQ(sweep.llcConfig().capacityBytes, 128u * 1024);
+}
+
+TEST_F(SweepEnv, TotalsGroupByApp)
+{
+    PolicySweep sweep({"DRRIP", "NRU"});
+    sweep.run();
+    const auto totals = sweep.totalsByApp(missMetric);
+    EXPECT_EQ(totals.size(), 2u);  // two apps (round-robin frame 0s)
+    for (const auto &[app, row] : totals) {
+        EXPECT_EQ(row.size(), 2u);
+        EXPECT_GT(row.at("DRRIP"), 0.0);
+    }
+}
+
+TEST_F(SweepEnv, NormalizedMeanOfBaselineIsOne)
+{
+    PolicySweep sweep({"DRRIP", "NRU"});
+    sweep.run();
+    const auto means = sweep.meanNormalized(missMetric, "DRRIP");
+    EXPECT_DOUBLE_EQ(means.at("DRRIP"), 1.0);
+    EXPECT_GT(means.at("NRU"), 0.5);
+    EXPECT_LT(means.at("NRU"), 2.0);
+}
+
+TEST_F(SweepEnv, AppOrderFollowsTable1)
+{
+    PolicySweep sweep({"DRRIP"});
+    sweep.run();
+    const auto order = sweep.appOrder();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], paperApps()[0].name);
+    EXPECT_EQ(order[1], paperApps()[1].name);
+}
+
+TEST_F(SweepEnv, PrintNormalizedTableRendersRows)
+{
+    PolicySweep sweep({"DRRIP", "NRU"});
+    sweep.run();
+    std::ostringstream os;
+    sweep.printNormalizedTable(os, "test table", missMetric, "DRRIP");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("test table"), std::string::npos);
+    EXPECT_NE(out.find("MEAN"), std::string::npos);
+    EXPECT_NE(out.find(paperApps()[0].name), std::string::npos);
+    // Baseline column is omitted.
+    EXPECT_EQ(out.find("DRRIP  NRU"), std::string::npos);
+}
+
+TEST_F(SweepEnv, PerFrameCallbackObservesCells)
+{
+    PolicySweep sweep({"DRRIP"});
+    int calls = 0;
+    sweep.run([&calls](const SweepCell &cell, const FrameTrace &t) {
+        ++calls;
+        EXPECT_EQ(cell.policy, "DRRIP");
+        EXPECT_EQ(cell.result.stats.totalAccesses(),
+                  t.accesses.size());
+    });
+    EXPECT_EQ(calls, 2);
+}
+
+TEST_F(SweepEnv, DramTraceCollectionOnDemand)
+{
+    PolicySweep sweep({"DRRIP"});
+    sweep.setCollectDramTrace(true);
+    bool saw_dram = false;
+    sweep.run([&saw_dram](const SweepCell &cell, const FrameTrace &) {
+        saw_dram |= !cell.result.dramTrace.empty();
+    });
+    EXPECT_TRUE(saw_dram);
+    // But the retained cells drop the bulky traces.
+    for (const SweepCell &cell : sweep.cells())
+        EXPECT_TRUE(cell.result.dramTrace.empty());
+}
+
+TEST_F(SweepEnv, CsvExportHasHeaderAndOneRowPerCell)
+{
+    PolicySweep sweep({"DRRIP", "GSPC"});
+    sweep.run();
+    std::ostringstream os;
+    writeSweepCsv(sweep, os);
+    const std::string out = os.str();
+
+    std::size_t lines = 0;
+    for (const char c : out)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 1u + sweep.cells().size());
+    EXPECT_EQ(out.find("app,frame,policy"), 0u);
+    EXPECT_NE(out.find(",GSPC,"), std::string::npos);
+}
+
+TEST_F(SweepEnv, CsvValuesAreConsistent)
+{
+    PolicySweep sweep({"DRRIP"});
+    sweep.run();
+    std::ostringstream os;
+    writeSweepCsv(sweep, os);
+    // The first data row's accesses field matches the cell.
+    std::istringstream is(os.str());
+    std::string header, row;
+    std::getline(is, header);
+    std::getline(is, row);
+    const SweepCell &cell = sweep.cells().front();
+    EXPECT_NE(row.find("," + std::to_string(
+                           cell.result.stats.totalAccesses()) + ","),
+              std::string::npos);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the three-level texture cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcache/texture_hierarchy.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+TextureHierarchyConfig
+tinyConfig()
+{
+    TextureHierarchyConfig c;
+    c.samplers = 4;
+    c.samplersPerCluster = 2;
+    c.l1Blocks = 4;
+    c.l1Ways = 4;
+    c.l2Blocks = 8;
+    c.l2Ways = 4;
+    c.l3Blocks = 16;
+    c.l3Ways = 4;
+    return c;
+}
+
+Addr
+block(Addr n)
+{
+    return n * kBlockBytes;
+}
+
+} // namespace
+
+TEST(TextureHierarchy, ColdMissReachesLlc)
+{
+    TextureHierarchy tex(tinyConfig());
+    std::vector<MemAccess> out;
+    EXPECT_EQ(tex.read(block(1), 0, 9, out), 4);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].addr, block(1));
+    EXPECT_EQ(out[0].stream, StreamType::Texture);
+    EXPECT_FALSE(out[0].isWrite);
+    EXPECT_EQ(out[0].cycle, 9u);
+}
+
+TEST(TextureHierarchy, SecondReadHitsL1)
+{
+    TextureHierarchy tex(tinyConfig());
+    std::vector<MemAccess> out;
+    tex.read(block(1), 0, 0, out);
+    out.clear();
+    EXPECT_EQ(tex.read(block(1), 0, 0, out), 1);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TextureHierarchy, SiblingSamplerHitsSharedL2)
+{
+    TextureHierarchy tex(tinyConfig());
+    std::vector<MemAccess> out;
+    tex.read(block(1), 0, 0, out);  // sampler 0 fills L1.0, L2.0, L3
+    out.clear();
+    // Sampler 1 shares cluster 0: misses its own L1, hits L2.
+    EXPECT_EQ(tex.read(block(1), 1, 0, out), 2);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TextureHierarchy, RemoteClusterHitsSharedL3)
+{
+    TextureHierarchy tex(tinyConfig());
+    std::vector<MemAccess> out;
+    tex.read(block(1), 0, 0, out);
+    out.clear();
+    // Sampler 2 is in cluster 1: misses L1 and L2, hits the L3.
+    EXPECT_EQ(tex.read(block(1), 2, 0, out), 3);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TextureHierarchy, L1EvictionFallsBackToL2)
+{
+    TextureHierarchy tex(tinyConfig());
+    std::vector<MemAccess> out;
+    tex.read(block(1), 0, 0, out);
+    // Thrash sampler 0's 4-block L1.
+    for (Addr i = 10; i < 14; ++i)
+        tex.read(block(i), 0, 0, out);
+    out.clear();
+    const int level = tex.read(block(1), 0, 0, out);
+    EXPECT_GE(level, 2);
+    EXPECT_LE(level, 3);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TextureHierarchy, StatsPerLevel)
+{
+    TextureHierarchy tex(tinyConfig());
+    std::vector<MemAccess> out;
+    tex.read(block(1), 0, 0, out);
+    tex.read(block(1), 0, 0, out);
+    EXPECT_EQ(tex.l1Stats(0).accesses, 2u);
+    EXPECT_EQ(tex.l1Stats(0).hits, 1u);
+    EXPECT_EQ(tex.l2Stats(0).accesses, 1u);
+    EXPECT_EQ(tex.l3Stats().accesses, 1u);
+}
+
+TEST(TextureHierarchy, InvalidateClearsAllLevels)
+{
+    TextureHierarchy tex(tinyConfig());
+    std::vector<MemAccess> out;
+    tex.read(block(1), 0, 0, out);
+    tex.invalidate();
+    out.clear();
+    EXPECT_EQ(tex.read(block(1), 0, 0, out), 4);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(TextureHierarchy, SamplerCountExposed)
+{
+    TextureHierarchy tex(tinyConfig());
+    EXPECT_EQ(tex.samplers(), 4u);
+}
+
+TEST(TextureHierarchy, PaperConfigurationBuilds)
+{
+    // Section 4: 12 samplers, 384 KB 48-way L3.
+    TextureHierarchyConfig c;
+    TextureHierarchy tex(c);
+    std::vector<MemAccess> out;
+    EXPECT_EQ(tex.read(block(7), 11, 0, out), 4);
+}

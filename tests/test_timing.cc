@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the GPU configurations and the frame-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/timing_model.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+FrameWork
+work()
+{
+    FrameWork w;
+    w.shaderOps = 50'000'000;
+    w.texelRequests = 2'000'000;
+    w.pixelsShaded = 500'000;
+    w.verticesShaded = 100'000;
+    w.issueCycles = 100'000;
+    return w;
+}
+
+LlcStats
+stats(std::uint64_t accesses, std::uint64_t misses)
+{
+    LlcStats s;
+    s.stream[0].accesses = accesses;
+    s.stream[0].hits = accesses - misses;
+    s.stream[0].misses = misses;
+    return s;
+}
+
+std::vector<MemAccess>
+missTrace(std::uint64_t n, std::uint32_t span)
+{
+    std::vector<MemAccess> t;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        t.emplace_back(i * 7919 * kBlockBytes, StreamType::Texture,
+                       false,
+                       static_cast<std::uint32_t>(i * span / n));
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(GpuConfig, BaselineMatchesSection4)
+{
+    const GpuConfig c = GpuConfig::baseline();
+    EXPECT_EQ(c.shaderCores, 96u);
+    EXPECT_EQ(c.threadsPerCore, 8u);
+    EXPECT_EQ(c.totalThreads(), 768u);
+    EXPECT_EQ(c.samplers, 12u);
+    EXPECT_DOUBLE_EQ(c.coreClockGhz, 1.6);
+    EXPECT_DOUBLE_EQ(c.llcClockGhz, 4.0);
+    EXPECT_EQ(c.llcCapacityBytes, 8ull << 20);
+    EXPECT_EQ(c.llcWays, 16u);
+    EXPECT_EQ(c.llcBanks, 4u);
+    EXPECT_EQ(c.dram.tCas, 15u);
+}
+
+TEST(GpuConfig, Variants)
+{
+    EXPECT_EQ(GpuConfig::baseline16M().llcCapacityBytes, 16ull << 20);
+    EXPECT_EQ(GpuConfig::fastDram().dram.tCas, 10u);
+    const GpuConfig weak = GpuConfig::lessAggressive();
+    EXPECT_EQ(weak.totalThreads(), 512u);
+    EXPECT_EQ(weak.samplers, 8u);
+}
+
+TEST(Timing, ComputeBoundWithoutMemoryTraffic)
+{
+    const FrameTiming t =
+        timeFrame(work(), stats(0, 0), {}, GpuConfig::baseline());
+    EXPECT_GT(t.computeCycles, 0.0);
+    EXPECT_DOUBLE_EQ(t.dramCycles, 0.0);
+    EXPECT_GE(t.frameCycles, t.computeCycles);
+    EXPECT_GT(t.fps, 0.0);
+}
+
+TEST(Timing, MoreMissesNeverFaster)
+{
+    const GpuConfig gpu = GpuConfig::baseline();
+    const FrameTiming light = timeFrame(
+        work(), stats(1'000'000, 50'000), missTrace(50'000, 100'000),
+        gpu);
+    const FrameTiming heavy = timeFrame(
+        work(), stats(1'000'000, 400'000), missTrace(400'000, 100'000),
+        gpu);
+    EXPECT_GE(heavy.frameCycles, light.frameCycles);
+    EXPECT_LE(heavy.fps, light.fps);
+}
+
+TEST(Timing, FasterDramNeverSlower)
+{
+    const auto trace = missTrace(300'000, 100'000);
+    const FrameTiming slow = timeFrame(
+        work(), stats(1'000'000, 300'000), trace,
+        GpuConfig::baseline());
+    const FrameTiming fast = timeFrame(
+        work(), stats(1'000'000, 300'000), trace,
+        GpuConfig::fastDram());
+    EXPECT_LE(fast.frameCycles, slow.frameCycles);
+}
+
+TEST(Timing, WeakerGpuSlowerOnComputeBoundFrames)
+{
+    const FrameTiming strong =
+        timeFrame(work(), stats(1000, 10), missTrace(10, 1000),
+                  GpuConfig::baseline());
+    const FrameTiming weak =
+        timeFrame(work(), stats(1000, 10), missTrace(10, 1000),
+                  GpuConfig::lessAggressive());
+    EXPECT_GT(weak.frameCycles, strong.frameCycles);
+}
+
+TEST(Timing, WeakerGpuLessMemorySensitive)
+{
+    // Section 5.4: the weaker GPU's internal bottlenecks shrink the
+    // relative benefit of saving misses.
+    const GpuConfig strong = GpuConfig::baseline();
+    const GpuConfig weak = GpuConfig::lessAggressive();
+    const auto heavy_trace = missTrace(400'000, 100'000);
+    const auto light_trace = missTrace(300'000, 100'000);
+    const LlcStats heavy = stats(1'000'000, 400'000);
+    const LlcStats light = stats(1'000'000, 300'000);
+
+    const double strong_gain =
+        timeFrame(work(), heavy, heavy_trace, strong).frameCycles
+        / timeFrame(work(), light, light_trace, strong).frameCycles;
+    const double weak_gain =
+        timeFrame(work(), heavy, heavy_trace, weak).frameCycles
+        / timeFrame(work(), light, light_trace, weak).frameCycles;
+    EXPECT_GT(strong_gain, weak_gain);
+}
+
+TEST(Timing, SamplerBoundScalesWithTexels)
+{
+    FrameWork w = work();
+    w.texelRequests = 48'000'000;
+    const FrameTiming t =
+        timeFrame(w, stats(0, 0), {}, GpuConfig::baseline());
+    // 48e6 texels / (12 samplers x 4/cycle) = 1e6 cycles.
+    EXPECT_NEAR(t.samplerCycles, 1e6, 1.0);
+}
+
+TEST(Timing, RowHitRateReported)
+{
+    // Sequential blocks produce lots of row hits.
+    std::vector<MemAccess> seq;
+    for (Addr i = 0; i < 10000; ++i)
+        seq.emplace_back(i * kBlockBytes, StreamType::Texture, false,
+                         static_cast<std::uint32_t>(i));
+    const FrameTiming t = timeFrame(work(), stats(10000, 10000), seq,
+                                    GpuConfig::baseline());
+    EXPECT_GT(t.rowHitRate, 0.8);
+}
+
+TEST(Timing, FpsInverseOfFrameCycles)
+{
+    const FrameTiming t =
+        timeFrame(work(), stats(1000, 100), missTrace(100, 1000),
+                  GpuConfig::baseline());
+    EXPECT_NEAR(t.fps * t.frameCycles, 1.6e9, 1.6e9 * 1e-9);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the on-disk frame-trace cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/trace_cache.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+RenderScale
+tinyScale()
+{
+    RenderScale s;
+    s.linear = 8;
+    return s;
+}
+
+} // namespace
+
+TEST(TraceCache, OffByDefault)
+{
+    ::unsetenv("GLLC_TRACE_CACHE");
+    EXPECT_EQ(traceCachePath(paperApps().front(), 0, tinyScale()), "");
+    // cachedRenderFrame falls back to plain rendering.
+    const FrameTrace a =
+        cachedRenderFrame(paperApps().front(), 0, tinyScale());
+    const FrameTrace b = renderFrame(paperApps().front(), 0,
+                                     tinyScale());
+    EXPECT_EQ(a.accesses.size(), b.accesses.size());
+}
+
+TEST(TraceCache, PathEncodesAppFrameAndScale)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string p =
+        traceCachePath(paperApps().front(), 3, tinyScale(), dir);
+    EXPECT_NE(p.find(paperApps().front().name), std::string::npos);
+    EXPECT_NE(p.find("_f3"), std::string::npos);
+    EXPECT_NE(p.find("_s8"), std::string::npos);
+
+    RenderScale noscatter = tinyScale();
+    noscatter.scatterPages = false;
+    const std::string p2 = traceCachePath(paperApps().front(), 3,
+                                          noscatter, dir);
+    EXPECT_NE(p2.find("_noscatter"), std::string::npos);
+    EXPECT_NE(p, p2);
+}
+
+TEST(TraceCache, MissPopulatesThenHitLoads)
+{
+    const std::string dir = ::testing::TempDir();
+    const AppProfile &app = paperApps().front();
+    const std::string path =
+        traceCachePath(app, 0, tinyScale(), dir);
+    std::remove(path.c_str());
+
+    const FrameTrace first =
+        cachedRenderFrame(app, 0, tinyScale(), dir);
+    // The cache file exists now.
+    std::ifstream probe(path, std::ios::binary);
+    EXPECT_TRUE(probe.good());
+
+    const FrameTrace second =
+        cachedRenderFrame(app, 0, tinyScale(), dir);
+    ASSERT_EQ(second.accesses.size(), first.accesses.size());
+    EXPECT_EQ(second.accesses.back().addr,
+              first.accesses.back().addr);
+    EXPECT_EQ(second.work.pixelsShaded, first.work.pixelsShaded);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCache, EnvVariableActivates)
+{
+    const std::string dir = ::testing::TempDir();
+    ::setenv("GLLC_TRACE_CACHE", dir.c_str(), 1);
+    const AppProfile &app = paperApps()[1];
+    const std::string path = traceCachePath(app, 1, tinyScale());
+    EXPECT_FALSE(path.empty());
+    std::remove(path.c_str());
+    cachedRenderFrame(app, 1, tinyScale());
+    std::ifstream probe(path, std::ios::binary);
+    EXPECT_TRUE(probe.good());
+    std::remove(path.c_str());
+    ::unsetenv("GLLC_TRACE_CACHE");
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for frame-trace binary serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace_io.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+FrameTrace
+sampleTrace()
+{
+    FrameTrace t;
+    t.name = "App/f3";
+    t.app = "App";
+    t.frameIndex = 3;
+    t.work.shaderOps = 111;
+    t.work.texelRequests = 222;
+    t.work.pixelsShaded = 333;
+    t.work.verticesShaded = 444;
+    t.work.rawMemOps = 555;
+    t.work.issueCycles = 666;
+    for (Addr b = 0; b < 100; ++b) {
+        t.accesses.emplace_back(
+            b * kBlockBytes,
+            static_cast<StreamType>(b % kNumStreams), b % 3 == 0,
+            static_cast<std::uint32_t>(b * 7));
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const FrameTrace original = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(original, buffer);
+    const FrameTrace loaded = readTrace(buffer);
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.app, original.app);
+    EXPECT_EQ(loaded.frameIndex, original.frameIndex);
+    EXPECT_EQ(loaded.work.shaderOps, original.work.shaderOps);
+    EXPECT_EQ(loaded.work.texelRequests, original.work.texelRequests);
+    EXPECT_EQ(loaded.work.pixelsShaded, original.work.pixelsShaded);
+    EXPECT_EQ(loaded.work.verticesShaded,
+              original.work.verticesShaded);
+    EXPECT_EQ(loaded.work.rawMemOps, original.work.rawMemOps);
+    EXPECT_EQ(loaded.work.issueCycles, original.work.issueCycles);
+    ASSERT_EQ(loaded.accesses.size(), original.accesses.size());
+    for (std::size_t i = 0; i < loaded.accesses.size(); ++i) {
+        EXPECT_EQ(loaded.accesses[i].addr, original.accesses[i].addr);
+        EXPECT_EQ(loaded.accesses[i].stream,
+                  original.accesses[i].stream);
+        EXPECT_EQ(loaded.accesses[i].isWrite,
+                  original.accesses[i].isWrite);
+        EXPECT_EQ(loaded.accesses[i].cycle,
+                  original.accesses[i].cycle);
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    FrameTrace t;
+    t.name = "empty";
+    std::stringstream buffer;
+    writeTrace(t, buffer);
+    const FrameTrace loaded = readTrace(buffer);
+    EXPECT_EQ(loaded.name, "empty");
+    EXPECT_TRUE(loaded.accesses.empty());
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/gllc_trace.bin";
+    const FrameTrace original = sampleTrace();
+    writeTraceFile(original, path);
+    const FrameTrace loaded = readTraceFile(path);
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.accesses.size(), original.accesses.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, BadMagicIsFatal)
+{
+    std::stringstream buffer;
+    buffer << "NOTATRACEFILE-----------";
+    EXPECT_EXIT(readTrace(buffer), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceIoDeath, TruncatedFileIsFatal)
+{
+    std::stringstream buffer;
+    writeTrace(sampleTrace(), buffer);
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_EXIT(readTrace(truncated), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readTraceFile("/nonexistent/path/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the DirectX-style workload generator: determinism,
+ * stream composition, the 52-frame set and scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "workload/frame_set.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+RenderScale
+tinyScale()
+{
+    RenderScale s;
+    s.linear = 8;
+    return s;
+}
+
+const FrameTrace &
+cachedFrame()
+{
+    static const FrameTrace trace =
+        renderFrame(paperApps().front(), 0, tinyScale());
+    return trace;
+}
+
+} // namespace
+
+TEST(AppProfiles, TwelveAppsFiftyTwoFrames)
+{
+    const auto &apps = paperApps();
+    EXPECT_EQ(apps.size(), 12u);
+    std::uint32_t frames = 0;
+    for (const auto &a : apps)
+        frames += a.frames;
+    EXPECT_EQ(frames, 52u);
+}
+
+TEST(AppProfiles, Table1ResolutionsAndVersions)
+{
+    EXPECT_EQ(findApp("AssnCreed").width, 1680u);
+    EXPECT_EQ(findApp("AssnCreed").height, 1050u);
+    EXPECT_EQ(findApp("AssnCreed").directxVersion, 10);
+    EXPECT_EQ(findApp("Heaven").width, 2560u);
+    EXPECT_EQ(findApp("Heaven").height, 1600u);
+    EXPECT_EQ(findApp("Heaven").directxVersion, 11);
+    EXPECT_EQ(findApp("3DMarkVAGT1").width, 1920u);
+    EXPECT_EQ(findApp("Civilization").directxVersion, 11);
+    EXPECT_EQ(findApp("BioShock").directxVersion, 10);
+}
+
+TEST(AppProfilesDeath, UnknownAppIsFatal)
+{
+    EXPECT_EXIT(findApp("Quake"), ::testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+TEST(FrameSet, FullSetCoversAllApps)
+{
+    const auto frames = paperFrameSet();
+    EXPECT_EQ(frames.size(), 52u);
+    std::set<std::string> apps;
+    for (const auto &f : frames)
+        apps.insert(f.app->name);
+    EXPECT_EQ(apps.size(), 12u);
+}
+
+TEST(FrameSet, EnvTruncationRoundRobins)
+{
+    ::setenv("GLLC_FRAMES", "12", 1);
+    const auto frames = frameSetFromEnv();
+    ::unsetenv("GLLC_FRAMES");
+    ASSERT_EQ(frames.size(), 12u);
+    std::set<std::string> apps;
+    for (const auto &f : frames) {
+        apps.insert(f.app->name);
+        EXPECT_EQ(f.frameIndex, 0u);  // first frame of each app
+    }
+    EXPECT_EQ(apps.size(), 12u);
+}
+
+TEST(FrameSet, ScaleFromEnv)
+{
+    ::setenv("GLLC_SCALE", "2", 1);
+    EXPECT_EQ(scaleFromEnv().linear, 2u);
+    ::unsetenv("GLLC_SCALE");
+    EXPECT_EQ(scaleFromEnv().linear, 4u);
+}
+
+TEST(FrameSetDeath, ScaleOutOfRangeIsFatal)
+{
+    ::setenv("GLLC_SCALE", "99", 1);
+    EXPECT_EXIT(scaleFromEnv(), ::testing::ExitedWithCode(1),
+                "out of range");
+    ::unsetenv("GLLC_SCALE");
+}
+
+TEST(Renderer, DeterministicPerSeed)
+{
+    const FrameTrace a = renderFrame(paperApps().front(), 0,
+                                     tinyScale());
+    const FrameTrace b = renderFrame(paperApps().front(), 0,
+                                     tinyScale());
+    ASSERT_EQ(a.accesses.size(), b.accesses.size());
+    for (std::size_t i = 0; i < a.accesses.size(); ++i) {
+        EXPECT_EQ(a.accesses[i].addr, b.accesses[i].addr);
+        EXPECT_EQ(a.accesses[i].stream, b.accesses[i].stream);
+    }
+}
+
+TEST(Renderer, FramesOfOneAppDiffer)
+{
+    const FrameTrace f0 = renderFrame(paperApps().front(), 0,
+                                      tinyScale());
+    const FrameTrace f1 = renderFrame(paperApps().front(), 1,
+                                      tinyScale());
+    EXPECT_NE(f0.accesses.size(), f1.accesses.size());
+    EXPECT_EQ(f0.app, f1.app);
+    EXPECT_NE(f0.name, f1.name);
+}
+
+TEST(Renderer, EveryMajorStreamPresent)
+{
+    const auto counts = cachedFrame().streamCounts();
+    for (const StreamType s :
+         {StreamType::Vertex, StreamType::HiZ, StreamType::Z,
+          StreamType::RenderTarget, StreamType::Texture,
+          StreamType::Display, StreamType::Other}) {
+        EXPECT_GT(counts[static_cast<std::size_t>(s)], 0u)
+            << streamName(s);
+    }
+}
+
+TEST(Renderer, RtAndTextureDominateTraffic)
+{
+    // Figure 4's headline: RT + TEX carry most of the LLC traffic.
+    const auto counts = cachedFrame().streamCounts();
+    const double total =
+        static_cast<double>(cachedFrame().accesses.size());
+    const double rt_tex = static_cast<double>(
+        counts[static_cast<std::size_t>(StreamType::RenderTarget)]
+        + counts[static_cast<std::size_t>(StreamType::Texture)]);
+    EXPECT_GT(rt_tex / total, 0.5);
+}
+
+TEST(Renderer, StencilOnlyWhenProfiled)
+{
+    RenderScale scale = tinyScale();
+    const FrameTrace with =
+        renderFrame(findApp("BioShock"), 0, scale);
+    const FrameTrace without =
+        renderFrame(findApp("AssnCreed"), 0, scale);
+    EXPECT_GT(with.streamCounts()[static_cast<std::size_t>(
+                  StreamType::Stencil)],
+              0u);
+    EXPECT_EQ(without.streamCounts()[static_cast<std::size_t>(
+                  StreamType::Stencil)],
+              0u);
+}
+
+TEST(Renderer, CycleStampsAreMonotoneEnough)
+{
+    // Stamps may repeat (flush bursts) but must never decrease by
+    // more than the flush spreading window.
+    const auto &t = cachedFrame();
+    std::uint32_t last = 0;
+    for (const MemAccess &a : t.accesses) {
+        EXPECT_GE(a.cycle + 100000, last);
+        last = std::max(last, a.cycle);
+    }
+    EXPECT_GT(t.work.issueCycles, 0u);
+}
+
+TEST(Renderer, WorkCountersPopulated)
+{
+    const FrameWork &w = cachedFrame().work;
+    EXPECT_GT(w.shaderOps, 0u);
+    EXPECT_GT(w.texelRequests, 0u);
+    EXPECT_GT(w.pixelsShaded, 0u);
+    EXPECT_GT(w.verticesShaded, 0u);
+    EXPECT_GT(w.rawMemOps, cachedFrame().accesses.size());
+}
+
+TEST(Renderer, AddressesAreBlockAligned)
+{
+    for (const MemAccess &a : cachedFrame().accesses)
+        ASSERT_EQ(a.addr % kBlockBytes, 0u);
+}
+
+TEST(Renderer, ScalingShrinksTraces)
+{
+    RenderScale small;
+    small.linear = 8;
+    RenderScale large;
+    large.linear = 4;
+    const auto s = renderFrame(paperApps().front(), 0, small);
+    const auto l = renderFrame(paperApps().front(), 0, large);
+    EXPECT_LT(s.accesses.size(), l.accesses.size());
+}
+
+TEST(Renderer, DisplayStreamIsWriteOnly)
+{
+    for (const MemAccess &a : cachedFrame().accesses) {
+        if (a.stream == StreamType::Display) {
+            ASSERT_TRUE(a.isWrite);
+        }
+    }
+}
+
+TEST(Renderer, TessellationShiftsVertexToTextureTraffic)
+{
+    // DX11 tessellation generates vertices on chip (less vertex
+    // traffic per triangle) while the domain shader samples a
+    // displacement map (more texture traffic).
+    AppProfile flat = paperApps().front();
+    flat.tessellatedDraws = 0.0;
+    AppProfile tess = flat;
+    tess.tessellatedDraws = 0.6;
+
+    const FrameTrace f = renderFrame(flat, 0, tinyScale());
+    const FrameTrace t = renderFrame(tess, 0, tinyScale());
+
+    const auto share = [](const FrameTrace &tr, StreamType s) {
+        return static_cast<double>(
+                   tr.streamCounts()[static_cast<std::size_t>(s)])
+            / static_cast<double>(tr.accesses.size());
+    };
+    EXPECT_LT(share(t, StreamType::Vertex),
+              share(f, StreamType::Vertex));
+    EXPECT_GT(share(t, StreamType::Texture),
+              share(f, StreamType::Texture));
+}
+
+TEST(Renderer, Dx10ProfilesDoNotTessellate)
+{
+    for (const AppProfile &app : paperApps()) {
+        if (app.directxVersion == 10)
+            EXPECT_EQ(app.tessellatedDraws, 0.0) << app.name;
+        else
+            EXPECT_GT(app.tessellatedDraws, 0.0) << app.name;
+    }
+}
+
+TEST(Renderer, DistinctBlocksExceedLlcAtScale)
+{
+    // The working set must oversubscribe the scaled 8 MB LLC, or no
+    // replacement policy study is meaningful.
+    const std::uint64_t llc_blocks =
+        (8ull << 20) / 64 / 64;  // scale 8 -> /64
+    EXPECT_GT(cachedFrame().distinctBlocks(), llc_blocks);
+}
