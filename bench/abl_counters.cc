@@ -12,20 +12,14 @@
 
 #include <iostream>
 
-#include "analysis/offline_sim.hh"
 #include "bench/bench_util.hh"
 #include "core/gspc_family.hh"
-#include "workload/frame_set.hh"
 
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RenderScale scale = scaleFromEnv();
-    const LlcConfig llc =
-        scaledLlcConfig(8ull << 20, scale.pixelScale());
-
     struct Variant
     {
         const char *label;
@@ -39,30 +33,35 @@ main()
         {"10-bit / 9-bit ACC", 10, 9},
     };
 
-    std::cout << "=== Ablation: GSPC counter widths (scale "
-              << scale.linear << ") ===\n\n";
+    // The width variants enter the sweep through the registry-free
+    // spec path.
+    std::vector<PolicySpec> specs;
+    for (const Variant &v : variants) {
+        GspcParams params;
+        params.counterBits = v.counterBits;
+        params.accBits = v.accBits;
+        PolicySpec spec;
+        spec.name = v.label;
+        spec.baseName = "GSPC";
+        spec.factory =
+            GspcFamilyPolicy::factory(GspcVariant::Gspc, params);
+        spec.uncachedDisplay = true;
+        specs.push_back(std::move(spec));
+    }
+
+    const SweepResult sweep =
+        SweepConfig().policySpecs(std::move(specs)).run();
+    benchBanner("Ablation: GSPC counter widths", sweep);
 
     std::map<std::string, double> misses;
-    for (const FrameSpec &spec : frameSetFromEnv()) {
-        const FrameTrace trace =
-            renderFrame(*spec.app, spec.frameIndex, scale);
-        for (const Variant &v : variants) {
-            GspcParams params;
-            params.counterBits = v.counterBits;
-            params.accBits = v.accBits;
-            PolicySpec policy;
-            policy.name = v.label;
-            policy.factory =
-                GspcFamilyPolicy::factory(GspcVariant::Gspc, params);
-            policy.uncachedDisplay = true;
-            misses[v.label] += missMetric(runTrace(trace, policy, llc));
-        }
-    }
+    for (const SweepCell &cell : sweep.cells())
+        misses[cell.policy] += missMetric(cell.result);
 
     const double base = misses.at("8-bit / 7-bit ACC (paper)");
     TablePrinter tp({"counter width", "misses vs paper design"});
     for (const Variant &v : variants)
         tp.addRow({v.label, fmt(misses.at(v.label) / base, 4)});
     tp.print(std::cout);
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

@@ -17,7 +17,6 @@
 
 #include <iostream>
 
-#include "analysis/offline_sim.hh"
 #include "bench/bench_util.hh"
 #include "workload/frame_set.hh"
 
@@ -26,27 +25,24 @@ using namespace gllc;
 int
 main()
 {
-    RenderScale scale = scaleFromEnv();
-    const LlcConfig llc =
-        scaledLlcConfig(8ull << 20, scale.pixelScale());
     const std::vector<std::string> policies{"DRRIP", "SHiP-mem",
                                             "GSPC+UCD"};
 
     std::cout << "=== Ablation: page scattering vs SHiP-mem (scale "
-              << scale.linear << ") ===\n\n";
+              << scaleFromEnv().linear << ") ===\n\n";
 
     TablePrinter tp({"page mapping", "SHiP-mem vs DRRIP",
                      "GSPC+UCD vs DRRIP"});
     for (const bool scatter : {true, false}) {
+        RenderScale scale = scaleFromEnv();
         scale.scatterPages = scatter;
+        const SweepResult sweep =
+            SweepConfig().policies(policies).scale(scale).run();
+
         std::map<std::string, double> misses;
-        for (const FrameSpec &spec : frameSetFromEnv()) {
-            const FrameTrace trace =
-                renderFrame(*spec.app, spec.frameIndex, scale);
-            for (const auto &p : policies)
-                misses[p] +=
-                    missMetric(runTrace(trace, policySpec(p), llc));
-        }
+        for (const SweepCell &cell : sweep.cells())
+            misses[cell.policy] += missMetric(cell.result);
+
         tp.addRow({scatter ? "scattered (driver model)"
                            : "identity (stream-pure regions)",
                    fmt(misses.at("SHiP-mem") / misses.at("DRRIP"), 4),

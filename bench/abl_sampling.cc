@@ -12,50 +12,47 @@
 
 #include <iostream>
 
-#include "analysis/offline_sim.hh"
 #include "bench/bench_util.hh"
 #include "core/gspc_family.hh"
-#include "workload/frame_set.hh"
 
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RenderScale scale = scaleFromEnv();
-    const LlcConfig llc =
-        scaledLlcConfig(8ull << 20, scale.pixelScale());
-
     // sampleLog2: 4 -> 1/16 density, 6 -> 1/64 (paper), 8 -> 1/256.
     const std::vector<unsigned> densities{4, 5, 6, 7, 8};
 
-    std::cout << "=== Ablation: GSPC sample-set density (scale "
-              << scale.linear << ") ===\n\n";
-
-    std::map<unsigned, double> misses;
-    std::uint64_t frames = 0;
-    for (const FrameSpec &spec : frameSetFromEnv()) {
-        const FrameTrace trace =
-            renderFrame(*spec.app, spec.frameIndex, scale);
-        for (const unsigned log2 : densities) {
-            GspcParams params;
-            params.sampleLog2 = log2;
-            PolicySpec policy;
-            policy.name = "GSPC(1/" + std::to_string(1u << log2) + ")";
-            policy.factory =
-                GspcFamilyPolicy::factory(GspcVariant::Gspc, params);
-            policy.uncachedDisplay = true;
-            misses[log2] += missMetric(runTrace(trace, policy, llc));
-        }
-        ++frames;
+    std::vector<PolicySpec> specs;
+    for (const unsigned log2 : densities) {
+        GspcParams params;
+        params.sampleLog2 = log2;
+        PolicySpec spec;
+        spec.name = "GSPC(1/" + std::to_string(1u << log2) + ")";
+        spec.baseName = "GSPC";
+        spec.factory =
+            GspcFamilyPolicy::factory(GspcVariant::Gspc, params);
+        spec.uncachedDisplay = true;
+        specs.push_back(std::move(spec));
     }
+
+    const SweepResult sweep =
+        SweepConfig().policySpecs(std::move(specs)).run();
+    benchBanner("Ablation: GSPC sample-set density", sweep);
+
+    std::map<std::string, double> misses;
+    for (const SweepCell &cell : sweep.cells())
+        misses[cell.policy] += missMetric(cell.result);
 
     TablePrinter tp({"sample density", "misses vs 1/64"});
     for (const unsigned log2 : densities) {
+        const std::string name =
+            "GSPC(1/" + std::to_string(1u << log2) + ")";
         tp.addRow({"1/" + std::to_string(1u << log2),
-                   fmt(misses.at(log2) / misses.at(6), 4)});
+                   fmt(misses.at(name) / misses.at("GSPC(1/64)"),
+                       4)});
     }
     tp.print(std::cout);
-    std::cout << "(" << frames << " frames)\n";
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

@@ -9,17 +9,23 @@
  * library's simulator, not the authors' testbed); EXPERIMENTS.md
  * compares the shapes.
  *
- * Environment knobs: GLLC_SCALE (default 4; 1 = paper-size machine)
- * and GLLC_FRAMES (default all 52).
+ * Environment knobs: GLLC_SCALE (default 4; 1 = paper-size machine),
+ * GLLC_FRAMES (default all 52) and GLLC_THREADS (default: hardware
+ * concurrency; 1 = serial).  Every sweep-based harness also accepts
+ * trailing "--csv <path>" / "--json <path>" arguments to dump the
+ * per-cell results through the shared writers in analysis/report.
  */
 
 #ifndef GLLC_BENCH_BENCH_UTIL_HH
 #define GLLC_BENCH_BENCH_UTIL_HH
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "analysis/report.hh"
 #include "analysis/sweep.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 
 namespace gllc
@@ -27,14 +33,46 @@ namespace gllc
 
 /** Print the standard bench banner. */
 inline void
-benchBanner(const std::string &what, const PolicySweep &sweep)
+benchBanner(const std::string &what, const SweepResult &result)
 {
     std::cout << "=== " << what << " ===\n"
-              << "LLC " << sweep.llcConfig().capacityBytes / 1024
-              << " KB " << sweep.llcConfig().ways << "-way "
-              << sweep.llcConfig().banks << "-bank, scale "
-              << sweep.scale().linear << ", "
-              << sweep.cells().size() << " (frame,policy) cells\n\n";
+              << "LLC " << result.llcConfig().capacityBytes / 1024
+              << " KB " << result.llcConfig().ways << "-way "
+              << result.llcConfig().banks << "-bank, scale "
+              << result.scale().linear << ", "
+              << result.cells().size() << " (frame,policy) cells, "
+              << result.threadsUsed() << " thread(s), "
+              << fmt(result.wallSeconds(), 1) << " s\n\n";
+}
+
+/**
+ * Handle the shared "--csv <path>" / "--json <path>" export
+ * arguments; returns true when an export was written.
+ */
+inline bool
+exportSweepResult(int argc, char **argv, const SweepResult &result)
+{
+    bool wrote = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag != "--csv" && flag != "--json")
+            continue;
+        if (i + 1 >= argc)
+            fatal("%s requires a file path", flag.c_str());
+        std::ofstream os(argv[i + 1]);
+        if (!os) {
+            std::cerr << "cannot write " << argv[i + 1] << "\n";
+            continue;
+        }
+        if (flag == "--csv")
+            result.writeCsv(os);
+        else
+            result.writeJson(os);
+        std::cout << "wrote " << argv[i + 1] << "\n";
+        wrote = true;
+        ++i;
+    }
+    return wrote;
 }
 
 } // namespace gllc

@@ -16,12 +16,15 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"DRRIP", "GSPC+UCD", "GSPC+B+UCD", "Belady"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig()
+            .policies({"DRRIP", "GSPC+UCD", "GSPC+B+UCD", "Belady"})
+            .run();
     benchBanner("Extension: dead-fill bypass (GSPC+B)", sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

@@ -10,10 +10,13 @@
  */
 
 #include <iostream>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 #include "gpu/gpu_simulator.hh"
+#include "workload/trace_cache.hh"
 
 using namespace gllc;
 
@@ -29,22 +32,33 @@ main()
     TablePrinter tp({"LLC (full-scale)", "GSPC+UCD speedup",
                      "GSPC+UCD miss ratio"});
 
+    ThreadPool pool(sweepThreads());
     for (const std::uint64_t mb : {4, 8, 16, 32}) {
         GpuConfig gpu = GpuConfig::baseline();
         gpu.llcCapacityBytes = mb << 20;
 
-        double speedup_sum = 0, ratio_sum = 0, n = 0;
-        for (const FrameSpec &spec : frames) {
-            const FrameTrace trace =
-                renderFrame(*spec.app, spec.frameIndex, scale);
+        // (speedup, miss ratio) per frame, merged in frame order.
+        std::vector<std::pair<double, double>> per_frame(
+            frames.size());
+        pool.parallelFor(frames.size(), [&](std::size_t i) {
+            const FrameSpec &spec = frames[i];
+            const FrameTrace trace = cachedRenderFrame(
+                *spec.app, spec.frameIndex, scale);
             const FrameSimResult drrip = simulateFrame(
                 trace, policySpec("DRRIP+UCD"), gpu, scale);
             const FrameSimResult gspc = simulateFrame(
                 trace, policySpec("GSPC+UCD"), gpu, scale);
-            speedup_sum += gspc.timing.fps / drrip.timing.fps;
-            ratio_sum +=
+            per_frame[i] = {
+                gspc.timing.fps / drrip.timing.fps,
                 static_cast<double>(gspc.llcStats.totalMisses())
-                / static_cast<double>(drrip.llcStats.totalMisses());
+                    / static_cast<double>(
+                          drrip.llcStats.totalMisses())};
+        });
+
+        double speedup_sum = 0, ratio_sum = 0, n = 0;
+        for (const auto &[speedup, ratio] : per_frame) {
+            speedup_sum += speedup;
+            ratio_sum += ratio;
             n += 1;
         }
         tp.addRow({std::to_string(mb) + " MB",

@@ -21,14 +21,17 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"DRRIP", "DIP", "peLIFO", "UCP-stream",
-                       "GS-DRRIP", "GSPC"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig()
+            .policies({"DRRIP", "DIP", "peLIFO", "UCP-stream",
+                       "GS-DRRIP", "GSPC"})
+            .run();
     benchBanner(
         "Extension: partitioning/insertion baselines vs GSPC", sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

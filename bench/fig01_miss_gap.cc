@@ -14,13 +14,14 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"DRRIP", "NRU", "Belady"});
-    sweep.run();
+    const SweepResult result =
+        SweepConfig().policies({"DRRIP", "NRU", "Belady"}).run();
     benchBanner("Figure 1: NRU and Belady vs DRRIP (LLC misses)",
-                sweep);
-    sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
-                               "DRRIP");
+                result);
+    result.printNormalizedTable(std::cout, "LLC misses", missMetric,
+                                "DRRIP");
+    exportSweepResult(argc, argv, result);
     return 0;
 }

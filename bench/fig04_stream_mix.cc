@@ -12,7 +12,9 @@
 #include <map>
 
 #include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 #include "workload/frame_set.hh"
+#include "workload/trace_cache.hh"
 
 using namespace gllc;
 
@@ -20,27 +22,44 @@ int
 main()
 {
     const RenderScale scale = scaleFromEnv();
+    const auto frames = frameSetFromEnv();
     std::cout << "=== Figure 4: stream-wise LLC access distribution"
               << " (scale " << scale.linear << ") ===\n\n";
+
+    // Per-frame stream counts, generated in parallel and merged in
+    // frame-set order.
+    struct FrameCounts
+    {
+        std::array<std::uint64_t, kNumStreams> counts{};
+        std::uint64_t total = 0;
+    };
+    std::vector<FrameCounts> per_frame(frames.size());
+    {
+        ThreadPool pool(sweepThreads());
+        pool.parallelFor(frames.size(), [&](std::size_t i) {
+            const FrameTrace trace = cachedRenderFrame(
+                *frames[i].app, frames[i].frameIndex, scale);
+            per_frame[i].counts = trace.streamCounts();
+            per_frame[i].total = trace.accesses.size();
+        });
+    }
 
     std::map<std::string, std::array<std::uint64_t, kNumStreams>>
         per_app;
     std::array<double, kNumStreams> mean_pct{};
-    std::uint64_t frames = 0;
+    std::uint64_t nframes = 0;
 
-    for (const FrameSpec &spec : frameSetFromEnv()) {
-        const FrameTrace trace =
-            renderFrame(*spec.app, spec.frameIndex, scale);
-        const auto counts = trace.streamCounts();
-        auto &app_counts = per_app[spec.app->name];
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        auto &app_counts = per_app[frames[i].app->name];
         const double total =
-            static_cast<double>(trace.accesses.size());
+            static_cast<double>(per_frame[i].total);
         for (std::size_t s = 0; s < kNumStreams; ++s) {
-            app_counts[s] += counts[s];
-            mean_pct[s] += 100.0 * static_cast<double>(counts[s])
+            app_counts[s] += per_frame[i].counts[s];
+            mean_pct[s] +=
+                100.0 * static_cast<double>(per_frame[i].counts[s])
                 / total;
         }
-        ++frames;
+        ++nframes;
     }
 
     std::vector<std::string> header{"app"};
@@ -67,7 +86,7 @@ main()
     std::vector<std::string> mean_row{"MEAN"};
     for (std::size_t s = 0; s < kNumStreams; ++s) {
         mean_row.push_back(
-            fmt(mean_pct[s] / static_cast<double>(frames), 1) + "%");
+            fmt(mean_pct[s] / static_cast<double>(nframes), 1) + "%");
     }
     tp.addRow(std::move(mean_row));
     tp.print(std::cout);

@@ -17,7 +17,7 @@ namespace
 {
 
 void
-printPanel(const PolicySweep &sweep, StreamType stream,
+printPanel(const SweepResult &sweep, StreamType stream,
            const std::string &label)
 {
     const auto hits = sweep.totalsByApp([stream](const RunResult &r) {
@@ -60,13 +60,14 @@ printPanel(const PolicySweep &sweep, StreamType stream,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"Belady", "DRRIP", "NRU"});
-    sweep.run();
-    benchBanner("Figure 5: per-stream LLC hit rates", sweep);
-    printPanel(sweep, StreamType::Texture, "texture sampler");
-    printPanel(sweep, StreamType::RenderTarget, "render target");
-    printPanel(sweep, StreamType::Z, "Z");
+    const SweepResult result =
+        SweepConfig().policies({"Belady", "DRRIP", "NRU"}).run();
+    benchBanner("Figure 5: per-stream LLC hit rates", result);
+    printPanel(result, StreamType::Texture, "texture sampler");
+    printPanel(result, StreamType::RenderTarget, "render target");
+    printPanel(result, StreamType::Z, "Z");
+    exportSweepResult(argc, argv, result);
     return 0;
 }

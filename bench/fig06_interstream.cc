@@ -17,10 +17,10 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"Belady", "DRRIP", "NRU"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"Belady", "DRRIP", "NRU"}).run();
     benchBanner("Figure 6: inter-stream texture reuse", sweep);
 
     const auto inter = sweep.totalsByApp([](const RunResult &r) {
@@ -85,5 +85,6 @@ main()
     std::cout << "\nlower panel: % of RT blocks consumed by the "
               << "texture sampler\n";
     lower.print(std::cout);
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

@@ -15,10 +15,10 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"Belady"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"Belady"}).run();
     benchBanner("Figure 7: texture sampler epochs under Belady",
                 sweep);
 
@@ -52,5 +52,6 @@ main()
         add_row(app, per_app.at(app));
     add_row("ALL", mean_ch);
     tp.print(std::cout);
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

@@ -15,10 +15,10 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"DRRIP"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP"}).run();
     benchBanner("Figure 8: DRRIP fills at RRPV=3", sweep);
 
     std::map<std::string, FillHistogram> per_app;
@@ -42,5 +42,6 @@ main()
     tp.addRow({"ALL", pct(all, PolicyStream::RenderTarget),
                pct(all, PolicyStream::Texture)});
     tp.print(std::cout);
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

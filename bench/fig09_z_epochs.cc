@@ -15,10 +15,10 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"Belady"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"Belady"}).run();
     benchBanner("Figure 9: Z-stream epoch death ratios under Belady",
                 sweep);
 
@@ -39,5 +39,6 @@ main()
     tp.addRow({"ALL", fmt(all.zDeathRatio(0), 2),
                fmt(all.zDeathRatio(1), 2), fmt(all.zDeathRatio(2), 2)});
     tp.print(std::cout);
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

@@ -9,39 +9,63 @@
  * Creed slightly prefers t = 2.
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench/bench_util.hh"
+#include "common/logging.hh"
 
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"GSPZTC(t=16)", "GSPZTC(t=8)", "GSPZTC(t=4)",
-                       "GSPZTC(t=2)"});
-    sweep.run();
+    // The threshold-sweep points come from the registry's
+    // machine-readable metadata rather than hand-assembled names.
+    std::vector<PolicySpec> specs;
+    for (PolicySpec &spec : allPolicySpecs()) {
+        if (spec.baseName == "GSPZTC" && spec.threshold != 0
+            && !spec.uncachedDisplay)
+            specs.push_back(std::move(spec));
+    }
+    std::sort(specs.begin(), specs.end(),
+              [](const PolicySpec &a, const PolicySpec &b) {
+                  return a.threshold > b.threshold;
+              });
+    const auto name_of = [&specs](unsigned t) -> const std::string & {
+        for (const PolicySpec &spec : specs) {
+            if (spec.threshold == t)
+                return spec.name;
+        }
+        fatal("GSPZTC threshold t=%u not enumerated", t);
+    };
+    const std::string base_name = name_of(16);
+
+    const SweepResult sweep = SweepConfig().policySpecs(specs).run();
     benchBanner("Figure 11: GSPZTC threshold sensitivity", sweep);
 
     const auto totals = sweep.totalsByApp(missMetric);
 
     TablePrinter tp({"app", "t=2", "t=4", "t=8"});
     for (const std::string &app : sweep.appOrder()) {
-        const double base = totals.at(app).at("GSPZTC(t=16)");
-        auto delta = [&](const std::string &p) {
-            return fmt(100.0 * (totals.at(app).at(p) / base - 1.0), 2)
+        const double base = totals.at(app).at(base_name);
+        auto delta = [&](unsigned t) {
+            return fmt(100.0
+                           * (totals.at(app).at(name_of(t)) / base
+                              - 1.0),
+                       2)
                 + "%";
         };
-        tp.addRow({app, delta("GSPZTC(t=2)"), delta("GSPZTC(t=4)"),
-                   delta("GSPZTC(t=8)")});
+        tp.addRow({app, delta(2), delta(4), delta(8)});
     }
-    const auto means = sweep.meanNormalized(missMetric, "GSPZTC(t=16)");
-    tp.addRow({"MEAN",
-               fmt(100.0 * (means.at("GSPZTC(t=2)") - 1.0), 2) + "%",
-               fmt(100.0 * (means.at("GSPZTC(t=4)") - 1.0), 2) + "%",
-               fmt(100.0 * (means.at("GSPZTC(t=8)") - 1.0), 2) + "%"});
+    const auto means = sweep.meanNormalized(missMetric, base_name);
+    auto mean_delta = [&](unsigned t) {
+        return fmt(100.0 * (means.at(name_of(t)) - 1.0), 2) + "%";
+    };
+    tp.addRow({"MEAN", mean_delta(2), mean_delta(4), mean_delta(8)});
     std::cout << "percent change in LLC misses relative to t=16 "
               << "(positive = more misses)\n";
     tp.print(std::cout);
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

@@ -9,10 +9,8 @@
  * gainer (-29.6% under GSPC+UCD); no application loses under GSPC.
  */
 
-#include <fstream>
 #include <iostream>
 
-#include "analysis/report.hh"
 #include "bench/bench_util.hh"
 
 using namespace gllc;
@@ -20,20 +18,18 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    PolicySweep sweep({"DRRIP", "NRU", "SHiP-mem", "GS-DRRIP",
+    const SweepResult result =
+        SweepConfig()
+            .policies({"DRRIP", "NRU", "SHiP-mem", "GS-DRRIP",
                        "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD",
-                       "DRRIP+UCD"});
-    sweep.run();
-    benchBanner("Figure 12: LLC misses across policies", sweep);
-    sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
-                               "DRRIP");
+                       "DRRIP+UCD"})
+            .run();
+    benchBanner("Figure 12: LLC misses across policies", result);
+    result.printNormalizedTable(std::cout, "LLC misses", missMetric,
+                                "DRRIP");
 
-    // --csv <path>: dump every (app, frame, policy) cell for
+    // --csv/--json <path>: dump every (app, frame, policy) cell for
     // plotting / regression tracking.
-    if (argc == 3 && std::string(argv[1]) == "--csv") {
-        std::ofstream csv(argv[2]);
-        writeSweepCsv(sweep, csv);
-        std::cout << "wrote " << argv[2] << "\n";
-    }
+    exportSweepResult(argc, argv, result);
     return 0;
 }

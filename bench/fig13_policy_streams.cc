@@ -18,11 +18,13 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep({"DRRIP", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE",
-                       "GSPC", "GSPC+UCD", "Belady"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig()
+            .policies({"DRRIP", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE",
+                       "GSPC", "GSPC+UCD", "Belady"})
+            .run();
     benchBanner("Figure 13: per-policy stream behaviour (means)",
                 sweep);
 
@@ -63,5 +65,6 @@ main()
                    fmtPct(safeRatio(a.z_hits, a.z_acc))});
     }
     tp.print(std::cout);
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

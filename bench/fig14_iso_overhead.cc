@@ -16,14 +16,17 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
-    PolicySweep sweep(
-        {"DRRIP", "LRU", "DRRIP-4", "GS-DRRIP-4", "GSPC"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig()
+            .policies({"DRRIP", "LRU", "DRRIP-4", "GS-DRRIP-4",
+                       "GSPC"})
+            .run();
     benchBanner("Figure 14: iso-overhead policies (4 state bits)",
                 sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
+    exportSweepResult(argc, argv, sweep);
     return 0;
 }

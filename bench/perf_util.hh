@@ -8,6 +8,11 @@
  * Following Section 5.2, every policy here runs with uncached
  * displayable color ("NRU, GS-DRRIP, GSPC, and DRRIP will stand for
  * NRU+UCD, GS-DRRIP+UCD, GSPC+UCD, and DRRIP+UCD").
+ *
+ * Like the sweep engine, the (frame, policy) simulations are
+ * independent: frames fan out over a ThreadPool (GLLC_THREADS) and
+ * the per-frame results are merged in frame-set order, so the
+ * output is identical to a serial run.
  */
 
 #ifndef GLLC_BENCH_PERF_UTIL_HH
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 #include "gpu/gpu_simulator.hh"
 #include "workload/trace_cache.hh"
 
@@ -33,6 +39,7 @@ runPerfFigure(const std::string &what, const GpuConfig &gpu,
 {
     const RenderScale scale = scaleFromEnv();
     const auto frames = frameSetFromEnv();
+    const unsigned nthreads = sweepThreads();
 
     std::cout << "=== " << what << " ===\n"
               << "GPU: " << gpu.shaderCores << " cores x "
@@ -40,31 +47,45 @@ runPerfFigure(const std::string &what, const GpuConfig &gpu,
               << " samplers, LLC "
               << (gpu.llcCapacityBytes >> 20) << " MB (scaled /"
               << scale.pixelScale() << "), " << gpu.dram.name
-              << ", scale " << scale.linear << "\n\n";
+              << ", scale " << scale.linear << ", " << nthreads
+              << " thread(s)\n\n";
+
+    // Each frame task renders its trace once and simulates every
+    // policy; results land in per-frame slots merged in frame-set
+    // order below, so the output matches a serial run exactly.
+    std::vector<std::map<std::string, double>> frame_fps(
+        frames.size());
+    {
+        ThreadPool pool(nthreads);
+        pool.parallelFor(frames.size(), [&](std::size_t i) {
+            const FrameSpec &spec = frames[i];
+            const FrameTrace trace = cachedRenderFrame(
+                *spec.app, spec.frameIndex, scale);
+            for (const std::string &p : policies) {
+                frame_fps[i][p] =
+                    simulateFrame(trace, policySpec(p), gpu, scale)
+                        .timing.fps;
+            }
+        });
+    }
 
     // fps per (app, policy) averaged over the app's frames, plus the
     // overall per-frame normalized means.
     std::map<std::string, std::map<std::string, double>> app_fps;
     std::map<std::string, std::uint32_t> app_frames;
     std::map<std::string, double> norm_sum;
-    double mean_fps_baseline = 0, mean_fps_count = 0;
+    double mean_fps_count = 0;
     std::map<std::string, double> mean_fps;
 
-    for (const FrameSpec &spec : frames) {
-        const FrameTrace trace =
-            cachedRenderFrame(*spec.app, spec.frameIndex, scale);
-        std::map<std::string, double> fps;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        const FrameSpec &spec = frames[i];
+        const std::map<std::string, double> &fps = frame_fps[i];
         for (const std::string &p : policies) {
-            const FrameSimResult r =
-                simulateFrame(trace, policySpec(p), gpu, scale);
-            fps[p] = r.timing.fps;
-            app_fps[spec.app->name][p] += r.timing.fps;
-            mean_fps[p] += r.timing.fps;
+            app_fps[spec.app->name][p] += fps.at(p);
+            mean_fps[p] += fps.at(p);
+            norm_sum[p] += fps.at(p) / fps.at(baseline);
         }
         ++app_frames[spec.app->name];
-        for (const std::string &p : policies)
-            norm_sum[p] += fps.at(p) / fps.at(baseline);
-        mean_fps_baseline += fps.at(baseline);
         mean_fps_count += 1;
     }
 

@@ -53,26 +53,29 @@ main(int argc, char **argv)
               << (1u << params.sampleLog2) << " bypass="
               << (params.bypassDeadFills ? "on" : "off") << "\n\n";
 
-    // Custom policies enter the sweep through the registry-free
-    // path: run the frames manually with three specs.
+    // The candidate enters the sweep through the registry-free
+    // spec path, next to the two registry reference points.
     PolicySpec candidate;
     candidate.name = "candidate";
+    candidate.baseName = "GSPC";
     candidate.factory = GspcFamilyPolicy::factory(variant, params);
     candidate.uncachedDisplay = true;
 
-    const RenderScale scale = scaleFromEnv();
-    const LlcConfig llc =
-        scaledLlcConfig(8ull << 20, scale.pixelScale());
+    const SweepResult sweep =
+        SweepConfig()
+            .policySpecs({policySpec("DRRIP"), policySpec("GSPC+UCD"),
+                          candidate})
+            .run();
 
     double drrip = 0, paper = 0, cand = 0;
-    for (const FrameSpec &spec : frameSetFromEnv()) {
-        const FrameTrace trace =
-            renderFrame(*spec.app, spec.frameIndex, scale);
-        drrip += missMetric(
-            runTrace(trace, policySpec("DRRIP"), llc));
-        paper += missMetric(
-            runTrace(trace, policySpec("GSPC+UCD"), llc));
-        cand += missMetric(runTrace(trace, candidate, llc));
+    for (const SweepCell &cell : sweep.cells()) {
+        const double misses = missMetric(cell.result);
+        if (cell.policy == "DRRIP")
+            drrip += misses;
+        else if (cell.policy == "GSPC+UCD")
+            paper += misses;
+        else
+            cand += misses;
     }
 
     TablePrinter tp({"policy", "misses vs DRRIP"});

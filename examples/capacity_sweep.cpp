@@ -36,8 +36,10 @@ main(int argc, char **argv)
     TablePrinter tp(header);
 
     for (const std::uint64_t mb : {2, 4, 8, 16, 32}) {
-        PolicySweep sweep(policies, mb << 20);
-        sweep.run();
+        const SweepResult sweep = SweepConfig()
+                                      .policies(policies)
+                                      .llcBytes(mb << 20)
+                                      .run();
         const auto means = sweep.meanNormalized(missMetric, "DRRIP");
         std::vector<std::string> row{std::to_string(mb) + " MB"};
         for (const auto &p : policies) {

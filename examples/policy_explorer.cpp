@@ -30,13 +30,14 @@ main(int argc, char **argv)
                     "GSPC+UCD",   "Belady"};
     }
 
-    PolicySweep sweep(policies);
-    std::cout << "LLC: " << sweep.llcConfig().capacityBytes / 1024
-              << " KB, " << sweep.llcConfig().ways << "-way, "
-              << sweep.llcConfig().banks << " banks (scale "
-              << sweep.scale().linear << ")\n\n";
-    sweep.run();
-    sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
-                               "DRRIP");
+    SweepConfig config;
+    config.policies(policies);
+    std::cout << "LLC: " << config.llcConfig().capacityBytes / 1024
+              << " KB, " << config.llcConfig().ways << "-way, "
+              << config.llcConfig().banks << " banks (scale "
+              << config.scale().linear << ")\n\n";
+    const SweepResult result = config.run();
+    result.printNormalizedTable(std::cout, "LLC misses", missMetric,
+                                "DRRIP");
     return 0;
 }

@@ -39,6 +39,7 @@ baseSpec(const std::string &name)
 {
     PolicySpec spec;
     spec.name = name;
+    spec.baseName = name;
 
     if (name == "NRU") {
         spec.factory = NruPolicy::factory();
@@ -84,6 +85,8 @@ baseSpec(const std::string &name)
         unsigned t = 0;
         if (std::sscanf(name.c_str(), "GSPZTC(t=%u)", &t) == 1
             && t >= 1) {
+            spec.baseName = "GSPZTC";
+            spec.threshold = t;
             spec.factory =
                 GspcFamilyPolicy::factory(GspcVariant::Gspztc, t);
         } else {
@@ -106,6 +109,13 @@ policySpec(const std::string &name)
     return spec;
 }
 
+const std::vector<unsigned> &
+gspztcSweepThresholds()
+{
+    static const std::vector<unsigned> thresholds{2, 4, 8, 16};
+    return thresholds;
+}
+
 std::vector<std::string>
 allPolicyNames()
 {
@@ -115,6 +125,28 @@ allPolicyNames()
         "peLIFO",
         "Belady", "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+B",
     };
+}
+
+std::vector<PolicySpec>
+allPolicySpecs()
+{
+    std::vector<std::string> names;
+    for (const std::string &base : allPolicyNames()) {
+        names.push_back(base);
+        names.push_back(base + "+UCD");
+    }
+    for (const unsigned t : gspztcSweepThresholds()) {
+        const std::string name =
+            "GSPZTC(t=" + std::to_string(t) + ")";
+        names.push_back(name);
+        names.push_back(name + "+UCD");
+    }
+
+    std::vector<PolicySpec> specs;
+    specs.reserve(names.size());
+    for (const std::string &name : names)
+        specs.push_back(policySpec(name));
+    return specs;
 }
 
 } // namespace gllc

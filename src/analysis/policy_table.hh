@@ -23,6 +23,15 @@ struct PolicySpec
 {
     std::string name;
 
+    /**
+     * Machine-readable identity: the registry base name ("GSPZTC"
+     * for "GSPZTC(t=4)+UCD") and the explicit threshold parameter
+     * (0 when the name carries none), so harnesses never have to
+     * parse the display name.
+     */
+    std::string baseName;
+    unsigned threshold = 0;
+
     /** Creates one per-bank ReplacementPolicy instance. */
     PolicyFactory factory;
 
@@ -44,6 +53,17 @@ PolicySpec policySpec(const std::string &name);
 
 /** All registered base policy names (no UCD variants). */
 std::vector<std::string> allPolicyNames();
+
+/**
+ * Every evaluated policy variant: each base name, its "+UCD"
+ * configuration, and the GSPZTC(t=N) threshold-sweep points (with
+ * and without UCD), as full PolicySpec values whose baseName /
+ * threshold / uncachedDisplay metadata identify the variant.
+ */
+std::vector<PolicySpec> allPolicySpecs();
+
+/** The threshold-sweep points enumerated by allPolicySpecs(). */
+const std::vector<unsigned> &gspztcSweepThresholds();
 
 } // namespace gllc
 

@@ -6,13 +6,13 @@ namespace gllc
 {
 
 void
-writeSweepCsv(const PolicySweep &sweep, std::ostream &os)
+writeSweepCsv(const SweepResult &result, std::ostream &os)
 {
     os << "app,frame,policy,accesses,hits,misses,writebacks,"
        << "tex_hit_rate,rt_hit_rate,z_hit_rate,"
        << "rt_productions,rt_consumptions,"
        << "inter_tex_hits,intra_tex_hits\n";
-    for (const SweepCell &cell : sweep.cells()) {
+    for (const SweepCell &cell : result.cells()) {
         const LlcStats &s = cell.result.stats;
         const Characterization &ch = cell.result.characterization;
         os << cell.app << ',' << cell.frameIndex << ',' << cell.policy
@@ -24,6 +24,76 @@ writeSweepCsv(const PolicySweep &sweep, std::ostream &os)
            << ',' << ch.rtConsumptions << ',' << ch.interTexHits
            << ',' << ch.intraTexHits << '\n';
     }
+}
+
+namespace
+{
+
+/** Registry names are plain ASCII, but stay valid JSON regardless. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeSweepJson(const SweepResult &result, std::ostream &os)
+{
+    const LlcConfig &llc = result.llcConfig();
+    os << "{\n"
+       << "  \"scale\": " << result.scale().linear << ",\n"
+       << "  \"llc\": {\"capacity_bytes\": " << llc.capacityBytes
+       << ", \"ways\": " << llc.ways << ", \"banks\": " << llc.banks
+       << "},\n"
+       << "  \"policies\": [";
+    for (std::size_t i = 0; i < result.policies().size(); ++i) {
+        os << (i ? ", " : "") << '"'
+           << jsonEscape(result.policies()[i]) << '"';
+    }
+    os << "],\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < result.cells().size(); ++i) {
+        const SweepCell &cell = result.cells()[i];
+        const LlcStats &s = cell.result.stats;
+        const Characterization &ch = cell.result.characterization;
+        os << "    {\"app\": \"" << jsonEscape(cell.app)
+           << "\", \"frame\": " << cell.frameIndex
+           << ", \"policy\": \"" << jsonEscape(cell.policy)
+           << "\", \"accesses\": " << s.totalAccesses()
+           << ", \"hits\": " << s.totalHits()
+           << ", \"misses\": " << s.totalMisses()
+           << ", \"writebacks\": " << s.writebacks
+           << ", \"tex_hit_rate\": " << s.hitRate(StreamType::Texture)
+           << ", \"rt_hit_rate\": "
+           << s.hitRate(StreamType::RenderTarget)
+           << ", \"z_hit_rate\": " << s.hitRate(StreamType::Z)
+           << ", \"rt_productions\": " << ch.rtProductions
+           << ", \"rt_consumptions\": " << ch.rtConsumptions
+           << ", \"inter_tex_hits\": " << ch.interTexHits
+           << ", \"intra_tex_hits\": " << ch.intraTexHits << "}"
+           << (i + 1 < result.cells().size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+void
+SweepResult::writeCsv(std::ostream &os) const
+{
+    writeSweepCsv(*this, os);
+}
+
+void
+SweepResult::writeJson(std::ostream &os) const
+{
+    writeSweepJson(*this, os);
 }
 
 } // namespace gllc

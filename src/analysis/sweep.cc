@@ -1,13 +1,83 @@
 #include "analysis/sweep.hh"
 
-#include <ostream>
+#include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <thread>
+
+#include "common/env.hh"
 #include "common/logging.hh"
-#include "workload/trace_cache.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
+#include "workload/trace_cache.hh"
 
 namespace gllc
 {
+
+namespace
+{
+
+/**
+ * Throttled cells/s + ETA reporter on stderr.  Updated from the
+ * merging thread only, so it needs no locking.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(bool enabled, std::size_t total_cells)
+        : enabled_(enabled), total_(total_cells),
+          start_(std::chrono::steady_clock::now()), lastPrint_(start_)
+    {
+    }
+
+    void
+    update(std::size_t done)
+    {
+        if (!enabled_ || done == 0)
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        if (done < total_ && now - lastPrint_
+            < std::chrono::milliseconds(250))
+            return;
+        lastPrint_ = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(total_ - done) / rate
+                       : 0.0;
+        std::fprintf(stderr,
+                     "\rsweep: %zu/%zu cells  %.1f cells/s  "
+                     "ETA %.0fs   ",
+                     done, total_, rate, eta);
+        if (done >= total_)
+            std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+    }
+
+  private:
+    bool enabled_;
+    std::size_t total_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastPrint_;
+};
+
+bool
+progressEnabled(int override_flag)
+{
+    if (override_flag >= 0)
+        return override_flag != 0;
+    const std::string env = envString("GLLC_PROGRESS", "");
+    if (!env.empty())
+        return env != "0";
+    return isatty(2) != 0;
+}
+
+} // namespace
 
 double
 missMetric(const RunResult &r)
@@ -15,51 +85,242 @@ missMetric(const RunResult &r)
     return static_cast<double>(r.stats.totalMisses());
 }
 
-PolicySweep::PolicySweep(std::vector<std::string> policy_names,
-                         std::uint64_t full_llc_bytes)
-    : policies_(std::move(policy_names)),
-      scale_(scaleFromEnv()),
-      frames_(frameSetFromEnv()),
-      llcConfig_(scaledLlcConfig(full_llc_bytes, scale_.pixelScale()))
+unsigned
+sweepThreads(unsigned requested)
 {
-    GLLC_ASSERT(!policies_.empty());
+    if (requested > 0)
+        return requested;
+    const std::int64_t env = envInt("GLLC_THREADS", 0);
+    if (env > 0)
+        return static_cast<unsigned>(env);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
-void
-PolicySweep::run(const std::function<void(const SweepCell &,
-                                          const FrameTrace &)> &per_frame)
+// ---------------------------------------------------------------
+// SweepConfig
+// ---------------------------------------------------------------
+
+SweepConfig::SweepConfig()
+    : scale_(scaleFromEnv()),
+      frames_(frameSetFromEnv()),
+      llcConfig_(scaledLlcConfig(8ull << 20, scale_.pixelScale())),
+      fullLlcBytes_(8ull << 20)
 {
-    cells_.clear();
-    cells_.reserve(frames_.size() * policies_.size());
+}
 
-    for (const FrameSpec &spec : frames_) {
-        const FrameTrace trace =
-            cachedRenderFrame(*spec.app, spec.frameIndex, scale_);
+SweepConfig &
+SweepConfig::policies(std::vector<std::string> names)
+{
+    specs_.clear();
+    specs_.reserve(names.size());
+    for (const std::string &name : names)
+        specs_.push_back(policySpec(name));
+    return *this;
+}
 
-        for (const std::string &policy : policies_) {
-            SweepCell cell;
-            cell.app = spec.app->name;
-            cell.frameIndex = spec.frameIndex;
-            cell.policy = policy;
+SweepConfig &
+SweepConfig::policySpecs(std::vector<PolicySpec> specs)
+{
+    specs_ = std::move(specs);
+    return *this;
+}
 
-            RunOptions options;
-            options.collectDramTrace = collectDram_;
-            cell.result = runTrace(trace, policySpec(policy),
-                                   llcConfig_, options);
+SweepConfig &
+SweepConfig::llcBytes(std::uint64_t full_llc_bytes)
+{
+    fullLlcBytes_ = full_llc_bytes;
+    llcConfig_ = scaledLlcConfig(fullLlcBytes_, scale_.pixelScale());
+    return *this;
+}
 
-            if (per_frame)
-                per_frame(cell, trace);
+SweepConfig &
+SweepConfig::frames(std::vector<FrameSpec> frames)
+{
+    frames_ = std::move(frames);
+    return *this;
+}
 
-            // DRAM traces are large; do not retain them.
-            cell.result.dramTrace.clear();
-            cell.result.dramTrace.shrink_to_fit();
-            cells_.push_back(std::move(cell));
-        }
-    }
+SweepConfig &
+SweepConfig::scale(const RenderScale &scale)
+{
+    scale_ = scale;
+    llcConfig_ = scaledLlcConfig(fullLlcBytes_, scale_.pixelScale());
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::collectDramTrace(bool collect)
+{
+    collectDram_ = collect;
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::threads(unsigned count)
+{
+    threads_ = count;
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::frameWindow(unsigned frames)
+{
+    frameWindow_ = frames;
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::progress(bool enabled)
+{
+    progress_ = enabled ? 1 : 0;
+    return *this;
 }
 
 std::vector<std::string>
-PolicySweep::appOrder() const
+SweepConfig::policyNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(specs_.size());
+    for (const PolicySpec &spec : specs_)
+        names.push_back(spec.name);
+    return names;
+}
+
+unsigned
+SweepConfig::resolvedThreads() const
+{
+    return sweepThreads(threads_);
+}
+
+SweepResult
+SweepConfig::run(const CellObserver &observer) const
+{
+    GLLC_ASSERT(!specs_.empty());
+
+    const std::size_t num_policies = specs_.size();
+    const std::size_t num_frames = frames_.size();
+    const std::size_t num_cells = num_frames * num_policies;
+    const unsigned nthreads = resolvedThreads();
+
+    SweepResult result;
+    result.policies_ = policyNames();
+    result.scale_ = scale_;
+    result.llcConfig_ = llcConfig_;
+    result.threadsUsed_ = nthreads;
+    result.cells_.resize(num_cells);
+
+    // Window of frames whose traces live in memory concurrently.
+    std::size_t window = frameWindow_;
+    if (window == 0)
+        window = static_cast<std::size_t>(
+            envInt("GLLC_FRAME_WINDOW", 0));
+    if (window == 0)
+        window = 2 * static_cast<std::size_t>(nthreads);
+    // Each in-flight cell of a DRAM-trace run retains a bulky
+    // trace until observed, so keep fewer frames open.
+    if (collectDram_)
+        window = std::min<std::size_t>(window, nthreads);
+    window = std::max<std::size_t>(1,
+                                   std::min(window, num_frames));
+
+    ProgressMeter progress(progressEnabled(progress_), num_cells);
+    const auto start = std::chrono::steady_clock::now();
+
+    // Replay one cell.  Everything it touches is private to the
+    // call (the trace is shared immutable), so cells run on any
+    // thread with bit-identical results.
+    const auto run_cell = [this](const FrameSpec &frame,
+                                 const FrameTrace &trace,
+                                 const PolicySpec &spec) {
+        SweepCell cell;
+        cell.app = frame.app->name;
+        cell.frameIndex = frame.frameIndex;
+        cell.policy = spec.name;
+        RunOptions options;
+        options.collectDramTrace = collectDram_;
+        cell.result = runTrace(trace, spec, llcConfig_, options);
+        return cell;
+    };
+
+    // Observe in deterministic order, then drop the bulky trace.
+    const auto finish_cell = [&observer](SweepCell &cell,
+                                         const FrameTrace &trace) {
+        if (observer)
+            observer(cell, trace);
+        cell.result.dramTrace.clear();
+        cell.result.dramTrace.shrink_to_fit();
+    };
+
+    if (nthreads == 1) {
+        // Serial fallback (GLLC_THREADS=1): no pool, no extra
+        // trace buffering.
+        std::size_t done = 0;
+        for (std::size_t f = 0; f < num_frames; ++f) {
+            const FrameSpec &frame = frames_[f];
+            const FrameTrace trace = cachedRenderFrame(
+                *frame.app, frame.frameIndex, scale_);
+            for (std::size_t p = 0; p < num_policies; ++p) {
+                SweepCell &cell =
+                    result.cells_[f * num_policies + p];
+                cell = run_cell(frame, trace, specs_[p]);
+                finish_cell(cell, trace);
+                progress.update(++done);
+            }
+        }
+    } else {
+        ThreadPool pool(nthreads);
+        std::size_t done = 0;
+        for (std::size_t base = 0; base < num_frames;
+             base += window) {
+            const std::size_t block =
+                std::min(window, num_frames - base);
+
+            // Produce the block's traces once, in parallel;
+            // immutable from here on.
+            std::vector<FrameTrace> traces(block);
+            pool.parallelFor(block, [&](std::size_t i) {
+                const FrameSpec &frame = frames_[base + i];
+                traces[i] = cachedRenderFrame(
+                    *frame.app, frame.frameIndex, scale_);
+            });
+
+            // Replay every (frame, policy) cell of the block
+            // concurrently into its preallocated slot.
+            pool.parallelFor(
+                block * num_policies, [&](std::size_t k) {
+                    const std::size_t f = k / num_policies;
+                    const std::size_t p = k % num_policies;
+                    result.cells_[(base + f) * num_policies + p] =
+                        run_cell(frames_[base + f], traces[f],
+                                 specs_[p]);
+                });
+
+            // Merge: observers fire in sweep order regardless of
+            // completion order.
+            for (std::size_t f = 0; f < block; ++f) {
+                for (std::size_t p = 0; p < num_policies; ++p) {
+                    finish_cell(
+                        result.cells_[(base + f) * num_policies + p],
+                        traces[f]);
+                    progress.update(++done);
+                }
+            }
+        }
+    }
+
+    result.wallSeconds_ = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    return result;
+}
+
+// ---------------------------------------------------------------
+// SweepResult
+// ---------------------------------------------------------------
+
+std::vector<std::string>
+SweepResult::appOrder() const
 {
     std::vector<std::string> order;
     for (const AppProfile &app : paperApps()) {
@@ -74,7 +335,7 @@ PolicySweep::appOrder() const
 }
 
 std::map<std::string, std::map<std::string, double>>
-PolicySweep::totalsByApp(const Metric &metric) const
+SweepResult::totalsByApp(const Metric &metric) const
 {
     std::map<std::string, std::map<std::string, double>> totals;
     for (const SweepCell &cell : cells_)
@@ -83,7 +344,7 @@ PolicySweep::totalsByApp(const Metric &metric) const
 }
 
 std::map<std::string, double>
-PolicySweep::meanNormalized(const Metric &metric,
+SweepResult::meanNormalized(const Metric &metric,
                             const std::string &baseline) const
 {
     // Collect per-frame baseline values.
@@ -111,7 +372,7 @@ PolicySweep::meanNormalized(const Metric &metric,
 }
 
 void
-PolicySweep::printNormalizedTable(std::ostream &os,
+SweepResult::printNormalizedTable(std::ostream &os,
                                   const std::string &title,
                                   const Metric &metric,
                                   const std::string &baseline) const

@@ -8,15 +8,31 @@
  * is how the paper aggregates (per-frame values averaged over all
  * 52 frames; per-app bars average that title's frames).
  *
- * Frames are expensive to generate, so the sweep generates each
- * frame trace once and replays it under every policy before moving
- * on.
+ * Execution model.  A sweep is a matrix of independent
+ * (frame, policy) cells: every replay owns its OfflineSim, policy
+ * instances and per-bank counters, so cells are embarrassingly
+ * parallel.  The engine renders each frame trace once (traces are
+ * immutable after build and shared read-only by the replays of that
+ * frame), fans the cells of a window of frames out over a
+ * ThreadPool, and merges the finished cells into deterministic
+ * Table-1 order regardless of completion order.  Results are
+ * bit-identical to a serial run: trace generation is seeded per
+ * (app, frame) and each replay is deterministic in isolation.
+ *
+ * Knobs (environment, overridable per SweepConfig):
+ *   GLLC_THREADS       worker count (1 = serial in-thread fallback;
+ *                      default: hardware concurrency)
+ *   GLLC_FRAME_WINDOW  frames whose traces may be cached in memory
+ *                      at once (bounds peak RSS; default 2x threads)
+ *   GLLC_PROGRESS      1/0 forces cells/s + ETA reporting on stderr
+ *                      (default: only when stderr is a terminal)
  */
 
 #ifndef GLLC_ANALYSIS_SWEEP_HH
 #define GLLC_ANALYSIS_SWEEP_HH
 
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,31 +52,34 @@ struct SweepCell
     RunResult result;
 };
 
-/** Environment-configured sweep over frames x policies. */
-class PolicySweep
+/**
+ * Completed sweep: the cells in deterministic Table-1 order
+ * (frames in frame-set order, policies in configured order within
+ * each frame) plus the aggregation and export methods every
+ * harness shares.
+ */
+class SweepResult
 {
   public:
-    /**
-     * @param policy_names policies to evaluate (policySpec names)
-     * @param full_llc_bytes unscaled LLC capacity (8 MB baseline)
-     */
-    PolicySweep(std::vector<std::string> policy_names,
-                std::uint64_t full_llc_bytes = 8ull << 20);
-
-    /** Collect the DRAM trace of every replay (timing benches). */
-    void setCollectDramTrace(bool collect) { collectDram_ = collect; }
-
-    /**
-     * Run the sweep.  @p per_frame (optional) observes each cell as
-     * it completes, e.g. to feed a timing model; the cell's
-     * dramTrace is valid during the callback only if enabled.
-     */
-    void run(const std::function<void(const SweepCell &,
-                                      const FrameTrace &)> &per_frame
-             = nullptr);
-
-    /** Per-app total of a per-cell metric, plus "MEAN" of ratios. */
+    /** Per-cell scalar metric, e.g. missMetric. */
     using Metric = std::function<double(const RunResult &)>;
+
+    const std::vector<SweepCell> &cells() const { return cells_; }
+    const std::vector<std::string> &policies() const
+    {
+        return policies_;
+    }
+    const RenderScale &scale() const { return scale_; }
+    const LlcConfig &llcConfig() const { return llcConfig_; }
+
+    /** Wall-clock seconds spent executing the sweep. */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Worker threads the sweep actually used. */
+    unsigned threadsUsed() const { return threadsUsed_; }
+
+    /** Application names in Table 1 order (only those swept). */
+    std::vector<std::string> appOrder() const;
 
     /**
      * Sum @p metric per (app, policy); rows ordered like Table 1.
@@ -68,39 +87,207 @@ class PolicySweep
     std::map<std::string, std::map<std::string, double>>
     totalsByApp(const Metric &metric) const;
 
-    /**
-     * Print a table of per-app values of @p metric for every policy
-     * normalized to @p baseline (the paper's usual presentation),
-     * with a final MEAN row averaging the per-frame ratios.
-     */
-    void printNormalizedTable(std::ostream &os, const std::string &title,
-                              const Metric &metric,
-                              const std::string &baseline) const;
-
     /** Mean over frames of (metric / baseline metric) per policy. */
     std::map<std::string, double>
     meanNormalized(const Metric &metric,
                    const std::string &baseline) const;
 
-    const std::vector<SweepCell> &cells() const { return cells_; }
-    const std::vector<std::string> &policies() const { return policies_; }
-    const RenderScale &scale() const { return scale_; }
-    const LlcConfig &llcConfig() const { return llcConfig_; }
+    /**
+     * Print a table of per-app values of @p metric for every policy
+     * normalized to @p baseline (the paper's usual presentation),
+     * with a final MEAN row averaging the per-frame ratios.
+     */
+    void printNormalizedTable(std::ostream &os,
+                              const std::string &title,
+                              const Metric &metric,
+                              const std::string &baseline) const;
 
-    /** Application names in Table 1 order (only those swept). */
-    std::vector<std::string> appOrder() const;
+    /** Machine-readable export (the writers live in report.cc). */
+    void writeCsv(std::ostream &os) const;
+    void writeJson(std::ostream &os) const;
 
   private:
+    friend class SweepConfig;
+
     std::vector<std::string> policies_;
+    RenderScale scale_;
+    LlcConfig llcConfig_;
+    std::vector<SweepCell> cells_;
+    double wallSeconds_ = 0.0;
+    unsigned threadsUsed_ = 1;
+};
+
+/**
+ * Builder describing a frames x policies sweep.
+ *
+ * Defaults come from the environment (GLLC_SCALE, GLLC_FRAMES,
+ * GLLC_THREADS, GLLC_FRAME_WINDOW); every knob can be overridden:
+ *
+ *   SweepResult r = SweepConfig()
+ *                       .policies({"DRRIP", "GSPC"})
+ *                       .llcBytes(16ull << 20)
+ *                       .threads(8)
+ *                       .run();
+ */
+class SweepConfig
+{
+  public:
+    SweepConfig();
+
+    /** Policies to evaluate, by policySpec registry name. */
+    SweepConfig &policies(std::vector<std::string> names);
+
+    /** Policies as explicit specs (registry-free custom policies). */
+    SweepConfig &policySpecs(std::vector<PolicySpec> specs);
+
+    /** Unscaled LLC capacity (8 MB baseline by default). */
+    SweepConfig &llcBytes(std::uint64_t full_llc_bytes);
+
+    /** Frame subset (default: frameSetFromEnv()). */
+    SweepConfig &frames(std::vector<FrameSpec> frames);
+
+    /** Render scale override (default: scaleFromEnv()). */
+    SweepConfig &scale(const RenderScale &scale);
+
+    /** Collect the DRAM trace of every replay (timing benches). */
+    SweepConfig &collectDramTrace(bool collect);
+
+    /** Worker threads; 0 = GLLC_THREADS / hardware concurrency. */
+    SweepConfig &threads(unsigned count);
+
+    /**
+     * Max frames whose traces are held in memory at once; 0 =
+     * GLLC_FRAME_WINDOW / 2x threads.  DRAM-trace collection
+     * narrows the effective window to the thread count, because
+     * each in-flight cell then retains a bulky trace.
+     */
+    SweepConfig &frameWindow(unsigned frames);
+
+    /** Force progress reporting on or off (default: tty autodetect). */
+    SweepConfig &progress(bool enabled);
+
+    /**
+     * Observes each completed cell in deterministic sweep order,
+     * e.g. to feed a timing model; the cell's dramTrace and the
+     * frame trace are valid during the callback only.
+     */
+    using CellObserver = std::function<void(const SweepCell &,
+                                            const FrameTrace &)>;
+
+    /** Execute the sweep. */
+    SweepResult run(const CellObserver &observer = nullptr) const;
+
+    /** The LLC configuration the sweep will replay against. */
+    const LlcConfig &llcConfig() const { return llcConfig_; }
+    const RenderScale &scale() const { return scale_; }
+    const std::vector<FrameSpec> &frames() const { return frames_; }
+
+    /** Policy display names in configured order. */
+    std::vector<std::string> policyNames() const;
+
+    /** Resolved worker-thread count (after env defaulting). */
+    unsigned resolvedThreads() const;
+
+  private:
+    std::vector<PolicySpec> specs_;
     RenderScale scale_;
     std::vector<FrameSpec> frames_;
     LlcConfig llcConfig_;
+    std::uint64_t fullLlcBytes_ = 8ull << 20;
     bool collectDram_ = false;
-    std::vector<SweepCell> cells_;
+    unsigned threads_ = 0;
+    unsigned frameWindow_ = 0;
+    int progress_ = -1;  ///< -1 auto, 0 off, 1 on
 };
+
+/**
+ * Resolve a requested worker count: 0 falls back to GLLC_THREADS,
+ * then to the hardware concurrency.  Shared with the perf harnesses
+ * that parallelize outside the sweep engine.
+ */
+unsigned sweepThreads(unsigned requested = 0);
 
 /** Common metric: total LLC misses (including bypasses). */
 double missMetric(const RunResult &r);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+/**
+ * Deprecated constructor-args + callback shim over
+ * SweepConfig/SweepResult, kept so out-of-tree call sites keep
+ * compiling during the migration.  New code uses SweepConfig.
+ */
+class [[deprecated("use SweepConfig/SweepResult")]] PolicySweep
+{
+  public:
+    explicit PolicySweep(std::vector<std::string> policy_names,
+                         std::uint64_t full_llc_bytes = 8ull << 20)
+    {
+        config_.policies(std::move(policy_names))
+            .llcBytes(full_llc_bytes);
+    }
+
+    void
+    setCollectDramTrace(bool collect)
+    {
+        config_.collectDramTrace(collect);
+    }
+
+    void
+    run(const SweepConfig::CellObserver &per_frame = nullptr)
+    {
+        result_ = config_.run(per_frame);
+    }
+
+    using Metric = SweepResult::Metric;
+
+    std::map<std::string, std::map<std::string, double>>
+    totalsByApp(const Metric &metric) const
+    {
+        return result_.totalsByApp(metric);
+    }
+
+    void
+    printNormalizedTable(std::ostream &os, const std::string &title,
+                         const Metric &metric,
+                         const std::string &baseline) const
+    {
+        result_.printNormalizedTable(os, title, metric, baseline);
+    }
+
+    std::map<std::string, double>
+    meanNormalized(const Metric &metric,
+                   const std::string &baseline) const
+    {
+        return result_.meanNormalized(metric, baseline);
+    }
+
+    const std::vector<SweepCell> &cells() const
+    {
+        return result_.cells();
+    }
+    std::vector<std::string> policies() const
+    {
+        return config_.policyNames();
+    }
+    const RenderScale &scale() const { return config_.scale(); }
+    const LlcConfig &llcConfig() const { return config_.llcConfig(); }
+
+    std::vector<std::string> appOrder() const
+    {
+        return result_.appOrder();
+    }
+
+    /** The completed sweep, for porting call sites incrementally. */
+    const SweepResult &result() const { return result_; }
+
+  private:
+    SweepConfig config_;
+    SweepResult result_;
+};
+
+#pragma GCC diagnostic pop
 
 } // namespace gllc
 

@@ -1,0 +1,79 @@
+#include "common/thread_pool.hh"
+
+namespace gllc
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return;  // stopping_ with a drained queue
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(submit([&fn, i] { fn(i); }));
+
+    // Wait for everything first so that a throwing task cannot leave
+    // siblings running against destroyed captures, then rethrow the
+    // lowest-index failure.
+    std::exception_ptr first;
+    for (std::future<void> &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace gllc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool.
+ *
+ * The sweep engine and the performance harnesses fan independent
+ * (frame, policy) replays out over a pool of workers.  The pool is
+ * deliberately minimal: a FIFO task queue, std::future-based result
+ * and exception propagation, and a destructor that drains every
+ * queued task before joining, so results written by tasks are
+ * visible once the pool is gone.
+ *
+ * Determinism note: the pool makes no ordering promise between
+ * tasks beyond FIFO dispatch; callers that need reproducible output
+ * (the sweep engine) write each task's result into a preallocated
+ * slot and merge the slots in task-submission order afterwards.
+ */
+
+#ifndef GLLC_COMMON_THREAD_POOL_HH
+#define GLLC_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gllc
+{
+
+/** Fixed-size FIFO thread pool. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 is clamped to 1. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue: every submitted task runs before return. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p fn; the returned future yields its result, or
+     * rethrows the exception it raised.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(0) .. fn(n-1) across the pool and wait for all of
+     * them.  If any invocation throws, the exception of the lowest
+     * failing index is rethrown (after every task has finished).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_THREAD_POOL_HH

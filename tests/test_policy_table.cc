@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "analysis/policy_table.hh"
 
 using namespace gllc;
@@ -70,6 +72,54 @@ TEST(PolicyTable, ThresholdSweepForm)
         const PolicySpec spec = policySpec(name);
         auto policy = spec.factory();
         EXPECT_EQ(policy->name(), "GSPZTC");
+    }
+}
+
+TEST(PolicyTable, SpecCarriesMachineReadableMetadata)
+{
+    const PolicySpec drrip = policySpec("DRRIP");
+    EXPECT_EQ(drrip.baseName, "DRRIP");
+    EXPECT_EQ(drrip.threshold, 0u);
+
+    const PolicySpec swept = policySpec("GSPZTC(t=4)+UCD");
+    EXPECT_EQ(swept.baseName, "GSPZTC");
+    EXPECT_EQ(swept.threshold, 4u);
+    EXPECT_TRUE(swept.uncachedDisplay);
+}
+
+TEST(PolicyTable, AllPolicySpecsEnumeratesVariants)
+{
+    const std::vector<PolicySpec> specs = allPolicySpecs();
+    const std::size_t expected =
+        2 * (allPolicyNames().size() + gspztcSweepThresholds().size());
+    EXPECT_EQ(specs.size(), expected);
+
+    std::set<std::string> names;
+    for (const PolicySpec &spec : specs) {
+        EXPECT_TRUE(names.insert(spec.name).second)
+            << "duplicate " << spec.name;
+        ASSERT_TRUE(spec.factory != nullptr) << spec.name;
+        EXPECT_FALSE(spec.baseName.empty()) << spec.name;
+    }
+
+    // Every base appears plain and +UCD...
+    for (const std::string &name : allPolicyNames()) {
+        EXPECT_TRUE(names.count(name)) << name;
+        EXPECT_TRUE(names.count(name + "+UCD")) << name;
+    }
+    // ...and the GSPZTC threshold sweep points are enumerated with
+    // their parameters parsed out.
+    for (const unsigned t : gspztcSweepThresholds()) {
+        const std::string name =
+            "GSPZTC(t=" + std::to_string(t) + ")";
+        ASSERT_TRUE(names.count(name)) << name;
+        for (const PolicySpec &spec : specs) {
+            if (spec.name != name)
+                continue;
+            EXPECT_EQ(spec.baseName, "GSPZTC");
+            EXPECT_EQ(spec.threshold, t);
+            EXPECT_FALSE(spec.uncachedDisplay);
+        }
     }
 }
 

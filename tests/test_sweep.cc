@@ -1,6 +1,9 @@
 /**
  * @file
- * Tests for the frame-set sweep engine and the CSV export.
+ * Tests for the sweep engine (SweepConfig/SweepResult): serial and
+ * parallel execution bit-identity, determinism across thread counts
+ * and frame windows, the aggregation methods, the CSV/JSON export,
+ * and the deprecated PolicySweep shim.
  */
 
 #include <gtest/gtest.h>
@@ -25,6 +28,7 @@ class SweepEnv : public ::testing::Test
     {
         ::setenv("GLLC_FRAMES", "2", 1);
         ::setenv("GLLC_SCALE", "8", 1);
+        ::unsetenv("GLLC_THREADS");
     }
 
     void
@@ -32,25 +36,134 @@ class SweepEnv : public ::testing::Test
     {
         ::unsetenv("GLLC_FRAMES");
         ::unsetenv("GLLC_SCALE");
+        ::unsetenv("GLLC_THREADS");
     }
 };
+
+/** Field-by-field bit-identity of two completed sweeps. */
+void
+expectCellsIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.cells().size(), b.cells().size());
+    for (std::size_t i = 0; i < a.cells().size(); ++i) {
+        const SweepCell &ca = a.cells()[i];
+        const SweepCell &cb = b.cells()[i];
+        EXPECT_EQ(ca.app, cb.app) << "cell " << i;
+        EXPECT_EQ(ca.frameIndex, cb.frameIndex) << "cell " << i;
+        EXPECT_EQ(ca.policy, cb.policy) << "cell " << i;
+
+        const LlcStats &sa = ca.result.stats;
+        const LlcStats &sb = cb.result.stats;
+        for (std::size_t s = 0; s < kNumStreams; ++s) {
+            EXPECT_EQ(sa.stream[s].accesses, sb.stream[s].accesses);
+            EXPECT_EQ(sa.stream[s].hits, sb.stream[s].hits);
+            EXPECT_EQ(sa.stream[s].misses, sb.stream[s].misses);
+            EXPECT_EQ(sa.stream[s].bypasses, sb.stream[s].bypasses);
+        }
+        EXPECT_EQ(sa.writebacks, sb.writebacks) << "cell " << i;
+        EXPECT_EQ(sa.evictions, sb.evictions) << "cell " << i;
+
+        const Characterization &cha = ca.result.characterization;
+        const Characterization &chb = cb.result.characterization;
+        EXPECT_EQ(cha.interTexHits, chb.interTexHits);
+        EXPECT_EQ(cha.intraTexHits, chb.intraTexHits);
+        EXPECT_EQ(cha.rtProductions, chb.rtProductions);
+        EXPECT_EQ(cha.rtConsumptions, chb.rtConsumptions);
+        EXPECT_EQ(cha.texEpochHits, chb.texEpochHits);
+        EXPECT_EQ(cha.texReach, chb.texReach);
+        EXPECT_EQ(cha.zReach, chb.zReach);
+
+        EXPECT_EQ(ca.result.fills.counts, cb.result.fills.counts)
+            << "cell " << i;
+    }
+}
 
 } // namespace
 
 TEST_F(SweepEnv, RunsEveryFramePolicyPair)
 {
-    PolicySweep sweep({"DRRIP", "NRU"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "NRU"}).run();
     EXPECT_EQ(sweep.cells().size(), 4u);  // 2 frames x 2 policies
     EXPECT_EQ(sweep.scale().linear, 8u);
     // 8 MB scaled by 1/64 -> 128 KB.
     EXPECT_EQ(sweep.llcConfig().capacityBytes, 128u * 1024);
 }
 
+TEST_F(SweepEnv, CellsAreInDeterministicSweepOrder)
+{
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "NRU"}).threads(2).run();
+    ASSERT_EQ(sweep.cells().size(), 4u);
+    // Frames in frame-set order, policies in configured order
+    // within each frame, regardless of completion order.
+    EXPECT_EQ(sweep.cells()[0].policy, "DRRIP");
+    EXPECT_EQ(sweep.cells()[1].policy, "NRU");
+    EXPECT_EQ(sweep.cells()[0].app, sweep.cells()[1].app);
+    EXPECT_EQ(sweep.cells()[2].policy, "DRRIP");
+    EXPECT_EQ(sweep.cells()[3].policy, "NRU");
+}
+
+TEST_F(SweepEnv, SerialAndParallelAreBitIdentical)
+{
+    // Random stresses per-replay RNG seeding, Belady the oracle.
+    const std::vector<std::string> policies{"DRRIP", "GSPC+UCD",
+                                            "Random", "Belady"};
+    const SweepResult serial =
+        SweepConfig().policies(policies).threads(1).run();
+    for (const unsigned nthreads : {2u, 8u}) {
+        const SweepResult parallel = SweepConfig()
+                                         .policies(policies)
+                                         .threads(nthreads)
+                                         .run();
+        EXPECT_EQ(parallel.threadsUsed(), nthreads);
+        expectCellsIdentical(serial, parallel);
+    }
+}
+
+TEST_F(SweepEnv, FrameWindowDoesNotChangeResults)
+{
+    const std::vector<std::string> policies{"DRRIP", "GSPC"};
+    const SweepResult narrow = SweepConfig()
+                                   .policies(policies)
+                                   .threads(2)
+                                   .frameWindow(1)
+                                   .run();
+    const SweepResult wide = SweepConfig()
+                                 .policies(policies)
+                                 .threads(2)
+                                 .frameWindow(8)
+                                 .run();
+    expectCellsIdentical(narrow, wide);
+}
+
+TEST_F(SweepEnv, ThreadsEnvKnobIsHonoured)
+{
+    ::setenv("GLLC_THREADS", "3", 1);
+    const SweepResult env_run =
+        SweepConfig().policies({"DRRIP"}).run();
+    EXPECT_EQ(env_run.threadsUsed(), 3u);
+    ::setenv("GLLC_THREADS", "1", 1);
+    const SweepResult serial =
+        SweepConfig().policies({"DRRIP"}).run();
+    EXPECT_EQ(serial.threadsUsed(), 1u);
+    expectCellsIdentical(serial, env_run);
+}
+
+TEST_F(SweepEnv, SweepThreadsResolutionOrder)
+{
+    EXPECT_EQ(sweepThreads(5), 5u);
+    ::setenv("GLLC_THREADS", "3", 1);
+    EXPECT_EQ(sweepThreads(), 3u);
+    EXPECT_EQ(sweepThreads(2), 2u);
+    ::unsetenv("GLLC_THREADS");
+    EXPECT_GE(sweepThreads(), 1u);
+}
+
 TEST_F(SweepEnv, TotalsGroupByApp)
 {
-    PolicySweep sweep({"DRRIP", "NRU"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "NRU"}).run();
     const auto totals = sweep.totalsByApp(missMetric);
     EXPECT_EQ(totals.size(), 2u);  // two apps (round-robin frame 0s)
     for (const auto &[app, row] : totals) {
@@ -61,8 +174,8 @@ TEST_F(SweepEnv, TotalsGroupByApp)
 
 TEST_F(SweepEnv, NormalizedMeanOfBaselineIsOne)
 {
-    PolicySweep sweep({"DRRIP", "NRU"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "NRU"}).run();
     const auto means = sweep.meanNormalized(missMetric, "DRRIP");
     EXPECT_DOUBLE_EQ(means.at("DRRIP"), 1.0);
     EXPECT_GT(means.at("NRU"), 0.5);
@@ -71,8 +184,8 @@ TEST_F(SweepEnv, NormalizedMeanOfBaselineIsOne)
 
 TEST_F(SweepEnv, AppOrderFollowsTable1)
 {
-    PolicySweep sweep({"DRRIP"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP"}).run();
     const auto order = sweep.appOrder();
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], paperApps()[0].name);
@@ -81,8 +194,8 @@ TEST_F(SweepEnv, AppOrderFollowsTable1)
 
 TEST_F(SweepEnv, PrintNormalizedTableRendersRows)
 {
-    PolicySweep sweep({"DRRIP", "NRU"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "NRU"}).run();
     std::ostringstream os;
     sweep.printNormalizedTable(os, "test table", missMetric, "DRRIP");
     const std::string out = os.str();
@@ -93,39 +206,59 @@ TEST_F(SweepEnv, PrintNormalizedTableRendersRows)
     EXPECT_EQ(out.find("DRRIP  NRU"), std::string::npos);
 }
 
-TEST_F(SweepEnv, PerFrameCallbackObservesCells)
+TEST_F(SweepEnv, ObserverSeesCellsInSweepOrder)
 {
-    PolicySweep sweep({"DRRIP"});
-    int calls = 0;
-    sweep.run([&calls](const SweepCell &cell, const FrameTrace &t) {
-        ++calls;
-        EXPECT_EQ(cell.policy, "DRRIP");
-        EXPECT_EQ(cell.result.stats.totalAccesses(),
-                  t.accesses.size());
-    });
-    EXPECT_EQ(calls, 2);
+    std::vector<std::string> seen;
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "NRU"}).threads(4).run(
+            [&seen](const SweepCell &cell, const FrameTrace &t) {
+                seen.push_back(cell.policy);
+                EXPECT_EQ(cell.result.stats.totalAccesses(),
+                          t.accesses.size());
+            });
+    ASSERT_EQ(seen.size(), sweep.cells().size());
+    EXPECT_EQ(seen, (std::vector<std::string>{"DRRIP", "NRU",
+                                              "DRRIP", "NRU"}));
 }
 
 TEST_F(SweepEnv, DramTraceCollectionOnDemand)
 {
-    PolicySweep sweep({"DRRIP"});
-    sweep.setCollectDramTrace(true);
-    bool saw_dram = false;
-    sweep.run([&saw_dram](const SweepCell &cell, const FrameTrace &) {
-        saw_dram |= !cell.result.dramTrace.empty();
-    });
-    EXPECT_TRUE(saw_dram);
-    // But the retained cells drop the bulky traces.
-    for (const SweepCell &cell : sweep.cells())
-        EXPECT_TRUE(cell.result.dramTrace.empty());
+    for (const unsigned nthreads : {1u, 2u}) {
+        bool saw_dram = false;
+        const SweepResult sweep =
+            SweepConfig()
+                .policies({"DRRIP"})
+                .collectDramTrace(true)
+                .threads(nthreads)
+                .run([&saw_dram](const SweepCell &cell,
+                                 const FrameTrace &) {
+                    saw_dram |= !cell.result.dramTrace.empty();
+                });
+        EXPECT_TRUE(saw_dram) << nthreads << " threads";
+        // But the retained cells drop the bulky traces.
+        for (const SweepCell &cell : sweep.cells())
+            EXPECT_TRUE(cell.result.dramTrace.empty());
+    }
+}
+
+TEST_F(SweepEnv, RegistryFreePolicySpecsSweep)
+{
+    std::vector<PolicySpec> specs{policySpec("DRRIP"),
+                                  policySpec("GSPC")};
+    specs[1].name = "custom-name";
+    const SweepResult sweep =
+        SweepConfig().policySpecs(specs).run();
+    EXPECT_EQ(sweep.policies(),
+              (std::vector<std::string>{"DRRIP", "custom-name"}));
+    EXPECT_EQ(sweep.cells()[1].policy, "custom-name");
 }
 
 TEST_F(SweepEnv, CsvExportHasHeaderAndOneRowPerCell)
 {
-    PolicySweep sweep({"DRRIP", "GSPC"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "GSPC"}).run();
     std::ostringstream os;
-    writeSweepCsv(sweep, os);
+    sweep.writeCsv(os);
     const std::string out = os.str();
 
     std::size_t lines = 0;
@@ -138,8 +271,8 @@ TEST_F(SweepEnv, CsvExportHasHeaderAndOneRowPerCell)
 
 TEST_F(SweepEnv, CsvValuesAreConsistent)
 {
-    PolicySweep sweep({"DRRIP"});
-    sweep.run();
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP"}).run();
     std::ostringstream os;
     writeSweepCsv(sweep, os);
     // The first data row's accesses field matches the cell.
@@ -152,3 +285,45 @@ TEST_F(SweepEnv, CsvValuesAreConsistent)
                            cell.result.stats.totalAccesses()) + ","),
               std::string::npos);
 }
+
+TEST_F(SweepEnv, JsonExportHasConfigAndOneRecordPerCell)
+{
+    const SweepResult sweep =
+        SweepConfig().policies({"DRRIP", "GSPC"}).run();
+    std::ostringstream os;
+    sweep.writeJson(os);
+    const std::string out = os.str();
+
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_NE(out.find("\"scale\": 8"), std::string::npos);
+    EXPECT_NE(out.find("\"capacity_bytes\": 131072"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"policies\": [\"DRRIP\", \"GSPC\"]"),
+              std::string::npos);
+    std::size_t records = 0;
+    for (std::size_t pos = out.find("{\"app\":");
+         pos != std::string::npos;
+         pos = out.find("{\"app\":", pos + 1))
+        ++records;
+    EXPECT_EQ(records, sweep.cells().size());
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST_F(SweepEnv, DeprecatedShimMatchesNewEngine)
+{
+    PolicySweep shim({"DRRIP", "NRU"});
+    shim.run();
+    EXPECT_EQ(shim.cells().size(), 4u);
+    EXPECT_EQ(shim.policies(),
+              (std::vector<std::string>{"DRRIP", "NRU"}));
+
+    const SweepResult direct =
+        SweepConfig().policies({"DRRIP", "NRU"}).run();
+    expectCellsIdentical(direct, shim.result());
+    EXPECT_DOUBLE_EQ(
+        shim.meanNormalized(missMetric, "DRRIP").at("DRRIP"), 1.0);
+}
+
+#pragma GCC diagnostic pop

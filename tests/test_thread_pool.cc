@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the fixed-size worker pool: submission ordering,
+ * future-based results, exception propagation (both through
+ * submit() futures and parallelFor's lowest-index rethrow),
+ * destructor drain semantics, and genuine concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using namespace gllc;
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInFifoOrder)
+{
+    std::vector<int> order;
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([i, &order] { order.push_back(i); });
+    }
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultThroughFuture)
+{
+    ThreadPool pool(2);
+    auto doubled = pool.submit([] { return 21 * 2; });
+    auto text = pool.submit([] { return std::string("ok"); });
+    EXPECT_EQ(doubled.get(), 42);
+    EXPECT_EQ(text.get(), "ok");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(
+        {
+            try {
+                f.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "boom");
+                throw;
+            }
+        },
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 200;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(kN, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(32, [](std::size_t i) {
+            if (i == 3 || i == 17)
+                throw std::runtime_error(std::to_string(i));
+        });
+        FAIL() << "parallelFor did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "3");
+    }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsANoOp)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingQueue)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&done] { ++done; });
+        // Most of the queue is still pending when the destructor
+        // runs; it must finish the backlog, not drop it.
+    }
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, WorkersRunConcurrently)
+{
+    // Two tasks rendezvous: each waits for the other to arrive.
+    // A serial pool would time out on the first task.
+    ThreadPool pool(2);
+    ASSERT_EQ(pool.threadCount(), 2u);
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::atomic<int> met{0};
+    pool.parallelFor(2, [&](std::size_t) {
+        std::unique_lock lock(m);
+        ++arrived;
+        cv.notify_all();
+        if (cv.wait_for(lock, std::chrono::seconds(10),
+                        [&] { return arrived == 2; }))
+            ++met;
+    });
+    EXPECT_EQ(met.load(), 2);
+}
