@@ -1,8 +1,10 @@
 #include "analysis/offline_sim.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "cache/policy/belady.hh"
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace gllc
@@ -12,6 +14,12 @@ RunResult
 runTrace(const FrameTrace &trace, const PolicySpec &spec,
          const LlcConfig &llc_config, const RunOptions &options)
 {
+    // Name the policy in any audit report from this replay.
+    std::optional<AuditScope> audit_scope;
+    if (auditActive()) {
+        audit_scope.emplace();
+        auditContext().policy = spec.name;
+    }
     LlcConfig config = llc_config;
     if (spec.uncachedDisplay)
         config.bypass = displayBypass();

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <thread>
 
+#include "common/audit.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -239,7 +240,16 @@ SweepConfig::run(const CellObserver &observer) const
         cell.policy = spec.name;
         RunOptions options;
         options.collectDramTrace = collectDram_;
-        cell.result = runTrace(trace, spec, llcConfig_, options);
+        if (auditActive()) {
+            // Name the cell in any audit report, so a violation in a
+            // concurrent sweep aborts with its exact coordinates.
+            AuditScope scope;
+            auditContext().app = cell.app;
+            auditContext().frame = cell.frameIndex;
+            cell.result = runTrace(trace, spec, llcConfig_, options);
+        } else {
+            cell.result = runTrace(trace, spec, llcConfig_, options);
+        }
         return cell;
     };
 

@@ -1,5 +1,6 @@
 #include "cache/banked_llc.hh"
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace gllc
@@ -108,11 +109,23 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
     const std::uint32_t set = geom_.setOf(access.addr);
     const Addr tag = geom_.tagOf(access.addr);
 
+    const bool audit = auditActive();
+    if (audit) {
+        AuditContext &ctx = auditContext();
+        ctx.stream = streamName(access.stream);
+        ctx.accessIndex = static_cast<std::int64_t>(index);
+        ctx.bank = bank_id;
+        ctx.set = set;
+        ctx.way = -1;
+    }
+
     auto &sstats = stats_.stream[static_cast<std::size_t>(access.stream)];
     ++sstats.accesses;
 
     const AccessInfo info{&access, index, next_use};
     const std::uint32_t way = findWay(bank, set, tag);
+    if (audit)
+        auditContext().way = (way != geom_.ways()) ? way : -1;
 
     if (way != geom_.ways()) {
         // Hit (bypassed streams can still hit blocks another stream
@@ -124,6 +137,8 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         bank.policy->onHit(set, way, info);
         if (observer_ != nullptr)
             observer_->onHit(access);
+        if (audit)
+            auditSet(bank_id, set);
         return result;
     }
 
@@ -133,6 +148,8 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         result.bypassed = true;
         if (observer_ != nullptr)
             observer_->onBypass(access);
+        if (audit)
+            auditSet(bank_id, set);
         return result;
     }
 
@@ -174,7 +191,64 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
     e.valid = true;
     e.dirty = access.isWrite;
     bank.policy->onFill(set, fill_way, info);
+    if (audit) {
+        auditContext().way = fill_way;
+        auditSet(bank_id, set);
+    }
     return result;
+}
+
+void
+BankedLlc::auditSet(std::uint32_t bank_id, std::uint32_t set) const
+{
+    if (!auditActive())
+        return;
+    const Bank &bank = banks_[bank_id];
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.ways();
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+        const Entry &e = bank.entries[base + w];
+        if (!e.valid)
+            continue;
+        const Addr addr = e.tag << kBlockShift;
+        GLLC_AUDIT_CHECK("BankedLlc", "tag-geometry",
+                         geom_.bankOf(addr) == bank_id
+                             && geom_.setOf(addr) == set,
+                         "resident tag 0x%llx maps to bank %u set %u, "
+                         "not bank %u set %u",
+                         static_cast<unsigned long long>(e.tag),
+                         geom_.bankOf(addr), geom_.setOf(addr),
+                         bank_id, set);
+        for (std::uint32_t o = w + 1; o < geom_.ways(); ++o) {
+            const Entry &other = bank.entries[base + o];
+            GLLC_AUDIT_CHECK("BankedLlc", "duplicate-tag",
+                             !other.valid || other.tag != e.tag,
+                             "tag 0x%llx resident in ways %u and %u "
+                             "of set %u",
+                             static_cast<unsigned long long>(e.tag),
+                             w, o, set);
+        }
+    }
+    bank.policy->auditInvariants(set);
+}
+
+void
+BankedLlc::auditAll() const
+{
+    if (!auditActive())
+        return;
+    for (std::uint32_t b = 0; b < geom_.banks(); ++b)
+        for (std::uint32_t s = 0; s < geom_.setsPerBank(); ++s)
+            auditSet(b, s);
+}
+
+void
+BankedLlc::debugCorruptEntry(std::uint32_t bank_id, std::uint32_t set,
+                             std::uint32_t way, Addr tag, bool valid)
+{
+    GLLC_ASSERT(bank_id < banks_.size());
+    Entry &e = entryAt(banks_[bank_id], set, way);
+    e.tag = tag;
+    e.valid = valid;
 }
 
 FillHistogram

@@ -142,6 +142,23 @@ class BankedLlc
     /** Per-bank policy access (tests and characterization). */
     ReplacementPolicy &bankPolicy(std::uint32_t bank);
 
+    /**
+     * Audit one set of one bank: no duplicate tags, every valid tag
+     * maps back to this (bank, set) under the geometry, and the
+     * bank's policy invariants hold.  No-op unless auditActive().
+     */
+    void auditSet(std::uint32_t bank, std::uint32_t set) const;
+
+    /** Audit every set of every bank (tests, end-of-replay checks). */
+    void auditAll() const;
+
+    /**
+     * Test-only: overwrite one tag-store entry, bypassing the access
+     * path, so the audit layer's occupancy checks can be exercised.
+     */
+    void debugCorruptEntry(std::uint32_t bank, std::uint32_t set,
+                           std::uint32_t way, Addr tag, bool valid);
+
   private:
     struct Entry
     {

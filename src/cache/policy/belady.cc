@@ -2,11 +2,38 @@
 
 #include <unordered_map>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
 namespace gllc
 {
+
+namespace
+{
+
+/**
+ * Future-index monotonicity: the oracle hands each access the index
+ * of the NEXT use of its block, so a recorded value in the past
+ * (<= the access being serviced) means the oracle or its plumbing
+ * mis-indexed the trace.
+ */
+void
+auditFutureIndex(const AccessInfo &info, const char *event)
+{
+    if (!auditActive())
+        return;
+    GLLC_AUDIT_CHECK("BeladyPolicy", "future-monotonic",
+                     info.nextUse == kNever
+                         || info.nextUse > info.index,
+                     "%s records next use %llu, not after access "
+                     "%llu",
+                     event,
+                     static_cast<unsigned long long>(info.nextUse),
+                     static_cast<unsigned long long>(info.index));
+}
+
+} // namespace
 
 std::vector<std::uint64_t>
 buildNextUseOracle(const std::vector<MemAccess> &trace)
@@ -43,6 +70,20 @@ BeladyPolicy::selectVictim(std::uint32_t set)
             victim = w;
         }
     }
+    if (auditActive()) {
+        // Exactly-one-way selection: the victim is the lowest-
+        // numbered way attaining the farthest next use.
+        for (std::uint32_t w = 0; w < victim; ++w) {
+            GLLC_AUDIT_CHECK(
+                "BeladyPolicy", "victim-tie-break",
+                nextUse_[base + w] < farthest,
+                "way %u (next use %llu) ties or beats chosen victim "
+                "way %u (next use %llu)",
+                w,
+                static_cast<unsigned long long>(nextUse_[base + w]),
+                victim, static_cast<unsigned long long>(farthest));
+        }
+    }
     return victim;
 }
 
@@ -50,6 +91,7 @@ void
 BeladyPolicy::onFill(std::uint32_t set, std::uint32_t way,
                      const AccessInfo &info)
 {
+    auditFutureIndex(info, "fill");
     nextUse_[static_cast<std::size_t>(set) * ways_ + way] = info.nextUse;
 }
 
@@ -57,6 +99,7 @@ void
 BeladyPolicy::onHit(std::uint32_t set, std::uint32_t way,
                     const AccessInfo &info)
 {
+    auditFutureIndex(info, "hit");
     nextUse_[static_cast<std::size_t>(set) * ways_ + way] = info.nextUse;
 }
 

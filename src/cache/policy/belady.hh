@@ -38,6 +38,17 @@ class BeladyPolicy : public ReplacementPolicy
                const AccessInfo &info) override;
     std::string name() const override { return "Belady"; }
 
+    /**
+     * Test-only: overwrite a block's recorded next-use index so the
+     * audit's victim checks can be exercised.
+     */
+    void
+    debugForceNextUse(std::uint32_t set, std::uint32_t way,
+                      std::uint64_t next_use)
+    {
+        nextUse_[static_cast<std::size_t>(set) * ways_ + way] = next_use;
+    }
+
     static PolicyFactory factory();
 
   private:

@@ -1,5 +1,7 @@
 #include "cache/policy/drrip.hh"
 
+#include "common/audit.hh"
+
 namespace gllc
 {
 
@@ -14,6 +16,43 @@ duelRole(std::uint32_t set, unsigned group)
     return DuelRole::Follower;
 }
 
+void
+auditDuelFamilies(unsigned groups, const char *component)
+{
+    if (!auditActive())
+        return;
+    // owner[offset] = first (group, family) claiming the offset.
+    int owner[64];
+    for (int &o : owner)
+        o = -1;
+    for (unsigned g = 0; g < groups; ++g) {
+        unsigned srrip = 0;
+        unsigned brrip = 0;
+        for (std::uint32_t offset = 0; offset < 64; ++offset) {
+            const DuelRole role = duelRole(offset, g);
+            if (role == DuelRole::Follower)
+                continue;
+            const int id = static_cast<int>(2 * g)
+                + (role == DuelRole::BrripLeader ? 1 : 0);
+            GLLC_AUDIT_CHECK(component, "duel-disjoint",
+                             owner[offset] < 0,
+                             "set offset %u leads for duel id %d and "
+                             "duel id %d; leader families overlap",
+                             offset, owner[offset], id);
+            owner[offset] = id;
+            if (role == DuelRole::SrripLeader)
+                ++srrip;
+            else
+                ++brrip;
+        }
+        GLLC_AUDIT_CHECK(component, "duel-coverage",
+                         srrip == 1 && brrip == 1,
+                         "group %u owns %u SRRIP and %u BRRIP leader "
+                         "offsets per constituency, expected 1 and 1",
+                         g, srrip, brrip);
+    }
+}
+
 DrripPolicy::DrripPolicy(unsigned bits)
     : bits_(bits), rrip_(bits), psel_(10)
 {
@@ -23,6 +62,7 @@ void
 DrripPolicy::configure(std::uint32_t sets, std::uint32_t ways)
 {
     rrip_.configure(sets, ways);
+    auditDuelFamilies(1, "DrripPolicy");
 }
 
 std::uint32_t
@@ -65,6 +105,21 @@ DrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
                    const AccessInfo &)
 {
     rrip_.set(set, way, 0);
+}
+
+void
+DrripPolicy::auditInvariants(std::uint32_t set) const
+{
+    if (!auditActive())
+        return;
+    rrip_.auditSet(set, "DrripPolicy");
+    GLLC_AUDIT_CHECK("DrripPolicy", "psel-range", psel_.inRange(),
+                     "PSEL holds %u > max %u", psel_.value(),
+                     psel_.max());
+    GLLC_AUDIT_CHECK("DrripPolicy", "brrip-throttle",
+                     throttle_.count() < 32,
+                     "BRRIP throttle count %u escaped its 1/32 period",
+                     throttle_.count());
 }
 
 const FillHistogram *

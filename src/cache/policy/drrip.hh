@@ -37,6 +37,16 @@ enum class DuelRole : std::uint8_t
  */
 DuelRole duelRole(std::uint32_t set, unsigned group);
 
+/**
+ * Audit the leader-set families of @p groups dueling groups: within
+ * each 64-set constituency every group must own exactly one SRRIP
+ * and one BRRIP leader offset, and no offset may lead for two
+ * different (group, family) pairs — the sample families must be
+ * disjoint or the duels would vote on each other's fills.  No-op
+ * unless auditActive().
+ */
+void auditDuelFamilies(unsigned groups, const char *component);
+
 /** Shared BRRIP insertion throttle: distant 1 time in 32. */
 class BrripThrottle
 {
@@ -51,6 +61,9 @@ class BrripThrottle
         }
         return rrip.maxRrpv();
     }
+
+    /** Fills since the last distant insertion (audit: always < 32). */
+    std::uint32_t count() const { return count_; }
 
   private:
     std::uint32_t count_ = 0;
@@ -70,6 +83,12 @@ class DrripPolicy : public ReplacementPolicy
                const AccessInfo &info) override;
     const FillHistogram *fillHistogram() const override;
     std::string name() const override;
+
+    /** Audit hook: RRPV ranges, PSEL range, throttle period. */
+    void auditInvariants(std::uint32_t set) const override;
+
+    /** Test-only: the mutable PSEL counter (corruption tests). */
+    DuelCounter &debugPsel() { return psel_; }
 
     static PolicyFactory factory(unsigned bits = 2);
 

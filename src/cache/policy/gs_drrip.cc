@@ -1,5 +1,7 @@
 #include "cache/policy/gs_drrip.hh"
 
+#include "common/audit.hh"
+
 namespace gllc
 {
 
@@ -14,6 +16,8 @@ void
 GsDrripPolicy::configure(std::uint32_t sets, std::uint32_t ways)
 {
     rrip_.configure(sets, ways);
+    auditDuelFamilies(static_cast<unsigned>(kNumPolicyStreams),
+                      "GsDrripPolicy");
 }
 
 std::uint32_t
@@ -55,6 +59,27 @@ GsDrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
                      const AccessInfo &)
 {
     rrip_.set(set, way, 0);
+}
+
+void
+GsDrripPolicy::auditInvariants(std::uint32_t set) const
+{
+    if (!auditActive())
+        return;
+    rrip_.auditSet(set, "GsDrripPolicy");
+    for (std::size_t s = 0; s < kNumPolicyStreams; ++s) {
+        GLLC_AUDIT_CHECK(
+            "GsDrripPolicy", "psel-range", psel_[s].inRange(),
+            "PSEL[%s] holds %u > max %u",
+            policyStreamName(static_cast<PolicyStream>(s)).c_str(),
+            psel_[s].value(), psel_[s].max());
+        GLLC_AUDIT_CHECK(
+            "GsDrripPolicy", "brrip-throttle",
+            throttle_[s].count() < 32,
+            "BRRIP throttle[%s] count %u escaped its 1/32 period",
+            policyStreamName(static_cast<PolicyStream>(s)).c_str(),
+            throttle_[s].count());
+    }
 }
 
 const FillHistogram *

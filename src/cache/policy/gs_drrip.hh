@@ -36,6 +36,16 @@ class GsDrripPolicy : public ReplacementPolicy
     const FillHistogram *fillHistogram() const override;
     std::string name() const override;
 
+    /** Audit hook: RRPV ranges, per-stream PSEL ranges, throttles. */
+    void auditInvariants(std::uint32_t set) const override;
+
+    /** Test-only: one stream's mutable PSEL (corruption tests). */
+    DuelCounter &
+    debugPsel(PolicyStream stream)
+    {
+        return psel_[static_cast<std::size_t>(stream)];
+    }
+
     static PolicyFactory factory(unsigned bits = 2);
 
   private:

@@ -1,5 +1,7 @@
 #include "cache/policy/ship_mem.hh"
 
+#include "common/audit.hh"
+
 namespace gllc
 {
 
@@ -58,6 +60,28 @@ ShipMemPolicy::onEvict(std::uint32_t set, std::uint32_t way)
     BlockState &b = block(set, way);
     if (!b.outcome)
         table_[b.signature].decrement();
+}
+
+void
+ShipMemPolicy::auditInvariants(std::uint32_t set) const
+{
+    if (!auditActive())
+        return;
+    rrip_.auditSet(set, "ShipMemPolicy");
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const BlockState &b = blocks_[base + w];
+        GLLC_AUDIT_CHECK("ShipMemPolicy", "signature-range",
+                         b.signature < kTableEntries,
+                         "set %u way %u holds signature 0x%x outside "
+                         "the 14-bit region id",
+                         set, w, b.signature);
+        GLLC_AUDIT_CHECK("ShipMemPolicy", "counter-range",
+                         table_[b.signature].inRange(),
+                         "region counter 0x%x holds %u > max %u",
+                         b.signature, table_[b.signature].value(),
+                         table_[b.signature].max());
+    }
 }
 
 const FillHistogram *

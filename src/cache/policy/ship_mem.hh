@@ -38,6 +38,23 @@ class ShipMemPolicy : public ReplacementPolicy
     const FillHistogram *fillHistogram() const override;
     std::string name() const override { return "SHiP-mem"; }
 
+    /**
+     * Audit hook: RRPV ranges, per-block signatures within 14 bits,
+     * the touched blocks' table counters within 3 bits.
+     */
+    void auditInvariants(std::uint32_t set) const override;
+
+    /**
+     * Test-only: overwrite a block's raw region signature, bypassing
+     * signatureOf(), so the audit's range checks can be exercised.
+     */
+    void
+    debugForceSignature(std::uint32_t set, std::uint32_t way,
+                        std::uint16_t signature)
+    {
+        block(set, way).signature = signature;
+    }
+
     static PolicyFactory factory(unsigned bits = 2);
 
     /** Region signature: address bits [27:14]. */

@@ -136,6 +136,20 @@ class ReplacementPolicy
         return false;
     }
 
+    /**
+     * Audit-layer hook: re-validate this policy's structural
+     * invariants for one set (called by BankedLlc after every access
+     * it services when auditActive()).  Implementations report
+     * violations through GLLC_AUDIT_CHECK / auditFail() and must not
+     * mutate any state: an audited run stays bit-identical to an
+     * unaudited one.
+     */
+    virtual void
+    auditInvariants(std::uint32_t set) const
+    {
+        (void)set;
+    }
+
     virtual std::string name() const = 0;
 };
 

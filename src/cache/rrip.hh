@@ -67,6 +67,16 @@ class RripState
 
     const FillHistogram &histogram() const { return hist_; }
 
+    /**
+     * Audit one set: every stored RRPV must be representable in the
+     * configured width.  @p component names the owning policy in the
+     * failure report.  No-op unless auditActive().
+     */
+    void auditSet(std::uint32_t set, const char *component) const;
+
+    /** Audit every set (tests, end-of-replay sweeps). */
+    void auditAll(const char *component) const;
+
   private:
     std::uint8_t &
     at(std::uint32_t set, std::uint32_t way)
@@ -75,6 +85,7 @@ class RripState
     }
 
     std::uint8_t max_;
+    std::uint32_t sets_ = 0;
     std::uint32_t ways_ = 0;
     std::vector<std::uint8_t> rrpv_;
     FillHistogram hist_;

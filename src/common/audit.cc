@@ -1,0 +1,89 @@
+#include "common/audit.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** -1 = undecided (read build flag / environment), 0 = off, 1 = on. */
+std::atomic<int> auditState{-1};
+
+thread_local AuditContext auditCtx;
+
+} // namespace
+
+bool
+auditActive()
+{
+    int v = auditState.load(std::memory_order_relaxed);
+    if (v < 0) {
+#ifdef GLLC_AUDIT_BUILD
+        v = 1;
+#else
+        v = (envString("GLLC_AUDIT", "0") != "0") ? 1 : 0;
+#endif
+        auditState.store(v, std::memory_order_relaxed);
+    }
+    return v != 0;
+}
+
+void
+setAuditActive(bool active)
+{
+    auditState.store(active ? 1 : 0, std::memory_order_relaxed);
+}
+
+AuditContext &
+auditContext()
+{
+    return auditCtx;
+}
+
+AuditScope::AuditScope() : saved_(auditCtx)
+{
+}
+
+AuditScope::~AuditScope()
+{
+    auditCtx = saved_;
+}
+
+void
+auditFail(const char *component, const char *check, const char *fmt, ...)
+{
+    const AuditContext &c = auditCtx;
+    std::fprintf(stderr, "=== GLLC AUDIT FAILURE ===\n");
+    std::fprintf(stderr, "component: %s  check: %s\n", component, check);
+    if (!c.app.empty() || c.frame >= 0 || !c.policy.empty()) {
+        std::fprintf(stderr, "cell: app=%s frame=%lld policy=%s\n",
+                     c.app.empty() ? "?" : c.app.c_str(),
+                     static_cast<long long>(c.frame),
+                     c.policy.empty() ? "?" : c.policy.c_str());
+    }
+    std::fprintf(stderr,
+                 "access: index=%lld stream=%s bank=%lld set=%lld "
+                 "way=%lld\n",
+                 static_cast<long long>(c.accessIndex),
+                 c.stream.empty() ? "?" : c.stream.c_str(),
+                 static_cast<long long>(c.bank),
+                 static_cast<long long>(c.set),
+                 static_cast<long long>(c.way));
+    std::fprintf(stderr, "detail: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n==========================\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace gllc

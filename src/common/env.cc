@@ -1,5 +1,6 @@
 #include "common/env.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -14,9 +15,13 @@ envInt(const std::string &name, std::int64_t fallback)
     if (raw == nullptr || raw[0] == '\0')
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const long long v = std::strtoll(raw, &end, 0);
     if (end == raw || *end != '\0')
         fatal("environment variable %s=\"%s\" is not an integer",
+              name.c_str(), raw);
+    if (errno == ERANGE)
+        fatal("environment variable %s=\"%s\" is out of range",
               name.c_str(), raw);
     return v;
 }

@@ -27,9 +27,32 @@ namespace gllc
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
- * Assert-like check that stays active in release builds.
- * Use for invariants whose violation would silently corrupt results.
+ * Assert-like check for invariants whose violation would silently
+ * corrupt results.  Active by default in every build type (the
+ * repo's bare-assert replacement: tools/lint.py rejects <cassert>'s
+ * assert()); configuring with -DGLLC_ASSERTS=OFF compiles both
+ * macros to a no-op that still odr-uses its operands inside a dead
+ * branch, so release builds raise no -Wunused-* warnings for
+ * variables referenced only by assertions and the conditions keep
+ * compiling.
  */
+#ifdef GLLC_DISABLE_ASSERTS
+
+#define GLLC_ASSERT(cond)                                               \
+    do {                                                                \
+        if (false && !(cond))                                           \
+            ::gllc::panic("unreachable");                               \
+    } while (0)
+
+/** GLLC_ASSERT with an extra printf-style explanation. */
+#define GLLC_ASSERT_MSG(cond, ...)                                      \
+    do {                                                                \
+        if (false && !(cond))                                           \
+            ::gllc::warn(__VA_ARGS__);                                  \
+    } while (0)
+
+#else
+
 #define GLLC_ASSERT(cond)                                               \
     do {                                                                \
         if (!(cond))                                                    \
@@ -46,6 +69,8 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
                           #cond, __FILE__, __LINE__);                   \
         }                                                               \
     } while (0)
+
+#endif // GLLC_DISABLE_ASSERTS
 
 } // namespace gllc
 

@@ -56,6 +56,15 @@ class SatCounter
     std::uint32_t max() const { return max_; }
     bool saturated() const { return value_ == max_; }
 
+    /** Audit predicate: the stored value is representable in n bits. */
+    bool inRange() const { return value_ <= max_; }
+
+    /**
+     * Test-only: overwrite the raw value, bypassing the clamps, so
+     * the audit layer's range checks can be exercised.
+     */
+    void debugForceValue(std::uint32_t value) { value_ = value; }
+
   private:
     std::uint32_t max_;
     std::uint32_t value_;
@@ -81,6 +90,13 @@ class DuelCounter
     bool upperHalf() const { return value_ > (max_ + 1) / 2; }
 
     std::uint32_t value() const { return value_; }
+    std::uint32_t max() const { return max_; }
+
+    /** Audit predicate: the stored value is representable in n bits. */
+    bool inRange() const { return value_ <= max_; }
+
+    /** Test-only: overwrite the raw value, bypassing saturation. */
+    void debugForceValue(std::uint32_t value) { value_ = value; }
 
   private:
     std::uint32_t max_;

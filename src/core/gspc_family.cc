@@ -1,10 +1,72 @@
 #include "core/gspc_family.hh"
 
+#include <algorithm>
+
 #include "cache/geometry.hh"
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace gllc
 {
+
+const char *
+blockStateName(BlockState s)
+{
+    switch (s) {
+      case BlockState::TexE0:
+        return "E0";
+      case BlockState::TexE1:
+        return "E1";
+      case BlockState::TexE2Plus:
+        return "E>=2";
+      case BlockState::RenderTarget:
+        return "RT";
+    }
+    return "invalid";
+}
+
+bool
+legalBlockTransition(BlockState from, BlockState to, PolicyStream stream,
+                     bool is_fill)
+{
+    if (is_fill) {
+        // Fills overwrite the previous occupant's state outright.
+        return to == ((stream == PolicyStream::RenderTarget)
+                          ? BlockState::RenderTarget
+                          : BlockState::TexE0);
+    }
+    switch (stream) {
+      case PolicyStream::Texture:
+        switch (from) {
+          case BlockState::RenderTarget:
+            return to == BlockState::TexE0;  // RT->TEX consumption
+          case BlockState::TexE0:
+            return to == BlockState::TexE1;
+          case BlockState::TexE1:
+          case BlockState::TexE2Plus:
+            return to == BlockState::TexE2Plus;  // E>=2 absorbs
+        }
+        return false;
+      case PolicyStream::RenderTarget:
+        return to == BlockState::RenderTarget;
+      default:
+        return to == from;  // Z/Rest hits leave the state alone
+    }
+}
+
+void
+auditBlockTransition(BlockState from, BlockState to, PolicyStream stream,
+                     bool is_fill)
+{
+    if (!auditActive())
+        return;
+    GLLC_AUDIT_CHECK("GspcFamily", "epoch-fsm",
+                     legalBlockTransition(from, to, stream, is_fill),
+                     "illegal Figure-10 transition %s -> %s on %s %s",
+                     blockStateName(from), blockStateName(to),
+                     policyStreamName(stream).c_str(),
+                     is_fill ? "fill" : "hit");
+}
 
 GspcFamilyPolicy::GspcFamilyPolicy(GspcVariant variant, std::uint32_t t)
     : GspcFamilyPolicy(variant, GspcParams{t, 8, 7, 6})
@@ -27,6 +89,25 @@ GspcFamilyPolicy::configure(std::uint32_t sets, std::uint32_t ways)
     rrip_.configure(sets, ways);
     state_.assign(static_cast<std::size_t>(sets) * ways,
                   BlockState::TexE0);
+
+    if (auditActive()) {
+        // Sample-set invariant (Table 2): the predicate must select
+        // exactly one set per 2^sampleLog2-set constituency, and be
+        // stable (it is a pure function of the set index, so one
+        // recount both checks the density and pins the membership).
+        std::uint32_t samples = 0;
+        for (std::uint32_t s = 0; s < sets; ++s) {
+            if (isSampleSetAt(s, params_.sampleLog2))
+                ++samples;
+        }
+        const std::uint32_t expected =
+            std::max<std::uint32_t>(1, sets >> params_.sampleLog2);
+        GLLC_AUDIT_CHECK("GspcFamily", "sample-density",
+                         samples == expected,
+                         "%u sample sets in %u sets, expected %u "
+                         "(log2 density %u)",
+                         samples, sets, expected, params_.sampleLog2);
+    }
 }
 
 std::uint32_t
@@ -49,6 +130,19 @@ GspcFamilyPolicy::texE0Rrpv() const
 void
 GspcFamilyPolicy::onFill(std::uint32_t set, std::uint32_t way,
                          const AccessInfo &info)
+{
+    if (!auditActive()) {
+        onFillImpl(set, way, info);
+        return;
+    }
+    const BlockState prev = stateAt(set, way);
+    onFillImpl(set, way, info);
+    auditBlockTransition(prev, stateAt(set, way), info.pstream(), true);
+}
+
+void
+GspcFamilyPolicy::onFillImpl(std::uint32_t set, std::uint32_t way,
+                             const AccessInfo &info)
 {
     const bool sample = isSampleSetAt(set, params_.sampleLog2);
     const PolicyStream ps = info.pstream();
@@ -121,6 +215,19 @@ GspcFamilyPolicy::onFill(std::uint32_t set, std::uint32_t way,
 void
 GspcFamilyPolicy::onHit(std::uint32_t set, std::uint32_t way,
                         const AccessInfo &info)
+{
+    if (!auditActive()) {
+        onHitImpl(set, way, info);
+        return;
+    }
+    const BlockState prev = stateAt(set, way);
+    onHitImpl(set, way, info);
+    auditBlockTransition(prev, stateAt(set, way), info.pstream(), false);
+}
+
+void
+GspcFamilyPolicy::onHitImpl(std::uint32_t set, std::uint32_t way,
+                            const AccessInfo &info)
 {
     const bool sample = isSampleSetAt(set, params_.sampleLog2);
     const PolicyStream ps = info.pstream();
@@ -216,6 +323,23 @@ GspcFamilyPolicy::onEvict(std::uint32_t set, std::uint32_t way)
     // The RT bit / state is conceptually cleared on eviction; the
     // next fill rewrites it, but reset keeps introspection honest.
     stateAt(set, way) = BlockState::TexE0;
+}
+
+void
+GspcFamilyPolicy::auditInvariants(std::uint32_t set) const
+{
+    if (!auditActive())
+        return;
+    rrip_.auditSet(set, "GspcFamily");
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const auto raw = static_cast<std::uint8_t>(state_[base + w]);
+        GLLC_AUDIT_CHECK("GspcFamily", "block-state", raw <= 0b11,
+                         "set %u way %u holds state byte 0x%02x "
+                         "outside the 2-bit Figure-10 encoding",
+                         set, w, raw);
+    }
+    counters_.auditInvariants("GspcFamily");
 }
 
 const FillHistogram *

@@ -53,6 +53,28 @@ enum class BlockState : std::uint8_t
     RenderTarget = 0b11,
 };
 
+/** Human-readable Figure-10 state name ("E0", "E1", "E>=2", "RT"). */
+const char *blockStateName(BlockState s);
+
+/**
+ * Whether @p from -> @p to is a legal Figure-10 transition for an
+ * access of policy stream @p stream.  Fills reset the state (texture
+ * epoch E0, or RT for render-target fills) regardless of the
+ * previous occupant; hits walk the epoch FSM: RT->E0 on texture
+ * consumption, E0->E1->E>=2 (absorbing) on texture hits, any->RT on
+ * render-target hits, and no state change for Z/Rest hits.
+ */
+bool legalBlockTransition(BlockState from, BlockState to,
+                          PolicyStream stream, bool is_fill);
+
+/**
+ * Audit-layer check of one observed FSM transition; fails the audit
+ * with both state names when the transition is illegal.  No-op
+ * unless auditActive().
+ */
+void auditBlockTransition(BlockState from, BlockState to,
+                          PolicyStream stream, bool is_fill);
+
 /**
  * Tunable implementation parameters of the GSPC family, exposed for
  * the ablation benches; the defaults are the paper's design point.
@@ -117,6 +139,27 @@ class GspcFamilyPolicy : public ReplacementPolicy
         return rrip_.get(set, way);
     }
 
+    /**
+     * Audit hook: RRPVs within the 2-bit width, Figure-10 state
+     * encodings valid, learning counters within their widths.
+     */
+    void auditInvariants(std::uint32_t set) const override;
+
+    /**
+     * Test-only: overwrite the raw Figure-10 state byte of a block,
+     * bypassing the FSM, so the audit layer's encoding checks can be
+     * exercised.
+     */
+    void
+    debugSetBlockStateRaw(std::uint32_t set, std::uint32_t way,
+                          std::uint8_t raw)
+    {
+        stateAt(set, way) = static_cast<BlockState>(raw);
+    }
+
+    /** Test-only: the mutable learning counters (corruption tests). */
+    StreamReuseCounters &debugCounters() { return counters_; }
+
     static PolicyFactory factory(GspcVariant variant, std::uint32_t t = 8);
 
     /** Factory with full parameter control (ablations). */
@@ -129,6 +172,12 @@ class GspcFamilyPolicy : public ReplacementPolicy
     {
         return state_[static_cast<std::size_t>(set) * ways_ + way];
     }
+
+    /** onFill/onHit bodies; the public hooks audit the transition. */
+    void onFillImpl(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &info);
+    void onHitImpl(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &info);
 
     /** Insertion RRPV for a texture block entering epoch E0. */
     std::uint8_t texE0Rrpv() const;

@@ -21,6 +21,7 @@
 #define GLLC_CORE_STREAM_COUNTERS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/sat_counter.hh"
 
@@ -100,8 +101,28 @@ class StreamReuseCounters
     std::uint32_t acc() const { return acc_.value(); }
     /// @}
 
+    /**
+     * Audit every counter against its configured width; @p component
+     * names the owning policy in the failure report.  No-op unless
+     * auditActive().
+     */
+    void auditInvariants(const char *component) const;
+
+    /**
+     * Test-only: overwrite one counter's raw value, bypassing the
+     * saturation clamps, so the audit layer's range checks can be
+     * exercised.  @p name is one of FILL_Z, HIT_Z, FILL_TEX,
+     * HIT_TEX, FILL_TEX_E0, HIT_TEX_E0, FILL_TEX_E1, HIT_TEX_E1,
+     * PROD, CONS, ACC; unknown names panic.
+     */
+    void debugForceCounter(const std::string &name, std::uint32_t value);
+
   private:
     void halveAll();
+
+    /** Apply @p fn to every (name, counter) pair (auditor, hook). */
+    template <typename Self, typename Fn>
+    static void forEachCounter(Self &self, Fn &&fn);
 
     SatCounter fillZ_;
     SatCounter hitZ_;

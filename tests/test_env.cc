@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Edge-case tests for environment-variable parsing (common/env.cc)
+ * and the knobs derived from it: empty and malformed values,
+ * overflow, and zero values of GLLC_THREADS / GLLC_FRAME_WINDOW.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analysis/sweep.hh"
+#include "common/env.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** RAII setter so a failing expectation cannot leak a variable. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (value == nullptr)
+            ::unsetenv(name);
+        else
+            ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    const char *name_;
+};
+
+// ---------------------------------------------------------------
+// envInt parsing
+// ---------------------------------------------------------------
+
+TEST(EnvIntTest, UnsetUsesFallback)
+{
+    ScopedEnv e("GLLC_TEST_EDGE", nullptr);
+    EXPECT_EQ(envInt("GLLC_TEST_EDGE", 13), 13);
+}
+
+TEST(EnvIntTest, EmptyValueUsesFallback)
+{
+    ScopedEnv e("GLLC_TEST_EDGE", "");
+    EXPECT_EQ(envInt("GLLC_TEST_EDGE", 13), 13);
+}
+
+TEST(EnvIntTest, ParsesDecimalHexAndNegative)
+{
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "42");
+        EXPECT_EQ(envInt("GLLC_TEST_EDGE", 0), 42);
+    }
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "0x20");
+        EXPECT_EQ(envInt("GLLC_TEST_EDGE", 0), 0x20);
+    }
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "-8");
+        EXPECT_EQ(envInt("GLLC_TEST_EDGE", 0), -8);
+    }
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "0");
+        EXPECT_EQ(envInt("GLLC_TEST_EDGE", 13), 0);
+    }
+}
+
+TEST(EnvIntTest, NonNumericValueIsFatal)
+{
+    ScopedEnv e("GLLC_TEST_EDGE", "fast");
+    EXPECT_EXIT(envInt("GLLC_TEST_EDGE", 0),
+                ::testing::ExitedWithCode(1), "is not an integer");
+}
+
+TEST(EnvIntTest, TrailingGarbageIsFatal)
+{
+    ScopedEnv e("GLLC_TEST_EDGE", "12abc");
+    EXPECT_EXIT(envInt("GLLC_TEST_EDGE", 0),
+                ::testing::ExitedWithCode(1), "is not an integer");
+}
+
+TEST(EnvIntTest, OverflowIsFatal)
+{
+    // One past LLONG_MAX, then far past in both directions.
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "9223372036854775808");
+        EXPECT_EXIT(envInt("GLLC_TEST_EDGE", 0),
+                    ::testing::ExitedWithCode(1), "is out of range");
+    }
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "99999999999999999999999");
+        EXPECT_EXIT(envInt("GLLC_TEST_EDGE", 0),
+                    ::testing::ExitedWithCode(1), "is out of range");
+    }
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "-99999999999999999999999");
+        EXPECT_EXIT(envInt("GLLC_TEST_EDGE", 0),
+                    ::testing::ExitedWithCode(1), "is out of range");
+    }
+}
+
+TEST(EnvIntTest, ExtremeRepresentableValuesParse)
+{
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "9223372036854775807");
+        EXPECT_EQ(envInt("GLLC_TEST_EDGE", 0), 9223372036854775807LL);
+    }
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "-9223372036854775808");
+        EXPECT_EQ(envInt("GLLC_TEST_EDGE", 0),
+                  -9223372036854775807LL - 1);
+    }
+}
+
+TEST(EnvStringTest, FallbackAndValue)
+{
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", nullptr);
+        EXPECT_EQ(envString("GLLC_TEST_EDGE", "dflt"), "dflt");
+    }
+    {
+        ScopedEnv e("GLLC_TEST_EDGE", "abc");
+        EXPECT_EQ(envString("GLLC_TEST_EDGE", "dflt"), "abc");
+    }
+    {
+        // Empty is a present value for strings, unlike for integers.
+        ScopedEnv e("GLLC_TEST_EDGE", "");
+        EXPECT_EQ(envString("GLLC_TEST_EDGE", "dflt"), "");
+    }
+}
+
+// ---------------------------------------------------------------
+// GLLC_THREADS
+// ---------------------------------------------------------------
+
+TEST(SweepThreadsTest, ExplicitRequestWinsOverEnvironment)
+{
+    ScopedEnv e("GLLC_THREADS", "7");
+    EXPECT_EQ(sweepThreads(3), 3u);
+}
+
+TEST(SweepThreadsTest, EnvironmentValueUsedWhenUnrequested)
+{
+    ScopedEnv e("GLLC_THREADS", "5");
+    EXPECT_EQ(sweepThreads(0), 5u);
+}
+
+TEST(SweepThreadsTest, ZeroFallsBackToHardwareConcurrency)
+{
+    ScopedEnv e("GLLC_THREADS", "0");
+    EXPECT_GE(sweepThreads(0), 1u);
+}
+
+TEST(SweepThreadsTest, NegativeFallsBackToHardwareConcurrency)
+{
+    ScopedEnv e("GLLC_THREADS", "-4");
+    EXPECT_GE(sweepThreads(0), 1u);
+}
+
+// ---------------------------------------------------------------
+// GLLC_FRAME_WINDOW
+// ---------------------------------------------------------------
+
+TEST(FrameWindowTest, ZeroWindowDefaultsAndMatchesExplicitWindow)
+{
+    // GLLC_FRAME_WINDOW=0 must mean "pick a default", not "hold zero
+    // frames"; the sweep must still run and produce the same cells
+    // as an explicit window.
+    ScopedEnv frames("GLLC_FRAMES", "2");
+    ScopedEnv scale("GLLC_SCALE", "8");
+    ScopedEnv threads("GLLC_THREADS", "2");
+
+    SweepResult narrow;
+    {
+        ScopedEnv window("GLLC_FRAME_WINDOW", "1");
+        narrow = SweepConfig().policies({"DRRIP"}).progress(false).run();
+    }
+    SweepResult defaulted;
+    {
+        ScopedEnv window("GLLC_FRAME_WINDOW", "0");
+        defaulted =
+            SweepConfig().policies({"DRRIP"}).progress(false).run();
+    }
+
+    ASSERT_EQ(narrow.cells().size(), defaulted.cells().size());
+    ASSERT_EQ(narrow.cells().size(), 2u);
+    for (std::size_t i = 0; i < narrow.cells().size(); ++i) {
+        const LlcStats &a = narrow.cells()[i].result.stats;
+        const LlcStats &b = defaulted.cells()[i].result.stats;
+        EXPECT_EQ(a.totalAccesses(), b.totalAccesses()) << "cell " << i;
+        EXPECT_EQ(a.totalHits(), b.totalHits()) << "cell " << i;
+    }
+}
+
+} // namespace
