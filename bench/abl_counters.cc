@@ -20,6 +20,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     struct Variant
     {
         const char *label;

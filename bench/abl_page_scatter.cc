@@ -23,8 +23,9 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const std::vector<std::string> policies{"DRRIP", "SHiP-mem",
                                             "GSPC+UCD"};
 

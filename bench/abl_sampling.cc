@@ -20,6 +20,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     // sampleLog2: 4 -> 1/16 density, 6 -> 1/64 (paper), 8 -> 1/256.
     const std::vector<unsigned> densities{4, 5, 6, 7, 8};
 

@@ -13,7 +13,9 @@
  * GLLC_FRAMES (default all 52) and GLLC_THREADS (default: hardware
  * concurrency; 1 = serial).  Every sweep-based harness also accepts
  * trailing "--csv <path>" / "--json <path>" arguments to dump the
- * per-cell results through the shared writers in analysis/report.
+ * per-cell results through the shared writers in analysis/report,
+ * and "--stats" to print the metrics-registry snapshot on exit
+ * (BenchObservability below).
  */
 
 #ifndef GLLC_BENCH_BENCH_UTIL_HH
@@ -26,10 +28,43 @@
 #include "analysis/report.hh"
 #include "analysis/sweep.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 
 namespace gllc
 {
+
+/**
+ * Per-bench observability switch: constructed first thing in every
+ * bench main.  A "--stats" argument turns the metrics registry on
+ * for the run and prints the merged snapshot (CSV) on stdout when
+ * the bench finishes; GLLC_STATS_JSON / GLLC_TRACE_OUT work with or
+ * without it.
+ */
+class BenchObservability
+{
+  public:
+    BenchObservability(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--stats") {
+                stats_ = true;
+                setMetricsActive(true);
+            }
+        }
+    }
+
+    ~BenchObservability()
+    {
+        if (!stats_)
+            return;
+        std::cout << "--- metrics snapshot ---\n";
+        MetricsRegistry::instance().snapshot().writeCsv(std::cout);
+    }
+
+  private:
+    bool stats_ = false;
+};
 
 /** Print the standard bench banner. */
 inline void

@@ -20,8 +20,9 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const RenderScale scale = scaleFromEnv();
     const LlcConfig llc =
         scaledLlcConfig(8ull << 20, scale.pixelScale());

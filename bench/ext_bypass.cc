@@ -18,6 +18,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig()
             .policies({"DRRIP", "GSPC+UCD", "GSPC+B+UCD", "Belady"})

@@ -21,8 +21,9 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const RenderScale scale = scaleFromEnv();
     const auto frames = frameSetFromEnv();
 

@@ -17,11 +17,12 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     GpuConfig gpu = GpuConfig::baseline();
     gpu.dram = DramConfig::gddr5();
     runPerfFigure("Extension: GDDR5-class memory system", gpu,
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
     return 0;
 }

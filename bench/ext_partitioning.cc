@@ -23,6 +23,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig()
             .policies({"DRRIP", "DIP", "peLIFO", "UCP-stream",

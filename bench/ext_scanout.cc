@@ -16,8 +16,9 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     GpuConfig gpu = GpuConfig::baseline();
     gpu.scanoutHz = 60.0;
     // Front buffer at the scaled resolution (4 B per pixel).
@@ -25,6 +26,6 @@ main()
     gpu.scanoutBytes = 4ull * (1920 / scale.linear)
         * (1200 / scale.linear);
     runPerfFigure("Extension: 60 Hz scan-out contention", gpu,
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
     return 0;
 }

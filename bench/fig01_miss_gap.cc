@@ -16,6 +16,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult result =
         SweepConfig().policies({"DRRIP", "NRU", "Belady"}).run();
     benchBanner("Figure 1: NRU and Belady vs DRRIP (LLC misses)",

@@ -19,8 +19,9 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const RenderScale scale = scaleFromEnv();
     const auto frames = frameSetFromEnv();
     std::cout << "=== Figure 4: stream-wise LLC access distribution"

@@ -62,6 +62,7 @@ printPanel(const SweepResult &sweep, StreamType stream,
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult result =
         SweepConfig().policies({"Belady", "DRRIP", "NRU"}).run();
     benchBanner("Figure 5: per-stream LLC hit rates", result);

@@ -19,6 +19,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig().policies({"Belady", "DRRIP", "NRU"}).run();
     benchBanner("Figure 6: inter-stream texture reuse", sweep);

@@ -17,6 +17,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig().policies({"Belady"}).run();
     benchBanner("Figure 7: texture sampler epochs under Belady",

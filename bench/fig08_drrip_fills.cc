@@ -17,6 +17,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig().policies({"DRRIP"}).run();
     benchBanner("Figure 8: DRRIP fills at RRPV=3", sweep);

@@ -17,6 +17,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig().policies({"Belady"}).run();
     benchBanner("Figure 9: Z-stream epoch death ratios under Belady",

@@ -20,6 +20,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     // The threshold-sweep points come from the registry's
     // machine-readable metadata rather than hand-assembled names.
     std::vector<PolicySpec> specs;

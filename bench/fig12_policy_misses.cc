@@ -18,6 +18,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult result =
         SweepConfig()
             .policies({"DRRIP", "NRU", "SHiP-mem", "GS-DRRIP",

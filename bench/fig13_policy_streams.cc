@@ -20,6 +20,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig()
             .policies({"DRRIP", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE",

@@ -18,6 +18,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const SweepResult sweep =
         SweepConfig()
             .policies({"DRRIP", "LRU", "DRRIP-4", "GS-DRRIP-4",

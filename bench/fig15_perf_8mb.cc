@@ -13,11 +13,12 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     runPerfFigure("Figure 15: performance on the 8 MB LLC",
                   GpuConfig::baseline(),
                   {"DRRIP+UCD", "NRU+UCD", "GS-DRRIP+UCD",
-                   "GSPC+UCD"});
+                   "GSPC+UCD"}, argc, argv);
     return 0;
 }

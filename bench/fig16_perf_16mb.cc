@@ -12,11 +12,12 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     runPerfFigure("Figure 16: performance on the 16 MB LLC",
                   GpuConfig::baseline16M(),
                   {"DRRIP+UCD", "NRU+UCD", "GS-DRRIP+UCD",
-                   "GSPC+UCD"});
+                   "GSPC+UCD"}, argc, argv);
     return 0;
 }

@@ -16,13 +16,14 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     runPerfFigure("Figure 17 upper: DDR3-1867 10-10-10",
                   GpuConfig::fastDram(),
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
     runPerfFigure("Figure 17 lower: 512-thread / 8-sampler GPU",
                   GpuConfig::lessAggressive(),
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"});
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
     return 0;
 }

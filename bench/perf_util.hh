@@ -10,36 +10,121 @@
  * NRU+UCD, GS-DRRIP+UCD, GSPC+UCD, and DRRIP+UCD").
  *
  * Like the sweep engine, the (frame, policy) simulations are
- * independent: frames fan out over a ThreadPool (GLLC_THREADS) and
- * the per-frame results are merged in frame-set order, so the
- * output is identical to a serial run.
+ * independent and fan out over a ThreadPool (GLLC_THREADS) in
+ * windows of frames; finished windows merge in frame-set order, so
+ * the output is identical to a serial run.  The harness shares the
+ * sweep engine's observability surface: the cells/s + ETA progress
+ * meter, trace-event spans per cell and per window phase, metrics
+ * counters under "perf.", and the "--csv <path>" / "--json <path>"
+ * export flags.
  */
 
 #ifndef GLLC_BENCH_PERF_UTIL_HH
 #define GLLC_BENCH_PERF_UTIL_HH
 
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/metrics.hh"
+#include "common/progress.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_event.hh"
 #include "gpu/gpu_simulator.hh"
 #include "workload/trace_cache.hh"
 
 namespace gllc
 {
 
-/** Simulate the frame set on @p gpu and print normalized FPS. */
+/** One (app, frame, policy) result of a perf figure. */
+struct PerfCell
+{
+    std::string app;
+    std::uint32_t frameIndex = 0;
+    std::string policy;
+    double fps = 0.0;
+};
+
+/** CSV export: one row per (app, frame, policy) cell. */
+inline void
+writePerfCsv(std::ostream &os, const std::vector<PerfCell> &cells)
+{
+    os << "app,frame,policy,fps\n";
+    for (const PerfCell &c : cells) {
+        os << c.app << ',' << c.frameIndex << ',' << c.policy << ','
+           << fmt(c.fps, 3) << '\n';
+    }
+}
+
+/** JSON export: {"figure", "policies", "cells"}. */
+inline void
+writePerfJson(std::ostream &os, const std::string &what,
+              const std::vector<std::string> &policies,
+              const std::vector<PerfCell> &cells)
+{
+    os << "{\n  \"figure\": \"" << what << "\",\n  \"policies\": [";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        os << (i ? ", " : "") << '"' << policies[i] << '"';
+    }
+    os << "],\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const PerfCell &c = cells[i];
+        os << "    {\"app\": \"" << c.app << "\", \"frame\": "
+           << c.frameIndex << ", \"policy\": \"" << c.policy
+           << "\", \"fps\": " << fmt(c.fps, 3) << '}'
+           << (i + 1 < cells.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+/**
+ * Handle "--csv <path>" / "--json <path>" for a perf figure (the
+ * same flags the sweep-based harnesses take).
+ */
+inline void
+exportPerfFigure(int argc, char **argv, const std::string &what,
+                 const std::vector<std::string> &policies,
+                 const std::vector<PerfCell> &cells)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag != "--csv" && flag != "--json")
+            continue;
+        if (i + 1 >= argc)
+            fatal("%s requires a file path", flag.c_str());
+        std::ofstream os(argv[i + 1]);
+        if (!os) {
+            warn("cannot write %s", argv[i + 1]);
+            continue;
+        }
+        if (flag == "--csv")
+            writePerfCsv(os, cells);
+        else
+            writePerfJson(os, what, policies, cells);
+        std::cout << "wrote " << argv[i + 1] << "\n";
+        ++i;
+    }
+}
+
+/**
+ * Simulate the frame set on @p gpu and print normalized FPS; pass
+ * main's @p argc / @p argv through for the export flags.
+ */
 inline void
 runPerfFigure(const std::string &what, const GpuConfig &gpu,
               const std::vector<std::string> &policies,
+              int argc = 0, char **argv = nullptr,
               const std::string &baseline = "DRRIP+UCD")
 {
     const RenderScale scale = scaleFromEnv();
     const auto frames = frameSetFromEnv();
     const unsigned nthreads = sweepThreads();
+    const bool metrics = metricsActive();
 
     std::cout << "=== " << what << " ===\n"
               << "GPU: " << gpu.shaderCores << " cores x "
@@ -50,23 +135,60 @@ runPerfFigure(const std::string &what, const GpuConfig &gpu,
               << ", scale " << scale.linear << ", " << nthreads
               << " thread(s)\n\n";
 
-    // Each frame task renders its trace once and simulates every
-    // policy; results land in per-frame slots merged in frame-set
-    // order below, so the output matches a serial run exactly.
+    // Windowed two-phase fan-out mirroring the sweep engine: a
+    // window of frames renders + simulates in parallel, then one
+    // thread merges the window in frame-set order (bit-identical to
+    // a serial run) and advances the shared progress meter.
+    const std::size_t total_cells = frames.size() * policies.size();
+    ProgressMeter meter(progressEnabled(), total_cells, "perf");
     std::vector<std::map<std::string, double>> frame_fps(
         frames.size());
+    const std::size_t window =
+        std::max<std::size_t>(1, 2 * nthreads);
+    std::size_t cells_done = 0;
     {
         ThreadPool pool(nthreads);
-        pool.parallelFor(frames.size(), [&](std::size_t i) {
-            const FrameSpec &spec = frames[i];
-            const FrameTrace trace = cachedRenderFrame(
-                *spec.app, spec.frameIndex, scale);
-            for (const std::string &p : policies) {
-                frame_fps[i][p] =
-                    simulateFrame(trace, policySpec(p), gpu, scale)
-                        .timing.fps;
+        for (std::size_t base = 0; base < frames.size();
+             base += window) {
+            const std::size_t block =
+                std::min(window, frames.size() - base);
+            const std::string window_tag = "frames "
+                + std::to_string(base) + ".."
+                + std::to_string(base + block - 1);
+            {
+                TraceSpan span("phase", "simulate " + window_tag);
+                pool.parallelFor(block, [&](std::size_t k) {
+                    const std::size_t i = base + k;
+                    const FrameSpec &spec = frames[i];
+                    const FrameTrace trace = cachedRenderFrame(
+                        *spec.app, spec.frameIndex, scale);
+                    for (const std::string &p : policies) {
+                        TraceSpan cell(
+                            "cell",
+                            spec.app->name + " frame "
+                                + std::to_string(spec.frameIndex)
+                                + " " + p,
+                            {{"app", spec.app->name},
+                             {"frame",
+                              std::to_string(spec.frameIndex)},
+                             {"policy", p}});
+                        frame_fps[i][p] =
+                            simulateFrame(trace, policySpec(p), gpu,
+                                          scale)
+                                .timing.fps;
+                    }
+                });
             }
-        });
+            TraceSpan span("phase", "merge " + window_tag);
+            cells_done += block * policies.size();
+            if (metrics) {
+                MetricsRegistry::instance().addCounter(
+                    "perf.cells_done", block * policies.size());
+                MetricsRegistry::instance().addCounter(
+                    "perf.frames_done", block);
+            }
+            meter.update(cells_done);
+        }
     }
 
     // fps per (app, policy) averaged over the app's frames, plus the
@@ -76,6 +198,8 @@ runPerfFigure(const std::string &what, const GpuConfig &gpu,
     std::map<std::string, double> norm_sum;
     double mean_fps_count = 0;
     std::map<std::string, double> mean_fps;
+    std::vector<PerfCell> cells;
+    cells.reserve(total_cells);
 
     for (std::size_t i = 0; i < frames.size(); ++i) {
         const FrameSpec &spec = frames[i];
@@ -84,6 +208,8 @@ runPerfFigure(const std::string &what, const GpuConfig &gpu,
             app_fps[spec.app->name][p] += fps.at(p);
             mean_fps[p] += fps.at(p);
             norm_sum[p] += fps.at(p) / fps.at(baseline);
+            cells.push_back({spec.app->name, spec.frameIndex, p,
+                             fps.at(p)});
         }
         ++app_frames[spec.app->name];
         mean_fps_count += 1;
@@ -122,6 +248,8 @@ runPerfFigure(const std::string &what, const GpuConfig &gpu,
                   << fmt(mean_fps.at(p) / mean_fps_count, 1);
     }
     std::cout << "\n\n";
+
+    exportPerfFigure(argc, argv, what, policies, cells);
 }
 
 } // namespace gllc

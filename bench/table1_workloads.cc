@@ -12,8 +12,9 @@
 using namespace gllc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObservability obs(argc, argv);
     const RenderScale scale = scaleFromEnv();
     std::cout << "=== Table 1: DirectX applications (scale "
               << scale.linear << ") ===\n\n";

@@ -6,6 +6,7 @@
 #include "cache/policy/belady.hh"
 #include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace gllc
 {
@@ -59,6 +60,16 @@ runTrace(const FrameTrace &trace, const PolicySpec &spec,
     result.stats = llc.stats();
     result.characterization = characterizer.result();
     result.fills = llc.mergedFillHistogram();
+
+    if (metricsActive()) {
+        // Flush once per replay: aggregate LLC view plus a per-policy
+        // view.  Both prefixes see identical deltas, and counters sum
+        // commutatively, so the snapshot is deterministic regardless
+        // of replay order or thread count.
+        llc.flushMetrics("llc.");
+        llc.flushMetrics("policy." + spec.name + ".");
+        MetricsRegistry::instance().addCounter("sim.replays");
+    }
     return result;
 }
 

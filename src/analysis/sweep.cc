@@ -1,18 +1,18 @@
 #include "analysis/sweep.hh"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <ostream>
 #include <thread>
 
 #include "common/audit.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/progress.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "common/trace_event.hh"
 #include "workload/trace_cache.hh"
 
 namespace gllc
@@ -21,61 +21,21 @@ namespace gllc
 namespace
 {
 
-/**
- * Throttled cells/s + ETA reporter on stderr.  Updated from the
- * merging thread only, so it needs no locking.
- */
-class ProgressMeter
+/** Render one frame trace, with an optional timeline span. */
+FrameTrace
+renderFrame(const FrameSpec &frame, const RenderScale &scale)
 {
-  public:
-    ProgressMeter(bool enabled, std::size_t total_cells)
-        : enabled_(enabled), total_(total_cells),
-          start_(std::chrono::steady_clock::now()), lastPrint_(start_)
-    {
-    }
-
-    void
-    update(std::size_t done)
-    {
-        if (!enabled_ || done == 0)
-            return;
-        const auto now = std::chrono::steady_clock::now();
-        if (done < total_ && now - lastPrint_
-            < std::chrono::milliseconds(250))
-            return;
-        lastPrint_ = now;
-        const double elapsed =
-            std::chrono::duration<double>(now - start_).count();
-        const double rate =
-            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
-        const double eta =
-            rate > 0.0 ? static_cast<double>(total_ - done) / rate
-                       : 0.0;
-        std::fprintf(stderr,
-                     "\rsweep: %zu/%zu cells  %.1f cells/s  "
-                     "ETA %.0fs   ",
-                     done, total_, rate, eta);
-        if (done >= total_)
-            std::fprintf(stderr, "\n");
-        std::fflush(stderr);
-    }
-
-  private:
-    bool enabled_;
-    std::size_t total_;
-    std::chrono::steady_clock::time_point start_;
-    std::chrono::steady_clock::time_point lastPrint_;
-};
-
-bool
-progressEnabled(int override_flag)
-{
-    if (override_flag >= 0)
-        return override_flag != 0;
-    const std::string env = envString("GLLC_PROGRESS", "");
-    if (!env.empty())
-        return env != "0";
-    return isatty(2) != 0;
+    TraceSpan span("render",
+                   frame.app->name + " frame "
+                       + std::to_string(frame.frameIndex),
+                   {{"app", frame.app->name},
+                    {"frame", std::to_string(frame.frameIndex)}});
+    FrameTrace trace =
+        cachedRenderFrame(*frame.app, frame.frameIndex, scale);
+    if (metricsActive())
+        MetricsRegistry::instance().addCounter(
+            "sweep.frames_rendered");
+    return trace;
 }
 
 } // namespace
@@ -238,6 +198,13 @@ SweepConfig::run(const CellObserver &observer) const
         cell.app = frame.app->name;
         cell.frameIndex = frame.frameIndex;
         cell.policy = spec.name;
+        TraceSpan span("cell",
+                       cell.app + " frame "
+                           + std::to_string(cell.frameIndex) + " "
+                           + cell.policy,
+                       {{"app", cell.app},
+                        {"frame", std::to_string(cell.frameIndex)},
+                        {"policy", cell.policy}});
         RunOptions options;
         options.collectDramTrace = collectDram_;
         if (auditActive()) {
@@ -258,6 +225,9 @@ SweepConfig::run(const CellObserver &observer) const
                                          const FrameTrace &trace) {
         if (observer)
             observer(cell, trace);
+        if (metricsActive())
+            MetricsRegistry::instance().addCounter(
+                "sweep.cells_done");
         cell.result.dramTrace.clear();
         cell.result.dramTrace.shrink_to_fit();
     };
@@ -268,8 +238,7 @@ SweepConfig::run(const CellObserver &observer) const
         std::size_t done = 0;
         for (std::size_t f = 0; f < num_frames; ++f) {
             const FrameSpec &frame = frames_[f];
-            const FrameTrace trace = cachedRenderFrame(
-                *frame.app, frame.frameIndex, scale_);
+            const FrameTrace trace = renderFrame(frame, scale_);
             for (std::size_t p = 0; p < num_policies; ++p) {
                 SweepCell &cell =
                     result.cells_[f * num_policies + p];
@@ -286,28 +255,38 @@ SweepConfig::run(const CellObserver &observer) const
             const std::size_t block =
                 std::min(window, num_frames - base);
 
+            const std::string window_tag =
+                "frames " + std::to_string(base) + ".."
+                + std::to_string(base + block - 1);
+
             // Produce the block's traces once, in parallel;
             // immutable from here on.
             std::vector<FrameTrace> traces(block);
-            pool.parallelFor(block, [&](std::size_t i) {
-                const FrameSpec &frame = frames_[base + i];
-                traces[i] = cachedRenderFrame(
-                    *frame.app, frame.frameIndex, scale_);
-            });
+            {
+                TraceSpan phase("phase", "render " + window_tag);
+                pool.parallelFor(block, [&](std::size_t i) {
+                    traces[i] = renderFrame(frames_[base + i],
+                                            scale_);
+                });
+            }
 
             // Replay every (frame, policy) cell of the block
             // concurrently into its preallocated slot.
-            pool.parallelFor(
-                block * num_policies, [&](std::size_t k) {
-                    const std::size_t f = k / num_policies;
-                    const std::size_t p = k % num_policies;
-                    result.cells_[(base + f) * num_policies + p] =
-                        run_cell(frames_[base + f], traces[f],
-                                 specs_[p]);
-                });
+            {
+                TraceSpan phase("phase", "replay " + window_tag);
+                pool.parallelFor(
+                    block * num_policies, [&](std::size_t k) {
+                        const std::size_t f = k / num_policies;
+                        const std::size_t p = k % num_policies;
+                        result.cells_[(base + f) * num_policies + p]
+                            = run_cell(frames_[base + f], traces[f],
+                                       specs_[p]);
+                    });
+            }
 
             // Merge: observers fire in sweep order regardless of
             // completion order.
+            TraceSpan phase("phase", "merge " + window_tag);
             for (std::size_t f = 0; f < block; ++f) {
                 for (std::size_t p = 0; p < num_policies; ++p) {
                     finish_cell(

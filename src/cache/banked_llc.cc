@@ -1,7 +1,9 @@
 #include "cache/banked_llc.hh"
 
 #include "common/audit.hh"
+#include "common/decision_log.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace gllc
 {
@@ -65,7 +67,8 @@ displayBypass()
 
 BankedLlc::BankedLlc(const LlcConfig &config, const PolicyFactory &factory)
     : geom_(config.capacityBytes, config.ways, config.banks),
-      config_(config)
+      config_(config),
+      logDecisions_(DecisionLog::active())
 {
     banks_.resize(geom_.banks());
     for (auto &bank : banks_) {
@@ -119,8 +122,20 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         ctx.way = -1;
     }
 
-    auto &sstats = stats_.stream[static_cast<std::size_t>(access.stream)];
+    auto &sstats =
+        bank.stats.stream[static_cast<std::size_t>(access.stream)];
     ++sstats.accesses;
+
+    // Filled in lazily: only when decision logging is live.
+    LlcDecision decision;
+    if (logDecisions_) {
+        decision.index = index;
+        decision.addr = access.addr;
+        decision.stream = streamName(access.stream).c_str();
+        decision.bank = bank_id;
+        decision.set = set;
+        decision.isWrite = access.isWrite;
+    }
 
     const AccessInfo info{&access, index, next_use};
     const std::uint32_t way = findWay(bank, set, tag);
@@ -135,6 +150,13 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         Entry &e = entryAt(bank, set, way);
         e.dirty = e.dirty || access.isWrite;
         bank.policy->onHit(set, way, info);
+        if (logDecisions_) {
+            decision.way = static_cast<std::int32_t>(way);
+            decision.outcome = DecisionOutcome::Hit;
+            decision.rrpv = bank.policy->decisionRrpv(set, way);
+            decision.state = bank.policy->decisionState(set, way);
+            DecisionLog::local().record(decision);
+        }
         if (observer_ != nullptr)
             observer_->onHit(access);
         if (audit)
@@ -146,6 +168,10 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         || bank.policy->shouldBypass(set, info)) {
         ++sstats.bypasses;
         result.bypassed = true;
+        if (logDecisions_) {
+            decision.outcome = DecisionOutcome::Bypass;
+            DecisionLog::local().record(decision);
+        }
         if (observer_ != nullptr)
             observer_->onBypass(access);
         if (audit)
@@ -172,9 +198,9 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         GLLC_ASSERT(fill_way < geom_.ways());
         Entry &victim = entryAt(bank, set, fill_way);
         GLLC_ASSERT(victim.valid);
-        ++stats_.evictions;
+        ++bank.stats.evictions;
         if (victim.dirty) {
-            ++stats_.writebacks;
+            ++bank.stats.writebacks;
             result.writeback = true;
             result.writebackAddr = victim.tag << kBlockShift;
         }
@@ -191,6 +217,13 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
     e.valid = true;
     e.dirty = access.isWrite;
     bank.policy->onFill(set, fill_way, info);
+    if (logDecisions_) {
+        decision.way = static_cast<std::int32_t>(fill_way);
+        decision.outcome = DecisionOutcome::Fill;
+        decision.rrpv = bank.policy->decisionRrpv(set, fill_way);
+        decision.state = bank.policy->decisionState(set, fill_way);
+        DecisionLog::local().record(decision);
+    }
     if (audit) {
         auditContext().way = fill_way;
         auditSet(bank_id, set);
@@ -268,6 +301,94 @@ BankedLlc::bankPolicy(std::uint32_t bank)
 {
     GLLC_ASSERT(bank < banks_.size());
     return *banks_[bank].policy;
+}
+
+const LlcStats &
+BankedLlc::bankStats(std::uint32_t bank) const
+{
+    GLLC_ASSERT(bank < banks_.size());
+    return banks_[bank].stats;
+}
+
+LlcStats
+BankedLlc::stats() const
+{
+    LlcStats merged;
+    for (const auto &bank : banks_)
+        merged.merge(bank.stats);
+    return merged;
+}
+
+namespace
+{
+
+/** Publish one LlcStats block; zero-valued names are skipped. */
+void
+flushLlcStats(MetricsRegistry &reg, const std::string &prefix,
+              const LlcStats &stats)
+{
+    for (std::size_t i = 0; i < kNumStreams; ++i) {
+        const LlcStats::PerStream &s = stats.stream[i];
+        if (s.accesses == 0)
+            continue;
+        const std::string base =
+            prefix + "stream."
+            + streamName(static_cast<StreamType>(i)) + ".";
+        reg.addCounter(base + "accesses", s.accesses);
+        if (s.hits > 0)
+            reg.addCounter(base + "hits", s.hits);
+        if (s.misses > 0)
+            reg.addCounter(base + "misses", s.misses);
+        if (s.bypasses > 0)
+            reg.addCounter(base + "bypasses", s.bypasses);
+    }
+    if (stats.writebacks > 0)
+        reg.addCounter(prefix + "writebacks", stats.writebacks);
+    if (stats.evictions > 0)
+        reg.addCounter(prefix + "evictions", stats.evictions);
+}
+
+/** Publish one insertion-RRPV histogram under prefix + "fill_rrpv.". */
+void
+flushFillHistogram(MetricsRegistry &reg, const std::string &prefix,
+                   const FillHistogram &h)
+{
+    for (std::size_t s = 0; s < kNumPolicyStreams; ++s) {
+        const std::string name =
+            prefix + "fill_rrpv."
+            + policyStreamName(static_cast<PolicyStream>(s));
+        for (unsigned r = 0; r < FillHistogram::kMaxRrpv; ++r) {
+            const std::uint64_t n =
+                h.fillsAt(static_cast<PolicyStream>(s), r);
+            if (n > 0)
+                reg.recordValue(name, static_cast<std::int64_t>(r),
+                                n);
+        }
+    }
+}
+
+} // namespace
+
+void
+BankedLlc::flushMetrics(const std::string &prefix) const
+{
+    if (!metricsActive())
+        return;
+    MetricsRegistry &reg = MetricsRegistry::instance();
+
+    flushLlcStats(reg, prefix, stats());
+    flushFillHistogram(reg, prefix, mergedFillHistogram());
+
+    for (std::uint32_t b = 0; b < geom_.banks(); ++b) {
+        const Bank &bank = banks_[b];
+        const std::string bank_prefix =
+            prefix + "bank" + std::to_string(b) + ".";
+        flushLlcStats(reg, bank_prefix, bank.stats);
+        const FillHistogram *h = bank.policy->fillHistogram();
+        if (h != nullptr)
+            flushFillHistogram(reg, bank_prefix, *h);
+        bank.policy->flushMetrics(bank_prefix);
+    }
 }
 
 } // namespace gllc

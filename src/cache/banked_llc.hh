@@ -130,8 +130,22 @@ class BankedLlc
     /** Probe only: true when the block is resident. No side effects. */
     bool isResident(Addr addr) const;
 
-    const LlcStats &stats() const { return stats_; }
+    /** Aggregate statistics, merged over the per-bank counters. */
+    LlcStats stats() const;
+
     const CacheGeometry &geometry() const { return geom_; }
+
+    /** Per-bank statistics (the access path's single accumulator). */
+    const LlcStats &bankStats(std::uint32_t bank) const;
+
+    /**
+     * Publish this cache's counters into the MetricsRegistry under
+     * @p prefix: aggregate and per-bank per-stream hit/miss/bypass
+     * counters, per-bank insertion-RRPV histograms, and whatever each
+     * bank's policy reports through ReplacementPolicy::flushMetrics.
+     * Called once per replay; no-op when metrics are inactive.
+     */
+    void flushMetrics(const std::string &prefix) const;
 
     /** Attach an observer (not owned); nullptr detaches. */
     void setObserver(LlcObserver *observer) { observer_ = observer; }
@@ -171,6 +185,13 @@ class BankedLlc
     {
         std::vector<Entry> entries;
         std::unique_ptr<ReplacementPolicy> policy;
+
+        /**
+         * Per-bank counters.  The access path increments these and
+         * nothing else; stats() merges them on demand, so enabling
+         * metrics adds no per-access work.
+         */
+        LlcStats stats;
     };
 
     Entry &
@@ -187,8 +208,13 @@ class BankedLlc
     CacheGeometry geom_;
     LlcConfig config_;
     std::vector<Bank> banks_;
-    LlcStats stats_;
     LlcObserver *observer_ = nullptr;
+
+    /**
+     * Decision-log switch, sampled once at construction so the
+     * access path pays one branch, not an atomic load, per access.
+     */
+    bool logDecisions_ = false;
 };
 
 } // namespace gllc

@@ -1,9 +1,61 @@
 #include "cache/policy/drrip.hh"
 
 #include "common/audit.hh"
+#include "common/metrics.hh"
 
 namespace gllc
 {
+
+void
+DuelStats::recordFill(DuelRole role, bool used_brrip,
+                      const DuelCounter &psel)
+{
+    switch (role) {
+      case DuelRole::SrripLeader:
+        ++srripLeaderMisses;
+        break;
+      case DuelRole::BrripLeader:
+        ++brripLeaderMisses;
+        break;
+      default:
+        if (used_brrip)
+            ++followerBrripFills;
+        else
+            ++followerSrripFills;
+        break;
+    }
+    const std::size_t bucket =
+        static_cast<std::size_t>(psel.value()) * kTrackBuckets
+        / (static_cast<std::size_t>(psel.max()) + 1);
+    ++pselTrack[bucket];
+}
+
+void
+DuelStats::flush(const std::string &prefix,
+                 const DuelCounter &psel) const
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    if (srripLeaderMisses > 0)
+        reg.addCounter(prefix + "srrip_leader_misses",
+                       srripLeaderMisses);
+    if (brripLeaderMisses > 0)
+        reg.addCounter(prefix + "brrip_leader_misses",
+                       brripLeaderMisses);
+    if (followerSrripFills > 0)
+        reg.addCounter(prefix + "follower_srrip_fills",
+                       followerSrripFills);
+    if (followerBrripFills > 0)
+        reg.addCounter(prefix + "follower_brrip_fills",
+                       followerBrripFills);
+    for (std::size_t b = 0; b < kTrackBuckets; ++b) {
+        if (pselTrack[b] > 0)
+            reg.recordValue(prefix + "psel_track",
+                            static_cast<std::int64_t>(b),
+                            pselTrack[b]);
+    }
+    reg.recordValue(prefix + "psel_final",
+                    static_cast<std::int64_t>(psel.value()));
+}
 
 DuelRole
 duelRole(std::uint32_t set, unsigned group)
@@ -54,7 +106,7 @@ auditDuelFamilies(unsigned groups, const char *component)
 }
 
 DrripPolicy::DrripPolicy(unsigned bits)
-    : bits_(bits), rrip_(bits), psel_(10)
+    : bits_(bits), rrip_(bits), psel_(10), metrics_(metricsActive())
 {
 }
 
@@ -98,6 +150,8 @@ DrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
         ? throttle_.insertionRrpv(rrip_)
         : rrip_.distantRrpv();
     rrip_.fill(set, way, rrpv, info.pstream());
+    if (metrics_)
+        duel_.recordFill(role, use_brrip, psel_);
 }
 
 void
@@ -126,6 +180,18 @@ const FillHistogram *
 DrripPolicy::fillHistogram() const
 {
     return &rrip_.histogram();
+}
+
+void
+DrripPolicy::flushMetrics(const std::string &prefix) const
+{
+    duel_.flush(prefix + "duel.", psel_);
+}
+
+int
+DrripPolicy::decisionRrpv(std::uint32_t set, std::uint32_t way) const
+{
+    return static_cast<int>(rrip_.get(set, way));
 }
 
 std::string

@@ -13,6 +13,7 @@
 #ifndef GLLC_CACHE_POLICY_DRRIP_HH
 #define GLLC_CACHE_POLICY_DRRIP_HH
 
+#include <array>
 #include <cstdint>
 
 #include "cache/rrip.hh"
@@ -69,6 +70,32 @@ class BrripThrottle
     std::uint32_t count_ = 0;
 };
 
+/**
+ * Set-dueling telemetry shared by DRRIP and GS-DRRIP: per-role fill
+ * counters and a 16-bucket trajectory of where the PSEL counter sat
+ * at each fill.  Maintained only while metricsActive().
+ */
+struct DuelStats
+{
+    static constexpr std::size_t kTrackBuckets = 16;
+
+    std::uint64_t srripLeaderMisses = 0;
+    std::uint64_t brripLeaderMisses = 0;
+    std::uint64_t followerSrripFills = 0;
+    std::uint64_t followerBrripFills = 0;
+
+    /** Fills observed with PSEL in each sixteenth of its range. */
+    std::array<std::uint64_t, kTrackBuckets> pselTrack{};
+
+    /** Record one fill made under @p role with PSEL at @p psel. */
+    void recordFill(DuelRole role, bool used_brrip,
+                    const DuelCounter &psel);
+
+    /** Publish under prefix ("...duel."): counters + trajectory. */
+    void flush(const std::string &prefix,
+               const DuelCounter &psel) const;
+};
+
 class DrripPolicy : public ReplacementPolicy
 {
   public:
@@ -87,6 +114,12 @@ class DrripPolicy : public ReplacementPolicy
     /** Audit hook: RRPV ranges, PSEL range, throttle period. */
     void auditInvariants(std::uint32_t set) const override;
 
+    /** Metrics hook: duel-role fills + PSEL trajectory. */
+    void flushMetrics(const std::string &prefix) const override;
+
+    int decisionRrpv(std::uint32_t set,
+                     std::uint32_t way) const override;
+
     /** Test-only: the mutable PSEL counter (corruption tests). */
     DuelCounter &debugPsel() { return psel_; }
 
@@ -97,6 +130,8 @@ class DrripPolicy : public ReplacementPolicy
     RripState rrip_;
     BrripThrottle throttle_;
     DuelCounter psel_;
+    bool metrics_;
+    DuelStats duel_;
 };
 
 } // namespace gllc

@@ -1,6 +1,7 @@
 #include "cache/policy/gs_drrip.hh"
 
 #include "common/audit.hh"
+#include "common/metrics.hh"
 
 namespace gllc
 {
@@ -8,7 +9,8 @@ namespace gllc
 GsDrripPolicy::GsDrripPolicy(unsigned bits)
     : bits_(bits), rrip_(bits),
       psel_{DuelCounter(10), DuelCounter(10), DuelCounter(10),
-            DuelCounter(10)}
+            DuelCounter(10)},
+      metrics_(metricsActive())
 {
 }
 
@@ -52,6 +54,8 @@ GsDrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
         ? throttle_[stream].insertionRrpv(rrip_)
         : rrip_.distantRrpv();
     rrip_.fill(set, way, rrpv, info.pstream());
+    if (metrics_)
+        duel_[stream].recordFill(role, use_brrip, psel_[stream]);
 }
 
 void
@@ -86,6 +90,25 @@ const FillHistogram *
 GsDrripPolicy::fillHistogram() const
 {
     return &rrip_.histogram();
+}
+
+void
+GsDrripPolicy::flushMetrics(const std::string &prefix) const
+{
+    for (std::size_t s = 0; s < kNumPolicyStreams; ++s) {
+        duel_[s].flush(prefix + "duel."
+                           + policyStreamName(
+                               static_cast<PolicyStream>(s))
+                           + ".",
+                       psel_[s]);
+    }
+}
+
+int
+GsDrripPolicy::decisionRrpv(std::uint32_t set,
+                            std::uint32_t way) const
+{
+    return static_cast<int>(rrip_.get(set, way));
 }
 
 std::string

@@ -39,6 +39,12 @@ class GsDrripPolicy : public ReplacementPolicy
     /** Audit hook: RRPV ranges, per-stream PSEL ranges, throttles. */
     void auditInvariants(std::uint32_t set) const override;
 
+    /** Metrics hook: per-stream duel fills + PSEL trajectories. */
+    void flushMetrics(const std::string &prefix) const override;
+
+    int decisionRrpv(std::uint32_t set,
+                     std::uint32_t way) const override;
+
     /** Test-only: one stream's mutable PSEL (corruption tests). */
     DuelCounter &
     debugPsel(PolicyStream stream)
@@ -53,6 +59,8 @@ class GsDrripPolicy : public ReplacementPolicy
     RripState rrip_;
     std::array<BrripThrottle, kNumPolicyStreams> throttle_;
     std::array<DuelCounter, kNumPolicyStreams> psel_;
+    bool metrics_;
+    std::array<DuelStats, kNumPolicyStreams> duel_;
 };
 
 } // namespace gllc

@@ -1,12 +1,15 @@
 #include "cache/policy/ship_mem.hh"
 
+#include <array>
+
 #include "common/audit.hh"
+#include "common/metrics.hh"
 
 namespace gllc
 {
 
 ShipMemPolicy::ShipMemPolicy(unsigned bits)
-    : rrip_(bits)
+    : rrip_(bits), metrics_(metricsActive())
 {
 }
 
@@ -36,10 +39,16 @@ ShipMemPolicy::onFill(std::uint32_t set, std::uint32_t way,
     b.signature = static_cast<std::uint16_t>(sig);
     b.outcome = false;
 
-    const std::uint8_t rrpv = (table_[sig].value() == 0)
-        ? rrip_.maxRrpv()
-        : rrip_.distantRrpv();
+    const bool dead = (table_[sig].value() == 0);
+    const std::uint8_t rrpv =
+        dead ? rrip_.maxRrpv() : rrip_.distantRrpv();
     rrip_.fill(set, way, rrpv, info.pstream());
+    if (metrics_) {
+        if (dead)
+            ++fillsDead_;
+        else
+            ++fillsLive_;
+    }
 }
 
 void
@@ -60,6 +69,12 @@ ShipMemPolicy::onEvict(std::uint32_t set, std::uint32_t way)
     BlockState &b = block(set, way);
     if (!b.outcome)
         table_[b.signature].decrement();
+    if (metrics_) {
+        if (b.outcome)
+            ++evictsReused_;
+        else
+            ++evictsDead_;
+    }
 }
 
 void
@@ -88,6 +103,31 @@ const FillHistogram *
 ShipMemPolicy::fillHistogram() const
 {
     return &rrip_.histogram();
+}
+
+void
+ShipMemPolicy::flushMetrics(const std::string &prefix) const
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    if (fillsDead_ > 0)
+        reg.addCounter(prefix + "ship.fills_dead", fillsDead_);
+    if (fillsLive_ > 0)
+        reg.addCounter(prefix + "ship.fills_live", fillsLive_);
+    if (evictsReused_ > 0)
+        reg.addCounter(prefix + "ship.evicts_reused", evictsReused_);
+    if (evictsDead_ > 0)
+        reg.addCounter(prefix + "ship.evicts_dead", evictsDead_);
+
+    // Final distribution of the 3-bit region counters: how confident
+    // the table ended up across its 16K regions.
+    std::array<std::uint64_t, 8> levels{};
+    for (const SatCounter &c : table_)
+        ++levels[c.value() & 7u];
+    for (std::size_t v = 0; v < levels.size(); ++v) {
+        if (levels[v] > 0)
+            reg.recordValue(prefix + "ship.table_final",
+                            static_cast<std::int64_t>(v), levels[v]);
+    }
 }
 
 PolicyFactory

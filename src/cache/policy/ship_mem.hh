@@ -45,6 +45,18 @@ class ShipMemPolicy : public ReplacementPolicy
     void auditInvariants(std::uint32_t set) const override;
 
     /**
+     * Metrics hook: dead/live fill split, reused/dead eviction
+     * split, and the final signature-table counter distribution.
+     */
+    void flushMetrics(const std::string &prefix) const override;
+
+    int
+    decisionRrpv(std::uint32_t set, std::uint32_t way) const override
+    {
+        return static_cast<int>(rrip_.get(set, way));
+    }
+
+    /**
      * Test-only: overwrite a block's raw region signature, bypassing
      * signatureOf(), so the audit's range checks can be exercised.
      */
@@ -83,6 +95,13 @@ class ShipMemPolicy : public ReplacementPolicy
     std::uint32_t ways_ = 0;
     std::vector<BlockState> blocks_;
     std::vector<SatCounter> table_;
+
+    /** Prediction telemetry, maintained only while metricsActive(). */
+    bool metrics_ = false;
+    std::uint64_t fillsDead_ = 0;    ///< inserted at maxRrpv
+    std::uint64_t fillsLive_ = 0;    ///< inserted at distantRrpv
+    std::uint64_t evictsReused_ = 0;
+    std::uint64_t evictsDead_ = 0;
 };
 
 } // namespace gllc

@@ -31,6 +31,12 @@ class SrripPolicy : public ReplacementPolicy
     const FillHistogram *fillHistogram() const override;
     std::string name() const override;
 
+    int
+    decisionRrpv(std::uint32_t set, std::uint32_t way) const override
+    {
+        return static_cast<int>(rrip_.get(set, way));
+    }
+
     static PolicyFactory factory(unsigned bits = 2);
 
   private:

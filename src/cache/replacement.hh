@@ -150,6 +150,44 @@ class ReplacementPolicy
         (void)set;
     }
 
+    /**
+     * Metrics hook: publish this policy instance's internal counters
+     * (PSEL trajectories, signature-table outcomes, epoch-FSM
+     * occupancy, ...) into the MetricsRegistry under names starting
+     * with @p prefix (e.g. "policy.GSPC.bank0.").  Called once per
+     * replay when metricsActive(); never on the access path.
+     */
+    virtual void
+    flushMetrics(const std::string &prefix) const
+    {
+        (void)prefix;
+    }
+
+    /**
+     * Decision-log hook: the current RRPV of (set, way), or -1 when
+     * this policy keeps no RRPVs.  Read-only; called right after
+     * onFill()/onHit() when GLLC_DECISION_TRACE is live.
+     */
+    virtual int
+    decisionRrpv(std::uint32_t set, std::uint32_t way) const
+    {
+        (void)set;
+        (void)way;
+        return -1;
+    }
+
+    /**
+     * Decision-log hook: static name of the Figure-10 epoch state of
+     * (set, way) for GSPC-family policies, nullptr otherwise.
+     */
+    virtual const char *
+    decisionState(std::uint32_t set, std::uint32_t way) const
+    {
+        (void)set;
+        (void)way;
+        return nullptr;
+    }
+
     virtual std::string name() const = 0;
 };
 

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/decision_log.hh"
 #include "common/env.hh"
+#include "common/logging.hh"
 
 namespace gllc
 {
@@ -60,28 +62,30 @@ void
 auditFail(const char *component, const char *check, const char *fmt, ...)
 {
     const AuditContext &c = auditCtx;
-    std::fprintf(stderr, "=== GLLC AUDIT FAILURE ===\n");
-    std::fprintf(stderr, "component: %s  check: %s\n", component, check);
+    note("=== GLLC AUDIT FAILURE ===");
+    note("component: %s  check: %s", component, check);
     if (!c.app.empty() || c.frame >= 0 || !c.policy.empty()) {
-        std::fprintf(stderr, "cell: app=%s frame=%lld policy=%s\n",
-                     c.app.empty() ? "?" : c.app.c_str(),
-                     static_cast<long long>(c.frame),
-                     c.policy.empty() ? "?" : c.policy.c_str());
+        note("cell: app=%s frame=%lld policy=%s",
+             c.app.empty() ? "?" : c.app.c_str(),
+             static_cast<long long>(c.frame),
+             c.policy.empty() ? "?" : c.policy.c_str());
     }
-    std::fprintf(stderr,
-                 "access: index=%lld stream=%s bank=%lld set=%lld "
-                 "way=%lld\n",
-                 static_cast<long long>(c.accessIndex),
-                 c.stream.empty() ? "?" : c.stream.c_str(),
-                 static_cast<long long>(c.bank),
-                 static_cast<long long>(c.set),
-                 static_cast<long long>(c.way));
-    std::fprintf(stderr, "detail: ");
+    note("access: index=%lld stream=%s bank=%lld set=%lld way=%lld",
+         static_cast<long long>(c.accessIndex),
+         c.stream.empty() ? "?" : c.stream.c_str(),
+         static_cast<long long>(c.bank),
+         static_cast<long long>(c.set),
+         static_cast<long long>(c.way));
+    char detail[1024];
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::vsnprintf(detail, sizeof(detail), fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n==========================\n");
+    note("detail: %s", detail);
+    // The failing thread's ring of recent LLC decisions, when
+    // GLLC_DECISION_TRACE is live: the history that led here.
+    dumpLocalDecisionLog();
+    note("==========================");
     std::fflush(stderr);
     std::abort();
 }

@@ -1,0 +1,144 @@
+#include "common/decision_log.hh"
+
+#include <atomic>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Hard ceiling on the ring depth (bounds memory: ~48 B/record). */
+constexpr int kMaxDepth = 1 << 22;
+
+/** Default depth when GLLC_DECISION_TRACE=1 is used as an on-switch. */
+constexpr int kDefaultDepth = 256;
+
+/** -1 = undecided (read the environment), otherwise the depth. */
+std::atomic<int> configuredState{-1};
+
+int
+clampDepth(int depth)
+{
+    if (depth < 0)
+        return 0;
+    return depth > kMaxDepth ? kMaxDepth : depth;
+}
+
+} // namespace
+
+const char *
+decisionOutcomeName(DecisionOutcome outcome)
+{
+    switch (outcome) {
+      case DecisionOutcome::Hit:
+        return "hit";
+      case DecisionOutcome::Fill:
+        return "fill";
+      case DecisionOutcome::Bypass:
+        return "bypass";
+    }
+    return "invalid";
+}
+
+DecisionLog &
+DecisionLog::local()
+{
+    thread_local DecisionLog log;
+    return log;
+}
+
+int
+DecisionLog::configuredDepth()
+{
+    int v = configuredState.load(std::memory_order_relaxed);
+    if (v < 0) {
+        const int env =
+            static_cast<int>(envInt("GLLC_DECISION_TRACE", 0));
+        v = clampDepth(env == 1 ? kDefaultDepth : env);
+        configuredState.store(v, std::memory_order_relaxed);
+    }
+    return v;
+}
+
+void
+DecisionLog::setDepth(int depth)
+{
+    configuredState.store(clampDepth(depth),
+                          std::memory_order_relaxed);
+}
+
+void
+DecisionLog::syncDepth()
+{
+    const int depth = configuredDepth();
+    if (depth == depth_)
+        return;
+    depth_ = depth;
+    head_ = 0;
+    buffer_.clear();
+    buffer_.reserve(static_cast<std::size_t>(depth_));
+}
+
+void
+DecisionLog::record(const LlcDecision &decision)
+{
+    syncDepth();
+    if (depth_ <= 0)
+        return;
+    if (buffer_.size() < static_cast<std::size_t>(depth_)) {
+        buffer_.push_back(decision);
+        return;
+    }
+    buffer_[head_] = decision;
+    head_ = (head_ + 1) % buffer_.size();
+}
+
+const LlcDecision &
+DecisionLog::at(std::size_t i) const
+{
+    GLLC_ASSERT(i < buffer_.size());
+    if (buffer_.size() < static_cast<std::size_t>(depth_))
+        return buffer_[i];
+    return buffer_[(head_ + i) % buffer_.size()];
+}
+
+void
+DecisionLog::clear()
+{
+    head_ = 0;
+    buffer_.clear();
+}
+
+void
+DecisionLog::dump() const
+{
+    if (buffer_.empty())
+        return;
+    note("decision log (last %zu accesses, oldest first):",
+         buffer_.size());
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+        const LlcDecision &d = at(i);
+        note("  [%zu] #%llu addr=0x%llx %s%s %s bank=%u set=%u "
+             "way=%d rrpv=%d%s%s",
+             i, static_cast<unsigned long long>(d.index),
+             static_cast<unsigned long long>(d.addr), d.stream,
+             d.isWrite ? " write" : " read",
+             decisionOutcomeName(d.outcome), d.bank, d.set, d.way,
+             d.rrpv, d.state != nullptr ? " state=" : "",
+             d.state != nullptr ? d.state : "");
+    }
+}
+
+void
+dumpLocalDecisionLog()
+{
+    if (!DecisionLog::active())
+        return;
+    DecisionLog::local().dump();
+}
+
+} // namespace gllc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ring-buffered per-access decision log.
+ *
+ * When enabled, BankedLlc records one compact record per serviced
+ * access — stream, bank/set/way, hit/fill/bypass outcome, the RRPV
+ * the policy chose and (for GSPC-family policies) the Figure-10
+ * epoch state — into a bounded thread-local ring holding the last N
+ * decisions of the replay running on that thread.  The PR-2 audit
+ * layer dumps the failing thread's ring automatically in its abort
+ * report, so an invariant violation arrives with the exact access
+ * history that led up to it instead of requiring printf archaeology.
+ *
+ * Activation: set GLLC_DECISION_TRACE=<depth> in the environment
+ * (GLLC_DECISION_TRACE=1 selects the default depth of 256 records),
+ * or call DecisionLog::setDepth() from a test.  BankedLlc samples
+ * the switch at construction, so an unlogged replay pays nothing on
+ * the access path.
+ *
+ * The log is observation-only: recording never changes replacement
+ * decisions, so logged runs stay bit-identical to unlogged ones.
+ */
+
+#ifndef GLLC_COMMON_DECISION_LOG_HH
+#define GLLC_COMMON_DECISION_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gllc
+{
+
+/** How BankedLlc resolved one access. */
+enum class DecisionOutcome : std::uint8_t
+{
+    Hit,
+    Fill,    ///< miss that allocated
+    Bypass,  ///< miss that did not allocate
+};
+
+/** Human-readable outcome name ("hit", "fill", "bypass"). */
+const char *decisionOutcomeName(DecisionOutcome outcome);
+
+/**
+ * One logged access.  The string fields point at static storage
+ * (stream and state names), so records are POD-cheap to copy.
+ */
+struct LlcDecision
+{
+    std::uint64_t index = 0;  ///< trace position of the access
+    Addr addr = 0;
+    const char *stream = "?";
+    std::uint32_t bank = 0;
+    std::uint32_t set = 0;
+    std::int32_t way = -1;  ///< touched way, -1 for bypasses
+    DecisionOutcome outcome = DecisionOutcome::Hit;
+    std::int32_t rrpv = -1;           ///< chosen RRPV, -1 unknown
+    const char *state = nullptr;      ///< Figure-10 state, if any
+    bool isWrite = false;
+};
+
+/** The calling thread's bounded decision ring. */
+class DecisionLog
+{
+  public:
+    /** The thread-local instance. */
+    static DecisionLog &local();
+
+    /** Configured ring depth; 0 = logging disabled. */
+    static int configuredDepth();
+
+    /**
+     * Force the ring depth for this process (tests); overrides
+     * GLLC_DECISION_TRACE.  0 disables logging.
+     */
+    static void setDepth(int depth);
+
+    /** True when accesses should be recorded. */
+    static bool active() { return configuredDepth() > 0; }
+
+    /** Append one decision, evicting the oldest at capacity. */
+    void record(const LlcDecision &decision);
+
+    /** Records currently held (<= depth). */
+    std::size_t size() const { return buffer_.size(); }
+
+    /** The i-th record, oldest first. */
+    const LlcDecision &at(std::size_t i) const;
+
+    /** Drop all records. */
+    void clear();
+
+    /**
+     * Print the ring (oldest first) to stderr through the logging
+     * layer; called by auditFail() for the aborting thread.
+     */
+    void dump() const;
+
+  private:
+    void syncDepth();
+
+    int depth_ = 0;
+    std::size_t head_ = 0;  ///< slot the next record overwrites
+    std::vector<LlcDecision> buffer_;
+};
+
+/**
+ * Dump the calling thread's decision log if logging is active and
+ * any records exist (the audit layer's abort hook).
+ */
+void dumpLocalDecisionLog();
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_DECISION_LOG_HH

@@ -48,4 +48,14 @@ warn(const char *fmt, ...)
     va_end(args);
 }
 
+void
+note(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+}
+
 } // namespace gllc

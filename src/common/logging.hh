@@ -5,6 +5,7 @@
  * panic()  -- internal invariant violated (a gllc bug); aborts.
  * fatal()  -- unusable user configuration; exits with status 1.
  * warn()   -- something questionable but survivable.
+ * note()   -- untagged diagnostic line (multi-line reports).
  */
 
 #ifndef GLLC_COMMON_LOGGING_HH
@@ -25,6 +26,15 @@ namespace gllc
 
 /** Print a formatted warning to stderr and continue. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print one untagged line to stderr.  For the bodies of structured
+ * multi-line reports (audit aborts, decision-log dumps) where a
+ * "warn:" prefix on every line would be noise; tools/lint.py bans
+ * raw fprintf(stderr, ...) outside the logging/progress layers, so
+ * this is the sanctioned way to emit such lines.
+ */
+void note(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
  * Assert-like check for invariants whose violation would silently

@@ -1,0 +1,324 @@
+#include "common/metrics.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** -1 = undecided (read the environment), 0 = off, 1 = on. */
+std::atomic<int> metricsState{-1};
+
+/** Registered at most once, when GLLC_STATS_JSON requests a dump. */
+void
+writeStatsJsonAtExit()
+{
+    const std::string path = envString("GLLC_STATS_JSON", "");
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os) {
+        warn("GLLC_STATS_JSON: cannot write %s", path.c_str());
+        return;
+    }
+    MetricsRegistry::instance().snapshot().writeJson(os);
+}
+
+void
+scheduleStatsExportOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        // Touch the registry first so its (leaked) storage outlives
+        // any static destruction interleaved with atexit handlers.
+        MetricsRegistry::instance();
+        std::atexit(writeStatsJsonAtExit);
+    });
+}
+
+/** Deterministic double rendering for gauges. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Registry names are plain ASCII, but stay valid JSON regardless. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+metricsActive()
+{
+    int v = metricsState.load(std::memory_order_relaxed);
+    if (v < 0) {
+        const bool json = !envString("GLLC_STATS_JSON", "").empty();
+        const bool flag = envString("GLLC_METRICS", "0") != "0";
+        v = (json || flag) ? 1 : 0;
+        metricsState.store(v, std::memory_order_relaxed);
+        if (json)
+            scheduleStatsExportOnce();
+    }
+    return v != 0;
+}
+
+void
+setMetricsActive(bool active)
+{
+    metricsState.store(active ? 1 : 0, std::memory_order_relaxed);
+    // Honour a pending GLLC_STATS_JSON dump even when a test or the
+    // --stats flag was what turned collection on.
+    if (active && !envString("GLLC_STATS_JSON", "").empty())
+        scheduleStatsExportOnce();
+}
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "invalid";
+}
+
+std::uint64_t
+MetricValue::samples() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[value, count] : buckets)
+        total += count;
+    return total;
+}
+
+void
+MetricValue::merge(const MetricValue &other, const std::string &name)
+{
+    if (kind != other.kind) {
+        panic("metric \"%s\" merged as %s and %s", name.c_str(),
+              metricKindName(kind), metricKindName(other.kind));
+    }
+    switch (kind) {
+      case MetricKind::Counter:
+        count += other.count;
+        break;
+      case MetricKind::Gauge:
+        gauge = (other.gauge > gauge) ? other.gauge : gauge;
+        break;
+      case MetricKind::Histogram:
+        for (const auto &[value, n] : other.buckets)
+            buckets[value] += n;
+        break;
+    }
+}
+
+// ---------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const MetricValue *v = find(name);
+    return (v != nullptr && v->kind == MetricKind::Counter) ? v->count
+                                                            : 0;
+}
+
+MetricsSnapshot
+MetricsSnapshot::withPrefix(const std::string &prefix) const
+{
+    MetricsSnapshot out;
+    for (const auto &[name, value] : values_) {
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            out.values_.emplace(name, value);
+    }
+    return out;
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"gllc-stats-v1\",\n  \"metrics\": [\n";
+    std::size_t i = 0;
+    for (const auto &[name, v] : values_) {
+        os << "    {\"name\": \"" << jsonEscape(name)
+           << "\", \"type\": \"" << metricKindName(v.kind) << "\"";
+        switch (v.kind) {
+          case MetricKind::Counter:
+            os << ", \"value\": " << v.count;
+            break;
+          case MetricKind::Gauge:
+            os << ", \"value\": " << fmtDouble(v.gauge);
+            break;
+          case MetricKind::Histogram: {
+            os << ", \"total\": " << v.samples()
+               << ", \"buckets\": [";
+            std::size_t b = 0;
+            for (const auto &[value, count] : v.buckets) {
+                os << (b++ ? ", " : "") << "[" << value << ", "
+                   << count << "]";
+            }
+            os << "]";
+            break;
+          }
+        }
+        os << "}" << (++i < values_.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+void
+MetricsSnapshot::writeCsv(std::ostream &os) const
+{
+    os << "name,type,key,value\n";
+    for (const auto &[name, v] : values_) {
+        switch (v.kind) {
+          case MetricKind::Counter:
+            os << name << ",counter,," << v.count << '\n';
+            break;
+          case MetricKind::Gauge:
+            os << name << ",gauge,," << fmtDouble(v.gauge) << '\n';
+            break;
+          case MetricKind::Histogram:
+            for (const auto &[value, count] : v.buckets) {
+                os << name << ",histogram," << value << ',' << count
+                   << '\n';
+            }
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Leaked on purpose: atexit exporters and worker threads may
+    // outlive ordinary static destruction.
+    static auto *registry = new MetricsRegistry;
+    return *registry;
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::localShard()
+{
+    // The calling thread's shard of the singleton registry.
+    thread_local Shard *tlsShard = nullptr;
+    if (tlsShard == nullptr) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::make_unique<Shard>());
+        tlsShard = shards_.back().get();
+    }
+    return *tlsShard;
+}
+
+MetricValue &
+MetricsRegistry::slotLocked(Shard &shard, const std::string &name,
+                            MetricKind kind)
+{
+    auto [it, inserted] = shard.values.try_emplace(name);
+    if (inserted) {
+        it->second.kind = kind;
+    } else if (it->second.kind != kind) {
+        panic("metric \"%s\" already registered as %s, not %s",
+              name.c_str(), metricKindName(it->second.kind),
+              metricKindName(kind));
+    }
+    return it->second;
+}
+
+void
+MetricsRegistry::addCounter(const std::string &name,
+                            std::uint64_t delta)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    slotLocked(shard, name, MetricKind::Counter).count += delta;
+}
+
+void
+MetricsRegistry::maxGauge(const std::string &name, double value)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    MetricValue &v = slotLocked(shard, name, MetricKind::Gauge);
+    v.gauge = (value > v.gauge) ? value : v.gauge;
+}
+
+void
+MetricsRegistry::recordValue(const std::string &name,
+                             std::int64_t value, std::uint64_t count)
+{
+    Shard &shard = localShard();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    slotLocked(shard, name, MetricKind::Histogram).buckets[value] +=
+        count;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        for (const auto &[name, value] : shard->values) {
+            auto [it, inserted] =
+                snap.values_.try_emplace(name, value);
+            if (!inserted)
+                it->second.merge(value, name);
+        }
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Shards stay allocated: thread-local pointers into shards_ must
+    // remain valid for the lifetime of their threads.
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        shard->values.clear();
+    }
+}
+
+} // namespace gllc

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Hierarchical low-overhead metrics registry (gem5-style stats).
+ *
+ * Components publish counters, gauges and histograms under dotted
+ * names ("llc.bank0.stream.TEX.hits", "dram.ch0.row_conflicts",
+ * "sweep.cells_done").  Accumulation is thread-local: every thread
+ * that touches the registry owns a private shard, so hot paths never
+ * contend on a shared lock; snapshot() merges all shards into one
+ * name-sorted view.  Every merge operation is commutative (counters
+ * sum, gauges take the maximum, histogram buckets sum), so a
+ * snapshot of the same work is byte-identical whether it ran on one
+ * thread or on many — the property the CI determinism check pins.
+ *
+ * Cost model: components keep their existing plain counters on the
+ * access path and flush them here once per replay (or once per
+ * simulate() call), so the per-access overhead of an instrumented
+ * run is a handful of local array increments; registry map lookups
+ * happen only at flush/snapshot granularity.
+ *
+ * Activation (metricsActive()):
+ *   - set GLLC_STATS_JSON=<path> (snapshot written there at process
+ *     exit), or
+ *   - set GLLC_METRICS=1 (collect without the exit dump), or
+ *   - call setMetricsActive(true) (tests, the --stats bench flag).
+ *
+ * Collection is observation-only by design: an instrumented replay
+ * produces bit-identical RunResults to an uninstrumented one
+ * (mirroring the audit layer's read-only guarantee).
+ */
+
+#ifndef GLLC_COMMON_METRICS_HH
+#define GLLC_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gllc
+{
+
+/** True when metrics collection is enabled for this process. */
+bool metricsActive();
+
+/**
+ * Force metrics collection on or off (tests, --stats).  Overrides
+ * the GLLC_STATS_JSON / GLLC_METRICS environment switches.
+ */
+void setMetricsActive(bool active);
+
+/** What a registry name holds; a name's kind never changes. */
+enum class MetricKind : std::uint8_t
+{
+    Counter,    ///< monotonically accumulated uint64 (merge: sum)
+    Gauge,      ///< double watermark (merge: max)
+    Histogram,  ///< sparse value -> count buckets (merge: sum)
+};
+
+/** Human-readable kind name ("counter", "gauge", "histogram"). */
+const char *metricKindName(MetricKind kind);
+
+/** One merged metric in a snapshot. */
+struct MetricValue
+{
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t count = 0;  ///< Counter value
+
+    /** Gauge watermark; starts at -inf so any first value wins. */
+    double gauge = -std::numeric_limits<double>::infinity();
+
+    /** Histogram buckets: sample value -> occurrence count. */
+    std::map<std::int64_t, std::uint64_t> buckets;
+
+    /** Total histogram samples across buckets. */
+    std::uint64_t samples() const;
+
+    /** Merge another observation of the same metric (commutative). */
+    void merge(const MetricValue &other, const std::string &name);
+};
+
+/**
+ * A merged, name-sorted view of the registry at one instant.  The
+ * map order (lexicographic by dotted name) is the export order, so
+ * two snapshots of the same values serialize identically.
+ */
+class MetricsSnapshot
+{
+  public:
+    const std::map<std::string, MetricValue> &values() const
+    {
+        return values_;
+    }
+
+    /** The metric of that exact name, or nullptr. */
+    const MetricValue *find(const std::string &name) const;
+
+    /** Counter value by name (0 when absent). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** The subtree under a dotted prefix ("llc.bank0."). */
+    MetricsSnapshot withPrefix(const std::string &prefix) const;
+
+    /**
+     * JSON export (schema "gllc-stats-v1"): a name-sorted array of
+     * {"name", "type", ...} records; tools/check_observability.py
+     * validates the shape.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** CSV export: name,type,key,value (one row per bucket). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    friend class MetricsRegistry;
+    std::map<std::string, MetricValue> values_;
+};
+
+/** The process-wide metrics registry. */
+class MetricsRegistry
+{
+  public:
+    /** The singleton (never destroyed, safe in atexit handlers). */
+    static MetricsRegistry &instance();
+
+    /** Add @p delta to the counter @p name. */
+    void addCounter(const std::string &name, std::uint64_t delta = 1);
+
+    /** Raise the gauge @p name to @p value if it is higher. */
+    void maxGauge(const std::string &name, double value);
+
+    /** Record @p count occurrences of @p value in histogram @p name. */
+    void recordValue(const std::string &name, std::int64_t value,
+                     std::uint64_t count = 1);
+
+    /**
+     * Merge every thread's shard into one deterministic view.  A
+     * name used with two different kinds panics here (and already at
+     * accumulation time when the collision happens within a thread).
+     */
+    MetricsSnapshot snapshot() const;
+
+    /** Drop all accumulated values (tests). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    struct Shard
+    {
+        std::mutex mutex;  ///< uncontended except during snapshot
+        std::map<std::string, MetricValue> values;
+    };
+
+    Shard &localShard();
+    MetricValue &slotLocked(Shard &shard, const std::string &name,
+                            MetricKind kind);
+
+    mutable std::mutex mutex_;  ///< guards shards_ growth
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_METRICS_HH

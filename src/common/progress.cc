@@ -1,0 +1,54 @@
+#include "common/progress.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/env.hh"
+
+namespace gllc
+{
+
+bool
+progressEnabled(int override_flag)
+{
+    if (override_flag >= 0)
+        return override_flag != 0;
+    const std::string env = envString("GLLC_PROGRESS", "");
+    if (!env.empty())
+        return env != "0";
+    return isatty(2) != 0;
+}
+
+ProgressMeter::ProgressMeter(bool enabled, std::size_t total_cells,
+                             const char *label)
+    : enabled_(enabled), total_(total_cells), label_(label),
+      start_(std::chrono::steady_clock::now()), lastPrint_(start_)
+{
+}
+
+void
+ProgressMeter::update(std::size_t done)
+{
+    if (!enabled_ || done == 0)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    if (done < total_
+        && now - lastPrint_ < std::chrono::milliseconds(250))
+        return;
+    lastPrint_ = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    std::fprintf(stderr,
+                 "\r%s: %zu/%zu cells  %.1f cells/s  ETA %.0fs   ",
+                 label_, done, total_, rate, eta);
+    if (done >= total_)
+        std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace gllc

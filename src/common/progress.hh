@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Throttled cells/s + ETA progress reporting on stderr.
+ *
+ * Shared by the sweep engine and the perf-figure harness so every
+ * long-running fan-out reports the same way.  Reporting defaults to
+ * on only when stderr is a terminal; GLLC_PROGRESS=1/0 forces it.
+ */
+
+#ifndef GLLC_COMMON_PROGRESS_HH
+#define GLLC_COMMON_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+
+namespace gllc
+{
+
+/**
+ * Resolve whether progress reporting is enabled: an explicit
+ * @p override_flag (0/1) wins, then GLLC_PROGRESS, then whether
+ * stderr is a tty.  Pass -1 for "no override".
+ */
+bool progressEnabled(int override_flag = -1);
+
+/**
+ * Throttled work/s + ETA reporter on stderr.  Updated from one
+ * (merging) thread only, so it needs no locking.
+ */
+class ProgressMeter
+{
+  public:
+    /**
+     * @param label  noun printed before the counters ("sweep",
+     *               "perf"); also the units label is "cells".
+     */
+    ProgressMeter(bool enabled, std::size_t total_cells,
+                  const char *label = "sweep");
+
+    /** Report @p done completed cells (rate-limited to ~4 Hz). */
+    void update(std::size_t done);
+
+  private:
+    bool enabled_;
+    std::size_t total_;
+    const char *label_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastPrint_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_PROGRESS_HH

@@ -1,0 +1,197 @@
+#include "common/trace_event.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** -1 = undecided (read the environment), 0 = off, 1 = on. */
+std::atomic<int> traceState{-1};
+
+/** The calling thread's span-clock thread id; 0 = unassigned. */
+thread_local std::uint32_t tlsTraceTid = 0;
+
+void
+writeTraceJsonAtExit()
+{
+    const std::string path = envString("GLLC_TRACE_OUT", "");
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os) {
+        warn("GLLC_TRACE_OUT: cannot write %s", path.c_str());
+        return;
+    }
+    TraceCollector::instance().write(os);
+}
+
+void
+scheduleTraceExportOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        TraceCollector::instance();  // leaked: outlives atexit
+        std::atexit(writeTraceJsonAtExit);
+    });
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Fixed-point microseconds: deterministic, no locale surprises. */
+std::string
+fmtUs(double us)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+} // namespace
+
+bool
+traceEventsActive()
+{
+    int v = traceState.load(std::memory_order_relaxed);
+    if (v < 0) {
+        const bool out = !envString("GLLC_TRACE_OUT", "").empty();
+        v = out ? 1 : 0;
+        traceState.store(v, std::memory_order_relaxed);
+        if (out)
+            scheduleTraceExportOnce();
+    }
+    return v != 0;
+}
+
+void
+setTraceEventsActive(bool active)
+{
+    traceState.store(active ? 1 : 0, std::memory_order_relaxed);
+    if (active && !envString("GLLC_TRACE_OUT", "").empty())
+        scheduleTraceExportOnce();
+}
+
+TraceCollector &
+TraceCollector::instance()
+{
+    static auto *collector = new TraceCollector;
+    return *collector;
+}
+
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+double
+TraceCollector::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+std::uint32_t
+TraceCollector::threadId()
+{
+    if (tlsTraceTid == 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tlsTraceTid = ++nextTid_;
+    }
+    return tlsTraceTid;
+}
+
+void
+TraceCollector::complete(std::string name, const char *category,
+                         double start_us, double end_us,
+                         TraceArgs args)
+{
+    const std::uint32_t tid = threadId();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(Event{std::move(name), category, start_us,
+                            end_us - start_us, tid,
+                            std::move(args)});
+}
+
+std::size_t
+TraceCollector::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+TraceCollector::write(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Event &e = events_[i];
+        os << "  {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"" << e.category
+           << "\", \"ph\": \"X\", \"ts\": " << fmtUs(e.startUs)
+           << ", \"dur\": " << fmtUs(e.durUs)
+           << ", \"pid\": 1, \"tid\": " << e.tid;
+        if (!e.args.empty()) {
+            os << ", \"args\": {";
+            for (std::size_t a = 0; a < e.args.size(); ++a) {
+                os << (a ? ", " : "") << "\""
+                   << jsonEscape(e.args[a].first) << "\": \""
+                   << jsonEscape(e.args[a].second) << "\"";
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < events_.size() ? "," : "") << '\n';
+    }
+    os << "]}\n";
+}
+
+void
+TraceCollector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+TraceSpan::TraceSpan(const char *category, std::string name,
+                     TraceArgs args)
+    : active_(traceEventsActive())
+{
+    if (!active_)
+        return;
+    category_ = category;
+    name_ = std::move(name);
+    args_ = std::move(args);
+    startUs_ = TraceCollector::instance().nowUs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    TraceCollector &collector = TraceCollector::instance();
+    collector.complete(std::move(name_), category_, startUs_,
+                       collector.nowUs(), std::move(args_));
+}
+
+} // namespace gllc

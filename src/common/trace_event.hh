@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Chrome-trace / Perfetto timeline tracing.
+ *
+ * Spans recorded here serialize as trace-event JSON ("X" complete
+ * events) loadable in Perfetto or chrome://tracing.  The sweep
+ * engine emits one span per (app, frame, policy) cell and one per
+ * pipeline phase (trace render, replay, merge), each tagged with the
+ * worker thread that executed it, so ThreadPool utilization and
+ * straggler cells are visible on a timeline.
+ *
+ * All spans share one clock: microseconds on std::chrono's steady
+ * clock since the collector was created (the same clock the metrics
+ * and progress layers use for wall time), so spans from different
+ * threads line up.
+ *
+ * Activation (traceEventsActive()):
+ *   - set GLLC_TRACE_OUT=<path>: spans are collected and the JSON is
+ *     written there at process exit, or
+ *   - call setTraceEventsActive(true) from a test and serialize with
+ *     TraceCollector::instance().write().
+ *
+ * When inactive, TraceSpan construction is one boolean load and no
+ * allocation.
+ */
+
+#ifndef GLLC_COMMON_TRACE_EVENT_HH
+#define GLLC_COMMON_TRACE_EVENT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gllc
+{
+
+/** True when timeline span collection is enabled. */
+bool traceEventsActive();
+
+/** Force span collection on or off (tests, harness flags). */
+void setTraceEventsActive(bool active);
+
+/** Span metadata: ("app", "BioShock"), ("frame", "17"), ... */
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+/** Process-wide span collector. */
+class TraceCollector
+{
+  public:
+    /** The singleton (never destroyed, safe in atexit handlers). */
+    static TraceCollector &instance();
+
+    /** Microseconds on the shared span clock. */
+    double nowUs() const;
+
+    /** Stable small id of the calling thread (assigned on first use). */
+    std::uint32_t threadId();
+
+    /** Record one complete ("X") span. */
+    void complete(std::string name, const char *category,
+                  double start_us, double end_us, TraceArgs args);
+
+    /** Spans recorded so far (tests). */
+    std::size_t size() const;
+
+    /** Serialize as trace-event JSON ({"traceEvents": [...]}). */
+    void write(std::ostream &os) const;
+
+    /** Drop all recorded spans (tests). */
+    void reset();
+
+  private:
+    TraceCollector();
+
+    struct Event
+    {
+        std::string name;
+        const char *category;
+        double startUs;
+        double durUs;
+        std::uint32_t tid;
+        TraceArgs args;
+    };
+
+    mutable std::mutex mutex_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<Event> events_;
+    std::uint32_t nextTid_ = 0;
+};
+
+/**
+ * RAII span: records [construction, destruction) on the calling
+ * thread when span collection is active.
+ *
+ *   TraceSpan span("cell", app + "#" + frame + " " + policy,
+ *                  {{"app", app}, {"policy", policy}});
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *category, std::string name,
+              TraceArgs args = {});
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    bool active_;
+    const char *category_ = nullptr;
+    std::string name_;
+    TraceArgs args_;
+    double startUs_ = 0.0;
+};
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_TRACE_EVENT_HH

@@ -5,6 +5,7 @@
 #include "cache/geometry.hh"
 #include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace gllc
 {
@@ -76,7 +77,8 @@ GspcFamilyPolicy::GspcFamilyPolicy(GspcVariant variant, std::uint32_t t)
 GspcFamilyPolicy::GspcFamilyPolicy(GspcVariant variant,
                                    const GspcParams &params)
     : variant_(variant), params_(params), t_(params.t), rrip_(2),
-      counters_(params.counterBits, params.accBits)
+      counters_(params.counterBits, params.accBits),
+      metrics_(metricsActive())
 {
     GLLC_ASSERT(params.t >= 1);
     GLLC_ASSERT(params.sampleLog2 >= 2 && params.sampleLog2 <= 10);
@@ -182,11 +184,20 @@ GspcFamilyPolicy::onFillImpl(std::uint32_t set, std::uint32_t way,
         break;
       case PolicyStream::Texture:
         rrpv = texE0Rrpv();
+        if (metrics_) {
+            if (rrpv == rrip_.maxRrpv())
+                ++texInsertDistant_;
+            else
+                ++texInsertProtect_;
+        }
         break;
       case PolicyStream::RenderTarget:
         next_state = BlockState::RenderTarget;
         if (variant_ == GspcVariant::Gspc) {
-            switch (counters_.rtProtection()) {
+            const RtProtection level = counters_.rtProtection();
+            if (metrics_)
+                ++rtProtFills_[static_cast<std::size_t>(level)];
+            switch (level) {
               case RtProtection::Distant:
                 rrpv = rrip_.maxRrpv();
                 break;
@@ -233,11 +244,16 @@ GspcFamilyPolicy::onHitImpl(std::uint32_t set, std::uint32_t way,
     const PolicyStream ps = info.pstream();
     BlockState &state = stateAt(set, way);
 
+    if (metrics_)
+        ++stateHits_[static_cast<std::size_t>(state)];
+
     if (sample)
         counters_.recordAccess();
 
     if (ps == PolicyStream::Texture) {
         if (state == BlockState::RenderTarget) {
+            if (metrics_)
+                ++rtConsume_;
             // RT->TEX consumption: the block becomes a texture block
             // and (re)enters epoch E0 (Figure 10).
             if (sample) {
@@ -346,6 +362,65 @@ const FillHistogram *
 GspcFamilyPolicy::fillHistogram() const
 {
     return &rrip_.histogram();
+}
+
+void
+GspcFamilyPolicy::flushMetrics(const std::string &prefix) const
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    const std::string p = prefix + "gspc.";
+
+    static const char *const kStateKeys[4] = {"E0", "E1", "E2plus",
+                                              "RT"};
+    for (std::size_t s = 0; s < stateHits_.size(); ++s) {
+        if (stateHits_[s] > 0)
+            reg.addCounter(p + "state_hits." + kStateKeys[s],
+                           stateHits_[s]);
+    }
+
+    static const char *const kProtKeys[3] = {"distant",
+                                             "intermediate",
+                                             "protect"};
+    for (std::size_t l = 0; l < rtProtFills_.size(); ++l) {
+        if (rtProtFills_[l] > 0)
+            reg.addCounter(p + "rt_protection." + kProtKeys[l],
+                           rtProtFills_[l]);
+    }
+
+    if (texInsertProtect_ > 0)
+        reg.addCounter(p + "tex_insert.protect", texInsertProtect_);
+    if (texInsertDistant_ > 0)
+        reg.addCounter(p + "tex_insert.distant", texInsertDistant_);
+    if (rtConsume_ > 0)
+        reg.addCounter(p + "rt_consume", rtConsume_);
+
+    // Figure-10 occupancy at end of replay: how the bank's blocks
+    // were distributed over the epoch FSM when the frame finished.
+    std::array<std::uint64_t, 4> occupancy{};
+    for (const BlockState s : state_)
+        ++occupancy[static_cast<std::size_t>(s) & 3u];
+    for (std::size_t s = 0; s < occupancy.size(); ++s) {
+        if (occupancy[s] > 0)
+            reg.recordValue(p + "state_final",
+                            static_cast<std::int64_t>(s),
+                            occupancy[s]);
+    }
+
+    // PROD/CONS protection level per completed sample window, plus
+    // the counters' final resting values.
+    if (counters_.windows() > 0)
+        reg.addCounter(p + "sample_windows", counters_.windows());
+    for (std::size_t l = 0; l < 3; ++l) {
+        const std::uint64_t n =
+            counters_.windowsAt(static_cast<RtProtection>(l));
+        if (n > 0)
+            reg.recordValue(p + "window_rt_protection",
+                            static_cast<std::int64_t>(l), n);
+    }
+    reg.recordValue(p + "prod_final",
+                    static_cast<std::int64_t>(counters_.prod()));
+    reg.recordValue(p + "cons_final",
+                    static_cast<std::int64_t>(counters_.cons()));
 }
 
 std::string

@@ -27,6 +27,7 @@
 #ifndef GLLC_CORE_GSPC_FAMILY_HH
 #define GLLC_CORE_GSPC_FAMILY_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -146,6 +147,25 @@ class GspcFamilyPolicy : public ReplacementPolicy
     void auditInvariants(std::uint32_t set) const override;
 
     /**
+     * Metrics hook: hits by prior Figure-10 state, RT-protection and
+     * texture insertion decisions, RT->TEX conversions, final state
+     * occupancy, and per-sample-window PROD/CONS protection levels.
+     */
+    void flushMetrics(const std::string &prefix) const override;
+
+    int
+    decisionRrpv(std::uint32_t set, std::uint32_t way) const override
+    {
+        return static_cast<int>(rrip_.get(set, way));
+    }
+
+    const char *
+    decisionState(std::uint32_t set, std::uint32_t way) const override
+    {
+        return blockStateName(blockState(set, way));
+    }
+
+    /**
      * Test-only: overwrite the raw Figure-10 state byte of a block,
      * bypassing the FSM, so the audit layer's encoding checks can be
      * exercised.
@@ -189,6 +209,14 @@ class GspcFamilyPolicy : public ReplacementPolicy
     StreamReuseCounters counters_;
     std::uint32_t ways_ = 0;
     std::vector<BlockState> state_;
+
+    /** Decision telemetry, maintained only while metricsActive(). */
+    bool metrics_ = false;
+    std::array<std::uint64_t, 4> stateHits_{};    ///< by prior state
+    std::array<std::uint64_t, 3> rtProtFills_{};  ///< by RtProtection
+    std::uint64_t texInsertProtect_ = 0;
+    std::uint64_t texInsertDistant_ = 0;
+    std::uint64_t rtConsume_ = 0;  ///< RT->TEX conversions observed
 };
 
 } // namespace gllc

@@ -79,6 +79,10 @@ StreamReuseCounters::recordAccess()
 void
 StreamReuseCounters::halveAll()
 {
+    // Close the sample window in the telemetry before decaying: the
+    // recorded protection level is the one this window decided.
+    ++windows_;
+    ++windowRt_[static_cast<std::size_t>(rtProtection())];
     fillZ_.halve();
     hitZ_.halve();
     fillTexAgg_.halve();

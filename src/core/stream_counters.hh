@@ -88,6 +88,23 @@ class StreamReuseCounters
     RtProtection rtProtection() const;
     /// @}
 
+    /// @name Sample-window telemetry (metrics layer)
+    /// @{
+    /** Completed ACC(ALL) sample windows (halvings) so far. */
+    std::uint64_t windows() const { return windows_; }
+
+    /**
+     * Windows that closed with the PROD/CONS ratio at each RT
+     * protection level — the paper's Table-5 decision as a per-
+     * window trajectory.
+     */
+    std::uint64_t
+    windowsAt(RtProtection level) const
+    {
+        return windowRt_[static_cast<std::size_t>(level)];
+    }
+    /// @}
+
     /// @name Raw values (tests, introspection)
     /// @{
     std::uint32_t fillZ() const { return fillZ_.value(); }
@@ -133,6 +150,9 @@ class StreamReuseCounters
     SatCounter prod_;
     SatCounter cons_;
     SatCounter acc_;
+
+    std::uint64_t windows_ = 0;
+    std::uint64_t windowRt_[3] = {0, 0, 0};
 };
 
 } // namespace gllc

@@ -1,8 +1,10 @@
 #include "dram/dram_model.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace gllc
 {
@@ -103,6 +105,13 @@ DramModel::simulate(const std::vector<DramRequest> &requests)
     std::vector<bool> last_was_write(nch, false);
     std::vector<std::uint64_t> refresh_done(nch, 0);
 
+    // Per-channel stats + per-(channel, bank) request counts (the
+    // bank-level-parallelism view), kept only while metrics are on.
+    const bool metrics = metricsActive();
+    std::vector<DramStats> channel_stats(metrics ? nch : 0);
+    std::vector<std::uint64_t> bank_requests(
+        metrics ? static_cast<std::size_t>(nch) * nbank : 0, 0);
+
     DramStats stats;
     std::uint64_t last_arrival = 0;
 
@@ -139,8 +148,17 @@ DramModel::simulate(const std::vector<DramRequest> &requests)
         std::uint64_t cas_ready = start;
         if (bank.open && bank.row == row) {
             ++stats.rowHits;
+            if (metrics)
+                ++channel_stats[ch].rowHits;
         } else {
             ++stats.rowMisses;
+            if (bank.open)
+                ++stats.rowConflicts;
+            if (metrics) {
+                ++channel_stats[ch].rowMisses;
+                if (bank.open)
+                    ++channel_stats[ch].rowConflicts;
+            }
             cas_ready += (bank.open ? config_.tRp : 0) + config_.tRcd;
             bank.open = true;
             bank.row = row;
@@ -172,9 +190,71 @@ DramModel::simulate(const std::vector<DramRequest> &requests)
             ++stats.reads;
         stats.finishCycle = std::max(stats.finishCycle, completion);
         stats.totalLatency += completion - req.arrival;
+
+        if (metrics) {
+            DramStats &cs = channel_stats[ch];
+            ++cs.requests;
+            if (req.isWrite)
+                ++cs.writes;
+            else
+                ++cs.reads;
+            ++bank_requests[static_cast<std::size_t>(ch) * nbank + bk];
+        }
     }
 
+    if (metrics)
+        flushMetrics(stats, channel_stats, bank_requests);
+
     return stats;
+}
+
+void
+DramModel::flushMetrics(
+    const DramStats &stats,
+    const std::vector<DramStats> &channel_stats,
+    const std::vector<std::uint64_t> &bank_requests) const
+{
+    auto &reg = MetricsRegistry::instance();
+
+    auto flushOne = [&reg](const std::string &p, const DramStats &s) {
+        if (s.requests)
+            reg.addCounter(p + "requests", s.requests);
+        if (s.reads)
+            reg.addCounter(p + "reads", s.reads);
+        if (s.writes)
+            reg.addCounter(p + "writes", s.writes);
+        if (s.rowHits)
+            reg.addCounter(p + "row_hits", s.rowHits);
+        if (s.rowMisses)
+            reg.addCounter(p + "row_misses", s.rowMisses);
+        if (s.rowConflicts)
+            reg.addCounter(p + "row_conflicts", s.rowConflicts);
+    };
+
+    flushOne("dram.", stats);
+    if (stats.refreshes)
+        reg.addCounter("dram.refreshes", stats.refreshes);
+    if (stats.turnarounds)
+        reg.addCounter("dram.turnarounds", stats.turnarounds);
+    if (stats.busBusyCycles)
+        reg.addCounter("dram.bus_busy_cycles", stats.busBusyCycles);
+    reg.maxGauge("dram.max_finish_cycle",
+                 static_cast<double>(stats.finishCycle));
+
+    const std::uint32_t nbank = config_.banksPerChannel;
+    for (std::uint32_t ch = 0; ch < config_.channels; ++ch) {
+        const std::string p = "dram.ch" + std::to_string(ch) + ".";
+        flushOne(p, channel_stats[ch]);
+        // Bank-level parallelism: request distribution over banks.
+        const std::string bname = p + "bank_requests";
+        for (std::uint32_t b = 0; b < nbank; ++b) {
+            const std::uint64_t n =
+                bank_requests[static_cast<std::size_t>(ch) * nbank + b];
+            if (n)
+                reg.recordValue(bname, static_cast<std::int64_t>(b),
+                                n);
+        }
+    }
 }
 
 } // namespace gllc

@@ -100,6 +100,12 @@ struct DramStats
     std::uint64_t rowHits = 0;
     std::uint64_t rowMisses = 0;
 
+    /**
+     * Row misses that found a different row open (paid precharge +
+     * activate); the remaining misses only paid the activate.
+     */
+    std::uint64_t rowConflicts = 0;
+
     /** Refresh windows the schedule crossed. */
     std::uint64_t refreshes = 0;
 
@@ -147,6 +153,16 @@ class DramModel
     /// @}
 
   private:
+    /**
+     * Flush aggregate and per-channel counters plus the per-channel
+     * bank-request distribution into the metrics registry under
+     * "dram."; called at the end of simulate() when metricsActive().
+     */
+    void flushMetrics(
+        const DramStats &stats,
+        const std::vector<DramStats> &channel_stats,
+        const std::vector<std::uint64_t> &bank_requests) const;
+
     DramConfig config_;
 };
 

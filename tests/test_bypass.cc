@@ -116,7 +116,8 @@ TEST(LlcBypass, PolicyDrivenBypassSkipsAllocation)
 
     // After training, a texture fill to a non-sample set must
     // bypass: look for bypasses in the stats.
-    const auto &tex = llc.stats().of(StreamType::Texture);
+    const LlcStats stats = llc.stats();
+    const auto &tex = stats.of(StreamType::Texture);
     EXPECT_GT(tex.bypasses, 0u);
     // And bypassed accesses still count toward DRAM traffic.
     EXPECT_EQ(tex.accesses, tex.hits + tex.misses + tex.bypasses);

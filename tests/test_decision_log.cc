@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the ring-buffered per-access decision log
+ * (src/common/decision_log.hh): bounded depth, oldest-first
+ * iteration, depth reconfiguration, and the BankedLlc wiring that
+ * records one entry per hit/fill/bypass decision.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "cache/banked_llc.hh"
+#include "cache/policy/drrip.hh"
+#include "common/decision_log.hh"
+#include "core/gspc_family.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** Every test starts from a cleared, depth-8 ring. */
+class DecisionLogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        DecisionLog::setDepth(8);
+        DecisionLog::local().clear();
+    }
+
+    void TearDown() override { DecisionLog::setDepth(0); }
+};
+
+LlcDecision
+decisionNumber(std::uint64_t i)
+{
+    LlcDecision d;
+    d.index = i;
+    d.addr = i * 64;
+    d.outcome = DecisionOutcome::Fill;
+    return d;
+}
+
+TEST_F(DecisionLogTest, ActivationFollowsDepth)
+{
+    EXPECT_TRUE(DecisionLog::active());
+    EXPECT_EQ(DecisionLog::configuredDepth(), 8);
+    DecisionLog::setDepth(0);
+    EXPECT_FALSE(DecisionLog::active());
+}
+
+TEST_F(DecisionLogTest, KeepsOnlyTheLastNDecisions)
+{
+    DecisionLog &log = DecisionLog::local();
+    for (std::uint64_t i = 0; i < 20; ++i)
+        log.record(decisionNumber(i));
+    ASSERT_EQ(log.size(), 8u);
+    // Oldest-first: entries 12..19 survive.
+    for (std::size_t i = 0; i < log.size(); ++i)
+        EXPECT_EQ(log.at(i).index, 12 + i);
+}
+
+TEST_F(DecisionLogTest, PartialFillIteratesInOrder)
+{
+    DecisionLog &log = DecisionLog::local();
+    for (std::uint64_t i = 0; i < 3; ++i)
+        log.record(decisionNumber(i));
+    ASSERT_EQ(log.size(), 3u);
+    for (std::size_t i = 0; i < log.size(); ++i)
+        EXPECT_EQ(log.at(i).index, i);
+}
+
+TEST_F(DecisionLogTest, DepthChangeClearsTheRing)
+{
+    DecisionLog &log = DecisionLog::local();
+    for (std::uint64_t i = 0; i < 5; ++i)
+        log.record(decisionNumber(i));
+    DecisionLog::setDepth(4);
+    log.record(decisionNumber(99));
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.at(0).index, 99u);
+}
+
+TEST_F(DecisionLogTest, OutcomeNamesAreStable)
+{
+    EXPECT_STREQ(decisionOutcomeName(DecisionOutcome::Hit), "hit");
+    EXPECT_STREQ(decisionOutcomeName(DecisionOutcome::Fill), "fill");
+    EXPECT_STREQ(decisionOutcomeName(DecisionOutcome::Bypass),
+                 "bypass");
+}
+
+// ---------------------------------------------------------------
+// BankedLlc wiring
+// ---------------------------------------------------------------
+
+LlcConfig
+smallConfig()
+{
+    LlcConfig config;
+    config.capacityBytes = 64 * 1024;
+    config.ways = 4;
+    config.banks = 1;
+    return config;
+}
+
+TEST_F(DecisionLogTest, LlcRecordsFillsAndHits)
+{
+    DecisionLog::setDepth(16);
+    BankedLlc llc(smallConfig(), DrripPolicy::factory());
+
+    const MemAccess miss(0x4000, StreamType::Texture, false);
+    llc.access(miss, 0);
+    const MemAccess hit(0x4000, StreamType::Texture, false);
+    llc.access(hit, 1);
+
+    DecisionLog &log = DecisionLog::local();
+    ASSERT_EQ(log.size(), 2u);
+
+    const LlcDecision &fill = log.at(0);
+    EXPECT_EQ(fill.index, 0u);
+    EXPECT_EQ(fill.outcome, DecisionOutcome::Fill);
+    EXPECT_EQ(std::string(fill.stream), "TEX");
+    EXPECT_GE(fill.way, 0);
+    EXPECT_GE(fill.rrpv, 0);
+
+    const LlcDecision &h = log.at(1);
+    EXPECT_EQ(h.index, 1u);
+    EXPECT_EQ(h.outcome, DecisionOutcome::Hit);
+    EXPECT_EQ(h.way, fill.way);
+}
+
+TEST_F(DecisionLogTest, GspcDecisionsCarryFsmState)
+{
+    DecisionLog::setDepth(16);
+    BankedLlc llc(smallConfig(),
+                  GspcFamilyPolicy::factory(GspcVariant::Gspc));
+
+    const MemAccess rt_fill(0x8000, StreamType::RenderTarget, true);
+    llc.access(rt_fill, 0);
+
+    DecisionLog &log = DecisionLog::local();
+    ASSERT_GE(log.size(), 1u);
+    const LlcDecision &d = log.at(log.size() - 1);
+    ASSERT_NE(d.state, nullptr);
+    EXPECT_EQ(std::string(d.state), "RT");
+    EXPECT_TRUE(d.isWrite);
+}
+
+} // namespace

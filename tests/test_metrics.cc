@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the hierarchical metrics registry
+ * (src/common/metrics.hh).
+ *
+ * Covers the registry semantics (counter/gauge/histogram
+ * accumulation, dotted-name hierarchy, kind-collision panics), the
+ * deterministic thread-local merge (the same work snapshots
+ * byte-identically from 1 and N threads), histogram bucket edge
+ * cases, and the observation-only guarantee: an instrumented replay
+ * produces the same RunResult as an uninstrumented one, mirroring
+ * the audit layer's read-only test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/offline_sim.hh"
+#include "analysis/policy_table.hh"
+#include "common/decision_log.hh"
+#include "common/metrics.hh"
+#include "common/rng.hh"
+#include "trace/frame_trace.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** Every test runs against a clean, force-enabled registry. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MetricsRegistry::instance().reset();
+        setMetricsActive(true);
+    }
+
+    void
+    TearDown() override
+    {
+        MetricsRegistry::instance().reset();
+        setMetricsActive(false);
+    }
+};
+
+/** gtest runs suites named *DeathTest first; same fixture. */
+using MetricsDeathTest = MetricsTest;
+
+// ---------------------------------------------------------------
+// Basic accumulation semantics
+// ---------------------------------------------------------------
+
+TEST_F(MetricsTest, CounterAccumulates)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("llc.hits");
+    reg.addCounter("llc.hits", 41);
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("llc.hits"), 42u);
+    EXPECT_EQ(snap.counter("llc.misses"), 0u);
+    ASSERT_NE(snap.find("llc.hits"), nullptr);
+    EXPECT_EQ(snap.find("llc.hits")->kind, MetricKind::Counter);
+    EXPECT_EQ(snap.find("llc.misses"), nullptr);
+}
+
+TEST_F(MetricsTest, GaugeKeepsMaximum)
+{
+    auto &reg = MetricsRegistry::instance();
+    // All-negative samples exercise the -inf initial watermark.
+    reg.maxGauge("sim.low", -7.5);
+    reg.maxGauge("sim.low", -2.25);
+    reg.maxGauge("sim.low", -100.0);
+    const MetricsSnapshot snap = reg.snapshot();
+    ASSERT_NE(snap.find("sim.low"), nullptr);
+    EXPECT_DOUBLE_EQ(snap.find("sim.low")->gauge, -2.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketEdgeCases)
+{
+    auto &reg = MetricsRegistry::instance();
+    const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+    reg.recordValue("h", lo);
+    reg.recordValue("h", hi, 3);
+    reg.recordValue("h", 0);
+    reg.recordValue("h", 0, 0);  // zero-count record is a no-op sample
+    reg.recordValue("h", -1);
+    const MetricsSnapshot snap = reg.snapshot();
+    const MetricValue *h = snap.find("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->kind, MetricKind::Histogram);
+    EXPECT_EQ(h->samples(), 6u);
+    EXPECT_EQ(h->buckets.at(lo), 1u);
+    EXPECT_EQ(h->buckets.at(hi), 3u);
+    EXPECT_EQ(h->buckets.at(-1), 1u);
+    // Bucket keys come back sorted (std::map), so the export order
+    // is deterministic.
+    EXPECT_EQ(h->buckets.begin()->first, lo);
+    EXPECT_EQ(h->buckets.rbegin()->first, hi);
+}
+
+TEST_F(MetricsTest, HierarchyWithPrefix)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("llc.bank0.stream.TEX.hits", 5);
+    reg.addCounter("llc.bank0.stream.RT.hits", 7);
+    reg.addCounter("llc.bank1.stream.TEX.hits", 11);
+    reg.addCounter("dram.ch0.row_conflicts", 13);
+    const MetricsSnapshot snap = reg.snapshot();
+
+    const MetricsSnapshot bank0 = snap.withPrefix("llc.bank0.");
+    EXPECT_EQ(bank0.values().size(), 2u);
+    EXPECT_EQ(bank0.counter("llc.bank0.stream.TEX.hits"), 5u);
+    EXPECT_EQ(bank0.counter("llc.bank0.stream.RT.hits"), 7u);
+
+    const MetricsSnapshot llc = snap.withPrefix("llc.");
+    EXPECT_EQ(llc.values().size(), 3u);
+    EXPECT_EQ(llc.find("dram.ch0.row_conflicts"), nullptr);
+}
+
+TEST_F(MetricsTest, SnapshotNamesAreSorted)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("z.last");
+    reg.addCounter("a.first");
+    reg.addCounter("m.middle");
+    const MetricsSnapshot snap = reg.snapshot();
+    std::vector<std::string> names;
+    for (const auto &[name, value] : snap.values())
+        names.push_back(name);
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.first");
+    EXPECT_EQ(names[1], "m.middle");
+    EXPECT_EQ(names[2], "z.last");
+}
+
+TEST_F(MetricsTest, ResetClears)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("x", 9);
+    reg.reset();
+    EXPECT_TRUE(reg.snapshot().values().empty());
+}
+
+// ---------------------------------------------------------------
+// Name collisions across kinds
+// ---------------------------------------------------------------
+
+TEST_F(MetricsDeathTest, KindCollisionPanics)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("dual.use");
+    EXPECT_DEATH(reg.maxGauge("dual.use", 1.0), "dual.use");
+}
+
+TEST_F(MetricsDeathTest, HistogramVsCounterCollisionPanics)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.recordValue("shape", 3);
+    EXPECT_DEATH(reg.addCounter("shape"), "shape");
+}
+
+// ---------------------------------------------------------------
+// Thread-local merge determinism
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** The reference workload: every item lands in the same metrics. */
+void
+recordItems(std::size_t begin, std::size_t end)
+{
+    auto &reg = MetricsRegistry::instance();
+    for (std::size_t i = begin; i < end; ++i) {
+        reg.addCounter("work.items");
+        reg.addCounter("work.class" + std::to_string(i % 3));
+        reg.recordValue("work.hist",
+                        static_cast<std::int64_t>(i % 13));
+        reg.maxGauge("work.peak", static_cast<double>(i % 97));
+    }
+}
+
+/** JSON snapshot of the registry after @p nthreads split the work. */
+std::string
+snapshotJsonAfter(unsigned nthreads, std::size_t items)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.reset();
+    std::vector<std::thread> workers;
+    const std::size_t chunk = (items + nthreads - 1) / nthreads;
+    for (unsigned t = 0; t < nthreads; ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(items, begin + chunk);
+        workers.emplace_back(recordItems, begin, end);
+    }
+    for (std::thread &w : workers)
+        w.join();
+    std::ostringstream os;
+    reg.snapshot().writeJson(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST_F(MetricsTest, MergeIsDeterministicAcrossThreadCounts)
+{
+    const std::string serial = snapshotJsonAfter(1, 3000);
+    const std::string four = snapshotJsonAfter(4, 3000);
+    const std::string seven = snapshotJsonAfter(7, 3000);
+    EXPECT_EQ(serial, four);
+    EXPECT_EQ(serial, seven);
+}
+
+// ---------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------
+
+TEST_F(MetricsTest, JsonCarriesSchemaAndKinds)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("c", 2);
+    reg.maxGauge("g", 1.5);
+    reg.recordValue("h", -4, 2);
+    std::ostringstream os;
+    reg.snapshot().writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"schema\": \"gllc-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"histogram\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, CsvHasOneRowPerBucket)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.recordValue("h", 1);
+    reg.recordValue("h", 2, 5);
+    std::ostringstream os;
+    reg.snapshot().writeCsv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("name,type,key,value"), std::string::npos);
+    EXPECT_NE(csv.find("h,histogram,1,1"), std::string::npos);
+    EXPECT_NE(csv.find("h,histogram,2,5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Observation-only guarantee (mirrors the audit layer's test)
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Deterministic mixed-stream frame trace over a 1 MB footprint. */
+FrameTrace
+makeFrameTrace(std::size_t n, std::uint64_t seed)
+{
+    static const StreamType kStreams[] = {
+        StreamType::Z, StreamType::Texture, StreamType::RenderTarget,
+        StreamType::Other};
+    Rng rng(seed);
+    FrameTrace trace;
+    trace.name = "unittest/f0";
+    trace.app = "unittest";
+    trace.accesses.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr addr = rng.below(1u << 20) & ~static_cast<Addr>(63);
+        const StreamType s = kStreams[rng.below(4)];
+        trace.accesses.emplace_back(addr, s,
+                                    s == StreamType::RenderTarget);
+    }
+    return trace;
+}
+
+} // namespace
+
+TEST_F(MetricsTest, InstrumentedReplayIsBitIdentical)
+{
+    const FrameTrace trace = makeFrameTrace(20000, 0x5eed);
+    const PolicySpec spec = policySpec("GSPC");
+    LlcConfig config;
+    config.capacityBytes = 256 * 1024;
+    config.ways = 8;
+    config.banks = 2;
+
+    setMetricsActive(false);
+    const RunResult plain = runTrace(trace, spec, config);
+
+    setMetricsActive(true);
+    DecisionLog::setDepth(64);  // exercise decision recording too
+    const RunResult instrumented = runTrace(trace, spec, config);
+    DecisionLog::setDepth(0);
+
+    for (std::size_t s = 0; s < kNumStreams; ++s) {
+        EXPECT_EQ(plain.stats.stream[s].accesses,
+                  instrumented.stats.stream[s].accesses);
+        EXPECT_EQ(plain.stats.stream[s].hits,
+                  instrumented.stats.stream[s].hits);
+        EXPECT_EQ(plain.stats.stream[s].misses,
+                  instrumented.stats.stream[s].misses);
+        EXPECT_EQ(plain.stats.stream[s].bypasses,
+                  instrumented.stats.stream[s].bypasses);
+    }
+    EXPECT_EQ(plain.stats.writebacks, instrumented.stats.writebacks);
+    EXPECT_EQ(plain.stats.evictions, instrumented.stats.evictions);
+
+    // And the registry actually saw the replay.
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    EXPECT_GT(snap.counter("sim.replays"), 0u);
+    EXPECT_FALSE(snap.withPrefix("llc.").values().empty());
+    EXPECT_FALSE(snap.withPrefix("policy.GSPC.").values().empty());
+}
+
+} // namespace

@@ -281,7 +281,8 @@ TEST(GsDrrip, StreamsDuelIndependently)
         static_cast<double>(h.fills(PolicyStream::Texture));
     EXPECT_GT(tex3 / tex_total, 0.7);
 
-    const auto &z = llc.stats().of(StreamType::Z);
+    const LlcStats stats = llc.stats();
+    const auto &z = stats.of(StreamType::Z);
     EXPECT_GT(static_cast<double>(z.hits)
                   / static_cast<double>(z.accesses),
               0.8);

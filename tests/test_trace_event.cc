@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the Chrome-trace span collector
+ * (src/common/trace_event.hh): activation gating, span recording,
+ * stable thread ids, and the trace-event JSON shape Perfetto /
+ * chrome://tracing expects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/trace_event.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** Every test runs against a clean, force-enabled collector. */
+class TraceEventTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TraceCollector::instance().reset();
+        setTraceEventsActive(true);
+    }
+
+    void
+    TearDown() override
+    {
+        TraceCollector::instance().reset();
+        setTraceEventsActive(false);
+    }
+};
+
+TEST_F(TraceEventTest, SpanRecordsOnDestruction)
+{
+    auto &collector = TraceCollector::instance();
+    {
+        TraceSpan span("phase", "render frames 0..3");
+        EXPECT_EQ(collector.size(), 0u);
+    }
+    EXPECT_EQ(collector.size(), 1u);
+}
+
+TEST_F(TraceEventTest, InactiveCollectorRecordsNothing)
+{
+    setTraceEventsActive(false);
+    {
+        TraceSpan span("cell", "ignored");
+    }
+    EXPECT_EQ(TraceCollector::instance().size(), 0u);
+}
+
+TEST_F(TraceEventTest, ClockIsMonotonic)
+{
+    auto &collector = TraceCollector::instance();
+    const double a = collector.nowUs();
+    const double b = collector.nowUs();
+    EXPECT_LE(a, b);
+}
+
+TEST_F(TraceEventTest, ThreadIdsAreSmallAndStable)
+{
+    auto &collector = TraceCollector::instance();
+    const std::uint32_t mine = collector.threadId();
+    EXPECT_EQ(collector.threadId(), mine);
+
+    std::atomic<std::uint32_t> other{mine};
+    std::thread worker([&] { other = collector.threadId(); });
+    worker.join();
+    EXPECT_NE(other.load(), mine);
+}
+
+TEST_F(TraceEventTest, WriteEmitsTraceEventJson)
+{
+    auto &collector = TraceCollector::instance();
+    {
+        TraceSpan span("cell", "BioShock frame 2 GSPC",
+                       {{"app", "BioShock"},
+                        {"frame", "2"},
+                        {"policy", "GSPC"}});
+    }
+    {
+        TraceSpan span("phase", "merge frames 0..1");
+    }
+    std::ostringstream os;
+    collector.write(os);
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"BioShock frame 2 GSPC\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"cell\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"phase\""), std::string::npos);
+    EXPECT_NE(json.find("\"policy\": \"GSPC\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\""), std::string::npos);
+}
+
+TEST_F(TraceEventTest, ConcurrentSpansAllLand)
+{
+    auto &collector = TraceCollector::instance();
+    constexpr int kThreads = 4;
+    constexpr int kSpansPer = 50;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kSpansPer; ++i) {
+                std::string name("t");
+                name += std::to_string(t);
+                name += '#';
+                name += std::to_string(i);
+                TraceSpan span("cell", std::move(name));
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(collector.size(),
+              static_cast<std::size_t>(kThreads) * kSpansPer);
+}
+
+TEST_F(TraceEventTest, ResetDropsSpans)
+{
+    {
+        TraceSpan span("phase", "x");
+    }
+    EXPECT_EQ(TraceCollector::instance().size(), 1u);
+    TraceCollector::instance().reset();
+    EXPECT_EQ(TraceCollector::instance().size(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Schema validator for the observability artifacts gllc exports.
+
+Validates the two files an instrumented run writes:
+
+  * the metrics snapshot (GLLC_STATS_JSON / BenchObservability):
+    {"schema": "gllc-stats-v1", "metrics": [...]} where every record
+    carries a dotted name, a known type, and the value shape of that
+    type (counters/gauges a scalar "value", histograms a "total" plus
+    [bucket, count] pairs summing to it)
+  * the timeline trace (GLLC_TRACE_OUT): Chrome trace-event JSON of
+    complete ("X") spans with non-negative timestamps/durations and
+    pid/tid fields, i.e. exactly what Perfetto / chrome://tracing
+    loads
+
+Usage:
+
+    python3 tools/check_observability.py --stats stats.json \
+        --trace trace.json [--expect-cells N]
+
+Any subset of the flags may be given; --expect-cells asserts the
+trace holds exactly N "cell" spans (one per (frame, policy) pair of
+the sweep that produced it).  Exits 0 when every given file
+validates, 1 with a report otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+STATS_SCHEMA = "gllc-stats-v1"
+METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_stats(path, errors):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        return fail(errors, f"{path}: top level is not an object")
+    if doc.get("schema") != STATS_SCHEMA:
+        fail(errors,
+             f"{path}: schema {doc.get('schema')!r}, "
+             f"expected {STATS_SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        return fail(errors, f"{path}: \"metrics\" is not an array")
+
+    previous = None
+    for i, m in enumerate(metrics):
+        where = f"{path}: metrics[{i}]"
+        if not isinstance(m, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        name = m.get("name")
+        if not isinstance(name, str) or not name:
+            fail(errors, f"{where}: missing name")
+            continue
+        if previous is not None and not previous < name:
+            fail(errors,
+                 f"{where}: {name!r} out of order after {previous!r} "
+                 "(export must be name-sorted)")
+        previous = name
+        mtype = m.get("type")
+        if mtype not in METRIC_TYPES:
+            fail(errors, f"{where} ({name}): bad type {mtype!r}")
+            continue
+        if mtype == "counter":
+            if not isinstance(m.get("value"), int) or m["value"] < 0:
+                fail(errors, f"{where} ({name}): counter needs a "
+                     "non-negative integer value")
+        elif mtype == "gauge":
+            if not isinstance(m.get("value"), (int, float)):
+                fail(errors, f"{where} ({name}): gauge needs a "
+                     "numeric value")
+        else:
+            buckets = m.get("buckets")
+            if not isinstance(buckets, list) or not buckets:
+                fail(errors, f"{where} ({name}): histogram needs "
+                     "non-empty buckets")
+                continue
+            total = 0
+            for b in buckets:
+                if (not isinstance(b, list) or len(b) != 2
+                        or not isinstance(b[0], int)
+                        or not isinstance(b[1], int) or b[1] < 0):
+                    fail(errors, f"{where} ({name}): bucket {b!r} is "
+                         "not [value, count]")
+                    break
+                total += b[1]
+            else:
+                if m.get("total") != total:
+                    fail(errors, f"{where} ({name}): total "
+                         f"{m.get('total')} != bucket sum {total}")
+    return None
+
+
+def check_trace(path, errors, expect_cells=None):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        return fail(errors, f"{path}: top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(errors, f"{path}: \"traceEvents\" is not an array")
+    if not events:
+        fail(errors, f"{path}: no spans recorded")
+
+    cells = 0
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        if e.get("ph") != "X":
+            fail(errors, f"{where}: ph {e.get('ph')!r}, expected "
+                 "complete spans (\"X\")")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(errors, f"{where}: missing name")
+        for field in ("ts", "dur"):
+            value = e.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(errors,
+                     f"{where}: bad {field} {value!r}")
+        if e.get("pid") != 1:
+            fail(errors, f"{where}: pid {e.get('pid')!r}, expected 1")
+        if not isinstance(e.get("tid"), int) or e["tid"] < 0:
+            fail(errors, f"{where}: bad tid {e.get('tid')!r}")
+        if e.get("cat") == "cell":
+            cells += 1
+            args = e.get("args", {})
+            for key in ("app", "frame", "policy"):
+                if not isinstance(args.get(key), str):
+                    fail(errors, f"{where}: cell span missing "
+                         f"args.{key}")
+
+    if expect_cells is not None and cells != expect_cells:
+        fail(errors,
+             f"{path}: {cells} cell spans, expected {expect_cells}")
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stats", help="metrics snapshot JSON")
+    parser.add_argument("--trace", help="trace-event JSON")
+    parser.add_argument("--expect-cells", type=int, default=None,
+                        help="exact number of cell spans the trace "
+                        "must hold")
+    args = parser.parse_args()
+    if not args.stats and not args.trace:
+        parser.error("give at least one of --stats / --trace")
+
+    errors = []
+    if args.stats:
+        check_stats(args.stats, errors)
+    if args.trace:
+        check_trace(args.trace, errors, args.expect_cells)
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"check_observability: {len(errors)} finding(s)")
+        return 1
+    checked = " and ".join(
+        p for p in (args.stats, args.trace) if p)
+    print(f"check_observability: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ LLVM tooling installed):
     from its path under its source root; #pragma once is rejected
   * no std::rand / srand / rand: all randomness flows through
     common/rng.hh (Rng) so experiments are reproducible from seeds
+  * no raw fprintf(stderr, ...) in src/ outside common/logging.cc
+    and common/progress.cc: diagnostics go through warn()/note()/
+    panic()/fatal() (common/logging.hh) or the shared ProgressMeter
+    so they stay greppable and consistently tagged
 
 Run from the repository root (or via the `lint` CMake target):
 
@@ -41,6 +45,14 @@ CPP_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp", ".h"}
 BARE_ASSERT = re.compile(r"(?<![\w:])assert\s*\(")
 BANNED_RAND = re.compile(r"(?<![\w:])(?:std::)?(?:rand|srand|rand_r)\s*\(")
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+RAW_STDERR = re.compile(r"(?:std::)?v?fprintf\s*\(\s*stderr\b")
+
+# The only files in src/ allowed to write stderr directly: the
+# logging sink itself and the throttled progress reporter.
+STDERR_ALLOWLIST = {
+    Path("src/common/logging.cc"),
+    Path("src/common/progress.cc"),
+}
 
 
 def strip_comments_and_strings(text):
@@ -132,6 +144,15 @@ def check_file(path, strip_prefix, findings):
             findings.append(
                 f"{rel}:{lineno}: std::rand/srand; use gllc::Rng "
                 "(common/rng.hh) so runs are seed-reproducible"
+            )
+        if (
+            rel.parts[0] == "src"
+            and rel not in STDERR_ALLOWLIST
+            and RAW_STDERR.search(line)
+        ):
+            findings.append(
+                f"{rel}:{lineno}: raw fprintf(stderr); use warn()/"
+                "note() (common/logging.hh) or the progress reporter"
             )
 
     if path.suffix in {".hh", ".hpp", ".h"}:
