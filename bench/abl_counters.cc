@@ -51,7 +51,10 @@ main(int argc, char **argv)
     }
 
     const SweepResult sweep =
-        SweepConfig().policySpecs(std::move(specs)).run();
+        SweepConfig()
+            .policySpecs(std::move(specs))
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Ablation: GSPC counter widths", sweep);
 
     std::map<std::string, double> misses;
@@ -64,5 +67,5 @@ main(int argc, char **argv)
         tp.addRow({v.label, fmt(misses.at(v.label) / base, 4)});
     tp.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

@@ -34,11 +34,16 @@ main(int argc, char **argv)
 
     TablePrinter tp({"page mapping", "SHiP-mem vs DRRIP",
                      "GSPC+UCD vs DRRIP"});
+    // This bench runs two sweeps under different scales, so the
+    // shared --checkpoint flag cannot apply (a journal pins one
+    // configuration); quarantine handling still does.
+    int exit_code = 0;
     for (const bool scatter : {true, false}) {
         RenderScale scale = scaleFromEnv();
         scale.scatterPages = scatter;
         const SweepResult sweep =
             SweepConfig().policies(policies).scale(scale).run();
+        exit_code = std::max(exit_code, benchExitCode(sweep));
 
         std::map<std::string, double> misses;
         for (const SweepCell &cell : sweep.cells())
@@ -51,5 +56,5 @@ main(int argc, char **argv)
                        4)});
     }
     tp.print(std::cout);
-    return 0;
+    return exit_code;
 }

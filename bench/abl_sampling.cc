@@ -38,7 +38,10 @@ main(int argc, char **argv)
     }
 
     const SweepResult sweep =
-        SweepConfig().policySpecs(std::move(specs)).run();
+        SweepConfig()
+            .policySpecs(std::move(specs))
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Ablation: GSPC sample-set density", sweep);
 
     std::map<std::string, double> misses;
@@ -55,5 +58,5 @@ main(int argc, char **argv)
     }
     tp.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

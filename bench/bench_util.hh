@@ -66,6 +66,14 @@ class BenchObservability
     bool stats_ = false;
 };
 
+/**
+ * Exit code when a sweep finished with quarantined cells: the
+ * artifacts exist but are partial, which scripted pipelines must be
+ * able to tell apart from both success (0) and a crash/fatal (1).
+ * 75 is EX_TEMPFAIL in sysexits.h: a re-run may well succeed.
+ */
+constexpr int kQuarantineExitCode = 75;
+
 /** Print the standard bench banner. */
 inline void
 benchBanner(const std::string &what, const SweepResult &result)
@@ -77,7 +85,32 @@ benchBanner(const std::string &what, const SweepResult &result)
               << result.scale().linear << ", "
               << result.cells().size() << " (frame,policy) cells, "
               << result.threadsUsed() << " thread(s), "
-              << fmt(result.wallSeconds(), 1) << " s\n\n";
+              << fmt(result.wallSeconds(), 1) << " s\n";
+    if (result.restoredCells() > 0)
+        std::cout << result.restoredCells()
+                  << " cell(s) restored from checkpoint\n";
+    if (!result.quarantined().empty())
+        std::cout << result.quarantined().size()
+                  << " cell(s) QUARANTINED (partial results)\n";
+    std::cout << '\n';
+}
+
+/**
+ * The exit status a sweep bench must return: lists any quarantined
+ * cells on stderr and maps them to kQuarantineExitCode so CI and
+ * scripts cannot mistake partial artifacts for complete ones.
+ */
+inline int
+benchExitCode(const SweepResult &result)
+{
+    if (result.quarantined().empty())
+        return 0;
+    for (const QuarantinedCell &q : result.quarantined()) {
+        warn("quarantined: %s frame %u %s (%u attempt(s)): %s",
+             q.app.c_str(), q.frameIndex, q.policy.c_str(),
+             q.attempts, q.error.c_str());
+    }
+    return kQuarantineExitCode;
 }
 
 /**

@@ -22,10 +22,11 @@ main(int argc, char **argv)
     const SweepResult sweep =
         SweepConfig()
             .policies({"DRRIP", "GSPC+UCD", "GSPC+B+UCD", "Belady"})
+            .cliArgs(argc, argv)
             .run();
     benchBanner("Extension: dead-fill bypass (GSPC+B)", sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

@@ -28,11 +28,12 @@ main(int argc, char **argv)
         SweepConfig()
             .policies({"DRRIP", "DIP", "peLIFO", "UCP-stream",
                        "GS-DRRIP", "GSPC"})
+            .cliArgs(argc, argv)
             .run();
     benchBanner(
         "Extension: partitioning/insertion baselines vs GSPC", sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

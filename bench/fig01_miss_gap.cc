@@ -18,11 +18,14 @@ main(int argc, char **argv)
 {
     BenchObservability obs(argc, argv);
     const SweepResult result =
-        SweepConfig().policies({"DRRIP", "NRU", "Belady"}).run();
+        SweepConfig()
+            .policies({"DRRIP", "NRU", "Belady"})
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Figure 1: NRU and Belady vs DRRIP (LLC misses)",
                 result);
     result.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                 "DRRIP");
     exportSweepResult(argc, argv, result);
-    return 0;
+    return benchExitCode(result);
 }

@@ -64,11 +64,14 @@ main(int argc, char **argv)
 {
     BenchObservability obs(argc, argv);
     const SweepResult result =
-        SweepConfig().policies({"Belady", "DRRIP", "NRU"}).run();
+        SweepConfig()
+            .policies({"Belady", "DRRIP", "NRU"})
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Figure 5: per-stream LLC hit rates", result);
     printPanel(result, StreamType::Texture, "texture sampler");
     printPanel(result, StreamType::RenderTarget, "render target");
     printPanel(result, StreamType::Z, "Z");
     exportSweepResult(argc, argv, result);
-    return 0;
+    return benchExitCode(result);
 }

@@ -21,7 +21,10 @@ main(int argc, char **argv)
 {
     BenchObservability obs(argc, argv);
     const SweepResult sweep =
-        SweepConfig().policies({"Belady", "DRRIP", "NRU"}).run();
+        SweepConfig()
+            .policies({"Belady", "DRRIP", "NRU"})
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Figure 6: inter-stream texture reuse", sweep);
 
     const auto inter = sweep.totalsByApp([](const RunResult &r) {
@@ -87,5 +90,5 @@ main(int argc, char **argv)
               << "texture sampler\n";
     lower.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

@@ -19,7 +19,10 @@ main(int argc, char **argv)
 {
     BenchObservability obs(argc, argv);
     const SweepResult sweep =
-        SweepConfig().policies({"Belady"}).run();
+        SweepConfig()
+            .policies({"Belady"})
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Figure 7: texture sampler epochs under Belady",
                 sweep);
 
@@ -54,5 +57,5 @@ main(int argc, char **argv)
     add_row("ALL", mean_ch);
     tp.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

@@ -19,7 +19,10 @@ main(int argc, char **argv)
 {
     BenchObservability obs(argc, argv);
     const SweepResult sweep =
-        SweepConfig().policies({"DRRIP"}).run();
+        SweepConfig()
+            .policies({"DRRIP"})
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Figure 8: DRRIP fills at RRPV=3", sweep);
 
     std::map<std::string, FillHistogram> per_app;
@@ -44,5 +47,5 @@ main(int argc, char **argv)
                pct(all, PolicyStream::Texture)});
     tp.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

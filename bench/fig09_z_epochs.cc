@@ -19,7 +19,10 @@ main(int argc, char **argv)
 {
     BenchObservability obs(argc, argv);
     const SweepResult sweep =
-        SweepConfig().policies({"Belady"}).run();
+        SweepConfig()
+            .policies({"Belady"})
+            .cliArgs(argc, argv)
+            .run();
     benchBanner("Figure 9: Z-stream epoch death ratios under Belady",
                 sweep);
 
@@ -41,5 +44,5 @@ main(int argc, char **argv)
                fmt(all.zDeathRatio(1), 2), fmt(all.zDeathRatio(2), 2)});
     tp.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

@@ -42,7 +42,10 @@ main(int argc, char **argv)
     };
     const std::string base_name = name_of(16);
 
-    const SweepResult sweep = SweepConfig().policySpecs(specs).run();
+    const SweepResult sweep = SweepConfig()
+                                  .policySpecs(specs)
+                                  .cliArgs(argc, argv)
+                                  .run();
     benchBanner("Figure 11: GSPZTC threshold sensitivity", sweep);
 
     const auto totals = sweep.totalsByApp(missMetric);
@@ -68,5 +71,5 @@ main(int argc, char **argv)
               << "(positive = more misses)\n";
     tp.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

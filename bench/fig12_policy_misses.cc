@@ -24,6 +24,7 @@ main(int argc, char **argv)
             .policies({"DRRIP", "NRU", "SHiP-mem", "GS-DRRIP",
                        "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD",
                        "DRRIP+UCD"})
+            .cliArgs(argc, argv)
             .run();
     benchBanner("Figure 12: LLC misses across policies", result);
     result.printNormalizedTable(std::cout, "LLC misses", missMetric,
@@ -32,5 +33,5 @@ main(int argc, char **argv)
     // --csv/--json <path>: dump every (app, frame, policy) cell for
     // plotting / regression tracking.
     exportSweepResult(argc, argv, result);
-    return 0;
+    return benchExitCode(result);
 }

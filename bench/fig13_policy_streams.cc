@@ -25,6 +25,7 @@ main(int argc, char **argv)
         SweepConfig()
             .policies({"DRRIP", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE",
                        "GSPC", "GSPC+UCD", "Belady"})
+            .cliArgs(argc, argv)
             .run();
     benchBanner("Figure 13: per-policy stream behaviour (means)",
                 sweep);
@@ -67,5 +68,5 @@ main(int argc, char **argv)
     }
     tp.print(std::cout);
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

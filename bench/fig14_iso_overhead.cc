@@ -23,11 +23,12 @@ main(int argc, char **argv)
         SweepConfig()
             .policies({"DRRIP", "LRU", "DRRIP-4", "GS-DRRIP-4",
                        "GSPC"})
+            .cliArgs(argc, argv)
             .run();
     benchBanner("Figure 14: iso-overhead policies (4 state bits)",
                 sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
     exportSweepResult(argc, argv, sweep);
-    return 0;
+    return benchExitCode(sweep);
 }

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Sweep checkpoint journal: JSON-lines persistence of completed
+ * (app, frame, policy) cells.
+ *
+ * A production-scale sweep runs for hours; losing every completed
+ * cell to a mid-run crash (or a deliberate kill) is the failure
+ * mode this module removes.  The sweep engine appends one
+ * self-checksummed JSON line per completed cell (GLLC_CHECKPOINT=
+ * <path>), fsync'ing in small batches so at most a batch of work is
+ * re-done after a crash; `--resume` replays the journal, restores
+ * the recorded cells bit-for-bit (every journaled field is an
+ * integer, so the round trip is exact) and re-executes only what is
+ * missing.  A resumed run therefore merges to a SweepResult that is
+ * byte-identical to an uninterrupted one.
+ *
+ * Journal layout: line 1 is a header describing the sweep
+ * configuration (scale, LLC geometry, policy list) so a stale
+ * journal cannot silently contaminate a different sweep; every
+ * following line is one cell.  Each line ends with a "line_hash"
+ * field — fnv1a64 of the bytes before it — so the torn final line
+ * of a killed run (or any rotted line) is detected and skipped, not
+ * trusted and not fatal.
+ */
+
+#ifndef GLLC_ANALYSIS_CHECKPOINT_HH
+#define GLLC_ANALYSIS_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace gllc
+{
+
+struct SweepCell;
+
+/** The sweep configuration a journal belongs to. */
+struct CheckpointMeta
+{
+    std::uint32_t scaleLinear = 0;
+    std::uint64_t llcBytes = 0;
+    std::uint32_t llcWays = 0;
+    std::uint32_t llcBanks = 0;
+    std::vector<std::string> policies;
+
+    bool operator==(const CheckpointMeta &other) const;
+    bool operator!=(const CheckpointMeta &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** Composite lookup key of one journaled cell. */
+std::string checkpointCellKey(const std::string &app,
+                              std::uint32_t frame_index,
+                              const std::string &policy);
+
+/** Everything a journal held that survived validation. */
+struct CheckpointContents
+{
+    CheckpointMeta meta;
+
+    /** checkpointCellKey() -> restored cell. */
+    std::map<std::string, SweepCell> cells;
+
+    /** Torn/corrupt lines that were skipped (telemetry). */
+    std::size_t skippedLines = 0;
+};
+
+/**
+ * Parse a journal.  Io/Corrupt errors cover an unreadable file or
+ * an unusable header; individually bad cell lines are skipped and
+ * counted, because a torn tail is the expected shape of a journal
+ * whose writer was killed.
+ */
+Result<CheckpointContents> loadCheckpoint(const std::string &path);
+
+/**
+ * Appending journal writer.  fatal() on I/O failure at open (an
+ * unusable checkpoint path is a configuration error; silently not
+ * checkpointing would be worse).
+ */
+class CheckpointWriter
+{
+  public:
+    /**
+     * Open @p path and write the header when starting fresh.
+     * @param append  keep existing contents (resume) instead of
+     *                truncating.
+     */
+    CheckpointWriter(const std::string &path,
+                     const CheckpointMeta &meta, bool append);
+
+    /** Flushes and syncs the tail batch. */
+    ~CheckpointWriter();
+
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+    /** Journal one completed cell; syncs every kSyncBatch lines. */
+    void append(const SweepCell &cell);
+
+    /** Flush user-space buffers and fsync to stable storage. */
+    void sync();
+
+    /** Lines fsync'd per batch; small so a crash loses little. */
+    static constexpr unsigned kSyncBatch = 16;
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    unsigned pendingLines_ = 0;
+};
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_CHECKPOINT_HH

@@ -5,6 +5,8 @@
 
 #include "cache/policy/belady.hh"
 #include "common/audit.hh"
+#include "common/fault.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 
@@ -34,8 +36,26 @@ runTrace(const FrameTrace &trace, const PolicySpec &spec,
     if (spec.needsOracle)
         oracle = buildNextUseOracle(trace.accesses);
 
+    // sim.access fault site: one keyed draw per replay decides
+    // whether this replay dies, the payload picks where in the
+    // access stream it does — exercising the sweep's recovery from
+    // partially-built simulator state at any depth.
+    std::size_t inject_at = trace.accesses.size();
+    if (faultsActive()
+        && faultFires(FaultSite::SimAccess,
+                      fnv1a64(spec.name,
+                              mix64(trace.accesses.size())))) {
+        if (trace.accesses.empty())
+            throwInjectedFault(FaultSite::SimAccess);
+        inject_at = static_cast<std::size_t>(
+            faultPayload(FaultSite::SimAccess)
+            % trace.accesses.size());
+    }
+
     RunResult result;
     for (std::size_t i = 0; i < trace.accesses.size(); ++i) {
+        if (i == inject_at)
+            throwInjectedFault(FaultSite::SimAccess);
         const MemAccess &a = trace.accesses[i];
         const std::uint64_t next_use =
             spec.needsOracle ? oracle[i] : kNever;

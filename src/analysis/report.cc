@@ -5,29 +5,22 @@
 namespace gllc
 {
 
-void
-writeSweepCsv(const SweepResult &result, std::ostream &os)
-{
-    os << "app,frame,policy,accesses,hits,misses,writebacks,"
-       << "tex_hit_rate,rt_hit_rate,z_hit_rate,"
-       << "rt_productions,rt_consumptions,"
-       << "inter_tex_hits,intra_tex_hits\n";
-    for (const SweepCell &cell : result.cells()) {
-        const LlcStats &s = cell.result.stats;
-        const Characterization &ch = cell.result.characterization;
-        os << cell.app << ',' << cell.frameIndex << ',' << cell.policy
-           << ',' << s.totalAccesses() << ',' << s.totalHits() << ','
-           << s.totalMisses() << ',' << s.writebacks << ','
-           << s.hitRate(StreamType::Texture) << ','
-           << s.hitRate(StreamType::RenderTarget) << ','
-           << s.hitRate(StreamType::Z) << ',' << ch.rtProductions
-           << ',' << ch.rtConsumptions << ',' << ch.interTexHits
-           << ',' << ch.intraTexHits << '\n';
-    }
-}
-
 namespace
 {
+
+/** Quote a CSV field that may hold commas or quotes (errors). */
+std::string
+csvQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
 
 /** Registry names are plain ASCII, but stay valid JSON regardless. */
 std::string
@@ -36,6 +29,10 @@ jsonEscape(const std::string &s)
     std::string out;
     out.reserve(s.size());
     for (const char c : s) {
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
         if (c == '"' || c == '\\')
             out.push_back('\\');
         out.push_back(c);
@@ -44,6 +41,35 @@ jsonEscape(const std::string &s)
 }
 
 } // namespace
+
+void
+writeSweepCsv(const SweepResult &result, std::ostream &os)
+{
+    os << "app,frame,policy,status,attempts,accesses,hits,misses,"
+       << "writebacks,tex_hit_rate,rt_hit_rate,z_hit_rate,"
+       << "rt_productions,rt_consumptions,"
+       << "inter_tex_hits,intra_tex_hits,error\n";
+    for (const SweepCell &cell : result.cells()) {
+        const LlcStats &s = cell.result.stats;
+        const Characterization &ch = cell.result.characterization;
+        os << cell.app << ',' << cell.frameIndex << ',' << cell.policy
+           << ",ok," << cell.attempts << ',' << s.totalAccesses()
+           << ',' << s.totalHits() << ',' << s.totalMisses() << ','
+           << s.writebacks << ',' << s.hitRate(StreamType::Texture)
+           << ',' << s.hitRate(StreamType::RenderTarget) << ','
+           << s.hitRate(StreamType::Z) << ',' << ch.rtProductions
+           << ',' << ch.rtConsumptions << ',' << ch.interTexHits
+           << ',' << ch.intraTexHits << ",\n";
+    }
+    // Quarantined cells ride in the same table (a downstream
+    // join on app/frame/policy must see the hole, not infer it):
+    // stats columns stay empty, the error says why.
+    for (const QuarantinedCell &q : result.quarantined()) {
+        os << q.app << ',' << q.frameIndex << ',' << q.policy
+           << ",quarantined," << q.attempts << ",,,,,,,,,,,,"
+           << csvQuote(q.error) << '\n';
+    }
+}
 
 void
 writeSweepJson(const SweepResult &result, std::ostream &os)
@@ -78,10 +104,20 @@ writeSweepJson(const SweepResult &result, std::ostream &os)
            << ", \"rt_productions\": " << ch.rtProductions
            << ", \"rt_consumptions\": " << ch.rtConsumptions
            << ", \"inter_tex_hits\": " << ch.interTexHits
-           << ", \"intra_tex_hits\": " << ch.intraTexHits << "}"
+           << ", \"intra_tex_hits\": " << ch.intraTexHits
+           << ", \"attempts\": " << cell.attempts << "}"
            << (i + 1 < result.cells().size() ? "," : "") << '\n';
     }
-    os << "  ]\n}\n";
+    os << "  ],\n  \"quarantined\": [";
+    for (std::size_t i = 0; i < result.quarantined().size(); ++i) {
+        const QuarantinedCell &q = result.quarantined()[i];
+        os << (i ? ",\n    " : "\n    ") << "{\"app\": \""
+           << jsonEscape(q.app) << "\", \"frame\": " << q.frameIndex
+           << ", \"policy\": \"" << jsonEscape(q.policy)
+           << "\", \"attempts\": " << q.attempts
+           << ", \"error\": \"" << jsonEscape(q.error) << "\"}";
+    }
+    os << (result.quarantined().empty() ? "]\n}\n" : "\n  ]\n}\n");
 }
 
 void

@@ -1,12 +1,19 @@
 #include "analysis/sweep.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <thread>
 
+#include "analysis/checkpoint.hh"
 #include "common/audit.hh"
 #include "common/env.hh"
+#include "common/fault.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/progress.hh"
@@ -20,6 +27,9 @@ namespace gllc
 
 namespace
 {
+
+/** Stall injected by the cell.delay fault site (watchdog fodder). */
+constexpr unsigned kInjectedDelayMs = 100;
 
 /** Render one frame trace, with an optional timeline span. */
 FrameTrace
@@ -36,6 +46,189 @@ renderFrame(const FrameSpec &frame, const RenderScale &scale)
         MetricsRegistry::instance().addCounter(
             "sweep.frames_rendered");
     return trace;
+}
+
+/**
+ * The exception boundary of everything a sweep runs on a worker:
+ * returns "" on success, else a description of what was thrown.
+ * Nothing may propagate into the ThreadPool, where it would take
+ * the whole process (and every completed cell) down with it.
+ */
+template <typename F>
+std::string
+guarded(F &&fn)
+{
+    try {
+        fn();
+        return {};
+    } catch (const std::exception &e) {
+        return e.what()[0] != '\0' ? e.what() : "unnamed exception";
+    } catch (...) {
+        return "non-standard exception";
+    }
+}
+
+/** Exponential backoff before re-attempt @p attempt (1-based). */
+void
+backoffSleep(unsigned first_delay_ms, unsigned attempt)
+{
+    if (first_delay_ms == 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<std::uint64_t>(first_delay_ms)
+        << (attempt - 1)));
+}
+
+/**
+ * Soft per-cell timeout watchdog.  A background thread scans the
+ * in-flight cells and warns (once per attempt) about any running
+ * longer than the budget.  Deliberately soft: a slow cell is
+ * reported and counted (sweep.cell_timeouts), never killed — the
+ * replay owns no cancellable state, and a partial kill would trade
+ * a slow result for a corrupt one.
+ */
+class CellWatchdog
+{
+  public:
+    using Namer = std::function<std::string(std::size_t)>;
+
+    CellWatchdog(unsigned timeout_ms, std::size_t slots, Namer namer)
+        : timeoutMs_(timeout_ms), slots_(slots),
+          namer_(std::move(namer))
+    {
+        if (timeoutMs_ == 0)
+            return;
+        starts_ =
+            std::make_unique<std::atomic<std::int64_t>[]>(slots_);
+        warned_ = std::make_unique<std::atomic<bool>[]>(slots_);
+        for (std::size_t i = 0; i < slots_; ++i) {
+            starts_[i].store(-1, std::memory_order_relaxed);
+            warned_[i].store(false, std::memory_order_relaxed);
+        }
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~CellWatchdog()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    CellWatchdog(const CellWatchdog &) = delete;
+    CellWatchdog &operator=(const CellWatchdog &) = delete;
+
+    void
+    begin(std::size_t k)
+    {
+        if (timeoutMs_ == 0)
+            return;
+        warned_[k].store(false, std::memory_order_relaxed);
+        starts_[k].store(nowMs(), std::memory_order_relaxed);
+    }
+
+    void
+    end(std::size_t k)
+    {
+        if (timeoutMs_ == 0)
+            return;
+        starts_[k].store(-1, std::memory_order_relaxed);
+    }
+
+  private:
+    static std::int64_t
+    nowMs()
+    {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+            .count();
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto poll = std::chrono::milliseconds(
+            std::max<unsigned>(timeoutMs_ / 4, 10));
+        while (!cv_.wait_for(lock, poll,
+                             [this] { return stopping_; })) {
+            const std::int64_t now = nowMs();
+            for (std::size_t k = 0; k < slots_; ++k) {
+                const std::int64_t start =
+                    starts_[k].load(std::memory_order_relaxed);
+                if (start < 0 || now - start <= timeoutMs_)
+                    continue;
+                if (warned_[k].exchange(true,
+                                        std::memory_order_relaxed))
+                    continue;
+                warn("sweep cell %s has run %lld ms (soft timeout "
+                     "%u ms); letting it finish",
+                     namer_(k).c_str(),
+                     static_cast<long long>(now - start),
+                     timeoutMs_);
+                if (metricsActive())
+                    MetricsRegistry::instance().addCounter(
+                        "sweep.cell_timeouts");
+            }
+        }
+    }
+
+    unsigned timeoutMs_;
+    std::size_t slots_;
+    Namer namer_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> starts_;
+    std::unique_ptr<std::atomic<bool>[]> warned_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/** RAII in-flight marker for one cell attempt. */
+class WatchdogScope
+{
+  public:
+    WatchdogScope(CellWatchdog &watchdog, std::size_t k)
+        : watchdog_(watchdog), k_(k)
+    {
+        watchdog_.begin(k_);
+    }
+    ~WatchdogScope() { watchdog_.end(k_); }
+    WatchdogScope(const WatchdogScope &) = delete;
+    WatchdogScope &operator=(const WatchdogScope &) = delete;
+
+  private:
+    CellWatchdog &watchdog_;
+    std::size_t k_;
+};
+
+/**
+ * Keyed fault-injection draws for one cell attempt.  The key hashes
+ * the cell's logical coordinates (not any execution index), so the
+ * set of injected failures is identical at any thread count, and a
+ * later attempt of the same cell draws independently — which is what
+ * makes retry-then-succeed paths reproducible.
+ */
+void
+injectCellFaults(const SweepCell &cell, unsigned attempt)
+{
+    if (!faultsActive())
+        return;
+    const std::uint64_t key =
+        fnv1a64(cell.policy, fnv1a64(cell.app))
+        ^ mix64((static_cast<std::uint64_t>(cell.frameIndex) << 8)
+                | attempt);
+    if (faultFires(FaultSite::CellDelay, key))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kInjectedDelayMs));
+    if (faultFires(FaultSite::CellThrow, key))
+        throwInjectedFault(FaultSite::CellThrow);
 }
 
 } // namespace
@@ -138,6 +331,57 @@ SweepConfig::progress(bool enabled)
     return *this;
 }
 
+SweepConfig &
+SweepConfig::retries(int count)
+{
+    retries_ = count;
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::backoffMs(int ms)
+{
+    backoffMs_ = ms;
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::cellTimeoutMs(int ms)
+{
+    cellTimeoutMs_ = ms;
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::checkpoint(std::string path)
+{
+    checkpoint_ = std::move(path);
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::resume(bool enabled)
+{
+    resume_ = enabled ? 1 : 0;
+    return *this;
+}
+
+SweepConfig &
+SweepConfig::cliArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--resume") {
+            resume(true);
+        } else if (flag == "--checkpoint") {
+            if (i + 1 >= argc)
+                fatal("--checkpoint requires a file path");
+            checkpoint(argv[++i]);
+        }
+    }
+    return *this;
+}
+
 std::vector<std::string>
 SweepConfig::policyNames() const
 {
@@ -154,6 +398,49 @@ SweepConfig::resolvedThreads() const
     return sweepThreads(threads_);
 }
 
+unsigned
+SweepConfig::resolvedRetries() const
+{
+    if (retries_ >= 0)
+        return static_cast<unsigned>(retries_);
+    const std::int64_t env = envInt("GLLC_CELL_RETRIES", 2);
+    return env >= 0 ? static_cast<unsigned>(env) : 0;
+}
+
+unsigned
+SweepConfig::resolvedBackoffMs() const
+{
+    if (backoffMs_ >= 0)
+        return static_cast<unsigned>(backoffMs_);
+    const std::int64_t env = envInt("GLLC_CELL_BACKOFF_MS", 25);
+    return env >= 0 ? static_cast<unsigned>(env) : 0;
+}
+
+unsigned
+SweepConfig::resolvedCellTimeoutMs() const
+{
+    if (cellTimeoutMs_ >= 0)
+        return static_cast<unsigned>(cellTimeoutMs_);
+    const std::int64_t env = envInt("GLLC_CELL_TIMEOUT_MS", 0);
+    return env > 0 ? static_cast<unsigned>(env) : 0;
+}
+
+std::string
+SweepConfig::resolvedCheckpoint() const
+{
+    if (!checkpoint_.empty())
+        return checkpoint_;
+    return envString("GLLC_CHECKPOINT", "");
+}
+
+bool
+SweepConfig::resolvedResume() const
+{
+    if (resume_ >= 0)
+        return resume_ != 0;
+    return envInt("GLLC_RESUME", 0) != 0;
+}
+
 SweepResult
 SweepConfig::run(const CellObserver &observer) const
 {
@@ -163,13 +450,87 @@ SweepConfig::run(const CellObserver &observer) const
     const std::size_t num_frames = frames_.size();
     const std::size_t num_cells = num_frames * num_policies;
     const unsigned nthreads = resolvedThreads();
+    const unsigned max_attempts = resolvedRetries() + 1;
+    const unsigned backoff_ms = resolvedBackoffMs();
+    const unsigned timeout_ms = resolvedCellTimeoutMs();
+    const std::string checkpoint_path = resolvedCheckpoint();
+    const bool resuming =
+        resolvedResume() && !checkpoint_path.empty();
 
     SweepResult result;
     result.policies_ = policyNames();
     result.scale_ = scale_;
     result.llcConfig_ = llcConfig_;
     result.threadsUsed_ = nthreads;
-    result.cells_.resize(num_cells);
+
+    // Working state, one slot per (frame, policy) cell; the slots
+    // are compacted into cells_ / quarantined_ at the end.
+    enum class CellState : std::uint8_t
+    {
+        Pending,
+        Ok,
+        Restored,
+        Quarantined,
+    };
+    std::vector<SweepCell> cells(num_cells);
+    std::vector<CellState> states(num_cells, CellState::Pending);
+    std::vector<std::string> errors(num_cells);
+
+    CheckpointMeta meta;
+    meta.scaleLinear = scale_.linear;
+    meta.llcBytes = llcConfig_.capacityBytes;
+    meta.llcWays = llcConfig_.ways;
+    meta.llcBanks = llcConfig_.banks;
+    meta.policies = result.policies_;
+
+    bool journal_append = false;
+    if (resuming) {
+        Result<CheckpointContents> loaded =
+            loadCheckpoint(checkpoint_path);
+        if (!loaded.ok()) {
+            // The journal itself is unusable, so start it over: an
+            // appended cell behind an invalid header would be
+            // unreadable on the next resume too.
+            warn("cannot resume from \"%s\" (%s); running the full "
+                 "sweep", checkpoint_path.c_str(),
+                 loaded.error().toString().c_str());
+        } else {
+            // Refuse to mix cells from a different sweep: silently
+            // merging them would corrupt results, the opposite of
+            // what a checkpoint is for.
+            if (loaded.value().meta != meta)
+                fatal("checkpoint \"%s\" was written by a different "
+                      "sweep configuration; delete it or match the "
+                      "configuration", checkpoint_path.c_str());
+            CheckpointContents contents = loaded.take();
+            journal_append = true;
+            if (contents.skippedLines > 0)
+                warn("checkpoint \"%s\": skipped %zu torn/corrupt "
+                     "line(s)", checkpoint_path.c_str(),
+                     contents.skippedLines);
+            for (std::size_t f = 0; f < num_frames; ++f) {
+                for (std::size_t p = 0; p < num_policies; ++p) {
+                    const auto it = contents.cells.find(
+                        checkpointCellKey(frames_[f].app->name,
+                                          frames_[f].frameIndex,
+                                          specs_[p].name));
+                    if (it == contents.cells.end())
+                        continue;
+                    const std::size_t k = f * num_policies + p;
+                    cells[k] = std::move(it->second);
+                    states[k] = CellState::Restored;
+                }
+            }
+        }
+        if (observer && collectDram_)
+            warn("resuming a DRAM-trace sweep: restored cells do "
+                 "not re-fire the observer");
+    }
+
+    std::unique_ptr<CheckpointWriter> journal;
+    if (!checkpoint_path.empty())
+        journal = std::make_unique<CheckpointWriter>(
+            checkpoint_path, meta, journal_append);
 
     // Window of frames whose traces live in memory concurrently.
     std::size_t window = frameWindow_;
@@ -188,16 +549,21 @@ SweepConfig::run(const CellObserver &observer) const
     ProgressMeter progress(progressEnabled(progress_), num_cells);
     const auto start = std::chrono::steady_clock::now();
 
+    CellWatchdog watchdog(
+        timeout_ms, num_cells,
+        [this, num_policies](std::size_t k) {
+            const FrameSpec &frame = frames_[k / num_policies];
+            return frame.app->name + " frame "
+                + std::to_string(frame.frameIndex) + " "
+                + specs_[k % num_policies].name;
+        });
+
     // Replay one cell.  Everything it touches is private to the
     // call (the trace is shared immutable), so cells run on any
     // thread with bit-identical results.
-    const auto run_cell = [this](const FrameSpec &frame,
-                                 const FrameTrace &trace,
-                                 const PolicySpec &spec) {
-        SweepCell cell;
-        cell.app = frame.app->name;
-        cell.frameIndex = frame.frameIndex;
-        cell.policy = spec.name;
+    const auto replay_cell = [this](SweepCell &cell,
+                                    const FrameTrace &trace,
+                                    const PolicySpec &spec) {
         TraceSpan span("cell",
                        cell.app + " frame "
                            + std::to_string(cell.frameIndex) + " "
@@ -217,39 +583,159 @@ SweepConfig::run(const CellObserver &observer) const
         } else {
             cell.result = runTrace(trace, spec, llcConfig_, options);
         }
-        return cell;
     };
 
-    // Observe in deterministic order, then drop the bulky trace.
-    const auto finish_cell = [&observer](SweepCell &cell,
-                                         const FrameTrace &trace) {
-        if (observer)
-            observer(cell, trace);
+    // One cell under the full fault boundary: bounded retries with
+    // exponential backoff, then quarantine.
+    const auto attempt_cell = [&](std::size_t k,
+                                  const FrameSpec &frame,
+                                  const FrameTrace &trace) {
+        const PolicySpec &spec = specs_[k % num_policies];
+        SweepCell &cell = cells[k];
+        cell.app = frame.app->name;
+        cell.frameIndex = frame.frameIndex;
+        cell.policy = spec.name;
+        for (unsigned attempt = 1; attempt <= max_attempts;
+             ++attempt) {
+            cell.attempts = attempt;
+            const std::string error = guarded([&] {
+                injectCellFaults(cell, attempt);
+                WatchdogScope in_flight(watchdog, k);
+                replay_cell(cell, trace, spec);
+            });
+            if (error.empty()) {
+                states[k] = CellState::Ok;
+                return;
+            }
+            errors[k] = error;
+            if (attempt < max_attempts) {
+                if (metricsActive())
+                    MetricsRegistry::instance().addCounter(
+                        "sweep.retries");
+                backoffSleep(backoff_ms, attempt);
+            }
+        }
+        states[k] = CellState::Quarantined;
+        warn("quarantined cell %s frame %u %s after %u attempt(s): "
+             "%s", cell.app.c_str(), cell.frameIndex,
+             cell.policy.c_str(), cell.attempts, errors[k].c_str());
         if (metricsActive())
             MetricsRegistry::instance().addCounter(
-                "sweep.cells_done");
-        cell.result.dramTrace.clear();
-        cell.result.dramTrace.shrink_to_fit();
+                "sweep.quarantined");
+    };
+
+    // Frame rendering under the same retry discipline; a frame that
+    // cannot be produced quarantines its pending cells.
+    struct RenderedFrame
+    {
+        FrameTrace trace;
+        bool ok = false;
+        std::string error;
+        unsigned attempts = 0;
+    };
+
+    const auto render_checked = [&](const FrameSpec &frame) {
+        RenderedFrame out;
+        for (unsigned attempt = 1; attempt <= max_attempts;
+             ++attempt) {
+            out.attempts = attempt;
+            const std::string error = guarded(
+                [&] { out.trace = renderFrame(frame, scale_); });
+            if (error.empty()) {
+                out.ok = true;
+                return out;
+            }
+            out.error = error;
+            if (attempt < max_attempts) {
+                if (metricsActive())
+                    MetricsRegistry::instance().addCounter(
+                        "sweep.retries");
+                backoffSleep(backoff_ms, attempt);
+            }
+        }
+        warn("frame %s %u failed to render after %u attempt(s): %s",
+             frame.app->name.c_str(), frame.frameIndex,
+             out.attempts, out.error.c_str());
+        return out;
+    };
+
+    const auto mark_render_failed = [&](std::size_t k,
+                                        const FrameSpec &frame,
+                                        const RenderedFrame &r) {
+        SweepCell &cell = cells[k];
+        cell.app = frame.app->name;
+        cell.frameIndex = frame.frameIndex;
+        cell.policy = specs_[k % num_policies].name;
+        cell.attempts = r.attempts;
+        errors[k] = "frame render failed: " + r.error;
+        states[k] = CellState::Quarantined;
+        if (metricsActive())
+            MetricsRegistry::instance().addCounter(
+                "sweep.quarantined");
+    };
+
+    /** Does any cell of global frame @p f still need its trace? */
+    const auto frame_pending = [&](std::size_t f) {
+        for (std::size_t p = 0; p < num_policies; ++p) {
+            if (states[f * num_policies + p] == CellState::Pending)
+                return true;
+        }
+        return false;
+    };
+
+    // Merge step, deterministic sweep order: observers fire,
+    // fresh cells are journaled, bulky traces are dropped.
+    std::size_t done = 0;
+    const auto finish_cell = [&](std::size_t k,
+                                 const FrameTrace *trace) {
+        SweepCell &cell = cells[k];
+        switch (states[k]) {
+          case CellState::Ok:
+            if (observer && trace != nullptr)
+                observer(cell, *trace);
+            if (journal)
+                journal->append(cell);
+            if (metricsActive())
+                MetricsRegistry::instance().addCounter(
+                    "sweep.cells_done");
+            cell.result.dramTrace.clear();
+            cell.result.dramTrace.shrink_to_fit();
+            break;
+          case CellState::Restored:
+            if (metricsActive())
+                MetricsRegistry::instance().addCounter(
+                    "sweep.cells_restored");
+            break;
+          case CellState::Quarantined:
+            break;
+          case CellState::Pending:
+            panic("sweep cell %zu was never executed", k);
+        }
+        progress.update(++done);
     };
 
     if (nthreads == 1) {
         // Serial fallback (GLLC_THREADS=1): no pool, no extra
         // trace buffering.
-        std::size_t done = 0;
         for (std::size_t f = 0; f < num_frames; ++f) {
             const FrameSpec &frame = frames_[f];
-            const FrameTrace trace = renderFrame(frame, scale_);
+            RenderedFrame rendered;
+            if (frame_pending(f))
+                rendered = render_checked(frame);
             for (std::size_t p = 0; p < num_policies; ++p) {
-                SweepCell &cell =
-                    result.cells_[f * num_policies + p];
-                cell = run_cell(frame, trace, specs_[p]);
-                finish_cell(cell, trace);
-                progress.update(++done);
+                const std::size_t k = f * num_policies + p;
+                if (states[k] == CellState::Pending) {
+                    if (rendered.ok)
+                        attempt_cell(k, frame, rendered.trace);
+                    else
+                        mark_render_failed(k, frame, rendered);
+                }
+                finish_cell(k,
+                            rendered.ok ? &rendered.trace : nullptr);
             }
         }
     } else {
         ThreadPool pool(nthreads);
-        std::size_t done = 0;
         for (std::size_t base = 0; base < num_frames;
              base += window) {
             const std::size_t block =
@@ -259,28 +745,36 @@ SweepConfig::run(const CellObserver &observer) const
                 "frames " + std::to_string(base) + ".."
                 + std::to_string(base + block - 1);
 
-            // Produce the block's traces once, in parallel;
-            // immutable from here on.
-            std::vector<FrameTrace> traces(block);
+            // Produce the block's still-needed traces once, in
+            // parallel; immutable from here on.
+            std::vector<RenderedFrame> rendered(block);
             {
                 TraceSpan phase("phase", "render " + window_tag);
                 pool.parallelFor(block, [&](std::size_t i) {
-                    traces[i] = renderFrame(frames_[base + i],
-                                            scale_);
+                    if (frame_pending(base + i))
+                        rendered[i] =
+                            render_checked(frames_[base + i]);
                 });
             }
 
-            // Replay every (frame, policy) cell of the block
-            // concurrently into its preallocated slot.
+            // Replay every pending (frame, policy) cell of the
+            // block concurrently into its preallocated slot.
             {
                 TraceSpan phase("phase", "replay " + window_tag);
                 pool.parallelFor(
-                    block * num_policies, [&](std::size_t k) {
-                        const std::size_t f = k / num_policies;
-                        const std::size_t p = k % num_policies;
-                        result.cells_[(base + f) * num_policies + p]
-                            = run_cell(frames_[base + f], traces[f],
-                                       specs_[p]);
+                    block * num_policies, [&](std::size_t idx) {
+                        const std::size_t f = idx / num_policies;
+                        const std::size_t p = idx % num_policies;
+                        const std::size_t k =
+                            (base + f) * num_policies + p;
+                        if (states[k] != CellState::Pending)
+                            return;
+                        if (rendered[f].ok)
+                            attempt_cell(k, frames_[base + f],
+                                         rendered[f].trace);
+                        else
+                            mark_render_failed(k, frames_[base + f],
+                                               rendered[f]);
                     });
             }
 
@@ -289,13 +783,27 @@ SweepConfig::run(const CellObserver &observer) const
             TraceSpan phase("phase", "merge " + window_tag);
             for (std::size_t f = 0; f < block; ++f) {
                 for (std::size_t p = 0; p < num_policies; ++p) {
-                    finish_cell(
-                        result.cells_[(base + f) * num_policies + p],
-                        traces[f]);
-                    progress.update(++done);
+                    finish_cell((base + f) * num_policies + p,
+                                rendered[f].ok ? &rendered[f].trace
+                                               : nullptr);
                 }
             }
         }
+    }
+
+    // Compact the slots: surviving cells keep deterministic sweep
+    // order, failures move to the quarantine manifest.
+    result.cells_.reserve(num_cells);
+    for (std::size_t k = 0; k < num_cells; ++k) {
+        if (states[k] == CellState::Quarantined) {
+            result.quarantined_.push_back(
+                {cells[k].app, cells[k].frameIndex,
+                 cells[k].policy, errors[k], cells[k].attempts});
+            continue;
+        }
+        if (states[k] == CellState::Restored)
+            ++result.restoredCells_;
+        result.cells_.push_back(std::move(cells[k]));
     }
 
     result.wallSeconds_ = std::chrono::duration<double>(
@@ -336,19 +844,26 @@ std::map<std::string, double>
 SweepResult::meanNormalized(const Metric &metric,
                             const std::string &baseline) const
 {
+    GLLC_ASSERT_MSG(std::find(policies_.begin(), policies_.end(),
+                              baseline)
+                        != policies_.end(),
+                    "baseline policy \"%s\" not swept",
+                    baseline.c_str());
+
     // Collect per-frame baseline values.
     std::map<std::pair<std::string, std::uint32_t>, double> base;
     for (const SweepCell &cell : cells_) {
         if (cell.policy == baseline)
             base[{cell.app, cell.frameIndex}] = metric(cell.result);
     }
-    GLLC_ASSERT_MSG(!base.empty(), "baseline policy \"%s\" not swept",
-                    baseline.c_str());
 
     std::map<std::string, std::vector<double>> ratios;
     for (const SweepCell &cell : cells_) {
         const auto it = base.find({cell.app, cell.frameIndex});
-        GLLC_ASSERT(it != base.end());
+        // A frame whose baseline cell was quarantined contributes
+        // no ratios: partial results stay comparable.
+        if (it == base.end())
+            continue;
         if (it->second > 0.0)
             ratios[cell.policy].push_back(metric(cell.result)
                                           / it->second);
@@ -377,27 +892,37 @@ SweepResult::printNormalizedTable(std::ostream &os,
 
     for (const std::string &app : appOrder()) {
         const auto &row = totals.at(app);
-        const double base = row.at(baseline);
-        std::vector<std::string> cells{app};
+        const auto base_it = row.find(baseline);
+        const double base =
+            base_it != row.end() ? base_it->second : 0.0;
+        std::vector<std::string> row_cells{app};
         for (const std::string &p : policies_) {
             if (p == baseline)
                 continue;
-            cells.push_back(base > 0.0 ? fmt(row.at(p) / base, 3)
-                                       : "n/a");
+            const auto it = row.find(p);
+            row_cells.push_back(it != row.end() && base > 0.0
+                                    ? fmt(it->second / base, 3)
+                                    : "n/a");
         }
-        tp.addRow(std::move(cells));
+        tp.addRow(std::move(row_cells));
     }
 
     const auto means = meanNormalized(metric, baseline);
     std::vector<std::string> mean_row{"MEAN"};
     for (const std::string &p : policies_) {
-        if (p != baseline)
-            mean_row.push_back(fmt(means.at(p), 3));
+        if (p == baseline)
+            continue;
+        const auto it = means.find(p);
+        mean_row.push_back(it != means.end() ? fmt(it->second, 3)
+                                             : "n/a");
     }
     tp.addRow(std::move(mean_row));
 
     os << title << " (normalized to " << baseline << ")\n";
     tp.print(os);
+    if (!quarantined_.empty())
+        os << "(" << quarantined_.size()
+           << " quarantined cell(s) excluded)\n";
     os << '\n';
 }
 

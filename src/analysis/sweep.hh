@@ -19,13 +19,36 @@
  * bit-identical to a serial run: trace generation is seeded per
  * (app, frame) and each replay is deterministic in isolation.
  *
+ * Fault model.  A multi-hour batch sweep must not die because one
+ * cell does: every cell attempt runs under an exception boundary
+ * with bounded retry and exponential backoff, and a cell that
+ * exhausts its budget is quarantined — recorded with its error and
+ * attempt count in SweepResult::quarantined() and in the CSV/JSON
+ * artifacts — while every other cell still completes.  A soft
+ * watchdog warns about cells exceeding a wall-clock budget without
+ * killing them.  With GLLC_CHECKPOINT set, completed cells are
+ * journaled (JSON lines, fsync'd batches; see analysis/checkpoint);
+ * resume() — the benches' --resume flag — replays the journal and
+ * re-executes only missing cells, merging to a byte-identical
+ * SweepResult.  Restored cells do not re-fire the CellObserver (the
+ * journal does not retain bulky DRAM traces), so observer-driven
+ * timing runs should resume with that in mind.
+ *
  * Knobs (environment, overridable per SweepConfig):
- *   GLLC_THREADS       worker count (1 = serial in-thread fallback;
- *                      default: hardware concurrency)
- *   GLLC_FRAME_WINDOW  frames whose traces may be cached in memory
- *                      at once (bounds peak RSS; default 2x threads)
- *   GLLC_PROGRESS      1/0 forces cells/s + ETA reporting on stderr
- *                      (default: only when stderr is a terminal)
+ *   GLLC_THREADS         worker count (1 = serial in-thread
+ *                        fallback; default: hardware concurrency)
+ *   GLLC_FRAME_WINDOW    frames whose traces may be cached in
+ *                        memory at once (default 2x threads)
+ *   GLLC_PROGRESS        1/0 forces cells/s + ETA reporting
+ *   GLLC_CELL_RETRIES    re-attempts after a cell's first failure
+ *                        (default 2)
+ *   GLLC_CELL_BACKOFF_MS first retry delay, doubled per attempt
+ *                        (default 25)
+ *   GLLC_CELL_TIMEOUT_MS soft per-cell watchdog budget (default 0
+ *                        = disabled)
+ *   GLLC_CHECKPOINT      journal path for checkpoint/resume
+ *   GLLC_RESUME          1 resumes from GLLC_CHECKPOINT (the
+ *                        benches' --resume flag does the same)
  */
 
 #ifndef GLLC_ANALYSIS_SWEEP_HH
@@ -50,13 +73,26 @@ struct SweepCell
     std::uint32_t frameIndex = 0;
     std::string policy;
     RunResult result;
+
+    /** Attempts the cell took (1 = first try; >1 = retries won). */
+    unsigned attempts = 1;
+};
+
+/** A cell that exhausted its retry budget. */
+struct QuarantinedCell
+{
+    std::string app;
+    std::uint32_t frameIndex = 0;
+    std::string policy;
+    std::string error;
+    unsigned attempts = 0;
 };
 
 /**
- * Completed sweep: the cells in deterministic Table-1 order
- * (frames in frame-set order, policies in configured order within
- * each frame) plus the aggregation and export methods every
- * harness shares.
+ * Completed sweep: the surviving cells in deterministic Table-1
+ * order (frames in frame-set order, policies in configured order
+ * within each frame), the quarantined cells, plus the aggregation
+ * and export methods every harness shares.
  */
 class SweepResult
 {
@@ -71,6 +107,15 @@ class SweepResult
     }
     const RenderScale &scale() const { return scale_; }
     const LlcConfig &llcConfig() const { return llcConfig_; }
+
+    /** Cells that failed permanently (empty on a clean sweep). */
+    const std::vector<QuarantinedCell> &quarantined() const
+    {
+        return quarantined_;
+    }
+
+    /** Cells restored from a checkpoint journal instead of re-run. */
+    std::size_t restoredCells() const { return restoredCells_; }
 
     /** Wall-clock seconds spent executing the sweep. */
     double wallSeconds() const { return wallSeconds_; }
@@ -87,7 +132,12 @@ class SweepResult
     std::map<std::string, std::map<std::string, double>>
     totalsByApp(const Metric &metric) const;
 
-    /** Mean over frames of (metric / baseline metric) per policy. */
+    /**
+     * Mean over frames of (metric / baseline metric) per policy.
+     * Frames whose baseline cell is quarantined contribute no
+     * ratios (partial results stay comparable, never silently
+     * wrong).
+     */
     std::map<std::string, double>
     meanNormalized(const Metric &metric,
                    const std::string &baseline) const;
@@ -113,6 +163,8 @@ class SweepResult
     RenderScale scale_;
     LlcConfig llcConfig_;
     std::vector<SweepCell> cells_;
+    std::vector<QuarantinedCell> quarantined_;
+    std::size_t restoredCells_ = 0;
     double wallSeconds_ = 0.0;
     unsigned threadsUsed_ = 1;
 };
@@ -121,7 +173,9 @@ class SweepResult
  * Builder describing a frames x policies sweep.
  *
  * Defaults come from the environment (GLLC_SCALE, GLLC_FRAMES,
- * GLLC_THREADS, GLLC_FRAME_WINDOW); every knob can be overridden:
+ * GLLC_THREADS, GLLC_FRAME_WINDOW, GLLC_CELL_RETRIES,
+ * GLLC_CELL_BACKOFF_MS, GLLC_CELL_TIMEOUT_MS, GLLC_CHECKPOINT,
+ * GLLC_RESUME); every knob can be overridden:
  *
  *   SweepResult r = SweepConfig()
  *                       .policies({"DRRIP", "GSPC"})
@@ -166,10 +220,33 @@ class SweepConfig
     /** Force progress reporting on or off (default: tty autodetect). */
     SweepConfig &progress(bool enabled);
 
+    /** Retry budget after a cell's first failure; -1 = env default. */
+    SweepConfig &retries(int count);
+
+    /** First retry delay in ms (doubled per attempt); -1 = env. */
+    SweepConfig &backoffMs(int ms);
+
+    /** Soft per-cell watchdog budget in ms; 0 off, -1 = env. */
+    SweepConfig &cellTimeoutMs(int ms);
+
+    /** Checkpoint journal path ("" = GLLC_CHECKPOINT / none). */
+    SweepConfig &checkpoint(std::string path);
+
+    /** Restore completed cells from the checkpoint journal. */
+    SweepConfig &resume(bool enabled);
+
+    /**
+     * Apply the shared command-line options every bench accepts:
+     * "--resume" and "--checkpoint <path>".  Unrelated arguments
+     * are left for the caller.
+     */
+    SweepConfig &cliArgs(int argc, char **argv);
+
     /**
      * Observes each completed cell in deterministic sweep order,
      * e.g. to feed a timing model; the cell's dramTrace and the
-     * frame trace are valid during the callback only.
+     * frame trace are valid during the callback only.  Not invoked
+     * for cells restored from a checkpoint.
      */
     using CellObserver = std::function<void(const SweepCell &,
                                             const FrameTrace &)>;
@@ -188,6 +265,21 @@ class SweepConfig
     /** Resolved worker-thread count (after env defaulting). */
     unsigned resolvedThreads() const;
 
+    /** Resolved retry budget (after env defaulting). */
+    unsigned resolvedRetries() const;
+
+    /** Resolved first-retry backoff in ms (after env defaulting). */
+    unsigned resolvedBackoffMs() const;
+
+    /** Resolved soft watchdog budget in ms (after env defaulting). */
+    unsigned resolvedCellTimeoutMs() const;
+
+    /** Resolved checkpoint path (after env defaulting; "" = off). */
+    std::string resolvedCheckpoint() const;
+
+    /** Resolved resume switch (flag or GLLC_RESUME). */
+    bool resolvedResume() const;
+
   private:
     std::vector<PolicySpec> specs_;
     RenderScale scale_;
@@ -197,7 +289,12 @@ class SweepConfig
     bool collectDram_ = false;
     unsigned threads_ = 0;
     unsigned frameWindow_ = 0;
-    int progress_ = -1;  ///< -1 auto, 0 off, 1 on
+    int progress_ = -1;      ///< -1 auto, 0 off, 1 on
+    int retries_ = -1;       ///< -1 = GLLC_CELL_RETRIES
+    int backoffMs_ = -1;     ///< -1 = GLLC_CELL_BACKOFF_MS
+    int cellTimeoutMs_ = -1; ///< -1 = GLLC_CELL_TIMEOUT_MS
+    std::string checkpoint_; ///< "" = GLLC_CHECKPOINT
+    int resume_ = -1;        ///< -1 = GLLC_RESUME, else 0/1
 };
 
 /**
@@ -209,85 +306,6 @@ unsigned sweepThreads(unsigned requested = 0);
 
 /** Common metric: total LLC misses (including bypasses). */
 double missMetric(const RunResult &r);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-/**
- * Deprecated constructor-args + callback shim over
- * SweepConfig/SweepResult, kept so out-of-tree call sites keep
- * compiling during the migration.  New code uses SweepConfig.
- */
-class [[deprecated("use SweepConfig/SweepResult")]] PolicySweep
-{
-  public:
-    explicit PolicySweep(std::vector<std::string> policy_names,
-                         std::uint64_t full_llc_bytes = 8ull << 20)
-    {
-        config_.policies(std::move(policy_names))
-            .llcBytes(full_llc_bytes);
-    }
-
-    void
-    setCollectDramTrace(bool collect)
-    {
-        config_.collectDramTrace(collect);
-    }
-
-    void
-    run(const SweepConfig::CellObserver &per_frame = nullptr)
-    {
-        result_ = config_.run(per_frame);
-    }
-
-    using Metric = SweepResult::Metric;
-
-    std::map<std::string, std::map<std::string, double>>
-    totalsByApp(const Metric &metric) const
-    {
-        return result_.totalsByApp(metric);
-    }
-
-    void
-    printNormalizedTable(std::ostream &os, const std::string &title,
-                         const Metric &metric,
-                         const std::string &baseline) const
-    {
-        result_.printNormalizedTable(os, title, metric, baseline);
-    }
-
-    std::map<std::string, double>
-    meanNormalized(const Metric &metric,
-                   const std::string &baseline) const
-    {
-        return result_.meanNormalized(metric, baseline);
-    }
-
-    const std::vector<SweepCell> &cells() const
-    {
-        return result_.cells();
-    }
-    std::vector<std::string> policies() const
-    {
-        return config_.policyNames();
-    }
-    const RenderScale &scale() const { return config_.scale(); }
-    const LlcConfig &llcConfig() const { return config_.llcConfig(); }
-
-    std::vector<std::string> appOrder() const
-    {
-        return result_.appOrder();
-    }
-
-    /** The completed sweep, for porting call sites incrementally. */
-    const SweepResult &result() const { return result_; }
-
-  private:
-    SweepConfig config_;
-    SweepResult result_;
-};
-
-#pragma GCC diagnostic pop
 
 } // namespace gllc
 

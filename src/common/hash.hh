@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small non-cryptographic hashing helpers.
+ *
+ * fnv1a64() is the section checksum of the trace file format
+ * (trace_io) and the line checksum of sweep checkpoint journals;
+ * mix64() (splitmix64 finalizer) turns structured keys into the
+ * uniform bits the fault injector draws its Bernoulli trials from.
+ * Both are fixed forever: serialized artifacts depend on them.
+ */
+
+#ifndef GLLC_COMMON_HASH_HH
+#define GLLC_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gllc
+{
+
+/** FNV-1a offset basis; pass as @p seed to chain sections. */
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/** 64-bit FNV-1a over @p len bytes, continuing from @p seed. */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t len,
+        std::uint64_t seed = kFnvOffset)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** fnv1a64 over a string's bytes. */
+inline std::uint64_t
+fnv1a64(std::string_view s, std::uint64_t seed = kFnvOffset)
+{
+    return fnv1a64(s.data(), s.size(), seed);
+}
+
+/** splitmix64 finalizer: avalanche @p x into uniform bits. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_HASH_HH

@@ -1,0 +1,54 @@
+#include "common/result.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace gllc
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Io:
+        return "io";
+      case ErrorCode::BadMagic:
+        return "bad-magic";
+      case ErrorCode::BadVersion:
+        return "bad-version";
+      case ErrorCode::Truncated:
+        return "truncated";
+      case ErrorCode::Corrupt:
+        return "corrupt";
+      case ErrorCode::ChecksumMismatch:
+        return "checksum-mismatch";
+      case ErrorCode::LimitExceeded:
+        return "limit-exceeded";
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case ErrorCode::Injected:
+        return "injected";
+      case ErrorCode::CellFailed:
+        return "cell-failed";
+    }
+    return "unknown";
+}
+
+Error
+Error::format(ErrorCode code, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return Error(code, buf);
+}
+
+std::string
+Error::toString() const
+{
+    return std::string(errorCodeName(code)) + ": " + context;
+}
+
+} // namespace gllc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Typed recoverable errors: gllc::Error and gllc::Result<T>.
+ *
+ * fatal()/panic() (logging.hh) are the right tools for unusable
+ * configurations and internal bugs, but a production-scale batch
+ * sweep cannot afford to die because one cached trace file on disk
+ * rotted: layers that consume external input (trace deserialization,
+ * checkpoint journals) report malformed data as a typed Error that
+ * callers inspect, quarantine or degrade around.  Result<T> is the
+ * carrier: either a value or an Error with a machine-readable code
+ * plus a human-readable context string.
+ *
+ * Convention: a function named tryFoo() returns Result<T>; its
+ * foo() sibling (when kept) is the legacy wrapper that fatal()s on
+ * error for callers that genuinely cannot proceed.
+ */
+
+#ifndef GLLC_COMMON_RESULT_HH
+#define GLLC_COMMON_RESULT_HH
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+/** What went wrong, machine-readably. */
+enum class ErrorCode : std::uint8_t
+{
+    Io,                ///< open/read/write on the OS level failed
+    BadMagic,          ///< input is not in the expected format at all
+    BadVersion,        ///< recognized format, unsupported version
+    Truncated,         ///< input ended before the declared payload
+    Corrupt,           ///< structurally invalid payload (bad bounds)
+    ChecksumMismatch,  ///< section checksum did not verify
+    LimitExceeded,     ///< a declared size is beyond sanity caps
+    InvalidArgument,   ///< caller-supplied parameter is unusable
+    Injected,          ///< deterministic fault-injection harness fired
+    CellFailed,        ///< a sweep cell exhausted its retry budget
+};
+
+/** Stable lower-case name of @p code ("checksum-mismatch", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** Payload for Result-returning operations that yield no value. */
+struct Unit
+{
+};
+
+/** A recoverable failure: typed code + formatted context. */
+struct Error
+{
+    ErrorCode code = ErrorCode::Io;
+    std::string context;
+
+    Error() = default;
+    Error(ErrorCode c, std::string ctx)
+        : code(c), context(std::move(ctx))
+    {}
+
+    /** Build with a printf-formatted context string. */
+    static Error format(ErrorCode code, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** "<code-name>: <context>" for logs and quarantine reports. */
+    std::string toString() const;
+};
+
+/**
+ * Either a T or an Error.  Accessors assert on misuse: calling
+ * value() on an error result is a bug in the caller, not a
+ * recoverable condition.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /* implicit */ Result(T value) : state_(std::move(value)) {}
+    /* implicit */ Result(Error error) : state_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const
+    {
+        GLLC_ASSERT_MSG(ok(), "Result::value() on error: %s",
+                        std::get<Error>(state_).toString().c_str());
+        return std::get<T>(state_);
+    }
+
+    /** Move the value out (consumes the result). */
+    T
+    take()
+    {
+        GLLC_ASSERT_MSG(ok(), "Result::take() on error: %s",
+                        std::get<Error>(state_).toString().c_str());
+        return std::move(std::get<T>(state_));
+    }
+
+    const Error &
+    error() const
+    {
+        GLLC_ASSERT(!ok());
+        return std::get<Error>(state_);
+    }
+
+    /** The value, or fatal() with the error (legacy-wrapper helper). */
+    T
+    takeOrFatal()
+    {
+        if (!ok())
+            fatal("%s", error().toString().c_str());
+        return take();
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_RESULT_HH

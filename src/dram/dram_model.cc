@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/fault.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 
@@ -95,6 +97,13 @@ DramModel::simulate(const std::vector<DramRequest> &requests)
         std::uint64_t ready = 0;
         bool open = false;
     };
+
+    // dram.simulate fault site: keyed on the request-stream shape,
+    // so the same batch fails at any thread count.
+    if (faultsActive()
+        && faultFires(FaultSite::DramSimulate,
+                      mix64(requests.size())))
+        throwInjectedFault(FaultSite::DramSimulate);
 
     const std::uint32_t nch = config_.channels;
     const std::uint32_t nbank = config_.banksPerChannel;

@@ -3,6 +3,8 @@
 #include <fstream>
 
 #include "common/env.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
 #include "trace/trace_io.hh"
 
 namespace gllc
@@ -32,12 +34,30 @@ cachedRenderFrame(const AppProfile &app, std::uint32_t frame_index,
     if (path.empty())
         return renderFrame(app, frame_index, scale);
 
-    // Probe without going through the fatal()-on-missing reader.
-    if (std::ifstream probe(path, std::ios::binary); probe.good())
-        return readTraceFile(path);
+    // A cached trace is an optimization, never a dependency: when
+    // the file is missing, truncated, bit-rotten or from an old
+    // format, fall back to regenerating (and refreshing the cache)
+    // instead of aborting a batch run.
+    if (std::ifstream probe(path, std::ios::binary); probe.good()) {
+        Result<FrameTrace> cached = tryReadTraceFile(path);
+        if (cached.ok())
+            return cached.take();
+        warn("discarding unusable cached trace: %s",
+             cached.error().toString().c_str());
+        if (metricsActive())
+            MetricsRegistry::instance().addCounter(
+                "trace.cache_discarded");
+    }
 
     FrameTrace trace = renderFrame(app, frame_index, scale);
-    writeTraceFile(trace, path);
+    // Same optimization-not-dependency rule on the write side: a
+    // missing cache directory or full disk costs the speedup, not
+    // the run.
+    if (Result<Unit> written = tryWriteTraceFile(trace, path);
+        !written.ok()) {
+        warn("cannot refresh trace cache: %s",
+             written.error().toString().c_str());
+    }
     return trace;
 }
 

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the sweep checkpoint journal: integer-exact cell round
+ * trips, header/meta pinning, and torn-line tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/checkpoint.hh"
+#include "analysis/sweep.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+CheckpointMeta
+sampleMeta()
+{
+    CheckpointMeta meta;
+    meta.scaleLinear = 4;
+    meta.llcBytes = 1ull << 20;
+    meta.llcWays = 16;
+    meta.llcBanks = 4;
+    meta.policies = {"DRRIP", "GSPC \"quoted\""};
+    return meta;
+}
+
+/** A cell with every journaled field holding a distinctive value. */
+SweepCell
+sampleCell(std::uint32_t frame)
+{
+    SweepCell cell;
+    cell.app = "App\\One";
+    cell.frameIndex = frame;
+    cell.policy = "DRRIP";
+    cell.attempts = 2;
+    LlcStats &s = cell.result.stats;
+    for (std::size_t i = 0; i < kNumStreams; ++i) {
+        s.stream[i].accesses = 1000 + i * 17 + frame;
+        s.stream[i].hits = 900 + i;
+        s.stream[i].misses = 90 + i;
+        s.stream[i].bypasses = 10 + i;
+    }
+    s.writebacks = 777 + frame;
+    s.evictions = 888;
+    Characterization &ch = cell.result.characterization;
+    ch.interTexHits = 11;
+    ch.intraTexHits = 22;
+    ch.rtProductions = 33;
+    ch.rtConsumptions = 44;
+    for (unsigned k = 0; k < Characterization::kEpochs; ++k) {
+        ch.texEpochHits[k] = 100 + k;
+        ch.texReach[k] = 200 + k;
+        ch.zReach[k] = 300 + k;
+    }
+    for (std::size_t p = 0; p < kNumPolicyStreams; ++p) {
+        for (unsigned r = 0; r < FillHistogram::kMaxRrpv; ++r)
+            cell.result.fills.counts[p][r] = p * 100 + r;
+    }
+    return cell;
+}
+
+void
+expectCellEqual(const SweepCell &a, const SweepCell &b)
+{
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.frameIndex, b.frameIndex);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.attempts, b.attempts);
+    for (std::size_t i = 0; i < kNumStreams; ++i) {
+        EXPECT_EQ(a.result.stats.stream[i].accesses,
+                  b.result.stats.stream[i].accesses);
+        EXPECT_EQ(a.result.stats.stream[i].hits,
+                  b.result.stats.stream[i].hits);
+        EXPECT_EQ(a.result.stats.stream[i].misses,
+                  b.result.stats.stream[i].misses);
+        EXPECT_EQ(a.result.stats.stream[i].bypasses,
+                  b.result.stats.stream[i].bypasses);
+    }
+    EXPECT_EQ(a.result.stats.writebacks, b.result.stats.writebacks);
+    EXPECT_EQ(a.result.stats.evictions, b.result.stats.evictions);
+    const Characterization &ca = a.result.characterization;
+    const Characterization &cb = b.result.characterization;
+    EXPECT_EQ(ca.interTexHits, cb.interTexHits);
+    EXPECT_EQ(ca.intraTexHits, cb.intraTexHits);
+    EXPECT_EQ(ca.rtProductions, cb.rtProductions);
+    EXPECT_EQ(ca.rtConsumptions, cb.rtConsumptions);
+    EXPECT_EQ(ca.texEpochHits, cb.texEpochHits);
+    EXPECT_EQ(ca.texReach, cb.texReach);
+    EXPECT_EQ(ca.zReach, cb.zReach);
+    EXPECT_EQ(a.result.fills.counts, b.result.fills.counts);
+}
+
+std::string
+tempJournal(const char *tag)
+{
+    return ::testing::TempDir() + "/gllc_ckpt_" + tag + ".jsonl";
+}
+
+} // namespace
+
+TEST(Checkpoint, RoundTripsCellsExactly)
+{
+    const std::string path = tempJournal("roundtrip");
+    const CheckpointMeta meta = sampleMeta();
+    {
+        CheckpointWriter writer(path, meta, false);
+        writer.append(sampleCell(0));
+        writer.append(sampleCell(1));
+    }
+
+    Result<CheckpointContents> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    const CheckpointContents &contents = loaded.value();
+    EXPECT_EQ(contents.meta, meta);
+    EXPECT_EQ(contents.skippedLines, 0u);
+    ASSERT_EQ(contents.cells.size(), 2u);
+
+    for (std::uint32_t frame = 0; frame < 2; ++frame) {
+        const SweepCell want = sampleCell(frame);
+        const auto it = contents.cells.find(
+            checkpointCellKey(want.app, frame, want.policy));
+        ASSERT_NE(it, contents.cells.end()) << frame;
+        expectCellEqual(it->second, want);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornTailLineIsSkippedNotFatal)
+{
+    const std::string path = tempJournal("torn");
+    {
+        CheckpointWriter writer(path, sampleMeta(), false);
+        writer.append(sampleCell(0));
+        writer.append(sampleCell(1));
+    }
+    // Chop the file mid-way through the last line, as a kill during
+    // a write would.
+    std::string bytes;
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        bytes = ss.str();
+    }
+    const std::size_t last_line = bytes.rfind("{\"app\":");
+    ASSERT_NE(last_line, std::string::npos);
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(last_line + 40));
+    }
+
+    Result<CheckpointContents> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(loaded.value().cells.size(), 1u);
+    EXPECT_EQ(loaded.value().skippedLines, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptedLineFailsItsChecksum)
+{
+    const std::string path = tempJournal("corrupt");
+    {
+        CheckpointWriter writer(path, sampleMeta(), false);
+        writer.append(sampleCell(0));
+    }
+    std::string bytes;
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        bytes = ss.str();
+    }
+    // Flip one digit inside the cell line's payload.
+    const std::size_t pos = bytes.find("\"writebacks\":777");
+    ASSERT_NE(pos, std::string::npos);
+    bytes[pos + 14] = '9';
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+
+    Result<CheckpointContents> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_TRUE(loaded.value().cells.empty());
+    EXPECT_EQ(loaded.value().skippedLines, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsIoError)
+{
+    Result<CheckpointContents> loaded =
+        loadCheckpoint("/nonexistent/dir/journal.jsonl");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Io);
+}
+
+TEST(Checkpoint, GarbageHeaderIsCorrupt)
+{
+    const std::string path = tempJournal("garbage");
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "this is not a checkpoint\n";
+    }
+    Result<CheckpointContents> loaded = loadCheckpoint(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::Corrupt);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, AppendModeKeepsExistingCells)
+{
+    const std::string path = tempJournal("append");
+    const CheckpointMeta meta = sampleMeta();
+    {
+        CheckpointWriter writer(path, meta, false);
+        writer.append(sampleCell(0));
+    }
+    {
+        // Resume-style reopen: header must not be duplicated.
+        CheckpointWriter writer(path, meta, true);
+        writer.append(sampleCell(1));
+    }
+    Result<CheckpointContents> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(loaded.value().cells.size(), 2u);
+    EXPECT_EQ(loaded.value().skippedLines, 0u);
+    EXPECT_EQ(loaded.value().meta, meta);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MetaMismatchIsDetectable)
+{
+    const std::string path = tempJournal("meta");
+    {
+        CheckpointWriter writer(path, sampleMeta(), false);
+    }
+    CheckpointMeta other = sampleMeta();
+    other.policies = {"NRU"};
+    Result<CheckpointContents> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.value().meta == sampleMeta());
+    EXPECT_TRUE(loaded.value().meta != other);
+    std::remove(path.c_str());
+}

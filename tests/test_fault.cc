@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** Every test leaves the injector disarmed for its neighbours. */
+class FaultEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override { configureFaults(""); }
+    void TearDown() override { configureFaults(""); }
+};
+
+} // namespace
+
+TEST_F(FaultEnv, DisarmedSitesNeverFire)
+{
+    EXPECT_FALSE(faultsActive());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(faultFires(FaultSite::CellThrow));
+    EXPECT_EQ(faultFired(FaultSite::CellThrow), 0u);
+}
+
+TEST_F(FaultEnv, ProbabilityOneAlwaysFires)
+{
+    configureFaults("cell.throw:p=1");
+    EXPECT_TRUE(faultsActive());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(faultFires(FaultSite::CellThrow));
+    EXPECT_EQ(faultFired(FaultSite::CellThrow), 10u);
+    EXPECT_EQ(faultDrawn(FaultSite::CellThrow), 10u);
+    // The other sites stay disarmed.
+    EXPECT_FALSE(faultFires(FaultSite::TraceBitflip));
+}
+
+TEST_F(FaultEnv, ProbabilityZeroNeverFires)
+{
+    configureFaults("cell.throw:p=0");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(faultFires(FaultSite::CellThrow));
+    EXPECT_EQ(faultDrawn(FaultSite::CellThrow), 100u);
+    EXPECT_EQ(faultFired(FaultSite::CellThrow), 0u);
+}
+
+TEST_F(FaultEnv, FireCapStopsInjection)
+{
+    configureFaults("cell.throw:p=1,n=3");
+    unsigned fires = 0;
+    for (int i = 0; i < 10; ++i)
+        fires += faultFires(FaultSite::CellThrow) ? 1 : 0;
+    EXPECT_EQ(fires, 3u);
+    EXPECT_EQ(faultFired(FaultSite::CellThrow), 3u);
+}
+
+TEST_F(FaultEnv, SequentialDrawsReproduceFromTheSeed)
+{
+    const std::string spec = "trace.bitflip:p=0.25,seed=1234";
+    configureFaults(spec);
+    std::vector<bool> first;
+    for (int i = 0; i < 256; ++i)
+        first.push_back(faultFires(FaultSite::TraceBitflip));
+
+    configureFaults(spec);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(faultFires(FaultSite::TraceBitflip), first[i]) << i;
+}
+
+TEST_F(FaultEnv, DifferentSeedsDrawDifferentPatterns)
+{
+    configureFaults("trace.bitflip:p=0.5,seed=1");
+    std::vector<bool> a;
+    for (int i = 0; i < 128; ++i)
+        a.push_back(faultFires(FaultSite::TraceBitflip));
+
+    configureFaults("trace.bitflip:p=0.5,seed=2");
+    std::vector<bool> b;
+    for (int i = 0; i < 128; ++i)
+        b.push_back(faultFires(FaultSite::TraceBitflip));
+
+    EXPECT_NE(a, b);
+}
+
+TEST_F(FaultEnv, KeyedDrawsDependOnKeyNotOrder)
+{
+    configureFaults("cell.throw:p=0.5,seed=99");
+    std::vector<bool> forward;
+    for (std::uint64_t key = 0; key < 64; ++key)
+        forward.push_back(faultFires(FaultSite::CellThrow, key));
+
+    // Re-arm and query in reverse order: same per-key answers.
+    configureFaults("cell.throw:p=0.5,seed=99");
+    for (std::uint64_t key = 64; key-- > 0;) {
+        EXPECT_EQ(faultFires(FaultSite::CellThrow, key),
+                  forward[static_cast<std::size_t>(key)])
+            << key;
+    }
+}
+
+TEST_F(FaultEnv, ApproximateFireRateTracksProbability)
+{
+    configureFaults("dram.simulate:p=0.1,seed=7");
+    unsigned fires = 0;
+    for (int i = 0; i < 10000; ++i)
+        fires += faultFires(FaultSite::DramSimulate) ? 1 : 0;
+    EXPECT_GT(fires, 700u);
+    EXPECT_LT(fires, 1300u);
+}
+
+TEST_F(FaultEnv, MultiSiteSpecArmsEachSiteIndependently)
+{
+    configureFaults("trace.truncate:p=1,n=1;cell.delay:p=0");
+    EXPECT_TRUE(faultFires(FaultSite::TraceTruncate));
+    EXPECT_FALSE(faultFires(FaultSite::TraceTruncate));
+    EXPECT_FALSE(faultFires(FaultSite::CellDelay));
+    EXPECT_FALSE(faultFires(FaultSite::SimAccess));
+}
+
+TEST_F(FaultEnv, PayloadIsDeterministic)
+{
+    configureFaults("trace.bitflip:p=1,seed=5");
+    ASSERT_TRUE(faultFires(FaultSite::TraceBitflip));
+    const std::uint64_t p1 = faultPayload(FaultSite::TraceBitflip);
+    configureFaults("trace.bitflip:p=1,seed=5");
+    ASSERT_TRUE(faultFires(FaultSite::TraceBitflip));
+    EXPECT_EQ(faultPayload(FaultSite::TraceBitflip), p1);
+}
+
+TEST_F(FaultEnv, InjectedErrorNamesItsSite)
+{
+    try {
+        throwInjectedFault(FaultSite::SimAccess);
+        FAIL() << "throwInjectedFault returned";
+    } catch (const FaultInjectedError &e) {
+        EXPECT_EQ(e.site(), FaultSite::SimAccess);
+        EXPECT_NE(std::string(e.what()).find("sim.access"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(FaultEnv, SiteNamesRoundTrip)
+{
+    EXPECT_STREQ(faultSiteName(FaultSite::TraceBitflip),
+                 "trace.bitflip");
+    EXPECT_STREQ(faultSiteName(FaultSite::TraceTruncate),
+                 "trace.truncate");
+    EXPECT_STREQ(faultSiteName(FaultSite::CellThrow), "cell.throw");
+    EXPECT_STREQ(faultSiteName(FaultSite::CellDelay), "cell.delay");
+    EXPECT_STREQ(faultSiteName(FaultSite::SimAccess), "sim.access");
+    EXPECT_STREQ(faultSiteName(FaultSite::DramSimulate),
+                 "dram.simulate");
+}
+
+TEST(FaultDeath, MalformedSpecIsFatal)
+{
+    EXPECT_EXIT(configureFaults("cell.throw"),
+                ::testing::ExitedWithCode(1), "lacks a ':p=");
+    EXPECT_EXIT(configureFaults("bogus.site:p=1"),
+                ::testing::ExitedWithCode(1),
+                "unknown injection site");
+    EXPECT_EXIT(configureFaults("cell.throw:p=2"),
+                ::testing::ExitedWithCode(1),
+                "not a probability");
+    EXPECT_EXIT(configureFaults("cell.throw:p=1,bogus=3"),
+                ::testing::ExitedWithCode(1), "unknown option");
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the typed-error plumbing (gllc::Result / gllc::Error).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/result.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+Result<int>
+parsePositive(int x)
+{
+    if (x <= 0)
+        return Error::format(ErrorCode::InvalidArgument,
+                             "%d is not positive", x);
+    return x;
+}
+
+} // namespace
+
+TEST(Result, OkPathCarriesTheValue)
+{
+    Result<int> r = parsePositive(41);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 41);
+    EXPECT_EQ(r.take(), 41);
+}
+
+TEST(Result, ErrorPathCarriesCodeAndContext)
+{
+    Result<int> r = parsePositive(-3);
+    ASSERT_FALSE(r.ok());
+    EXPECT_FALSE(static_cast<bool>(r));
+    EXPECT_EQ(r.error().code, ErrorCode::InvalidArgument);
+    EXPECT_EQ(r.error().context, "-3 is not positive");
+    EXPECT_EQ(r.error().toString(),
+              "invalid-argument: -3 is not positive");
+}
+
+TEST(Result, MoveOnlyPayloadsWork)
+{
+    Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> p = r.take();
+    EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, ErrorCodeNamesAreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Io), "io");
+    EXPECT_STREQ(errorCodeName(ErrorCode::BadMagic), "bad-magic");
+    EXPECT_STREQ(errorCodeName(ErrorCode::BadVersion),
+                 "bad-version");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Truncated), "truncated");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Corrupt), "corrupt");
+    EXPECT_STREQ(errorCodeName(ErrorCode::ChecksumMismatch),
+                 "checksum-mismatch");
+    EXPECT_STREQ(errorCodeName(ErrorCode::LimitExceeded),
+                 "limit-exceeded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument),
+                 "invalid-argument");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Injected), "injected");
+    EXPECT_STREQ(errorCodeName(ErrorCode::CellFailed),
+                 "cell-failed");
+}
+
+TEST(Result, FormatTruncatesOverlongContextSafely)
+{
+    const std::string big(4096, 'x');
+    const Error e =
+        Error::format(ErrorCode::Corrupt, "%s", big.c_str());
+    EXPECT_EQ(e.code, ErrorCode::Corrupt);
+    EXPECT_FALSE(e.context.empty());
+    EXPECT_LT(e.context.size(), big.size());
+}
+
+TEST(ResultDeath, TakeOrFatalExitsWithContext)
+{
+    Result<int> r = parsePositive(0);
+    EXPECT_EXIT(r.takeOrFatal(), ::testing::ExitedWithCode(1),
+                "invalid-argument: 0 is not positive");
+}
+
+TEST(ResultDeath, ValueOnErrorIsAnAssertionFailure)
+{
+    Result<int> r = parsePositive(-1);
+    EXPECT_DEATH(r.value(), "Result::value\\(\\) on error");
+}

@@ -2,8 +2,9 @@
  * @file
  * Tests for the sweep engine (SweepConfig/SweepResult): serial and
  * parallel execution bit-identity, determinism across thread counts
- * and frame windows, the aggregation methods, the CSV/JSON export,
- * and the deprecated PolicySweep shim.
+ * and frame windows, the aggregation methods, and the CSV/JSON
+ * export.  Fault injection, quarantine and checkpoint/resume live
+ * in test_sweep_fault.cc.
  */
 
 #include <gtest/gtest.h>
@@ -307,23 +308,3 @@ TEST_F(SweepEnv, JsonExportHasConfigAndOneRecordPerCell)
         ++records;
     EXPECT_EQ(records, sweep.cells().size());
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST_F(SweepEnv, DeprecatedShimMatchesNewEngine)
-{
-    PolicySweep shim({"DRRIP", "NRU"});
-    shim.run();
-    EXPECT_EQ(shim.cells().size(), 4u);
-    EXPECT_EQ(shim.policies(),
-              (std::vector<std::string>{"DRRIP", "NRU"}));
-
-    const SweepResult direct =
-        SweepConfig().policies({"DRRIP", "NRU"}).run();
-    expectCellsIdentical(direct, shim.result());
-    EXPECT_DOUBLE_EQ(
-        shim.meanNormalized(missMetric, "DRRIP").at("DRRIP"), 1.0);
-}
-
-#pragma GCC diagnostic pop

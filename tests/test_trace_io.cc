@@ -1,6 +1,9 @@
 /**
  * @file
- * Tests for frame-trace binary serialization.
+ * Tests for frame-trace binary serialization: round trips, the
+ * legacy fatal wrappers, and the hardened typed-error readers fed
+ * with a truncation / bit-flip / bad-magic / bad-checksum corpus
+ * (directly and through the fault injector).
  */
 
 #include <gtest/gtest.h>
@@ -8,6 +11,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/fault.hh"
 #include "trace/trace_io.hh"
 
 using namespace gllc;
@@ -112,4 +116,141 @@ TEST(TraceIoDeath, MissingFileIsFatal)
 {
     EXPECT_EXIT(readTraceFile("/nonexistent/path/trace.bin"),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+// ---------------------------------------------------------------
+// Typed-error readers: corrupt inputs must come back as errors,
+// never as aborts and never as silently wrong data.
+// ---------------------------------------------------------------
+
+TEST(TraceIoTyped, MissingFileIsIoError)
+{
+    Result<FrameTrace> r =
+        tryReadTraceFile("/nonexistent/path/trace.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::Io);
+    // The path rides in the context for quarantine reports.
+    EXPECT_NE(r.error().context.find("/nonexistent/path/trace.bin"),
+              std::string::npos);
+}
+
+TEST(TraceIoTyped, BadMagicIsTyped)
+{
+    std::stringstream buffer;
+    buffer << "NOTATRACEFILE-----------";
+    Result<FrameTrace> r = tryReadTrace(buffer);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::BadMagic);
+}
+
+TEST(TraceIoTyped, UnsupportedVersionIsTyped)
+{
+    std::stringstream good;
+    writeTrace(sampleTrace(), good);
+    std::string bytes = good.str();
+    bytes[7] = '9';  // version byte of "GLLCTRC2"
+    std::stringstream buffer(bytes);
+    Result<FrameTrace> r = tryReadTrace(buffer);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::BadVersion);
+}
+
+TEST(TraceIoTyped, TruncationAtEveryLengthIsAnError)
+{
+    std::stringstream good;
+    writeTrace(sampleTrace(), good);
+    const std::string full = good.str();
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        std::stringstream cut(full.substr(0, len));
+        Result<FrameTrace> r = tryReadTrace(cut);
+        ASSERT_FALSE(r.ok()) << "prefix length " << len;
+        const ErrorCode code = r.error().code;
+        EXPECT_TRUE(code == ErrorCode::Truncated
+                    || code == ErrorCode::BadMagic
+                    || code == ErrorCode::BadVersion
+                    || code == ErrorCode::LimitExceeded
+                    || code == ErrorCode::ChecksumMismatch)
+            << "prefix length " << len << ": "
+            << r.error().toString();
+    }
+}
+
+TEST(TraceIoTyped, AnySingleBitFlipIsDetected)
+{
+    std::stringstream good;
+    writeTrace(sampleTrace(), good);
+    const std::string full = good.str();
+    // Flip one bit per byte position (cycling through the bits) and
+    // demand a typed error every time: the checksums must leave no
+    // silently-accepted corruption.
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        std::string bytes = full;
+        bytes[i] = static_cast<char>(
+            static_cast<unsigned char>(bytes[i]) ^ (1u << (i % 8)));
+        std::stringstream buffer(bytes);
+        Result<FrameTrace> r = tryReadTrace(buffer);
+        EXPECT_FALSE(r.ok()) << "flipped bit " << i % 8
+                             << " of byte " << i;
+    }
+}
+
+TEST(TraceIoTyped, CorruptRecordIsChecksumMismatch)
+{
+    std::stringstream good;
+    writeTrace(sampleTrace(), good);
+    std::string bytes = good.str();
+    // The record block sits before the trailing 8-byte checksum.
+    bytes[bytes.size() - 16] ^= 0x40;
+    std::stringstream buffer(bytes);
+    Result<FrameTrace> r = tryReadTrace(buffer);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ChecksumMismatch);
+}
+
+TEST(TraceIoTyped, InjectedTruncationIsTypedAndAttributed)
+{
+    configureFaults("trace.truncate:p=1,n=1");
+    std::stringstream good;
+    writeTrace(sampleTrace(), good);
+    Result<FrameTrace> r = tryReadTrace(good);
+    configureFaults("");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::Truncated);
+    EXPECT_NE(r.error().context.find("injected"), std::string::npos);
+}
+
+TEST(TraceIoTyped, InjectedBitFlipIsCaughtByChecksum)
+{
+    configureFaults("trace.bitflip:p=1,n=1,seed=3");
+    std::stringstream good;
+    writeTrace(sampleTrace(), good);
+    Result<FrameTrace> r = tryReadTrace(good);
+    configureFaults("");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::ChecksumMismatch);
+}
+
+TEST(TraceIoTyped, InjectorCorpusNeverCrashesTheReader)
+{
+    // Sustained low-probability corruption across many reads: every
+    // outcome is either a clean trace or a typed error.
+    configureFaults(
+        "trace.bitflip:p=0.3,seed=11;trace.truncate:p=0.3,seed=12");
+    const FrameTrace original = sampleTrace();
+    std::size_t ok = 0, failed = 0;
+    for (int i = 0; i < 64; ++i) {
+        std::stringstream buffer;
+        writeTrace(original, buffer);
+        Result<FrameTrace> r = tryReadTrace(buffer);
+        if (r.ok()) {
+            ++ok;
+            EXPECT_EQ(r.value().accesses.size(),
+                      original.accesses.size());
+        } else {
+            ++failed;
+        }
+    }
+    configureFaults("");
+    EXPECT_GT(failed, 0u);
+    EXPECT_EQ(ok + failed, 64u);
 }
