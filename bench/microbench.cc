@@ -1,132 +1,94 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of the simulator components:
- * per-access throughput of the LLC under each policy family, the
- * DDR3 schedule, and frame-trace generation.  These guard against
- * performance regressions in the library itself (the figure
- * harnesses replay ~10^8 accesses).
+ * CLI front end of the replay hot-path benchmark (bench/hotpath.hh).
+ *
+ * Prints a throughput table per policy and, with --json, emits the
+ * "gllc-hotpath-v1" report the CI perf-regression job diffs against
+ * the checked-in BENCH_hotpath.json baseline (tools/check_perf.py).
+ *
+ * Flags:
+ *   --json <path>      write the machine-readable report
+ *   --generic          measure the generic (virtual-observer) path
+ *   --accesses <n>     synthetic trace length (default 2000000)
+ *   --repeats <n>      timed repeats per (trace, policy) cell
+ *   --real-frames <n>  cached real frames per policy (default 1)
+ *   --policy <name>    measure one policy (repeatable; default all)
+ *
+ * GLLC_SCALE scales the real traces as everywhere else; the
+ * re-baseline workflow is documented in README.md.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
 
-#include "analysis/offline_sim.hh"
-#include "analysis/policy_table.hh"
-#include "analysis/reuse_distance.hh"
-#include "cache/policy/belady.hh"
-#include "dram/dram_model.hh"
-#include "workload/frame_set.hh"
+#include "bench/hotpath.hh"
+#include "common/logging.hh"
 
 using namespace gllc;
 
 namespace
 {
 
-/** One shared small frame so every benchmark sees the same trace. */
-const FrameTrace &
-sharedTrace()
+std::uint64_t
+parseCount(const std::string &flag, const char *value)
 {
-    static const FrameTrace trace = [] {
-        RenderScale scale;
-        scale.linear = 8;
-        return renderFrame(paperApps().front(), 0, scale);
-    }();
-    return trace;
-}
-
-void
-BM_LlcReplay(benchmark::State &state, const std::string &policy)
-{
-    const FrameTrace &trace = sharedTrace();
-    const LlcConfig config = scaledLlcConfig(8ull << 20, 64);
-    for (auto _ : state) {
-        const RunResult r =
-            runTrace(trace, policySpec(policy), config);
-        benchmark::DoNotOptimize(r.stats.totalMisses());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations())
-        * static_cast<std::int64_t>(trace.accesses.size()));
-}
-
-void
-BM_TraceGeneration(benchmark::State &state)
-{
-    RenderScale scale;
-    scale.linear = 8;
-    std::uint32_t frame = 0;
-    for (auto _ : state) {
-        const FrameTrace t =
-            renderFrame(paperApps().front(), frame++ % 4, scale);
-        benchmark::DoNotOptimize(t.accesses.size());
-    }
-}
-
-void
-BM_DramSchedule(benchmark::State &state)
-{
-    const FrameTrace &trace = sharedTrace();
-    const LlcConfig config = scaledLlcConfig(8ull << 20, 64);
-    RunOptions options;
-    options.collectDramTrace = true;
-    const RunResult run =
-        runTrace(trace, policySpec("DRRIP"), config, options);
-
-    std::vector<DramRequest> reqs;
-    reqs.reserve(run.dramTrace.size());
-    std::uint64_t last = 0;
-    for (const MemAccess &a : run.dramTrace) {
-        last = std::max<std::uint64_t>(last, a.cycle);
-        reqs.push_back(DramRequest{a.addr, last, a.isWrite});
-    }
-
-    DramModel dram(DramConfig::ddr3_1600());
-    for (auto _ : state) {
-        const DramStats s = dram.simulate(reqs);
-        benchmark::DoNotOptimize(s.finishCycle);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations())
-        * static_cast<std::int64_t>(reqs.size()));
-}
-
-void
-BM_ReuseDistances(benchmark::State &state)
-{
-    const FrameTrace &trace = sharedTrace();
-    for (auto _ : state) {
-        const auto d = measureReuseDistances(trace.accesses);
-        benchmark::DoNotOptimize(d.front().accesses());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations())
-        * static_cast<std::int64_t>(trace.accesses.size()));
-}
-
-void
-BM_OracleBuild(benchmark::State &state)
-{
-    const FrameTrace &trace = sharedTrace();
-    for (auto _ : state) {
-        const auto oracle = buildNextUseOracle(trace.accesses);
-        benchmark::DoNotOptimize(oracle.size());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations())
-        * static_cast<std::int64_t>(trace.accesses.size()));
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        fatal("%s expects a number, got \"%s\"", flag.c_str(), value);
+    return v;
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(BM_LlcReplay, drrip, std::string("DRRIP"));
-BENCHMARK_CAPTURE(BM_LlcReplay, nru, std::string("NRU"));
-BENCHMARK_CAPTURE(BM_LlcReplay, ship, std::string("SHiP-mem"));
-BENCHMARK_CAPTURE(BM_LlcReplay, ucp, std::string("UCP-stream"));
-BENCHMARK_CAPTURE(BM_LlcReplay, gspc, std::string("GSPC"));
-BENCHMARK_CAPTURE(BM_LlcReplay, gspcb, std::string("GSPC+B"));
-BENCHMARK_CAPTURE(BM_LlcReplay, belady, std::string("Belady"));
-BENCHMARK(BM_TraceGeneration);
-BENCHMARK(BM_DramSchedule);
-BENCHMARK(BM_ReuseDistances);
-BENCHMARK(BM_OracleBuild);
+int
+main(int argc, char **argv)
+{
+    HotpathOptions options;
+    std::string json_path;
 
-BENCHMARK_MAIN();
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto need_value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", flag.c_str());
+            return argv[++i];
+        };
+        if (flag == "--json") {
+            json_path = need_value();
+        } else if (flag == "--generic") {
+            options.genericPath = true;
+        } else if (flag == "--accesses") {
+            options.syntheticAccesses =
+                static_cast<std::size_t>(parseCount(flag,
+                                                    need_value()));
+        } else if (flag == "--repeats") {
+            options.repeats =
+                static_cast<std::uint32_t>(parseCount(flag,
+                                                      need_value()));
+        } else if (flag == "--real-frames") {
+            options.realFrames =
+                static_cast<std::uint32_t>(parseCount(flag,
+                                                      need_value()));
+        } else if (flag == "--policy") {
+            options.policies.emplace_back(need_value());
+        } else {
+            fatal("unknown flag \"%s\"", flag.c_str());
+        }
+    }
+
+    const HotpathReport report = runHotpathBench(options);
+    writeHotpathTable(std::cout, report);
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os)
+            fatal("cannot write %s", json_path.c_str());
+        writeHotpathJson(os, report);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}

@@ -66,9 +66,14 @@ Characterizer::startZLifetime(BlockMeta &meta)
 }
 
 void
-Characterizer::installMeta(const MemAccess &access)
+Characterizer::bindFrames(std::size_t frames)
 {
-    BlockMeta &meta = meta_[blockNumber(access.addr)];
+    frameMeta_.assign(frames, BlockMeta{});
+}
+
+void
+Characterizer::installInto(BlockMeta &meta, const MemAccess &access)
+{
     meta = BlockMeta{};
     switch (policyStream(access.stream)) {
       case PolicyStream::Texture:
@@ -90,15 +95,19 @@ void
 Characterizer::onMiss(const MemAccess &access)
 {
     // The cache always fills on a (non-bypassed) miss.
-    installMeta(access);
+    installInto(meta_[blockNumber(access.addr)], access);
 }
 
 void
 Characterizer::onHit(const MemAccess &access)
 {
-    BlockMeta &meta = meta_[blockNumber(access.addr)];
-    const PolicyStream ps = policyStream(access.stream);
+    hitBlock(meta_[blockNumber(access.addr)],
+             policyStream(access.stream));
+}
 
+void
+Characterizer::hitBlock(BlockMeta &meta, PolicyStream ps)
+{
     if (ps == PolicyStream::Texture) {
         if (meta.rtBit) {
             // Inter-stream reuse: render target consumed as texture.

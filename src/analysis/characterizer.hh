@@ -20,9 +20,10 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "cache/banked_llc.hh"
+#include "common/hash.hh"
 
 namespace gllc
 {
@@ -65,13 +66,49 @@ struct Characterization
     void merge(const Characterization &other);
 };
 
-/** The observer that produces a Characterization. */
-class Characterizer : public LlcObserver
+/**
+ * The observer that produces a Characterization.  Declared final so
+ * the replay fast path (BankedLlc::accessHot specialized on this
+ * type) can devirtualize the hook calls; the algorithm is identical
+ * on both paths.
+ */
+class Characterizer final : public LlcObserver
 {
   public:
     void onHit(const MemAccess &access) override;
     void onMiss(const MemAccess &access) override;
     void onEvict(Addr block_addr) override;
+
+    /**
+     * Switch to frame-indexed metadata for a BankedLlc::accessHot
+     * replay: block metadata lives in a flat array indexed by the
+     * global frame index the hot path passes to the *At hooks, so no
+     * per-access hashing happens at all.  Bind once per replay with
+     * the cache's totalBlocks(); the produced Characterization is
+     * identical to the hashed observer path.
+     */
+    void bindFrames(std::size_t frames);
+
+    /** Frame-indexed hooks for accessHot<> (see NullLlcObserver). */
+    void
+    onHitAt(const MemAccess &access, std::size_t frame)
+    {
+        hitBlock(frameMeta_[frame], policyStream(access.stream));
+    }
+
+    void
+    onMissAt(const MemAccess &access, std::size_t frame)
+    {
+        installInto(frameMeta_[frame], access);
+    }
+
+    void
+    onEvictAt(Addr, std::size_t)
+    {
+        // The frame's metadata is reset by the fill that always
+        // follows (onMissAt -> installInto), so eviction itself has
+        // nothing to record.
+    }
 
     const Characterization &result() const { return stats_; }
 
@@ -85,17 +122,140 @@ class Characterizer : public LlcObserver
         std::uint8_t hits = 0;  ///< epoch index within the lifetime
     };
 
+    /**
+     * Flat linear-probing map from block number to BlockMeta.  The
+     * table only ever holds the LLC's resident blocks (installed on
+     * fill, erased on evict), so it stays small and every lookup is
+     * one or two contiguous probes — the node-per-entry map this
+     * replaces dominated replay time.  Deletion uses tombstones,
+     * reclaimed on growth; the accumulated Characterization is
+     * independent of table layout, so results are unchanged.
+     */
+    class BlockMetaTable
+    {
+      public:
+        BlockMetaTable() { rebuild(kMinSlots); }
+
+        /** Find-or-default-insert, as unordered_map::operator[]. */
+        BlockMeta &
+        operator[](Addr key)
+        {
+            maybeGrow();
+            std::size_t i = indexOf(key);
+            std::size_t first_tomb = kNoSlot;
+            while (true) {
+                Slot &slot = slots_[i];
+                if (slot.state == State::Full && slot.key == key)
+                    return slot.meta;
+                if (slot.state == State::Empty) {
+                    Slot &dest = first_tomb == kNoSlot
+                        ? slot
+                        : slots_[first_tomb];
+                    if (first_tomb != kNoSlot)
+                        --tombstones_;
+                    dest.key = key;
+                    dest.meta = BlockMeta{};
+                    dest.state = State::Full;
+                    ++size_;
+                    return dest.meta;
+                }
+                if (slot.state == State::Tombstone
+                    && first_tomb == kNoSlot)
+                    first_tomb = i;
+                i = (i + 1) & mask_;
+            }
+        }
+
+        void
+        erase(Addr key)
+        {
+            std::size_t i = indexOf(key);
+            while (true) {
+                Slot &slot = slots_[i];
+                if (slot.state == State::Full && slot.key == key) {
+                    slot.state = State::Tombstone;
+                    --size_;
+                    ++tombstones_;
+                    return;
+                }
+                if (slot.state == State::Empty)
+                    return;
+                i = (i + 1) & mask_;
+            }
+        }
+
+      private:
+        enum class State : std::uint8_t { Empty, Full, Tombstone };
+
+        struct Slot
+        {
+            Addr key = 0;
+            BlockMeta meta;
+            State state = State::Empty;
+        };
+
+        static constexpr std::size_t kMinSlots = 1024;
+        static constexpr std::size_t kNoSlot =
+            ~static_cast<std::size_t>(0);
+
+        std::size_t indexOf(Addr key) const
+        {
+            return static_cast<std::size_t>(mix64(key)) & mask_;
+        }
+
+        void
+        maybeGrow()
+        {
+            // Keep live + tombstone occupancy under 70% so probe
+            // chains stay short; growing rehashes tombstones away.
+            if ((size_ + tombstones_) * 10 < slots_.size() * 7)
+                return;
+            rebuild(size_ * 10 >= slots_.size() * 5
+                        ? slots_.size() * 2
+                        : slots_.size());
+        }
+
+        void
+        rebuild(std::size_t new_slots)
+        {
+            std::vector<Slot> old = std::move(slots_);
+            slots_.assign(new_slots, Slot{});
+            mask_ = new_slots - 1;
+            tombstones_ = 0;
+            for (const Slot &slot : old) {
+                if (slot.state != State::Full)
+                    continue;
+                std::size_t i = indexOf(slot.key);
+                while (slots_[i].state == State::Full)
+                    i = (i + 1) & mask_;
+                slots_[i] = slot;
+            }
+        }
+
+        std::vector<Slot> slots_;
+        std::size_t mask_ = 0;
+        std::size_t size_ = 0;
+        std::size_t tombstones_ = 0;
+    };
+
     /** Begin a texture lifetime for @p meta (enters E0). */
     void startTexLifetime(BlockMeta &meta);
 
     /** Begin a Z lifetime. */
     void startZLifetime(BlockMeta &meta);
 
-    /** The fill portion of servicing a miss (keyed by block). */
-    void installMeta(const MemAccess &access);
+    /** Lifetime bookkeeping for a hit to the block behind @p meta. */
+    void hitBlock(BlockMeta &meta, PolicyStream ps);
 
-    std::unordered_map<Addr, BlockMeta> meta_;
-    /** The block address whose fill follows the pending miss. */
+    /** Reset @p meta for the lifetime the filling @p access starts. */
+    void installInto(BlockMeta &meta, const MemAccess &access);
+
+    /** Per-resident-block metadata, keyed by block number. */
+    BlockMetaTable meta_;
+
+    /** Frame-indexed metadata for accessHot replays (bindFrames). */
+    std::vector<BlockMeta> frameMeta_;
+
     Characterization stats_;
 };
 

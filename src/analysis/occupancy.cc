@@ -77,7 +77,7 @@ trackOccupancy(const FrameTrace &trace, const PolicySpec &spec,
 
     LlcConfig config = llc_config;
     if (spec.uncachedDisplay)
-        config.bypass = displayBypass();
+        config.uncachedDisplay = true;
     BankedLlc llc(config, spec.factory);
 
     OccupancyObserver observer;

@@ -5,6 +5,7 @@
 
 #include "cache/policy/belady.hh"
 #include "common/audit.hh"
+#include "common/env.hh"
 #include "common/fault.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
@@ -13,52 +14,135 @@
 namespace gllc
 {
 
-RunResult
-runTrace(const FrameTrace &trace, const PolicySpec &spec,
-         const LlcConfig &llc_config, const RunOptions &options)
+namespace
 {
-    // Name the policy in any audit report from this replay.
-    std::optional<AuditScope> audit_scope;
-    if (auditActive()) {
-        audit_scope.emplace();
-        auditContext().policy = spec.name;
+
+/** GLLC_NO_FASTPATH=1 disables the specialized path process-wide. */
+bool
+fastPathDisabledByEnv()
+{
+    static const bool disabled = envInt("GLLC_NO_FASTPATH", 0) != 0;
+    return disabled;
+}
+
+/**
+ * Accesses per inner-loop chunk on the fast path.  Fault-site and
+ * collection bookkeeping happen at chunk boundaries; the inner loop
+ * is pure access servicing.
+ */
+constexpr std::size_t kReplayChunk = 4096;
+
+/**
+ * The specialized replay loop.  All per-replay mode flags are
+ * template parameters, so each instantiation's inner loop carries no
+ * disabled-feature branches and calls the Characterizer hooks
+ * directly (devirtualized: the class is final).
+ *
+ * @tparam kUcd     uncached-displayable-color bypass configured
+ * @tparam kOracle  policy consumes Belady next-use indices
+ * @tparam kDram    collect the DRAM-bound access trace
+ */
+template <bool kUcd, bool kOracle, bool kDram>
+void
+replayHot(BankedLlc &llc, const FrameTrace &trace,
+          const std::vector<std::uint64_t> &oracle,
+          Characterizer &characterizer, std::size_t stop_at,
+          RunResult &result)
+{
+    characterizer.bindFrames(llc.geometry().totalBlocks());
+    const MemAccess *accesses = trace.accesses.data();
+    const std::size_t limit =
+        std::min(stop_at, trace.accesses.size());
+    for (std::size_t begin = 0; begin < limit;
+         begin += kReplayChunk) {
+        const std::size_t end =
+            std::min(begin + kReplayChunk, limit);
+        for (std::size_t i = begin; i < end; ++i) {
+            const MemAccess &a = accesses[i];
+            const std::uint64_t next_use =
+                kOracle ? oracle[i] : kNever;
+            const LlcAccessResult r =
+                llc.accessHot<kUcd>(a, i, next_use, characterizer);
+            if (kDram) {
+                if (!r.hit) {
+                    result.dramTrace.emplace_back(a.addr, a.stream,
+                                                  a.isWrite,
+                                                  a.cycle);
+                }
+                if (r.writeback) {
+                    result.dramTrace.emplace_back(r.writebackAddr,
+                                                  StreamType::Other,
+                                                  true, a.cycle);
+                }
+            }
+        }
     }
-    LlcConfig config = llc_config;
-    if (spec.uncachedDisplay)
-        config.bypass = displayBypass();
+    if (stop_at < trace.accesses.size())
+        throwInjectedFault(FaultSite::SimAccess);
+}
 
-    BankedLlc llc(config, spec.factory);
-
-    Characterizer characterizer;
-    llc.setObserver(&characterizer);
-
-    std::vector<std::uint64_t> oracle;
-    if (spec.needsOracle)
-        oracle = buildNextUseOracle(trace.accesses);
-
-    // sim.access fault site: one keyed draw per replay decides
-    // whether this replay dies, the payload picks where in the
-    // access stream it does — exercising the sweep's recovery from
-    // partially-built simulator state at any depth.
-    std::size_t inject_at = trace.accesses.size();
-    if (faultsActive()
-        && faultFires(FaultSite::SimAccess,
-                      fnv1a64(spec.name,
-                              mix64(trace.accesses.size())))) {
-        if (trace.accesses.empty())
-            throwInjectedFault(FaultSite::SimAccess);
-        inject_at = static_cast<std::size_t>(
-            faultPayload(FaultSite::SimAccess)
-            % trace.accesses.size());
+/** Resolve the three runtime mode flags into one instantiation. */
+void
+replayHotDispatch(BankedLlc &llc, const FrameTrace &trace,
+                  const std::vector<std::uint64_t> &oracle,
+                  Characterizer &characterizer, std::size_t stop_at,
+                  bool ucd, bool use_oracle, bool dram,
+                  RunResult &result)
+{
+    const unsigned mode = (ucd ? 4u : 0u) | (use_oracle ? 2u : 0u)
+        | (dram ? 1u : 0u);
+    switch (mode) {
+      case 0:
+        replayHot<false, false, false>(llc, trace, oracle,
+                                       characterizer, stop_at,
+                                       result);
+        break;
+      case 1:
+        replayHot<false, false, true>(llc, trace, oracle,
+                                      characterizer, stop_at,
+                                      result);
+        break;
+      case 2:
+        replayHot<false, true, false>(llc, trace, oracle,
+                                      characterizer, stop_at,
+                                      result);
+        break;
+      case 3:
+        replayHot<false, true, true>(llc, trace, oracle,
+                                     characterizer, stop_at, result);
+        break;
+      case 4:
+        replayHot<true, false, false>(llc, trace, oracle,
+                                      characterizer, stop_at,
+                                      result);
+        break;
+      case 5:
+        replayHot<true, false, true>(llc, trace, oracle,
+                                     characterizer, stop_at, result);
+        break;
+      case 6:
+        replayHot<true, true, false>(llc, trace, oracle,
+                                     characterizer, stop_at, result);
+        break;
+      default:
+        replayHot<true, true, true>(llc, trace, oracle,
+                                    characterizer, stop_at, result);
+        break;
     }
+}
 
-    RunResult result;
+/** The generic replay loop (virtual observer dispatch, audit, log). */
+void
+replayGeneric(BankedLlc &llc, const FrameTrace &trace,
+              const std::vector<std::uint64_t> &oracle,
+              bool use_oracle, std::size_t inject_at,
+              const RunOptions &options, RunResult &result)
+{
     for (std::size_t i = 0; i < trace.accesses.size(); ++i) {
         if (i == inject_at)
             throwInjectedFault(FaultSite::SimAccess);
         const MemAccess &a = trace.accesses[i];
-        const std::uint64_t next_use =
-            spec.needsOracle ? oracle[i] : kNever;
+        const std::uint64_t next_use = use_oracle ? oracle[i] : kNever;
         const LlcAccessResult r = llc.access(a, i, next_use);
 
         if (options.collectDramTrace) {
@@ -75,6 +159,65 @@ runTrace(const FrameTrace &trace, const PolicySpec &spec,
                                               a.cycle);
             }
         }
+    }
+}
+
+} // namespace
+
+RunResult
+runTrace(const FrameTrace &trace, const PolicySpec &spec,
+         const LlcConfig &llc_config, const RunOptions &options)
+{
+    // Name the policy in any audit report from this replay.
+    std::optional<AuditScope> audit_scope;
+    if (auditActive()) {
+        audit_scope.emplace();
+        auditContext().policy = spec.name;
+    }
+    LlcConfig config = llc_config;
+    if (spec.uncachedDisplay)
+        config.uncachedDisplay = true;
+
+    BankedLlc llc(config, spec.factory);
+
+    Characterizer characterizer;
+
+    std::vector<std::uint64_t> oracle;
+    if (spec.needsOracle)
+        oracle = buildNextUseOracle(trace.accesses);
+
+    // sim.access fault site: one keyed draw per replay decides
+    // whether this replay dies, the payload picks where in the
+    // access stream it does — exercising the sweep's recovery from
+    // partially-built simulator state at any depth.  Sampled once,
+    // before the loop: the loops only compare against the
+    // precomputed injection index.
+    std::size_t inject_at = trace.accesses.size();
+    if (faultsActive()
+        && faultFires(FaultSite::SimAccess,
+                      fnv1a64(spec.name,
+                              mix64(trace.accesses.size())))) {
+        if (trace.accesses.empty())
+            throwInjectedFault(FaultSite::SimAccess);
+        inject_at = static_cast<std::size_t>(
+            faultPayload(FaultSite::SimAccess)
+            % trace.accesses.size());
+    }
+
+    RunResult result;
+    const bool fast = llc.fastPathEligible()
+        && !options.forceGenericPath && !fastPathDisabledByEnv();
+    if (fast) {
+        // Specialized loop: the Characterizer is passed by concrete
+        // type, not attached as a virtual observer.
+        replayHotDispatch(llc, trace, oracle, characterizer,
+                          inject_at, config.uncachedDisplay,
+                          spec.needsOracle, options.collectDramTrace,
+                          result);
+    } else {
+        llc.setObserver(&characterizer);
+        replayGeneric(llc, trace, oracle, spec.needsOracle, inject_at,
+                      options, result);
     }
 
     result.stats = llc.stats();

@@ -585,6 +585,10 @@ SweepConfig::run(const CellObserver &observer) const
         }
     };
 
+    // Sampled once per sweep; the per-cell bookkeeping below never
+    // re-reads the metrics switch.
+    const bool metrics_on = metricsActive();
+
     // One cell under the full fault boundary: bounded retries with
     // exponential backoff, then quarantine.
     const auto attempt_cell = [&](std::size_t k,
@@ -609,7 +613,7 @@ SweepConfig::run(const CellObserver &observer) const
             }
             errors[k] = error;
             if (attempt < max_attempts) {
-                if (metricsActive())
+                if (metrics_on)
                     MetricsRegistry::instance().addCounter(
                         "sweep.retries");
                 backoffSleep(backoff_ms, attempt);
@@ -619,7 +623,7 @@ SweepConfig::run(const CellObserver &observer) const
         warn("quarantined cell %s frame %u %s after %u attempt(s): "
              "%s", cell.app.c_str(), cell.frameIndex,
              cell.policy.c_str(), cell.attempts, errors[k].c_str());
-        if (metricsActive())
+        if (metrics_on)
             MetricsRegistry::instance().addCounter(
                 "sweep.quarantined");
     };
@@ -647,7 +651,7 @@ SweepConfig::run(const CellObserver &observer) const
             }
             out.error = error;
             if (attempt < max_attempts) {
-                if (metricsActive())
+                if (metrics_on)
                     MetricsRegistry::instance().addCounter(
                         "sweep.retries");
                 backoffSleep(backoff_ms, attempt);
@@ -669,7 +673,7 @@ SweepConfig::run(const CellObserver &observer) const
         cell.attempts = r.attempts;
         errors[k] = "frame render failed: " + r.error;
         states[k] = CellState::Quarantined;
-        if (metricsActive())
+        if (metrics_on)
             MetricsRegistry::instance().addCounter(
                 "sweep.quarantined");
     };
@@ -695,14 +699,14 @@ SweepConfig::run(const CellObserver &observer) const
                 observer(cell, *trace);
             if (journal)
                 journal->append(cell);
-            if (metricsActive())
+            if (metrics_on)
                 MetricsRegistry::instance().addCounter(
                     "sweep.cells_done");
             cell.result.dramTrace.clear();
             cell.result.dramTrace.shrink_to_fit();
             break;
           case CellState::Restored:
-            if (metricsActive())
+            if (metrics_on)
                 MetricsRegistry::instance().addCounter(
                     "sweep.cells_restored");
             break;

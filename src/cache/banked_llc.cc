@@ -70,15 +70,29 @@ BankedLlc::BankedLlc(const LlcConfig &config, const PolicyFactory &factory)
       config_(config),
       logDecisions_(DecisionLog::active())
 {
+    // The access path never re-reads environment state: the
+    // decision-log depth is synced here, once, and logDecisions_ /
+    // policyMayBypass are sampled into plain bools.
+    if (logDecisions_)
+        DecisionLog::local().syncDepth();
+    const std::size_t frames =
+        static_cast<std::size_t>(geom_.setsPerBank()) * geom_.ways();
     banks_.resize(geom_.banks());
     for (auto &bank : banks_) {
-        bank.entries.assign(
-            static_cast<std::size_t>(geom_.setsPerBank()) * geom_.ways(),
-            Entry{});
+        bank.tags.assign(frames, kInvalidTag);
+        bank.dirty.assign(frames, 0);
+        bank.liveWays.assign(geom_.setsPerBank(), 0);
         bank.policy = factory();
         GLLC_ASSERT(bank.policy != nullptr);
         bank.policy->configure(geom_.setsPerBank(), geom_.ways());
+        bank.policyMayBypass = bank.policy->mayBypass();
     }
+}
+
+bool
+BankedLlc::fastPathEligible() const
+{
+    return !logDecisions_ && !config_.bypass && !auditActive();
 }
 
 std::uint32_t
@@ -87,8 +101,7 @@ BankedLlc::findWay(const Bank &bank, std::uint32_t set, Addr tag) const
     const std::size_t base =
         static_cast<std::size_t>(set) * geom_.ways();
     for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
-        const Entry &e = bank.entries[base + w];
-        if (e.valid && e.tag == tag)
+        if (bank.tags[base + w] == tag)
             return w;
     }
     return geom_.ways();
@@ -111,6 +124,7 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
     Bank &bank = banks_[bank_id];
     const std::uint32_t set = geom_.setOf(access.addr);
     const Addr tag = geom_.tagOf(access.addr);
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.ways();
 
     const bool audit = auditActive();
     if (audit) {
@@ -147,8 +161,8 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         // allocated; the data is resident either way).
         ++sstats.hits;
         result.hit = true;
-        Entry &e = entryAt(bank, set, way);
-        e.dirty = e.dirty || access.isWrite;
+        bank.dirty[base + way] |=
+            static_cast<std::uint8_t>(access.isWrite);
         bank.policy->onHit(set, way, info);
         if (logDecisions_) {
             decision.way = static_cast<std::int32_t>(way);
@@ -164,7 +178,9 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
         return result;
     }
 
-    if ((config_.bypass && config_.bypass(access))
+    if ((config_.uncachedDisplay
+         && access.stream == StreamType::Display)
+        || (config_.bypass && config_.bypass(access))
         || bank.policy->shouldBypass(set, info)) {
         ++sstats.bypasses;
         result.bypassed = true;
@@ -183,39 +199,42 @@ BankedLlc::access(const MemAccess &access, std::uint64_t index,
     // the requested block into the LLC").
     ++sstats.misses;
 
-    // Prefer an invalid frame; otherwise ask the policy for a victim.
+    // Prefer the lowest invalid frame; otherwise ask the policy for a
+    // victim.
     std::uint32_t fill_way = geom_.ways();
-    const std::size_t base = static_cast<std::size_t>(set) * geom_.ways();
-    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
-        if (!bank.entries[base + w].valid) {
-            fill_way = w;
-            break;
+    if (bank.liveWays[set] < geom_.ways()) {
+        for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+            if (bank.tags[base + w] == kInvalidTag) {
+                fill_way = w;
+                break;
+            }
         }
+        GLLC_ASSERT(fill_way < geom_.ways());
+        ++bank.liveWays[set];
     }
 
     if (fill_way == geom_.ways()) {
         fill_way = bank.policy->selectVictim(set);
         GLLC_ASSERT(fill_way < geom_.ways());
-        Entry &victim = entryAt(bank, set, fill_way);
-        GLLC_ASSERT(victim.valid);
+        const Addr victim_tag = bank.tags[base + fill_way];
+        GLLC_ASSERT(victim_tag != kInvalidTag);
         ++bank.stats.evictions;
-        if (victim.dirty) {
+        if (bank.dirty[base + fill_way] != 0) {
             ++bank.stats.writebacks;
             result.writeback = true;
-            result.writebackAddr = victim.tag << kBlockShift;
+            result.writebackAddr = victim_tag << kBlockShift;
         }
         bank.policy->onEvict(set, fill_way);
         if (observer_ != nullptr)
-            observer_->onEvict(victim.tag << kBlockShift);
+            observer_->onEvict(victim_tag << kBlockShift);
     }
 
     if (observer_ != nullptr)
         observer_->onMiss(access);
 
-    Entry &e = entryAt(bank, set, fill_way);
-    e.tag = tag;
-    e.valid = true;
-    e.dirty = access.isWrite;
+    bank.tags[base + fill_way] = tag;
+    bank.dirty[base + fill_way] =
+        static_cast<std::uint8_t>(access.isWrite);
     bank.policy->onFill(set, fill_way, info);
     if (logDecisions_) {
         decision.way = static_cast<std::int32_t>(fill_way);
@@ -238,29 +257,37 @@ BankedLlc::auditSet(std::uint32_t bank_id, std::uint32_t set) const
         return;
     const Bank &bank = banks_[bank_id];
     const std::size_t base = static_cast<std::size_t>(set) * geom_.ways();
+    std::uint32_t live = 0;
     for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
-        const Entry &e = bank.entries[base + w];
-        if (!e.valid)
+        const Addr tag = bank.tags[base + w];
+        if (tag == kInvalidTag)
             continue;
-        const Addr addr = e.tag << kBlockShift;
+        ++live;
+        const Addr addr = tag << kBlockShift;
         GLLC_AUDIT_CHECK("BankedLlc", "tag-geometry",
                          geom_.bankOf(addr) == bank_id
                              && geom_.setOf(addr) == set,
                          "resident tag 0x%llx maps to bank %u set %u, "
                          "not bank %u set %u",
-                         static_cast<unsigned long long>(e.tag),
+                         static_cast<unsigned long long>(tag),
                          geom_.bankOf(addr), geom_.setOf(addr),
                          bank_id, set);
         for (std::uint32_t o = w + 1; o < geom_.ways(); ++o) {
-            const Entry &other = bank.entries[base + o];
+            const Addr other = bank.tags[base + o];
             GLLC_AUDIT_CHECK("BankedLlc", "duplicate-tag",
-                             !other.valid || other.tag != e.tag,
+                             other == kInvalidTag || other != tag,
                              "tag 0x%llx resident in ways %u and %u "
                              "of set %u",
-                             static_cast<unsigned long long>(e.tag),
+                             static_cast<unsigned long long>(tag),
                              w, o, set);
         }
     }
+    GLLC_AUDIT_CHECK("BankedLlc", "occupancy-count",
+                     bank.liveWays[set] == live,
+                     "set %u occupancy counter %u disagrees with %u "
+                     "valid tags",
+                     set, static_cast<unsigned>(bank.liveWays[set]),
+                     live);
     bank.policy->auditInvariants(set);
 }
 
@@ -279,9 +306,18 @@ BankedLlc::debugCorruptEntry(std::uint32_t bank_id, std::uint32_t set,
                              std::uint32_t way, Addr tag, bool valid)
 {
     GLLC_ASSERT(bank_id < banks_.size());
-    Entry &e = entryAt(banks_[bank_id], set, way);
-    e.tag = tag;
-    e.valid = valid;
+    Bank &bank = banks_[bank_id];
+    const std::size_t idx =
+        static_cast<std::size_t>(set) * geom_.ways() + way;
+    GLLC_ASSERT(idx < bank.tags.size());
+    const bool was_valid = bank.tags[idx] != kInvalidTag;
+    bank.tags[idx] = valid ? tag : kInvalidTag;
+    // Keep the occupancy counter coherent so only the injected
+    // corruption (not a stale count) trips the audit.
+    if (valid && !was_valid)
+        ++bank.liveWays[set];
+    else if (!valid && was_valid)
+        --bank.liveWays[set];
 }
 
 FillHistogram

@@ -9,6 +9,17 @@
  * "uncached displayable color" (UCD) configurations: bypassed
  * accesses still probe the tag store (for coherence with blocks a
  * different stream may have cached) but never allocate.
+ *
+ * Hot path (DESIGN.md section 9).  The tag store is structure-of-
+ * arrays: one contiguous Addr array per bank (kInvalidTag marks an
+ * empty frame) plus a parallel dirty byte array, so the tag probe is
+ * a tight scan over 8-byte lanes with no flag loads.  Replays that
+ * need no audit, no decision log and no custom bypass predicate go
+ * through accessHot<>(), a compile-time specialization over the UCD
+ * switch and the concrete observer type that pays zero per-access
+ * branches for the disabled facilities; everything else (tests,
+ * audited runs, custom predicates) uses the generic access(), which
+ * is bit-identical in outcome.
  */
 
 #ifndef GLLC_CACHE_BANKED_LLC_HH
@@ -22,6 +33,7 @@
 
 #include "cache/geometry.hh"
 #include "cache/replacement.hh"
+#include "common/logging.hh"
 
 namespace gllc
 {
@@ -83,6 +95,21 @@ class LlcObserver
     virtual void onEvict(Addr block_addr) { (void)block_addr; }
 };
 
+/**
+ * No-op observer for accessHot<> replays that observe nothing; the
+ * empty inline bodies vanish at compile time.  The hot path passes
+ * each event's global frame index (bank-major, then set, then way)
+ * so stateful observers can keep per-resident-block metadata in a
+ * flat frame-indexed array instead of a hashed map.
+ */
+struct NullLlcObserver
+{
+    void onHitAt(const MemAccess &, std::size_t) {}
+    void onMissAt(const MemAccess &, std::size_t) {}
+    void onBypass(const MemAccess &) {}
+    void onEvictAt(Addr, std::size_t) {}
+};
+
 /** Result of one LLC access, for the timing model. */
 struct LlcAccessResult
 {
@@ -103,7 +130,18 @@ struct LlcConfig
     std::uint32_t ways = 16;
     std::uint32_t banks = 4;
 
-    /** Accesses for which this returns true never allocate (UCD). */
+    /**
+     * Display-stream accesses never allocate (the paper's UCD
+     * configurations).  Expressed as a flag, not a predicate, so the
+     * hot path can specialize on it at compile time.
+     */
+    bool uncachedDisplay = false;
+
+    /**
+     * Arbitrary bypass predicate for custom experiments; accesses
+     * for which this returns true never allocate.  A custom
+     * predicate forces the generic access path (fastPathEligible()).
+     */
     std::function<bool(const MemAccess &)> bypass;
 };
 
@@ -117,7 +155,8 @@ class BankedLlc
     BankedLlc(const LlcConfig &config, const PolicyFactory &factory);
 
     /**
-     * Service one access.
+     * Service one access (generic path: honours audit, decision log,
+     * observers and custom bypass predicates).
      * @param access the load/store
      * @param index global trace position (Belady bookkeeping)
      * @param next_use trace index of the next access to this block,
@@ -126,6 +165,106 @@ class BankedLlc
     LlcAccessResult access(const MemAccess &access,
                            std::uint64_t index = 0,
                            std::uint64_t next_use = kNever);
+
+    /**
+     * True when replays may use accessHot<>(): no decision logging
+     * (sampled at construction), no custom bypass predicate, and no
+     * invariant audit.  The specialized and generic paths produce
+     * bit-identical results; this only gates which facilities need
+     * per-access checks.
+     */
+    bool fastPathEligible() const;
+
+    /**
+     * Specialized access fast path.  @p kUcd bakes in the
+     * uncached-displayable-color test; @p Observer is the concrete
+     * observer type with the frame-indexed hooks of NullLlcObserver,
+     * called directly (devirtualized) — use NullLlcObserver to
+     * observe nothing.  The caller must check fastPathEligible()
+     * once per replay and pass kUcd matching the configuration.
+     */
+    template <bool kUcd, typename Observer>
+    LlcAccessResult
+    accessHot(const MemAccess &access, std::uint64_t index,
+              std::uint64_t next_use, Observer &observer)
+    {
+        LlcAccessResult result;
+        const CacheGeometry::Placement where =
+            geom_.placementOf(access.addr);
+        Bank &bank = banks_[where.bank];
+        const std::uint32_t ways = geom_.ways();
+        const std::size_t base =
+            static_cast<std::size_t>(where.set) * ways;
+        Addr *tags = bank.tags.data() + base;
+
+        // Global frame index of way 0 of this set, for the observer's
+        // frame-indexed metadata (bank-major, then set, then way).
+        const std::size_t frame_base =
+            static_cast<std::size_t>(where.bank)
+                * geom_.setsPerBank() * ways
+            + base;
+
+        auto &sstats =
+            bank.stats.stream[static_cast<std::size_t>(access.stream)];
+        ++sstats.accesses;
+
+        std::uint32_t way = 0;
+        while (way < ways && tags[way] != where.tag)
+            ++way;
+
+        const AccessInfo info{&access, index, next_use};
+        if (way != ways) {
+            ++sstats.hits;
+            result.hit = true;
+            bank.dirty[base + way] |=
+                static_cast<std::uint8_t>(access.isWrite);
+            bank.policy->onHit(where.set, way, info);
+            observer.onHitAt(access, frame_base + way);
+            return result;
+        }
+
+        if ((kUcd && access.stream == StreamType::Display)
+            || (bank.policyMayBypass
+                && bank.policy->shouldBypass(where.set, info))) {
+            ++sstats.bypasses;
+            result.bypassed = true;
+            observer.onBypass(access);
+            return result;
+        }
+
+        ++sstats.misses;
+
+        std::uint32_t fill_way;
+        if (bank.liveWays[where.set] < ways) {
+            // Invalid frame available: fill the lowest one, exactly
+            // as the generic path's scan does.
+            fill_way = 0;
+            while (tags[fill_way] != kInvalidTag)
+                ++fill_way;
+            ++bank.liveWays[where.set];
+        } else {
+            fill_way = bank.policy->selectVictim(where.set);
+            GLLC_ASSERT(fill_way < ways);
+            GLLC_ASSERT(tags[fill_way] != kInvalidTag);
+            ++bank.stats.evictions;
+            if (bank.dirty[base + fill_way] != 0) {
+                ++bank.stats.writebacks;
+                result.writeback = true;
+                result.writebackAddr = tags[fill_way] << kBlockShift;
+            }
+            bank.policy->onEvict(where.set, fill_way);
+            observer.onEvictAt(tags[fill_way] << kBlockShift,
+                               frame_base + fill_way);
+        }
+
+        observer.onMissAt(access, frame_base + fill_way);
+
+        tags[fill_way] = where.tag;
+        bank.dirty[base + fill_way] =
+            static_cast<std::uint8_t>(access.isWrite);
+        bank.policy->onFill(where.set, fill_way, info);
+        return result;
+    }
 
     /** Probe only: true when the block is resident. No side effects. */
     bool isResident(Addr addr) const;
@@ -158,8 +297,9 @@ class BankedLlc
 
     /**
      * Audit one set of one bank: no duplicate tags, every valid tag
-     * maps back to this (bank, set) under the geometry, and the
-     * bank's policy invariants hold.  No-op unless auditActive().
+     * maps back to this (bank, set) under the geometry, the per-set
+     * occupancy count matches the tag store, and the bank's policy
+     * invariants hold.  No-op unless auditActive().
      */
     void auditSet(std::uint32_t bank, std::uint32_t set) const;
 
@@ -174,17 +314,28 @@ class BankedLlc
                            std::uint32_t way, Addr tag, bool valid);
 
   private:
-    struct Entry
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    /** Tag value of an empty frame (no real block number is ~0). */
+    static constexpr Addr kInvalidTag = ~static_cast<Addr>(0);
 
+    /**
+     * One bank's state, structure-of-arrays: the tag probe touches
+     * only the contiguous tags array; dirty bytes are touched once
+     * per hit-on-write / eviction; liveWays lets the miss path skip
+     * the invalid-frame scan entirely once a set is full.
+     */
     struct Bank
     {
-        std::vector<Entry> entries;
+        std::vector<Addr> tags;            ///< kInvalidTag = empty
+        std::vector<std::uint8_t> dirty;   ///< one byte per frame
+        std::vector<std::uint16_t> liveWays;  ///< valid frames per set
         std::unique_ptr<ReplacementPolicy> policy;
+
+        /**
+         * ReplacementPolicy::mayBypass(), sampled at construction so
+         * the miss path skips the shouldBypass() virtual call for
+         * the (common) policies that never bypass.
+         */
+        bool policyMayBypass = false;
 
         /**
          * Per-bank counters.  The access path increments these and
@@ -193,13 +344,6 @@ class BankedLlc
          */
         LlcStats stats;
     };
-
-    Entry &
-    entryAt(Bank &bank, std::uint32_t set, std::uint32_t way)
-    {
-        return bank.entries[static_cast<std::size_t>(set) * geom_.ways()
-                            + way];
-    }
 
     /** Find the way holding addr in the set, or ways() if absent. */
     std::uint32_t findWay(const Bank &bank, std::uint32_t set,

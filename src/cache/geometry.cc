@@ -14,6 +14,15 @@ isPow2(std::uint64_t x)
     return x != 0 && (x & (x - 1)) == 0;
 }
 
+std::uint32_t
+log2OfPow2(std::uint64_t x)
+{
+    std::uint32_t shift = 0;
+    while ((x >> shift) > 1)
+        ++shift;
+    return shift;
+}
+
 } // namespace
 
 CacheGeometry::CacheGeometry(std::uint64_t capacity_bytes,
@@ -35,6 +44,9 @@ CacheGeometry::CacheGeometry(std::uint64_t capacity_bytes,
                     "sets (%llu) and banks (%u) must be powers of two",
                     static_cast<unsigned long long>(sets), banks);
     setsPerBank_ = static_cast<std::uint32_t>(sets);
+    bankShift_ = log2OfPow2(banks);
+    bankMask_ = static_cast<std::uint64_t>(banks) - 1;
+    setMask_ = sets - 1;
 }
 
 } // namespace gllc

@@ -19,6 +19,11 @@ namespace gllc
  * Banks are block-interleaved: bank = blockNumber mod banks, and the
  * remaining block-number bits index the per-bank set array.  The
  * paper's 8 MB 16-way LLC uses 4 banks of 2 MB (Section 4).
+ *
+ * Banks and sets-per-bank are powers of two (asserted at
+ * construction), so the mod/div address decomposition reduces to
+ * shift/mask; the shift and masks are precomputed here once so the
+ * replay hot path never executes an integer divide.
  */
 class CacheGeometry
 {
@@ -51,7 +56,8 @@ class CacheGeometry
     std::uint32_t
     bankOf(Addr addr) const
     {
-        return static_cast<std::uint32_t>(blockNumber(addr) % banks_);
+        return static_cast<std::uint32_t>(blockNumber(addr)
+                                          & bankMask_);
     }
 
     /** Set index within the servicing bank. */
@@ -59,17 +65,38 @@ class CacheGeometry
     setOf(Addr addr) const
     {
         return static_cast<std::uint32_t>(
-            (blockNumber(addr) / banks_) % setsPerBank_);
+            (blockNumber(addr) >> bankShift_) & setMask_);
     }
 
     /** Tag stored for the given address (full block number). */
     Addr tagOf(Addr addr) const { return blockNumber(addr); }
+
+    /** (bank, set, tag) of one address, decomposed in one pass. */
+    struct Placement
+    {
+        std::uint32_t bank;
+        std::uint32_t set;
+        Addr tag;
+    };
+
+    Placement
+    placementOf(Addr addr) const
+    {
+        const Addr block = blockNumber(addr);
+        return {static_cast<std::uint32_t>(block & bankMask_),
+                static_cast<std::uint32_t>((block >> bankShift_)
+                                           & setMask_),
+                block};
+    }
 
   private:
     std::uint64_t capacity_;
     std::uint32_t ways_;
     std::uint32_t banks_;
     std::uint32_t setsPerBank_;
+    std::uint32_t bankShift_;  ///< log2(banks)
+    std::uint64_t bankMask_;   ///< banks - 1
+    std::uint64_t setMask_;    ///< setsPerBank - 1
 };
 
 /**

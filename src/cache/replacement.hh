@@ -137,6 +137,16 @@ class ReplacementPolicy
     }
 
     /**
+     * True when shouldBypass() can ever return true for this
+     * instance as configured.  BankedLlc samples this once per bank
+     * at construction so the miss path skips the shouldBypass()
+     * virtual call for the (common) policies that never bypass.
+     * Must be conservative: a policy returning false here promises
+     * shouldBypass() always returns false.
+     */
+    virtual bool mayBypass() const { return false; }
+
+    /**
      * Audit-layer hook: re-validate this policy's structural
      * invariants for one set (called by BankedLlc after every access
      * it services when auditActive()).  Implementations report

@@ -69,6 +69,9 @@ DecisionLog::setDepth(int depth)
 {
     configuredState.store(clampDepth(depth),
                           std::memory_order_relaxed);
+    // Keep the calling thread's ring live immediately; other threads
+    // pick the change up when their next BankedLlc is constructed.
+    local().syncDepth();
 }
 
 void
@@ -86,7 +89,6 @@ DecisionLog::syncDepth()
 void
 DecisionLog::record(const LlcDecision &decision)
 {
-    syncDepth();
     if (depth_ <= 0)
         return;
     if (buffer_.size() < static_cast<std::size_t>(depth_)) {

@@ -80,7 +80,19 @@ class DecisionLog
     /** True when accesses should be recorded. */
     static bool active() { return configuredDepth() > 0; }
 
-    /** Append one decision, evicting the oldest at capacity. */
+    /**
+     * Re-sample the configured depth into this ring, resizing it if
+     * the depth changed.  Called once per replay by the BankedLlc
+     * constructor (and by setDepth() for the calling thread), never
+     * on the access path: record() assumes the depth is current.
+     */
+    void syncDepth();
+
+    /**
+     * Append one decision, evicting the oldest at capacity.  The
+     * depth must have been synced on this thread (see syncDepth());
+     * a never-synced ring drops records.
+     */
     void record(const LlcDecision &decision);
 
     /** Records currently held (<= depth). */
@@ -99,8 +111,6 @@ class DecisionLog
     void dump() const;
 
   private:
-    void syncDepth();
-
     int depth_ = 0;
     std::size_t head_ = 0;  ///< slot the next record overwrites
     std::vector<LlcDecision> buffer_;

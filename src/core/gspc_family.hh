@@ -120,6 +120,7 @@ class GspcFamilyPolicy : public ReplacementPolicy
     void onEvict(std::uint32_t set, std::uint32_t way) override;
     bool shouldBypass(std::uint32_t set,
                       const AccessInfo &info) const override;
+    bool mayBypass() const override { return params_.bypassDeadFills; }
     const FillHistogram *fillHistogram() const override;
     std::string name() const override;
 

@@ -24,7 +24,7 @@ acc(Addr block, StreamType s, bool write = false)
 struct Harness
 {
     Harness()
-        : llc(LlcConfig{8 * 1024, 4, 1, nullptr},
+        : llc(LlcConfig{8 * 1024, 4, 1},
               LruPolicy::factory())
     {
         llc.setObserver(&ch);

@@ -239,9 +239,13 @@ TEST(Dram, RefreshDisabledWhenTRefiZero)
 
 TEST(DramDeath, ArrivalsMustBeMonotone)
 {
+#ifdef GLLC_DISABLE_ASSERTS
+    GTEST_SKIP() << "GLLC_ASSERT compiled out (-DGLLC_ASSERTS=OFF)";
+#else
     DramModel dram(DramConfig::ddr3_1600());
     std::vector<DramRequest> r;
     r.push_back(DramRequest{0, 10, false});
     r.push_back(DramRequest{64, 5, false});
     EXPECT_DEATH(dram.simulate(r), "");
+#endif
 }

@@ -72,13 +72,21 @@ TEST(Geometry, BlockHelpers)
 
 TEST(GeometryDeath, RejectsNonDivisibleCapacity)
 {
+#ifdef GLLC_DISABLE_ASSERTS
+    GTEST_SKIP() << "GLLC_ASSERT compiled out (-DGLLC_ASSERTS=OFF)";
+#else
     EXPECT_DEATH(CacheGeometry(1000, 16, 1), "");
+#endif
 }
 
 TEST(GeometryDeath, RejectsNonPow2Sets)
 {
+#ifdef GLLC_DISABLE_ASSERTS
+    GTEST_SKIP() << "GLLC_ASSERT compiled out (-DGLLC_ASSERTS=OFF)";
+#else
     // 3 KB 16-way -> 3 sets: not a power of two.
     EXPECT_DEATH(CacheGeometry(3 * 1024, 16, 1), "");
+#endif
 }
 
 TEST(SampleSets, SixteenPer1024)

@@ -108,7 +108,7 @@ TEST(GspcVariants, RtFillHistogramsDiffer)
 {
     // GSPZTC fills every RT at 0; GSPC spreads RT fills across the
     // protection bands once PROD >> CONS.
-    const LlcConfig config{64 * 1024, 16, 1, nullptr};
+    const LlcConfig config{64 * 1024, 16, 1};
 
     BankedLlc gspztc(config,
                      GspcFamilyPolicy::factory(GspcVariant::Gspztc));
@@ -145,7 +145,7 @@ TEST(GspcUcd, DisplayBypassKeepsProdClean)
         t.accesses.emplace_back(b * kBlockBytes, StreamType::Texture,
                                 false);
 
-    const LlcConfig llc{64 * 1024, 16, 4, nullptr};
+    const LlcConfig llc{64 * 1024, 16, 4};
     const RunResult plain = runTrace(t, policySpec("GSPC"), llc);
     const RunResult ucd = runTrace(t, policySpec("GSPC+UCD"), llc);
 

@@ -92,6 +92,10 @@ TEST(ResultDeath, TakeOrFatalExitsWithContext)
 
 TEST(ResultDeath, ValueOnErrorIsAnAssertionFailure)
 {
+#ifdef GLLC_DISABLE_ASSERTS
+    GTEST_SKIP() << "GLLC_ASSERT compiled out (-DGLLC_ASSERTS=OFF)";
+#else
     Result<int> r = parsePositive(-1);
     EXPECT_DEATH(r.value(), "Result::value\\(\\) on error");
+#endif
 }

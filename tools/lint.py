@@ -16,6 +16,10 @@ LLVM tooling installed):
     and common/progress.cc: diagnostics go through warn()/note()/
     panic()/fatal() (common/logging.hh) or the shared ProgressMeter
     so they stay greppable and consistently tagged
+  * no getenv outside src/common/env.cc: environment knobs flow
+    through envInt()/envString() (common/env.hh) and are sampled
+    once at construction time, never in per-access code, so the
+    replay hot path stays free of libc calls
 
 Run from the repository root (or via the `lint` CMake target):
 
@@ -46,12 +50,18 @@ BARE_ASSERT = re.compile(r"(?<![\w:])assert\s*\(")
 BANNED_RAND = re.compile(r"(?<![\w:])(?:std::)?(?:rand|srand|rand_r)\s*\(")
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
 RAW_STDERR = re.compile(r"(?:std::)?v?fprintf\s*\(\s*stderr\b")
+RAW_GETENV = re.compile(r"(?<![\w:])(?:std::)?getenv\s*\(")
 
 # The only files in src/ allowed to write stderr directly: the
 # logging sink itself and the throttled progress reporter.
 STDERR_ALLOWLIST = {
     Path("src/common/logging.cc"),
     Path("src/common/progress.cc"),
+}
+
+# The only file allowed to call getenv: the env-knob wrapper itself.
+GETENV_ALLOWLIST = {
+    Path("src/common/env.cc"),
 }
 
 
@@ -153,6 +163,12 @@ def check_file(path, strip_prefix, findings):
             findings.append(
                 f"{rel}:{lineno}: raw fprintf(stderr); use warn()/"
                 "note() (common/logging.hh) or the progress reporter"
+            )
+        if rel not in GETENV_ALLOWLIST and RAW_GETENV.search(line):
+            findings.append(
+                f"{rel}:{lineno}: getenv; use envInt()/envString() "
+                "(common/env.hh) and sample the knob once at "
+                "construction, not per access"
             )
 
     if path.suffix in {".hh", ".hpp", ".h"}:
