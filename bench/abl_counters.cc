@@ -20,7 +20,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     struct Variant
     {
         const char *label;
@@ -51,21 +51,19 @@ main(int argc, char **argv)
     }
 
     const SweepResult sweep =
-        SweepConfig()
-            .policySpecs(std::move(specs))
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policySpecs(std::move(specs)))
             .run();
     benchBanner("Ablation: GSPC counter widths", sweep);
 
     std::map<std::string, double> misses;
     for (const SweepCell &cell : sweep.cells())
-        misses[cell.policy] += missMetric(cell.result);
+        misses[cell.key.policy] += missMetric(cell.result);
 
     const double base = misses.at("8-bit / 7-bit ACC (paper)");
     TablePrinter tp({"counter width", "misses vs paper design"});
     for (const Variant &v : variants)
         tp.addRow({v.label, fmt(misses.at(v.label) / base, 4)});
     tp.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -25,7 +25,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const std::vector<std::string> policies{"DRRIP", "SHiP-mem",
                                             "GSPC+UCD"};
 
@@ -47,7 +47,7 @@ main(int argc, char **argv)
 
         std::map<std::string, double> misses;
         for (const SweepCell &cell : sweep.cells())
-            misses[cell.policy] += missMetric(cell.result);
+            misses[cell.key.policy] += missMetric(cell.result);
 
         tp.addRow({scatter ? "scattered (driver model)"
                            : "identity (stream-pure regions)",

@@ -20,7 +20,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     // sampleLog2: 4 -> 1/16 density, 6 -> 1/64 (paper), 8 -> 1/256.
     const std::vector<unsigned> densities{4, 5, 6, 7, 8};
 
@@ -38,15 +38,14 @@ main(int argc, char **argv)
     }
 
     const SweepResult sweep =
-        SweepConfig()
-            .policySpecs(std::move(specs))
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policySpecs(std::move(specs)))
             .run();
     benchBanner("Ablation: GSPC sample-set density", sweep);
 
     std::map<std::string, double> misses;
     for (const SweepCell &cell : sweep.cells())
-        misses[cell.policy] += missMetric(cell.result);
+        misses[cell.key.policy] += missMetric(cell.result);
 
     TablePrinter tp({"sample density", "misses vs 1/64"});
     for (const unsigned log2 : densities) {
@@ -57,6 +56,5 @@ main(int argc, char **argv)
                        4)});
     }
     tp.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

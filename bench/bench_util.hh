@@ -11,11 +11,11 @@
  *
  * Environment knobs: GLLC_SCALE (default 4; 1 = paper-size machine),
  * GLLC_FRAMES (default all 52) and GLLC_THREADS (default: hardware
- * concurrency; 1 = serial).  Every sweep-based harness also accepts
- * trailing "--csv <path>" / "--json <path>" arguments to dump the
- * per-cell results through the shared writers in analysis/report,
- * and "--stats" to print the metrics-registry snapshot on exit
- * (BenchObservability below).
+ * concurrency; 1 = serial).  The shared command-line surface —
+ * "--csv <path>" / "--json <path>" exports, "--stats" metrics
+ * snapshots, "--checkpoint <path>" and "--resume" — is parsed once
+ * by BenchCli below; benches route their SweepConfig through
+ * cli.apply() and exit through cli.finish().
  */
 
 #ifndef GLLC_BENCH_BENCH_UTIL_HH
@@ -33,38 +33,6 @@
 
 namespace gllc
 {
-
-/**
- * Per-bench observability switch: constructed first thing in every
- * bench main.  A "--stats" argument turns the metrics registry on
- * for the run and prints the merged snapshot (CSV) on stdout when
- * the bench finishes; GLLC_STATS_JSON / GLLC_TRACE_OUT work with or
- * without it.
- */
-class BenchObservability
-{
-  public:
-    BenchObservability(int argc, char **argv)
-    {
-        for (int i = 1; i < argc; ++i) {
-            if (std::string(argv[i]) == "--stats") {
-                stats_ = true;
-                setMetricsActive(true);
-            }
-        }
-    }
-
-    ~BenchObservability()
-    {
-        if (!stats_)
-            return;
-        std::cout << "--- metrics snapshot ---\n";
-        MetricsRegistry::instance().snapshot().writeCsv(std::cout);
-    }
-
-  private:
-    bool stats_ = false;
-};
 
 /**
  * Exit code when a sweep finished with quarantined cells: the
@@ -106,42 +74,122 @@ benchExitCode(const SweepResult &result)
     if (result.quarantined().empty())
         return 0;
     for (const QuarantinedCell &q : result.quarantined()) {
-        warn("quarantined: %s frame %u %s (%u attempt(s)): %s",
-             q.app.c_str(), q.frameIndex, q.policy.c_str(),
-             q.attempts, q.error.c_str());
+        warn("quarantined: %s (%u attempt(s)): %s",
+             q.key.toString().c_str(), q.attempts,
+             q.error.c_str());
     }
     return kQuarantineExitCode;
 }
 
 /**
- * Handle the shared "--csv <path>" / "--json <path>" export
- * arguments; returns true when an export was written.
+ * The one parser of the command-line surface every bench shares
+ * (previously scattered over BenchObservability, exportSweepResult
+ * and per-harness flag loops):
+ *
+ *   --stats              metrics registry on; snapshot (CSV) on
+ *                        stdout when the bench exits
+ *   --csv <path>         per-cell CSV through analysis/report
+ *   --json <path>        per-cell JSON through analysis/report
+ *   --checkpoint <path>  sweep checkpoint journal
+ *   --resume             restore completed cells from the journal
+ *
+ * Unrelated arguments are ignored (benches may define their own).
+ * Construct first thing in main, route the SweepConfig through
+ * apply(), and return finish(result) from main:
+ *
+ *   BenchCli cli(argc, argv);
+ *   const SweepResult r =
+ *       cli.apply(SweepConfig().policies({...})).run();
+ *   return cli.finish(r);
  */
-inline bool
-exportSweepResult(int argc, char **argv, const SweepResult &result)
+class BenchCli
 {
-    bool wrote = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
-        if (flag != "--csv" && flag != "--json")
-            continue;
-        if (i + 1 >= argc)
-            fatal("%s requires a file path", flag.c_str());
-        std::ofstream os(argv[i + 1]);
-        if (!os) {
-            std::cerr << "cannot write " << argv[i + 1] << "\n";
-            continue;
+  public:
+    BenchCli(int argc, char **argv) : argc_(argc), argv_(argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string flag = argv[i];
+            if (flag == "--stats") {
+                stats_ = true;
+                setMetricsActive(true);
+            } else if (flag == "--csv" || flag == "--json") {
+                if (i + 1 >= argc)
+                    fatal("%s requires a file path", flag.c_str());
+                (flag == "--csv" ? csvPath_ : jsonPath_) =
+                    argv[++i];
+            }
         }
-        if (flag == "--csv")
-            result.writeCsv(os);
-        else
-            result.writeJson(os);
-        std::cout << "wrote " << argv[i + 1] << "\n";
-        wrote = true;
-        ++i;
     }
-    return wrote;
-}
+
+    ~BenchCli()
+    {
+        if (!stats_)
+            return;
+        std::cout << "--- metrics snapshot ---\n";
+        MetricsRegistry::instance().snapshot().writeCsv(std::cout);
+    }
+
+    BenchCli(const BenchCli &) = delete;
+    BenchCli &operator=(const BenchCli &) = delete;
+
+    /** Apply the sweep-engine flags (--checkpoint/--resume). */
+    SweepConfig
+    apply(SweepConfig cfg) const
+    {
+        cfg.cliArgs(argc_, argv_);
+        return cfg;
+    }
+
+    /** Write any requested --csv/--json exports; true if written. */
+    bool
+    exportResult(const SweepResult &result) const
+    {
+        bool wrote = false;
+        if (writeExport(csvPath_, result, false))
+            wrote = true;
+        if (writeExport(jsonPath_, result, true))
+            wrote = true;
+        return wrote;
+    }
+
+    /** Exports plus the quarantine-aware exit status for main. */
+    int
+    finish(const SweepResult &result) const
+    {
+        exportResult(result);
+        return benchExitCode(result);
+    }
+
+    bool stats() const { return stats_; }
+    const std::string &csvPath() const { return csvPath_; }
+    const std::string &jsonPath() const { return jsonPath_; }
+
+  private:
+    static bool
+    writeExport(const std::string &path, const SweepResult &result,
+                bool json)
+    {
+        if (path.empty())
+            return false;
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "cannot write " << path << "\n";
+            return false;
+        }
+        if (json)
+            result.writeJson(os);
+        else
+            result.writeCsv(os);
+        std::cout << "wrote " << path << "\n";
+        return true;
+    }
+
+    int argc_ = 0;
+    char **argv_ = nullptr;
+    bool stats_ = false;
+    std::string csvPath_;
+    std::string jsonPath_;
+};
 
 } // namespace gllc
 

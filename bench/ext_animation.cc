@@ -22,7 +22,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const RenderScale scale = scaleFromEnv();
     const LlcConfig llc =
         scaledLlcConfig(8ull << 20, scale.pixelScale());

@@ -18,15 +18,13 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
-            .policies({"DRRIP", "GSPC+UCD", "GSPC+B+UCD", "Belady"})
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policies({"DRRIP", "GSPC+UCD", "GSPC+B+UCD", "Belady"}))
             .run();
     benchBanner("Extension: dead-fill bypass (GSPC+B)", sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -23,7 +23,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const RenderScale scale = scaleFromEnv();
     const auto frames = frameSetFromEnv();
 

@@ -19,10 +19,10 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     GpuConfig gpu = GpuConfig::baseline();
     gpu.dram = DramConfig::gddr5();
     runPerfFigure("Extension: GDDR5-class memory system", gpu,
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, cli);
     return 0;
 }

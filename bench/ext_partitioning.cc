@@ -23,17 +23,15 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
+        cli.apply(SweepConfig()
             .policies({"DRRIP", "DIP", "peLIFO", "UCP-stream",
-                       "GS-DRRIP", "GSPC"})
-            .cliArgs(argc, argv)
+                       "GS-DRRIP", "GSPC"}))
             .run();
     benchBanner(
         "Extension: partitioning/insertion baselines vs GSPC", sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -18,7 +18,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     GpuConfig gpu = GpuConfig::baseline();
     gpu.scanoutHz = 60.0;
     // Front buffer at the scaled resolution (4 B per pixel).
@@ -26,6 +26,6 @@ main(int argc, char **argv)
     gpu.scanoutBytes = 4ull * (1920 / scale.linear)
         * (1200 / scale.linear);
     runPerfFigure("Extension: 60 Hz scan-out contention", gpu,
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, cli);
     return 0;
 }

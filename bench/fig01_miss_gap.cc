@@ -16,16 +16,14 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult result =
-        SweepConfig()
-            .policies({"DRRIP", "NRU", "Belady"})
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policies({"DRRIP", "NRU", "Belady"}))
             .run();
     benchBanner("Figure 1: NRU and Belady vs DRRIP (LLC misses)",
                 result);
     result.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                 "DRRIP");
-    exportSweepResult(argc, argv, result);
-    return benchExitCode(result);
+    return cli.finish(result);
 }

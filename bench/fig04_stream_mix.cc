@@ -21,7 +21,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const RenderScale scale = scaleFromEnv();
     const auto frames = frameSetFromEnv();
     std::cout << "=== Figure 4: stream-wise LLC access distribution"

@@ -62,16 +62,14 @@ printPanel(const SweepResult &sweep, StreamType stream,
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult result =
-        SweepConfig()
-            .policies({"Belady", "DRRIP", "NRU"})
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policies({"Belady", "DRRIP", "NRU"}))
             .run();
     benchBanner("Figure 5: per-stream LLC hit rates", result);
     printPanel(result, StreamType::Texture, "texture sampler");
     printPanel(result, StreamType::RenderTarget, "render target");
     printPanel(result, StreamType::Z, "Z");
-    exportSweepResult(argc, argv, result);
-    return benchExitCode(result);
+    return cli.finish(result);
 }

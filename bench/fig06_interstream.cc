@@ -19,11 +19,10 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
-            .policies({"Belady", "DRRIP", "NRU"})
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policies({"Belady", "DRRIP", "NRU"}))
             .run();
     benchBanner("Figure 6: inter-stream texture reuse", sweep);
 
@@ -89,6 +88,5 @@ main(int argc, char **argv)
     std::cout << "\nlower panel: % of RT blocks consumed by the "
               << "texture sampler\n";
     lower.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -17,11 +17,10 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
-            .policies({"Belady"})
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policies({"Belady"}))
             .run();
     benchBanner("Figure 7: texture sampler epochs under Belady",
                 sweep);
@@ -33,7 +32,7 @@ main(int argc, char **argv)
     Characterization mean_ch;
     std::map<std::string, Characterization> per_app;
     for (const SweepCell &cell : sweep.cells()) {
-        per_app[cell.app].merge(cell.result.characterization);
+        per_app[cell.key.app].merge(cell.result.characterization);
         mean_ch.merge(cell.result.characterization);
     }
 
@@ -56,6 +55,5 @@ main(int argc, char **argv)
         add_row(app, per_app.at(app));
     add_row("ALL", mean_ch);
     tp.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -17,18 +17,17 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
-            .policies({"DRRIP"})
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policies({"DRRIP"}))
             .run();
     benchBanner("Figure 8: DRRIP fills at RRPV=3", sweep);
 
     std::map<std::string, FillHistogram> per_app;
     FillHistogram all;
     for (const SweepCell &cell : sweep.cells()) {
-        per_app[cell.app].merge(cell.result.fills);
+        per_app[cell.key.app].merge(cell.result.fills);
         all.merge(cell.result.fills);
     }
 
@@ -46,6 +45,5 @@ main(int argc, char **argv)
     tp.addRow({"ALL", pct(all, PolicyStream::RenderTarget),
                pct(all, PolicyStream::Texture)});
     tp.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -17,11 +17,10 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
-            .policies({"Belady"})
-            .cliArgs(argc, argv)
+        cli.apply(SweepConfig()
+            .policies({"Belady"}))
             .run();
     benchBanner("Figure 9: Z-stream epoch death ratios under Belady",
                 sweep);
@@ -29,7 +28,7 @@ main(int argc, char **argv)
     std::map<std::string, Characterization> per_app;
     Characterization all;
     for (const SweepCell &cell : sweep.cells()) {
-        per_app[cell.app].merge(cell.result.characterization);
+        per_app[cell.key.app].merge(cell.result.characterization);
         all.merge(cell.result.characterization);
     }
 
@@ -43,6 +42,5 @@ main(int argc, char **argv)
     tp.addRow({"ALL", fmt(all.zDeathRatio(0), 2),
                fmt(all.zDeathRatio(1), 2), fmt(all.zDeathRatio(2), 2)});
     tp.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -20,7 +20,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     // The threshold-sweep points come from the registry's
     // machine-readable metadata rather than hand-assembled names.
     std::vector<PolicySpec> specs;
@@ -42,9 +42,8 @@ main(int argc, char **argv)
     };
     const std::string base_name = name_of(16);
 
-    const SweepResult sweep = SweepConfig()
-                                  .policySpecs(specs)
-                                  .cliArgs(argc, argv)
+    const SweepResult sweep = cli.apply(SweepConfig()
+                                  .policySpecs(specs))
                                   .run();
     benchBanner("Figure 11: GSPZTC threshold sensitivity", sweep);
 
@@ -70,6 +69,5 @@ main(int argc, char **argv)
     std::cout << "percent change in LLC misses relative to t=16 "
               << "(positive = more misses)\n";
     tp.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

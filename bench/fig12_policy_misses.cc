@@ -18,20 +18,16 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult result =
-        SweepConfig()
+        cli.apply(SweepConfig()
             .policies({"DRRIP", "NRU", "SHiP-mem", "GS-DRRIP",
                        "GSPZTC", "GSPZTC+TSE", "GSPC", "GSPC+UCD",
-                       "DRRIP+UCD"})
-            .cliArgs(argc, argv)
+                       "DRRIP+UCD"}))
             .run();
     benchBanner("Figure 12: LLC misses across policies", result);
     result.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                 "DRRIP");
 
-    // --csv/--json <path>: dump every (app, frame, policy) cell for
-    // plotting / regression tracking.
-    exportSweepResult(argc, argv, result);
-    return benchExitCode(result);
+    return cli.finish(result);
 }

@@ -20,12 +20,11 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
+        cli.apply(SweepConfig()
             .policies({"DRRIP", "GS-DRRIP", "GSPZTC", "GSPZTC+TSE",
-                       "GSPC", "GSPC+UCD", "Belady"})
-            .cliArgs(argc, argv)
+                       "GSPC", "GSPC+UCD", "Belady"}))
             .run();
     benchBanner("Figure 13: per-policy stream behaviour (means)",
                 sweep);
@@ -39,7 +38,7 @@ main(int argc, char **argv)
     };
     std::map<std::string, Acc> acc;
     for (const SweepCell &cell : sweep.cells()) {
-        Acc &a = acc[cell.policy];
+        Acc &a = acc[cell.key.policy];
         const LlcStats &s = cell.result.stats;
         a.tex_hits += static_cast<double>(
             s.of(StreamType::Texture).hits);
@@ -67,6 +66,5 @@ main(int argc, char **argv)
                    fmtPct(safeRatio(a.z_hits, a.z_acc))});
     }
     tp.print(std::cout);
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -18,17 +18,15 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const SweepResult sweep =
-        SweepConfig()
+        cli.apply(SweepConfig()
             .policies({"DRRIP", "LRU", "DRRIP-4", "GS-DRRIP-4",
-                       "GSPC"})
-            .cliArgs(argc, argv)
+                       "GSPC"}))
             .run();
     benchBanner("Figure 14: iso-overhead policies (4 state bits)",
                 sweep);
     sweep.printNormalizedTable(std::cout, "LLC misses", missMetric,
                                "DRRIP");
-    exportSweepResult(argc, argv, sweep);
-    return benchExitCode(sweep);
+    return cli.finish(sweep);
 }

@@ -15,10 +15,10 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     runPerfFigure("Figure 15: performance on the 8 MB LLC",
                   GpuConfig::baseline(),
                   {"DRRIP+UCD", "NRU+UCD", "GS-DRRIP+UCD",
-                   "GSPC+UCD"}, argc, argv);
+                   "GSPC+UCD"}, cli);
     return 0;
 }

@@ -14,10 +14,10 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     runPerfFigure("Figure 16: performance on the 16 MB LLC",
                   GpuConfig::baseline16M(),
                   {"DRRIP+UCD", "NRU+UCD", "GS-DRRIP+UCD",
-                   "GSPC+UCD"}, argc, argv);
+                   "GSPC+UCD"}, cli);
     return 0;
 }

@@ -18,12 +18,12 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     runPerfFigure("Figure 17 upper: DDR3-1867 10-10-10",
                   GpuConfig::fastDram(),
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, cli);
     runPerfFigure("Figure 17 lower: 512-thread / 8-sampler GPU",
                   GpuConfig::lessAggressive(),
-                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, argc, argv);
+                  {"DRRIP+UCD", "NRU+UCD", "GSPC+UCD"}, cli);
     return 0;
 }

@@ -83,42 +83,42 @@ writePerfJson(std::ostream &os, const std::string &what,
 }
 
 /**
- * Handle "--csv <path>" / "--json <path>" for a perf figure (the
- * same flags the sweep-based harnesses take).
+ * Write the "--csv <path>" / "--json <path>" exports a BenchCli
+ * parsed (the same flags the sweep-based harnesses take).
  */
 inline void
-exportPerfFigure(int argc, char **argv, const std::string &what,
+exportPerfFigure(const BenchCli &cli, const std::string &what,
                  const std::vector<std::string> &policies,
                  const std::vector<PerfCell> &cells)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
-        if (flag != "--csv" && flag != "--json")
-            continue;
-        if (i + 1 >= argc)
-            fatal("%s requires a file path", flag.c_str());
-        std::ofstream os(argv[i + 1]);
+    if (!cli.csvPath().empty()) {
+        std::ofstream os(cli.csvPath());
         if (!os) {
-            warn("cannot write %s", argv[i + 1]);
-            continue;
-        }
-        if (flag == "--csv")
+            warn("cannot write %s", cli.csvPath().c_str());
+        } else {
             writePerfCsv(os, cells);
-        else
+            std::cout << "wrote " << cli.csvPath() << "\n";
+        }
+    }
+    if (!cli.jsonPath().empty()) {
+        std::ofstream os(cli.jsonPath());
+        if (!os) {
+            warn("cannot write %s", cli.jsonPath().c_str());
+        } else {
             writePerfJson(os, what, policies, cells);
-        std::cout << "wrote " << argv[i + 1] << "\n";
-        ++i;
+            std::cout << "wrote " << cli.jsonPath() << "\n";
+        }
     }
 }
 
 /**
  * Simulate the frame set on @p gpu and print normalized FPS; pass
- * main's @p argc / @p argv through for the export flags.
+ * main's BenchCli through for the shared export flags.
  */
 inline void
 runPerfFigure(const std::string &what, const GpuConfig &gpu,
               const std::vector<std::string> &policies,
-              int argc = 0, char **argv = nullptr,
+              const BenchCli &cli,
               const std::string &baseline = "DRRIP+UCD")
 {
     const RenderScale scale = scaleFromEnv();
@@ -249,7 +249,7 @@ runPerfFigure(const std::string &what, const GpuConfig &gpu,
     }
     std::cout << "\n\n";
 
-    exportPerfFigure(argc, argv, what, policies, cells);
+    exportPerfFigure(cli, what, policies, cells);
 }
 
 } // namespace gllc

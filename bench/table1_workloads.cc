@@ -14,7 +14,7 @@ using namespace gllc;
 int
 main(int argc, char **argv)
 {
-    BenchObservability obs(argc, argv);
+    BenchCli cli(argc, argv);
     const RenderScale scale = scaleFromEnv();
     std::cout << "=== Table 1: DirectX applications (scale "
               << scale.linear << ") ===\n\n";

@@ -70,9 +70,9 @@ main(int argc, char **argv)
     double drrip = 0, paper = 0, cand = 0;
     for (const SweepCell &cell : sweep.cells()) {
         const double misses = missMetric(cell.result);
-        if (cell.policy == "DRRIP")
+        if (cell.key.policy == "DRRIP")
             drrip += misses;
-        else if (cell.policy == "GSPC+UCD")
+        else if (cell.key.policy == "GSPC+UCD")
             paper += misses;
         else
             cand += misses;

@@ -1,0 +1,56 @@
+#include "analysis/cell_key.hh"
+
+#include "common/hash.hh"
+#include "workload/app_profile.hh"
+
+namespace gllc
+{
+
+std::string
+CellKey::toString() const
+{
+    return app + " frame " + std::to_string(frameIndex) + " "
+        + policy;
+}
+
+std::uint64_t
+CellKey::hash() const
+{
+    // Chain the fields through one fnv stream with separators so
+    // ("ab", "c") and ("a", "bc") cannot collide.
+    std::uint64_t h = fnv1a64(app);
+    h = fnv1a64("\x1f", 1, h);
+    const std::uint32_t frame = frameIndex;
+    h = fnv1a64(&frame, sizeof(frame), h);
+    h = fnv1a64("\x1f", 1, h);
+    return fnv1a64(policy, h);
+}
+
+std::size_t
+appTableRank(const std::string &app)
+{
+    const std::vector<AppProfile> &apps = paperApps();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        if (apps[i].name == app)
+            return i;
+    }
+    return apps.size();
+}
+
+bool
+operator<(const CellKey &a, const CellKey &b)
+{
+    const std::size_t rank_a = appTableRank(a.app);
+    const std::size_t rank_b = appTableRank(b.app);
+    if (rank_a != rank_b)
+        return rank_a < rank_b;
+    // Two unknown applications share the sentinel rank; fall back to
+    // their names so the order stays total.
+    if (a.app != b.app)
+        return a.app < b.app;
+    if (a.frameIndex != b.frameIndex)
+        return a.frameIndex < b.frameIndex;
+    return a.policy < b.policy;
+}
+
+} // namespace gllc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The typed identity of one sweep cell.
+ *
+ * Every layer that names a (frame, policy) replay — the sweep
+ * engine, the checkpoint journal, the service result store, the
+ * CSV/JSON reports — used to carry the three coordinates as loose
+ * fields or ad-hoc "app\x1fframe\x1fpolicy" strings.  CellKey is the
+ * one shared value type: comparable, hashable, and ordered the way
+ * the paper orders its tables (applications in Table-1 order, frames
+ * ascending within an application, policies lexicographic within a
+ * frame), so a container keyed by CellKey iterates in report order
+ * for free.
+ */
+
+#ifndef GLLC_ANALYSIS_CELL_KEY_HH
+#define GLLC_ANALYSIS_CELL_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gllc
+{
+
+/** (application, frame, policy) coordinates of one sweep cell. */
+struct CellKey
+{
+    std::string app;
+    std::uint32_t frameIndex = 0;
+    std::string policy;
+
+    bool
+    operator==(const CellKey &other) const
+    {
+        return frameIndex == other.frameIndex && app == other.app
+            && policy == other.policy;
+    }
+    bool operator!=(const CellKey &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** "app frame N policy" for logs and error messages. */
+    std::string toString() const;
+
+    /** Stable 64-bit content hash (fnv1a64 over the coordinates). */
+    std::uint64_t hash() const;
+};
+
+/**
+ * Table-1 ordering: applications in paperApps() order (names the
+ * paper does not know sort after them, lexicographically), then
+ * frame index, then policy name.  This is the iteration order of the
+ * checkpoint map and the deterministic merge order of the sweep.
+ */
+bool operator<(const CellKey &a, const CellKey &b);
+
+/**
+ * Rank of @p app in the paper's Table 1 (paperApps() index), or a
+ * rank past every known application for foreign names.
+ */
+std::size_t appTableRank(const std::string &app);
+
+} // namespace gllc
+
+#endif // GLLC_ANALYSIS_CELL_KEY_HH

@@ -88,18 +88,20 @@ headerLine(const CheckpointMeta &meta)
     return sealLine(std::move(line));
 }
 
+} // namespace
+
 std::string
-cellLine(const SweepCell &cell)
+checkpointCellLine(const SweepCell &cell)
 {
     const LlcStats &s = cell.result.stats;
     const Characterization &ch = cell.result.characterization;
 
     std::string line = "{\"app\":\"";
-    line += jsonEscape(cell.app);
+    line += jsonEscape(cell.key.app);
     line += "\",\"frame\":";
-    appendU64(line, cell.frameIndex);
+    appendU64(line, cell.key.frameIndex);
     line += ",\"policy\":\"";
-    line += jsonEscape(cell.policy);
+    line += jsonEscape(cell.key.policy);
     line += "\",\"attempts\":";
     appendU64(line, cell.attempts);
     line += ",\"streams\":[";
@@ -135,6 +137,9 @@ cellLine(const SweepCell &cell)
     line += ']';
     return sealLine(std::move(line));
 }
+
+namespace
+{
 
 /**
  * Strict sequential parser for the exact shape the emitters above
@@ -284,21 +289,23 @@ parseHeaderLine(std::string line, CheckpointMeta &meta)
     return c.i == line.size();
 }
 
+} // namespace
+
 bool
-parseCellLine(std::string line, SweepCell &cell)
+parseCheckpointCellLine(std::string line, SweepCell &cell)
 {
     if (!verifyLineHash(line))
         return false;
     Cursor c{line};
     std::uint64_t v = 0;
-    if (!c.lit("{\"app\":") || !c.str(cell.app))
+    if (!c.lit("{\"app\":") || !c.str(cell.key.app))
         return false;
     if (!c.lit(",\"frame\":") || !c.u64(v))
         return false;
-    cell.frameIndex = static_cast<std::uint32_t>(v);
+    cell.key.frameIndex = static_cast<std::uint32_t>(v);
     if (!c.lit(",\"policy\":"))
         return false;
-    if (!c.str(cell.policy))
+    if (!c.str(cell.key.policy))
         return false;
     if (!c.lit(",\"attempts\":") || !c.u64(v))
         return false;
@@ -349,22 +356,12 @@ parseCellLine(std::string line, SweepCell &cell)
     return c.lit("]") && c.i == line.size();
 }
 
-} // namespace
-
 bool
 CheckpointMeta::operator==(const CheckpointMeta &other) const
 {
     return scaleLinear == other.scaleLinear
         && llcBytes == other.llcBytes && llcWays == other.llcWays
         && llcBanks == other.llcBanks && policies == other.policies;
-}
-
-std::string
-checkpointCellKey(const std::string &app, std::uint32_t frame_index,
-                  const std::string &policy)
-{
-    return app + '\x1f' + std::to_string(frame_index) + '\x1f'
-        + policy;
 }
 
 Result<CheckpointContents>
@@ -389,14 +386,13 @@ loadCheckpoint(const std::string &path)
         if (line.empty())
             continue;
         SweepCell cell;
-        if (!parseCellLine(line, cell)) {
+        if (!parseCheckpointCellLine(line, cell)) {
             // The torn tail of a killed run lands here; its work is
             // simply re-done.
             ++contents.skippedLines;
             continue;
         }
-        const std::string key = checkpointCellKey(
-            cell.app, cell.frameIndex, cell.policy);
+        const CellKey key = cell.key;
         contents.cells[key] = std::move(cell);
     }
     return contents;
@@ -456,7 +452,7 @@ CheckpointWriter::append(const SweepCell &cell)
 {
     if (file_ == nullptr)
         return;
-    const std::string line = cellLine(cell);
+    const std::string line = checkpointCellLine(cell);
     if (std::fwrite(line.data(), 1, line.size(), file_)
         != line.size()) {
         warn("checkpoint write to \"%s\" failed; journal disabled "

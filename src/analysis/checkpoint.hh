@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cell_key.hh"
 #include "common/result.hh"
 
 namespace gllc
@@ -55,22 +56,36 @@ struct CheckpointMeta
     }
 };
 
-/** Composite lookup key of one journaled cell. */
-std::string checkpointCellKey(const std::string &app,
-                              std::uint32_t frame_index,
-                              const std::string &policy);
-
 /** Everything a journal held that survived validation. */
 struct CheckpointContents
 {
     CheckpointMeta meta;
 
-    /** checkpointCellKey() -> restored cell. */
-    std::map<std::string, SweepCell> cells;
+    /**
+     * Restored cells by typed key.  (Old journals parse into the
+     * same map: the on-disk line format names the key fields
+     * explicitly, so nothing about this container is persisted.)
+     */
+    std::map<CellKey, SweepCell> cells;
 
     /** Torn/corrupt lines that were skipped (telemetry). */
     std::size_t skippedLines = 0;
 };
+
+/**
+ * Serialize one completed cell as a sealed journal line (trailing
+ * "line_hash" checksum and newline included).  The sweep service's
+ * worker protocol reuses these exact bytes as its result frames, so
+ * a cell survives a socket the same way it survives a crash.
+ */
+std::string checkpointCellLine(const SweepCell &cell);
+
+/**
+ * Parse and verify one sealed cell line; false on any deviation
+ * (torn tail, bit rot, wrong shape) — the caller skips, never
+ * trusts, a bad line.
+ */
+bool parseCheckpointCellLine(std::string line, SweepCell &cell);
 
 /**
  * Parse a journal.  Io/Corrupt errors cover an unreadable file or

@@ -1,0 +1,316 @@
+#include "analysis/job_spec.hh"
+
+#include <set>
+
+#include "analysis/policy_table.hh"
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "workload/app_profile.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+void
+appendFrames(std::string &out,
+             const std::vector<SweepJobFrame> &frames)
+{
+    out += "\"frames\":[";
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (i)
+            out += ',';
+        out += "{\"app\":\"";
+        out += jsonEscape(frames[i].app);
+        out += "\",\"frame\":";
+        out += std::to_string(frames[i].frameIndex);
+        out += '}';
+    }
+    out += ']';
+}
+
+void
+appendScale(std::string &out, std::uint32_t linear, bool scatter)
+{
+    out += "\"scale\":{\"linear\":";
+    out += std::to_string(linear);
+    out += ",\"scatter_pages\":";
+    out += scatter ? "true" : "false";
+    out += '}';
+}
+
+const char *
+boolWord(bool v)
+{
+    return v ? "true" : "false";
+}
+
+} // namespace
+
+bool
+SweepJobSpec::operator==(const SweepJobSpec &other) const
+{
+    return policies == other.policies && frames == other.frames
+        && scaleLinear == other.scaleLinear
+        && scatterPages == other.scatterPages
+        && llcBytes == other.llcBytes
+        && collectDramTrace == other.collectDramTrace
+        && threads == other.threads
+        && frameWindow == other.frameWindow
+        && progress == other.progress && retries == other.retries
+        && backoffMs == other.backoffMs
+        && cellTimeoutMs == other.cellTimeoutMs
+        && checkpoint == other.checkpoint && resume == other.resume;
+}
+
+std::string
+SweepJobSpec::identityJson() const
+{
+    std::string out = "{\"gllc_sweep_job\":";
+    out += std::to_string(kVersion);
+    out += ",\"policies\":[";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '"';
+        out += jsonEscape(policies[i]);
+        out += '"';
+    }
+    out += "],";
+    appendFrames(out, frames);
+    out += ',';
+    appendScale(out, scaleLinear, scatterPages);
+    out += ",\"llc_bytes\":";
+    out += std::to_string(llcBytes);
+    out += '}';
+    return out;
+}
+
+std::string
+SweepJobSpec::toJson() const
+{
+    std::string out = identityJson();
+    // Splice the execution knobs into the identity object: drop the
+    // closing brace and continue the canonical field order.
+    out.pop_back();
+    out += ",\"collect_dram_trace\":";
+    out += boolWord(collectDramTrace);
+    out += ",\"threads\":";
+    out += std::to_string(threads);
+    out += ",\"frame_window\":";
+    out += std::to_string(frameWindow);
+    out += ",\"progress\":";
+    out += boolWord(progress);
+    out += ",\"retries\":";
+    out += std::to_string(retries);
+    out += ",\"backoff_ms\":";
+    out += std::to_string(backoffMs);
+    out += ",\"cell_timeout_ms\":";
+    out += std::to_string(cellTimeoutMs);
+    out += ",\"checkpoint\":\"";
+    out += jsonEscape(checkpoint);
+    out += "\",\"resume\":";
+    out += boolWord(resume);
+    out += '}';
+    return out;
+}
+
+std::uint64_t
+SweepJobSpec::contentHash() const
+{
+    return fnv1a64(identityJson());
+}
+
+std::uint64_t
+SweepJobSpec::traceHash() const
+{
+    std::string out = "{\"gllc_sweep_traces\":";
+    out += std::to_string(kVersion);
+    out += ',';
+    appendFrames(out, frames);
+    out += ',';
+    appendScale(out, scaleLinear, scatterPages);
+    out += '}';
+    return fnv1a64(out);
+}
+
+Result<Unit>
+SweepJobSpec::validate() const
+{
+    if (policies.empty())
+        return Error(ErrorCode::InvalidArgument,
+                     "job spec has no policies");
+    if (frames.empty())
+        return Error(ErrorCode::InvalidArgument,
+                     "job spec has no frames");
+    if (scaleLinear == 0)
+        return Error(ErrorCode::InvalidArgument,
+                     "job spec scale must be >= 1");
+    if (llcBytes == 0)
+        return Error(ErrorCode::InvalidArgument,
+                     "job spec llc_bytes must be > 0");
+    for (const std::string &name : policies) {
+        Result<PolicySpec> spec = tryPolicySpec(name);
+        if (!spec.ok())
+            return spec.error();
+    }
+    std::set<std::string> known;
+    for (const AppProfile &app : paperApps())
+        known.insert(app.name);
+    for (const SweepJobFrame &frame : frames) {
+        if (known.count(frame.app) == 0)
+            return Error::format(ErrorCode::InvalidArgument,
+                                 "unknown application \"%s\"",
+                                 frame.app.c_str());
+    }
+    return Unit{};
+}
+
+Result<SweepJobSpec>
+parseSweepJobSpec(const std::string &json)
+{
+    Result<JsonValue> parsed = parseJson(json);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue doc = parsed.take();
+    if (!doc.isObject())
+        return Error(ErrorCode::InvalidArgument,
+                     "job spec must be a JSON object");
+
+    SweepJobSpec spec;
+    bool saw_version = false;
+    bool saw_policies = false;
+    bool saw_frames = false;
+    bool saw_scale = false;
+    bool saw_llc = false;
+
+    for (const auto &[key, value] : doc.members()) {
+        if (key == "gllc_sweep_job") {
+            Result<std::uint64_t> v = value.asU64(key.c_str());
+            if (!v.ok())
+                return v.error();
+            if (v.value() != SweepJobSpec::kVersion)
+                return Error::format(
+                    ErrorCode::BadVersion,
+                    "job spec version %llu unsupported",
+                    static_cast<unsigned long long>(v.value()));
+            saw_version = true;
+        } else if (key == "policies") {
+            if (!value.isArray())
+                return Error(ErrorCode::InvalidArgument,
+                             "policies: expected an array");
+            for (const JsonValue &item : value.items()) {
+                Result<std::string> name = item.asString("policy");
+                if (!name.ok())
+                    return name.error();
+                spec.policies.push_back(name.take());
+            }
+            saw_policies = true;
+        } else if (key == "frames") {
+            if (!value.isArray())
+                return Error(ErrorCode::InvalidArgument,
+                             "frames: expected an array");
+            for (const JsonValue &item : value.items()) {
+                if (!item.isObject())
+                    return Error(ErrorCode::InvalidArgument,
+                                 "frames: expected objects");
+                const JsonValue *app = item.find("app");
+                const JsonValue *frame = item.find("frame");
+                if (app == nullptr || frame == nullptr)
+                    return Error(ErrorCode::InvalidArgument,
+                                 "frame entry needs app and frame");
+                SweepJobFrame ref;
+                Result<std::string> name = app->asString("app");
+                if (!name.ok())
+                    return name.error();
+                ref.app = name.take();
+                Result<std::uint64_t> index =
+                    frame->asU64("frame");
+                if (!index.ok())
+                    return index.error();
+                ref.frameIndex =
+                    static_cast<std::uint32_t>(index.value());
+                spec.frames.push_back(std::move(ref));
+            }
+            saw_frames = true;
+        } else if (key == "scale") {
+            if (!value.isObject())
+                return Error(ErrorCode::InvalidArgument,
+                             "scale: expected an object");
+            const JsonValue *linear = value.find("linear");
+            const JsonValue *scatter =
+                value.find("scatter_pages");
+            if (linear == nullptr || scatter == nullptr)
+                return Error(ErrorCode::InvalidArgument,
+                             "scale needs linear and scatter_pages");
+            Result<std::uint64_t> lin = linear->asU64("linear");
+            if (!lin.ok())
+                return lin.error();
+            spec.scaleLinear =
+                static_cast<std::uint32_t>(lin.value());
+            Result<bool> sc = scatter->asBool("scatter_pages");
+            if (!sc.ok())
+                return sc.error();
+            spec.scatterPages = sc.value();
+            saw_scale = true;
+        } else if (key == "llc_bytes") {
+            Result<std::uint64_t> v = value.asU64(key.c_str());
+            if (!v.ok())
+                return v.error();
+            spec.llcBytes = v.value();
+            saw_llc = true;
+        } else if (key == "collect_dram_trace") {
+            Result<bool> v = value.asBool(key.c_str());
+            if (!v.ok())
+                return v.error();
+            spec.collectDramTrace = v.value();
+        } else if (key == "threads" || key == "frame_window"
+                   || key == "retries" || key == "backoff_ms"
+                   || key == "cell_timeout_ms") {
+            Result<std::uint64_t> v = value.asU64(key.c_str());
+            if (!v.ok())
+                return v.error();
+            const std::uint32_t u =
+                static_cast<std::uint32_t>(v.value());
+            if (key == "threads")
+                spec.threads = u;
+            else if (key == "frame_window")
+                spec.frameWindow = u;
+            else if (key == "retries")
+                spec.retries = u;
+            else if (key == "backoff_ms")
+                spec.backoffMs = u;
+            else
+                spec.cellTimeoutMs = u;
+        } else if (key == "progress" || key == "resume") {
+            Result<bool> v = value.asBool(key.c_str());
+            if (!v.ok())
+                return v.error();
+            if (key == "progress")
+                spec.progress = v.value();
+            else
+                spec.resume = v.value();
+        } else if (key == "checkpoint") {
+            Result<std::string> v = value.asString(key.c_str());
+            if (!v.ok())
+                return v.error();
+            spec.checkpoint = v.take();
+        } else {
+            return Error::format(ErrorCode::InvalidArgument,
+                                 "unknown job spec key \"%s\"",
+                                 key.c_str());
+        }
+    }
+
+    if (!saw_version)
+        return Error(ErrorCode::BadMagic,
+                     "not a job spec: missing gllc_sweep_job");
+    if (!saw_policies || !saw_frames || !saw_scale || !saw_llc)
+        return Error(ErrorCode::InvalidArgument,
+                     "job spec missing identity fields (policies, "
+                     "frames, scale, llc_bytes)");
+    return spec;
+}
+
+} // namespace gllc

@@ -34,10 +34,10 @@ stripSuffix(std::string &name, const std::string &suffix)
     return false;
 }
 
-PolicySpec
-baseSpec(const std::string &name)
+/** Fill @p spec for a base name; false when the name is unknown. */
+bool
+baseSpec(const std::string &name, PolicySpec &spec)
 {
-    PolicySpec spec;
     spec.name = name;
     spec.baseName = name;
 
@@ -90,23 +90,32 @@ baseSpec(const std::string &name)
             spec.factory =
                 GspcFamilyPolicy::factory(GspcVariant::Gspztc, t);
         } else {
-            fatal("unknown policy \"%s\"", name.c_str());
+            return false;
         }
     }
-    return spec;
+    return true;
 }
 
 } // namespace
 
-PolicySpec
-policySpec(const std::string &name)
+Result<PolicySpec>
+tryPolicySpec(const std::string &name)
 {
     std::string base = name;
     const bool ucd = stripSuffix(base, "+UCD");
-    PolicySpec spec = baseSpec(base);
+    PolicySpec spec;
+    if (!baseSpec(base, spec))
+        return Error::format(ErrorCode::InvalidArgument,
+                             "unknown policy \"%s\"", name.c_str());
     spec.name = name;
     spec.uncachedDisplay = ucd;
     return spec;
+}
+
+PolicySpec
+policySpec(const std::string &name)
+{
+    return tryPolicySpec(name).takeOrFatal();
 }
 
 const std::vector<unsigned> &

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/replacement.hh"
+#include "common/result.hh"
 
 namespace gllc
 {
@@ -50,6 +51,13 @@ struct PolicySpec
  * fatal.
  */
 PolicySpec policySpec(const std::string &name);
+
+/**
+ * Non-fatal lookup: InvalidArgument for unknown names.  The sweep
+ * service validates client-submitted job specs through this so a bad
+ * request is rejected instead of killing the daemon.
+ */
+Result<PolicySpec> tryPolicySpec(const std::string &name);
 
 /** All registered base policy names (no UCD variants). */
 std::vector<std::string> allPolicyNames();

@@ -52,7 +52,8 @@ writeSweepCsv(const SweepResult &result, std::ostream &os)
     for (const SweepCell &cell : result.cells()) {
         const LlcStats &s = cell.result.stats;
         const Characterization &ch = cell.result.characterization;
-        os << cell.app << ',' << cell.frameIndex << ',' << cell.policy
+        os << cell.key.app << ',' << cell.key.frameIndex << ','
+           << cell.key.policy
            << ",ok," << cell.attempts << ',' << s.totalAccesses()
            << ',' << s.totalHits() << ',' << s.totalMisses() << ','
            << s.writebacks << ',' << s.hitRate(StreamType::Texture)
@@ -65,7 +66,8 @@ writeSweepCsv(const SweepResult &result, std::ostream &os)
     // join on app/frame/policy must see the hole, not infer it):
     // stats columns stay empty, the error says why.
     for (const QuarantinedCell &q : result.quarantined()) {
-        os << q.app << ',' << q.frameIndex << ',' << q.policy
+        os << q.key.app << ',' << q.key.frameIndex << ','
+           << q.key.policy
            << ",quarantined," << q.attempts << ",,,,,,,,,,,,"
            << csvQuote(q.error) << '\n';
     }
@@ -90,9 +92,9 @@ writeSweepJson(const SweepResult &result, std::ostream &os)
         const SweepCell &cell = result.cells()[i];
         const LlcStats &s = cell.result.stats;
         const Characterization &ch = cell.result.characterization;
-        os << "    {\"app\": \"" << jsonEscape(cell.app)
-           << "\", \"frame\": " << cell.frameIndex
-           << ", \"policy\": \"" << jsonEscape(cell.policy)
+        os << "    {\"app\": \"" << jsonEscape(cell.key.app)
+           << "\", \"frame\": " << cell.key.frameIndex
+           << ", \"policy\": \"" << jsonEscape(cell.key.policy)
            << "\", \"accesses\": " << s.totalAccesses()
            << ", \"hits\": " << s.totalHits()
            << ", \"misses\": " << s.totalMisses()
@@ -112,8 +114,9 @@ writeSweepJson(const SweepResult &result, std::ostream &os)
     for (std::size_t i = 0; i < result.quarantined().size(); ++i) {
         const QuarantinedCell &q = result.quarantined()[i];
         os << (i ? ",\n    " : "\n    ") << "{\"app\": \""
-           << jsonEscape(q.app) << "\", \"frame\": " << q.frameIndex
-           << ", \"policy\": \"" << jsonEscape(q.policy)
+           << jsonEscape(q.key.app)
+           << "\", \"frame\": " << q.key.frameIndex
+           << ", \"policy\": \"" << jsonEscape(q.key.policy)
            << "\", \"attempts\": " << q.attempts
            << ", \"error\": \"" << jsonEscape(q.error) << "\"}";
     }

@@ -221,9 +221,10 @@ injectCellFaults(const SweepCell &cell, unsigned attempt)
     if (!faultsActive())
         return;
     const std::uint64_t key =
-        fnv1a64(cell.policy, fnv1a64(cell.app))
-        ^ mix64((static_cast<std::uint64_t>(cell.frameIndex) << 8)
-                | attempt);
+        fnv1a64(cell.key.policy, fnv1a64(cell.key.app))
+        ^ mix64(
+            (static_cast<std::uint64_t>(cell.key.frameIndex) << 8)
+            | attempt);
     if (faultFires(FaultSite::CellDelay, key))
         std::this_thread::sleep_for(
             std::chrono::milliseconds(kInjectedDelayMs));
@@ -392,53 +393,97 @@ SweepConfig::policyNames() const
     return names;
 }
 
-unsigned
-SweepConfig::resolvedThreads() const
+SweepJobSpec
+SweepConfig::resolve() const
 {
-    return sweepThreads(threads_);
+    SweepJobSpec spec;
+    spec.policies = policyNames();
+    spec.frames.reserve(frames_.size());
+    for (const FrameSpec &frame : frames_)
+        spec.frames.push_back(
+            {frame.app->name, frame.frameIndex});
+    spec.scaleLinear = scale_.linear;
+    spec.scatterPages = scale_.scatterPages;
+    spec.llcBytes = fullLlcBytes_;
+
+    spec.collectDramTrace = collectDram_;
+    spec.threads = sweepThreads(threads_);
+    if (frameWindow_ > 0) {
+        spec.frameWindow = frameWindow_;
+    } else {
+        const std::int64_t env = envInt("GLLC_FRAME_WINDOW", 0);
+        // 0 stays 0: "2x threads", applied by run() once the
+        // frame count is known.
+        spec.frameWindow =
+            env > 0 ? static_cast<std::uint32_t>(env) : 0;
+    }
+    spec.progress = progressEnabled(progress_);
+    if (retries_ >= 0) {
+        spec.retries = static_cast<unsigned>(retries_);
+    } else {
+        const std::int64_t env = envInt("GLLC_CELL_RETRIES", 2);
+        spec.retries = env >= 0 ? static_cast<unsigned>(env) : 0;
+    }
+    if (backoffMs_ >= 0) {
+        spec.backoffMs = static_cast<unsigned>(backoffMs_);
+    } else {
+        const std::int64_t env = envInt("GLLC_CELL_BACKOFF_MS", 25);
+        spec.backoffMs = env >= 0 ? static_cast<unsigned>(env) : 0;
+    }
+    if (cellTimeoutMs_ >= 0) {
+        spec.cellTimeoutMs = static_cast<unsigned>(cellTimeoutMs_);
+    } else {
+        const std::int64_t env = envInt("GLLC_CELL_TIMEOUT_MS", 0);
+        spec.cellTimeoutMs =
+            env > 0 ? static_cast<unsigned>(env) : 0;
+    }
+    spec.checkpoint = !checkpoint_.empty()
+                          ? checkpoint_
+                          : envString("GLLC_CHECKPOINT", "");
+    spec.resume = resume_ >= 0 ? resume_ != 0
+                               : envInt("GLLC_RESUME", 0) != 0;
+    return spec;
 }
 
-unsigned
-SweepConfig::resolvedRetries() const
+SweepConfig
+SweepConfig::fromSpec(const SweepJobSpec &spec)
 {
-    if (retries_ >= 0)
-        return static_cast<unsigned>(retries_);
-    const std::int64_t env = envInt("GLLC_CELL_RETRIES", 2);
-    return env >= 0 ? static_cast<unsigned>(env) : 0;
-}
+    SweepConfig cfg;
+    cfg.policies(spec.policies);
 
-unsigned
-SweepConfig::resolvedBackoffMs() const
-{
-    if (backoffMs_ >= 0)
-        return static_cast<unsigned>(backoffMs_);
-    const std::int64_t env = envInt("GLLC_CELL_BACKOFF_MS", 25);
-    return env >= 0 ? static_cast<unsigned>(env) : 0;
-}
+    std::vector<FrameSpec> frames;
+    frames.reserve(spec.frames.size());
+    for (const SweepJobFrame &frame : spec.frames) {
+        const AppProfile *app = nullptr;
+        for (const AppProfile &candidate : paperApps()) {
+            if (candidate.name == frame.app) {
+                app = &candidate;
+                break;
+            }
+        }
+        if (app == nullptr)
+            fatal("job spec names unknown application \"%s\"",
+                  frame.app.c_str());
+        frames.push_back({app, frame.frameIndex});
+    }
+    cfg.frames(std::move(frames));
 
-unsigned
-SweepConfig::resolvedCellTimeoutMs() const
-{
-    if (cellTimeoutMs_ >= 0)
-        return static_cast<unsigned>(cellTimeoutMs_);
-    const std::int64_t env = envInt("GLLC_CELL_TIMEOUT_MS", 0);
-    return env > 0 ? static_cast<unsigned>(env) : 0;
-}
+    RenderScale scale;
+    scale.linear = spec.scaleLinear;
+    scale.scatterPages = spec.scatterPages;
+    cfg.scale(scale);
+    cfg.llcBytes(spec.llcBytes);
 
-std::string
-SweepConfig::resolvedCheckpoint() const
-{
-    if (!checkpoint_.empty())
-        return checkpoint_;
-    return envString("GLLC_CHECKPOINT", "");
-}
-
-bool
-SweepConfig::resolvedResume() const
-{
-    if (resume_ >= 0)
-        return resume_ != 0;
-    return envInt("GLLC_RESUME", 0) != 0;
+    cfg.collectDramTrace(spec.collectDramTrace);
+    cfg.threads(spec.threads > 0 ? spec.threads : 1);
+    cfg.frameWindow(spec.frameWindow);
+    cfg.progress(spec.progress);
+    cfg.retries(static_cast<int>(spec.retries));
+    cfg.backoffMs(static_cast<int>(spec.backoffMs));
+    cfg.cellTimeoutMs(static_cast<int>(spec.cellTimeoutMs));
+    cfg.checkpoint(spec.checkpoint);
+    cfg.resume(spec.resume);
+    return cfg;
 }
 
 SweepResult
@@ -446,16 +491,19 @@ SweepConfig::run(const CellObserver &observer) const
 {
     GLLC_ASSERT(!specs_.empty());
 
+    // One resolution point: every knob below comes from the spec,
+    // never from a second look at the environment.
+    const SweepJobSpec job = resolve();
+
     const std::size_t num_policies = specs_.size();
     const std::size_t num_frames = frames_.size();
     const std::size_t num_cells = num_frames * num_policies;
-    const unsigned nthreads = resolvedThreads();
-    const unsigned max_attempts = resolvedRetries() + 1;
-    const unsigned backoff_ms = resolvedBackoffMs();
-    const unsigned timeout_ms = resolvedCellTimeoutMs();
-    const std::string checkpoint_path = resolvedCheckpoint();
-    const bool resuming =
-        resolvedResume() && !checkpoint_path.empty();
+    const unsigned nthreads = job.threads;
+    const unsigned max_attempts = job.retries + 1;
+    const unsigned backoff_ms = job.backoffMs;
+    const unsigned timeout_ms = job.cellTimeoutMs;
+    const std::string &checkpoint_path = job.checkpoint;
+    const bool resuming = job.resume && !checkpoint_path.empty();
 
     SweepResult result;
     result.policies_ = policyNames();
@@ -511,9 +559,9 @@ SweepConfig::run(const CellObserver &observer) const
             for (std::size_t f = 0; f < num_frames; ++f) {
                 for (std::size_t p = 0; p < num_policies; ++p) {
                     const auto it = contents.cells.find(
-                        checkpointCellKey(frames_[f].app->name,
-                                          frames_[f].frameIndex,
-                                          specs_[p].name));
+                        CellKey{frames_[f].app->name,
+                                frames_[f].frameIndex,
+                                specs_[p].name});
                     if (it == contents.cells.end())
                         continue;
                     const std::size_t k = f * num_policies + p;
@@ -533,10 +581,7 @@ SweepConfig::run(const CellObserver &observer) const
             checkpoint_path, meta, journal_append);
 
     // Window of frames whose traces live in memory concurrently.
-    std::size_t window = frameWindow_;
-    if (window == 0)
-        window = static_cast<std::size_t>(
-            envInt("GLLC_FRAME_WINDOW", 0));
+    std::size_t window = job.frameWindow;
     if (window == 0)
         window = 2 * static_cast<std::size_t>(nthreads);
     // Each in-flight cell of a DRAM-trace run retains a bulky
@@ -546,7 +591,7 @@ SweepConfig::run(const CellObserver &observer) const
     window = std::max<std::size_t>(1,
                                    std::min(window, num_frames));
 
-    ProgressMeter progress(progressEnabled(progress_), num_cells);
+    ProgressMeter progress(job.progress, num_cells);
     const auto start = std::chrono::steady_clock::now();
 
     CellWatchdog watchdog(
@@ -564,21 +609,19 @@ SweepConfig::run(const CellObserver &observer) const
     const auto replay_cell = [this](SweepCell &cell,
                                     const FrameTrace &trace,
                                     const PolicySpec &spec) {
-        TraceSpan span("cell",
-                       cell.app + " frame "
-                           + std::to_string(cell.frameIndex) + " "
-                           + cell.policy,
-                       {{"app", cell.app},
-                        {"frame", std::to_string(cell.frameIndex)},
-                        {"policy", cell.policy}});
+        TraceSpan span(
+            "cell", cell.key.toString(),
+            {{"app", cell.key.app},
+             {"frame", std::to_string(cell.key.frameIndex)},
+             {"policy", cell.key.policy}});
         RunOptions options;
         options.collectDramTrace = collectDram_;
         if (auditActive()) {
             // Name the cell in any audit report, so a violation in a
             // concurrent sweep aborts with its exact coordinates.
             AuditScope scope;
-            auditContext().app = cell.app;
-            auditContext().frame = cell.frameIndex;
+            auditContext().app = cell.key.app;
+            auditContext().frame = cell.key.frameIndex;
             cell.result = runTrace(trace, spec, llcConfig_, options);
         } else {
             cell.result = runTrace(trace, spec, llcConfig_, options);
@@ -596,9 +639,7 @@ SweepConfig::run(const CellObserver &observer) const
                                   const FrameTrace &trace) {
         const PolicySpec &spec = specs_[k % num_policies];
         SweepCell &cell = cells[k];
-        cell.app = frame.app->name;
-        cell.frameIndex = frame.frameIndex;
-        cell.policy = spec.name;
+        cell.key = {frame.app->name, frame.frameIndex, spec.name};
         for (unsigned attempt = 1; attempt <= max_attempts;
              ++attempt) {
             cell.attempts = attempt;
@@ -620,9 +661,9 @@ SweepConfig::run(const CellObserver &observer) const
             }
         }
         states[k] = CellState::Quarantined;
-        warn("quarantined cell %s frame %u %s after %u attempt(s): "
-             "%s", cell.app.c_str(), cell.frameIndex,
-             cell.policy.c_str(), cell.attempts, errors[k].c_str());
+        warn("quarantined cell %s after %u attempt(s): %s",
+             cell.key.toString().c_str(), cell.attempts,
+             errors[k].c_str());
         if (metrics_on)
             MetricsRegistry::instance().addCounter(
                 "sweep.quarantined");
@@ -667,9 +708,8 @@ SweepConfig::run(const CellObserver &observer) const
                                         const FrameSpec &frame,
                                         const RenderedFrame &r) {
         SweepCell &cell = cells[k];
-        cell.app = frame.app->name;
-        cell.frameIndex = frame.frameIndex;
-        cell.policy = specs_[k % num_policies].name;
+        cell.key = {frame.app->name, frame.frameIndex,
+                    specs_[k % num_policies].name};
         cell.attempts = r.attempts;
         errors[k] = "frame render failed: " + r.error;
         states[k] = CellState::Quarantined;
@@ -801,8 +841,7 @@ SweepConfig::run(const CellObserver &observer) const
     for (std::size_t k = 0; k < num_cells; ++k) {
         if (states[k] == CellState::Quarantined) {
             result.quarantined_.push_back(
-                {cells[k].app, cells[k].frameIndex,
-                 cells[k].policy, errors[k], cells[k].attempts});
+                {cells[k].key, errors[k], cells[k].attempts});
             continue;
         }
         if (states[k] == CellState::Restored)
@@ -820,13 +859,34 @@ SweepConfig::run(const CellObserver &observer) const
 // SweepResult
 // ---------------------------------------------------------------
 
+SweepResult
+SweepResult::fromParts(std::vector<std::string> policies,
+                       const RenderScale &scale,
+                       const LlcConfig &llc_config,
+                       std::vector<SweepCell> cells,
+                       std::vector<QuarantinedCell> quarantined,
+                       std::size_t restored_cells,
+                       double wall_seconds, unsigned threads_used)
+{
+    SweepResult result;
+    result.policies_ = std::move(policies);
+    result.scale_ = scale;
+    result.llcConfig_ = llc_config;
+    result.cells_ = std::move(cells);
+    result.quarantined_ = std::move(quarantined);
+    result.restoredCells_ = restored_cells;
+    result.wallSeconds_ = wall_seconds;
+    result.threadsUsed_ = threads_used;
+    return result;
+}
+
 std::vector<std::string>
 SweepResult::appOrder() const
 {
     std::vector<std::string> order;
     for (const AppProfile &app : paperApps()) {
         for (const SweepCell &cell : cells_) {
-            if (cell.app == app.name) {
+            if (cell.key.app == app.name) {
                 order.push_back(app.name);
                 break;
             }
@@ -840,7 +900,8 @@ SweepResult::totalsByApp(const Metric &metric) const
 {
     std::map<std::string, std::map<std::string, double>> totals;
     for (const SweepCell &cell : cells_)
-        totals[cell.app][cell.policy] += metric(cell.result);
+        totals[cell.key.app][cell.key.policy] +=
+            metric(cell.result);
     return totals;
 }
 
@@ -857,20 +918,22 @@ SweepResult::meanNormalized(const Metric &metric,
     // Collect per-frame baseline values.
     std::map<std::pair<std::string, std::uint32_t>, double> base;
     for (const SweepCell &cell : cells_) {
-        if (cell.policy == baseline)
-            base[{cell.app, cell.frameIndex}] = metric(cell.result);
+        if (cell.key.policy == baseline)
+            base[{cell.key.app, cell.key.frameIndex}] =
+                metric(cell.result);
     }
 
     std::map<std::string, std::vector<double>> ratios;
     for (const SweepCell &cell : cells_) {
-        const auto it = base.find({cell.app, cell.frameIndex});
+        const auto it =
+            base.find({cell.key.app, cell.key.frameIndex});
         // A frame whose baseline cell was quarantined contributes
         // no ratios: partial results stay comparable.
         if (it == base.end())
             continue;
         if (it->second > 0.0)
-            ratios[cell.policy].push_back(metric(cell.result)
-                                          / it->second);
+            ratios[cell.key.policy].push_back(metric(cell.result)
+                                              / it->second);
     }
 
     std::map<std::string, double> means;

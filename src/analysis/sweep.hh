@@ -60,6 +60,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cell_key.hh"
+#include "analysis/job_spec.hh"
 #include "analysis/offline_sim.hh"
 #include "workload/frame_set.hh"
 
@@ -69,9 +71,9 @@ namespace gllc
 /** Results of one (frame, policy) replay. */
 struct SweepCell
 {
-    std::string app;
-    std::uint32_t frameIndex = 0;
-    std::string policy;
+    /** Logical coordinates: (app, frame, policy). */
+    CellKey key;
+
     RunResult result;
 
     /** Attempts the cell took (1 = first try; >1 = retries won). */
@@ -81,9 +83,7 @@ struct SweepCell
 /** A cell that exhausted its retry budget. */
 struct QuarantinedCell
 {
-    std::string app;
-    std::uint32_t frameIndex = 0;
-    std::string policy;
+    CellKey key;
     std::string error;
     unsigned attempts = 0;
 };
@@ -155,6 +155,20 @@ class SweepResult
     /** Machine-readable export (the writers live in report.cc). */
     void writeCsv(std::ostream &os) const;
     void writeJson(std::ostream &os) const;
+
+    /**
+     * Assemble a result from externally-computed parts — the sweep
+     * service reassembles worker-shard cells through this.  Cells
+     * and quarantined entries must already be in deterministic
+     * sweep order; run() produces results through its own path.
+     */
+    static SweepResult
+    fromParts(std::vector<std::string> policies,
+              const RenderScale &scale, const LlcConfig &llc_config,
+              std::vector<SweepCell> cells,
+              std::vector<QuarantinedCell> quarantined,
+              std::size_t restored_cells, double wall_seconds,
+              unsigned threads_used);
 
   private:
     friend class SweepConfig;
@@ -262,23 +276,47 @@ class SweepConfig
     /** Policy display names in configured order. */
     std::vector<std::string> policyNames() const;
 
-    /** Resolved worker-thread count (after env defaulting). */
-    unsigned resolvedThreads() const;
+    /**
+     * Resolve the config into a fully-defaulted SweepJobSpec: every
+     * environment fallback applied, every knob explicit.  This is
+     * the one place builder state meets the environment — run()
+     * consumes the resolved spec, and fromSpec(resolve()).run() is
+     * bit-identical to run().  Replaces the seven ad-hoc
+     * resolved*() getters (kept below as deprecated wrappers).
+     */
+    SweepJobSpec resolve() const;
 
-    /** Resolved retry budget (after env defaulting). */
-    unsigned resolvedRetries() const;
+    /**
+     * Rebuild a runnable config from a spec.  Every knob is set
+     * explicitly, so the environment is not consulted again.
+     * Unknown policy or application names are fatal; services
+     * validate() the spec first and reject bad jobs gracefully.
+     */
+    static SweepConfig fromSpec(const SweepJobSpec &spec);
 
-    /** Resolved first-retry backoff in ms (after env defaulting). */
-    unsigned resolvedBackoffMs() const;
-
-    /** Resolved soft watchdog budget in ms (after env defaulting). */
-    unsigned resolvedCellTimeoutMs() const;
-
-    /** Resolved checkpoint path (after env defaulting; "" = off). */
-    std::string resolvedCheckpoint() const;
-
-    /** Resolved resume switch (flag or GLLC_RESUME). */
-    bool resolvedResume() const;
+    // Deprecated pre-SweepJobSpec accessors.  Each resolves the
+    // whole spec and projects one field; migrate to resolve().
+    [[deprecated("use resolve().threads")]]
+    unsigned resolvedThreads() const { return resolve().threads; }
+    [[deprecated("use resolve().retries")]]
+    unsigned resolvedRetries() const { return resolve().retries; }
+    [[deprecated("use resolve().backoffMs")]]
+    unsigned resolvedBackoffMs() const
+    {
+        return resolve().backoffMs;
+    }
+    [[deprecated("use resolve().cellTimeoutMs")]]
+    unsigned resolvedCellTimeoutMs() const
+    {
+        return resolve().cellTimeoutMs;
+    }
+    [[deprecated("use resolve().checkpoint")]]
+    std::string resolvedCheckpoint() const
+    {
+        return resolve().checkpoint;
+    }
+    [[deprecated("use resolve().resume")]]
+    bool resolvedResume() const { return resolve().resume; }
 
   private:
     std::vector<PolicySpec> specs_;

@@ -186,6 +186,8 @@ faultSiteName(FaultSite site)
         return "sim.access";
       case FaultSite::DramSimulate:
         return "dram.simulate";
+      case FaultSite::WorkerCrash:
+        return "worker.crash";
       case FaultSite::kCount:
         break;
     }

@@ -23,6 +23,8 @@
  *   cell.delay      stall a sweep cell (exercises the watchdog)
  *   sim.access      throw out of the offline LLC replay loop
  *   dram.simulate   throw out of DramModel::simulate()
+ *   worker.crash    hard-exit a gllcd sweep worker mid-cell (the
+ *                   daemon must respawn and quarantine, never die)
  *
  * Determinism: each draw hashes (site seed, draw index) — or a
  * caller-provided key for the keyed overload, which the sweep uses
@@ -54,6 +56,7 @@ enum class FaultSite : std::uint8_t
     CellDelay,
     SimAccess,
     DramSimulate,
+    WorkerCrash,
     kCount
 };
 

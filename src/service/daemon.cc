@@ -1,0 +1,434 @@
+#include "service/daemon.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "analysis/report.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Best-effort error reply; the client may already be gone. */
+void
+sendError(int fd, const Error &error)
+{
+    (void)writeFrame(fd, errorFrameJson(error));
+}
+
+} // namespace
+
+SweepDaemon::SweepDaemon(DaemonOptions options)
+    : options_(std::move(options)), store_(options_.storeDir)
+{
+}
+
+SweepDaemon::~SweepDaemon()
+{
+    stop();
+}
+
+Result<int>
+SweepDaemon::bindUnixListener()
+{
+    sockaddr_un addr{};
+    if (options_.socketPath.size() >= sizeof(addr.sun_path))
+        return Error::format(ErrorCode::InvalidArgument,
+                             "socket path too long: %s",
+                             options_.socketPath.c_str());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Error::format(ErrorCode::Io, "socket(): %s",
+                             std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.socketPath.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr))
+            != 0
+        || ::listen(fd, 16) != 0) {
+        const Error err = Error::format(
+            ErrorCode::Io, "cannot listen on %s: %s",
+            options_.socketPath.c_str(), std::strerror(errno));
+        ::close(fd);
+        return err;
+    }
+    return fd;
+}
+
+Result<int>
+SweepDaemon::bindTcpListener()
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Error::format(ErrorCode::Io, "socket(): %s",
+                             std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(options_.tcpPort));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr))
+            != 0
+        || ::listen(fd, 16) != 0) {
+        const Error err = Error::format(
+            ErrorCode::Io, "cannot listen on tcp port %d: %s",
+            options_.tcpPort, std::strerror(errno));
+        ::close(fd);
+        return err;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len)
+        == 0)
+        boundTcpPort_ = ntohs(bound.sin_port);
+    return fd;
+}
+
+Result<Unit>
+SweepDaemon::start()
+{
+    if (running_.load())
+        return Error(ErrorCode::InvalidArgument,
+                     "daemon already started");
+    if (options_.socketPath.empty() && options_.tcpPort < 0)
+        return Error(ErrorCode::InvalidArgument,
+                     "no listener configured (need a socket path "
+                     "or a TCP port)");
+    // Dead clients surface as EPIPE from write(), not as a
+    // process-killing signal.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!options_.socketPath.empty()) {
+        Result<int> fd = bindUnixListener();
+        if (!fd.ok())
+            return fd.error();
+        listenFds_.push_back(fd.value());
+    }
+    if (options_.tcpPort >= 0) {
+        Result<int> fd = bindTcpListener();
+        if (!fd.ok()) {
+            for (const int open_fd : listenFds_)
+                ::close(open_fd);
+            listenFds_.clear();
+            return fd.error();
+        }
+        listenFds_.push_back(fd.value());
+    }
+
+    running_.store(true);
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+    for (const int fd : listenFds_)
+        acceptThreads_.emplace_back(
+            [this, fd] { acceptLoop(fd); });
+    return Unit{};
+}
+
+void
+SweepDaemon::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    for (const int fd : listenFds_) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+    listenFds_.clear();
+    queue_.close();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &t : acceptThreads_)
+        t.join();
+    acceptThreads_.clear();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(connThreads_);
+    }
+    for (std::thread &t : conns)
+        t.join();
+    // Jobs still queued at shutdown never complete; release any
+    // clients that raced past the closing listeners.
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    for (auto &[key, state] : inflight_) {
+        std::lock_guard<std::mutex> state_lock(state->mutex);
+        if (!state->done) {
+            state->done = true;
+            state->failed = true;
+            state->error =
+                Error(ErrorCode::Io, "daemon shutting down");
+            state->doneCv.notify_all();
+        }
+    }
+    inflight_.clear();
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
+}
+
+void
+SweepDaemon::acceptLoop(int listen_fd)
+{
+    while (running_.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // listener closed by stop()
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        if (!running_.load()) {
+            ::close(fd);
+            return;
+        }
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+SweepDaemon::countMetric(const char *name)
+{
+    if (metricsActive())
+        MetricsRegistry::instance().addCounter(name);
+}
+
+void
+SweepDaemon::serveConnection(int fd)
+{
+    std::string payload;
+    while (running_.load()) {
+        Result<bool> got = readFrame(fd, payload);
+        if (!got.ok()) {
+            // Framing is unrecoverable mid-stream: report the
+            // typed error (truncated header, oversized frame, ...)
+            // and hang up; the daemon itself shrugs.
+            sendError(fd, got.error());
+            break;
+        }
+        if (!got.value())
+            break;  // clean close
+
+        Result<RequestEnvelope> envelope =
+            parseRequestEnvelope(payload);
+        if (!envelope.ok()) {
+            // Garbage inside an intact frame: typed error, keep
+            // the conversation (framing is still in sync).
+            countMetric("gllcd.bad_requests");
+            sendError(fd, envelope.error());
+            continue;
+        }
+        const bool keep_going =
+            envelope.value().type == RequestType::Submit
+                ? handleSubmit(fd, envelope.value())
+                : handleStatus(fd);
+        if (!keep_going)
+            break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (std::size_t i = 0; i < connFds_.size(); ++i) {
+        if (connFds_[i] == fd) {
+            connFds_.erase(connFds_.begin()
+                           + static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+}
+
+bool
+SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
+{
+    std::string spec_bytes;
+    Result<bool> got = readFrame(fd, spec_bytes);
+    if (!got.ok()) {
+        sendError(fd, got.error());
+        return false;
+    }
+    if (!got.value())
+        return false;  // hung up between envelope and spec
+
+    Result<SweepJobSpec> parsed = parseSweepJobSpec(spec_bytes);
+    if (!parsed.ok()) {
+        countMetric("gllcd.bad_requests");
+        sendError(fd, parsed.error());
+        return true;
+    }
+    const SweepJobSpec spec = parsed.take();
+    Result<Unit> valid = spec.validate();
+    if (!valid.ok()) {
+        countMetric("gllcd.bad_requests");
+        sendError(fd, valid.error());
+        return true;
+    }
+
+    const ResultKey key{spec.traceHash(), spec.contentHash()};
+    jobsSubmitted_.fetch_add(1);
+    countMetric("gllcd.jobs_submitted");
+
+    // Fast path: the store already holds these exact bytes.
+    if (store_.contains(key)) {
+        Result<std::string> stored = store_.load(key);
+        if (stored.ok()) {
+            cacheHits_.fetch_add(1);
+            countMetric("gllcd.cache_hits");
+            ResultHeader header;
+            header.jobId = nextJobId_.fetch_add(1);
+            header.cached = true;
+            header.specHash = key.specHash;
+            header.traceHash = key.traceHash;
+            if (!writeFrame(fd, resultHeaderJson(header)).ok())
+                return false;
+            return writeFrame(fd, stored.value()).ok();
+        }
+        warn("gllcd: stored result unreadable, recomputing: %s",
+             stored.error().toString().c_str());
+    }
+
+    // Join an identical in-flight job or queue a new one.
+    std::shared_ptr<JobState> state;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            state = it->second;
+            inflightJoins_.fetch_add(1);
+            countMetric("gllcd.inflight_joins");
+        } else {
+            state = std::make_shared<JobState>();
+            state->header.jobId = nextJobId_.fetch_add(1);
+            state->header.specHash = key.specHash;
+            state->header.traceHash = key.traceHash;
+            inflight_.emplace(key, state);
+            QueuedJob job;
+            job.id = state->header.jobId;
+            job.tenant = envelope.tenant;
+            job.priority = envelope.priority;
+            job.spec = spec;
+            queue_.push(std::move(job));
+            if (metricsActive())
+                MetricsRegistry::instance().maxGauge(
+                    "gllcd.queue_depth", queue_.depth());
+        }
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->doneCv.wait(lock, [&] { return state->done; });
+    }
+    if (state->failed) {
+        sendError(fd, state->error);
+        return true;
+    }
+    if (!writeFrame(fd, resultHeaderJson(state->header)).ok())
+        return false;
+    return writeFrame(fd, state->payload).ok();
+}
+
+std::string
+SweepDaemon::statusJson()
+{
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"status\",\"queue_depth\":";
+    out += std::to_string(queue_.depth());
+    out += ",\"jobs_submitted\":";
+    out += std::to_string(jobsSubmitted_.load());
+    out += ",\"jobs_completed\":";
+    out += std::to_string(jobsCompleted_.load());
+    out += ",\"jobs_failed\":";
+    out += std::to_string(jobsFailed_.load());
+    out += ",\"cache_hits\":";
+    out += std::to_string(cacheHits_.load());
+    out += ",\"inflight_joins\":";
+    out += std::to_string(inflightJoins_.load());
+    out += ",\"worker_crashes\":";
+    out += std::to_string(workerCrashes_.load());
+    out += '}';
+    return out;
+}
+
+bool
+SweepDaemon::handleStatus(int fd)
+{
+    return writeFrame(fd, statusJson()).ok();
+}
+
+void
+SweepDaemon::dispatchLoop()
+{
+    QueuedJob job;
+    while (queue_.waitPop(job))
+        executeJob(job);
+}
+
+void
+SweepDaemon::executeJob(const QueuedJob &job)
+{
+    ShardedRunStats stats;
+    Result<SweepResult> run =
+        runShardedSweep(job.spec, options_.workers, &stats);
+    workerCrashes_.fetch_add(stats.workerCrashes);
+
+    const ResultKey key{job.spec.traceHash(),
+                        job.spec.contentHash()};
+    std::shared_ptr<JobState> state;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        auto it = inflight_.find(key);
+        GLLC_ASSERT_MSG(it != inflight_.end(),
+                        "executed a job nobody is waiting on");
+        state = it->second;
+        inflight_.erase(it);
+    }
+
+    std::lock_guard<std::mutex> state_lock(state->mutex);
+    if (!run.ok()) {
+        jobsFailed_.fetch_add(1);
+        countMetric("gllcd.jobs_failed");
+        state->failed = true;
+        state->error = run.error();
+    } else {
+        const SweepResult result = run.take();
+        std::ostringstream payload;
+        writeSweepJson(result, payload);
+        state->payload = payload.str();
+        state->header.quarantined = static_cast<std::uint32_t>(
+            result.quarantined().size());
+        state->header.wallSeconds = result.wallSeconds();
+        jobsCompleted_.fetch_add(1);
+        countMetric("gllcd.jobs_completed");
+        // Only complete results are worth replaying forever.
+        if (result.quarantined().empty()) {
+            Result<Unit> stored =
+                store_.store(key, state->payload);
+            if (!stored.ok())
+                warn("gllcd: result store write failed: %s",
+                     stored.error().toString().c_str());
+        }
+    }
+    state->done = true;
+    state->doneCv.notify_all();
+}
+
+} // namespace gllc

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * gllcd: the sharded sweep service.
+ *
+ * One daemon process owns listeners (Unix socket and/or loopback
+ * TCP), a tenant-fair priority JobQueue, a content-addressed
+ * ResultStore, and the worker subprocess pool.  Life of a job:
+ *
+ *   1. a connection thread reads the submit envelope + spec frames,
+ *      validates the spec, and computes its ResultKey
+ *      (traceHash, contentHash);
+ *   2. a stored result is served immediately (cache hit, zero
+ *      compute); an identical job already queued or running is
+ *      joined, not duplicated (in-flight dedup) — both clients get
+ *      the same bytes;
+ *   3. otherwise the job queues; the single dispatcher thread pops
+ *      per the fairness policy and executes it via runShardedSweep,
+ *      cells fanned out over worker subprocesses — a crashing cell
+ *      kills a worker, gets retried on a fresh one, and at worst
+ *      quarantines that cell; the daemon never dies with it;
+ *   4. the exact writeSweepJson() bytes are stored (clean runs
+ *      only) and served to every waiting client, so a served result
+ *      is byte-identical to an in-process SweepConfig run.
+ *
+ * Jobs execute one at a time — each job already saturates the
+ * machine through its worker pool; admission control is the queue's
+ * job, not the scheduler's.
+ *
+ * Status requests answer from counters without touching the queue's
+ * dispatcher; everything also lands in the metrics registry under
+ * "gllcd." when collection is active.
+ */
+
+#ifndef GLLC_SERVICE_DAEMON_HH
+#define GLLC_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hh"
+#include "service/protocol.hh"
+#include "service/result_store.hh"
+#include "service/worker.hh"
+
+namespace gllc
+{
+
+/** Where and how a SweepDaemon serves. */
+struct DaemonOptions
+{
+    /** Unix-domain listener path; "" = no Unix listener. */
+    std::string socketPath;
+
+    /** Loopback TCP port; -1 = none, 0 = pick an ephemeral port. */
+    int tcpPort = -1;
+
+    /** Worker subprocesses per job (clamped to the frame count). */
+    unsigned workers = 2;
+
+    /** ResultStore root; "" disables result caching. */
+    std::string storeDir;
+};
+
+/** The service (see file comment).  start() it, stop() it. */
+class SweepDaemon
+{
+  public:
+    explicit SweepDaemon(DaemonOptions options);
+
+    /** stop()s if still running. */
+    ~SweepDaemon();
+
+    SweepDaemon(const SweepDaemon &) = delete;
+    SweepDaemon &operator=(const SweepDaemon &) = delete;
+
+    /**
+     * Bind the configured listeners and start serving.
+     * InvalidArgument when no listener is configured; Io when a
+     * bind fails.
+     */
+    Result<Unit> start();
+
+    /**
+     * Shut down: close listeners, abort in-flight connections,
+     * drain the dispatcher, join every thread.  Idempotent.
+     */
+    void stop();
+
+    /** The TCP port actually bound (after start(); -1 = none). */
+    int tcpPort() const { return boundTcpPort_; }
+
+    /** The Unix socket path served (empty = none). */
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+    /** Jobs executed to completion (not cache hits). */
+    std::uint64_t jobsCompleted() const
+    {
+        return jobsCompleted_.load();
+    }
+
+    /** Submissions answered straight from the result store. */
+    std::uint64_t cacheHits() const { return cacheHits_.load(); }
+
+    /** Worker subprocess deaths survived. */
+    std::uint64_t workerCrashes() const
+    {
+        return workerCrashes_.load();
+    }
+
+  private:
+    /** A job one-or-more connections are waiting on. */
+    struct JobState
+    {
+        std::mutex mutex;
+        std::condition_variable doneCv;
+        bool done = false;
+        bool failed = false;
+        Error error;
+        ResultHeader header;
+        std::string payload;
+    };
+
+    Result<int> bindUnixListener();
+    Result<int> bindTcpListener();
+    void acceptLoop(int listen_fd);
+    void serveConnection(int fd);
+    void dispatchLoop();
+    void executeJob(const QueuedJob &job);
+    bool handleSubmit(int fd, const RequestEnvelope &envelope);
+    bool handleStatus(int fd);
+    std::string statusJson();
+    void countMetric(const char *name);
+
+    DaemonOptions options_;
+    int boundTcpPort_ = -1;
+
+    std::vector<int> listenFds_;
+    std::vector<std::thread> acceptThreads_;
+    std::thread dispatcher_;
+    std::atomic<bool> running_{false};
+
+    std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+
+    JobQueue queue_;
+    ResultStore store_;
+
+    std::mutex inflightMutex_;
+    std::map<ResultKey, std::shared_ptr<JobState>> inflight_;
+
+    std::atomic<std::uint64_t> nextJobId_{1};
+    std::atomic<std::uint64_t> jobsSubmitted_{0};
+    std::atomic<std::uint64_t> jobsCompleted_{0};
+    std::atomic<std::uint64_t> jobsFailed_{0};
+    std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> inflightJoins_{0};
+    std::atomic<std::uint64_t> workerCrashes_{0};
+};
+
+} // namespace gllc
+
+#endif // GLLC_SERVICE_DAEMON_HH

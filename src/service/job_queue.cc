@@ -1,0 +1,91 @@
+#include "service/job_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gllc
+{
+
+void
+JobQueue::push(QueuedJob job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PriorityClass &cls = classes_[job.priority];
+        auto lane = cls.lanes.find(job.tenant);
+        if (lane == cls.lanes.end()) {
+            cls.rotation.push_back(job.tenant);
+            lane = cls.lanes.emplace(job.tenant,
+                                     std::deque<QueuedJob>{})
+                       .first;
+        }
+        lane->second.push_back(std::move(job));
+        ++depth_;
+    }
+    available_.notify_one();
+}
+
+bool
+JobQueue::popLocked(QueuedJob &out)
+{
+    if (classes_.empty())
+        return false;
+    auto cls_it = classes_.begin();  // highest priority
+    PriorityClass &cls = cls_it->second;
+    GLLC_ASSERT_MSG(!cls.rotation.empty(),
+                    "priority class without tenants");
+
+    const std::string tenant = cls.rotation.front();
+    cls.rotation.erase(cls.rotation.begin());
+    auto lane = cls.lanes.find(tenant);
+    GLLC_ASSERT_MSG(lane != cls.lanes.end() && !lane->second.empty(),
+                    "rotation names an empty tenant lane");
+    out = std::move(lane->second.front());
+    lane->second.pop_front();
+    if (lane->second.empty())
+        cls.lanes.erase(lane);
+    else
+        cls.rotation.push_back(tenant);  // take a later turn
+    if (cls.lanes.empty())
+        classes_.erase(cls_it);
+    --depth_;
+    return true;
+}
+
+bool
+JobQueue::pop(QueuedJob &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return popLocked(out);
+}
+
+bool
+JobQueue::waitPop(QueuedJob &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    available_.wait(lock,
+                    [this] { return closed_ || depth_ > 0; });
+    if (closed_)
+        return false;
+    return popLocked(out);
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    available_.notify_all();
+}
+
+std::size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_;
+}
+
+} // namespace gllc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Priority job queue with fair scheduling across tenants.
+ *
+ * The daemon serves whoever connects, which means one chatty tenant
+ * must not starve everyone else.  Jobs are grouped into priority
+ * classes (higher value runs first); within a class, tenants take
+ * strict turns: each pop serves the front job of the next tenant in
+ * a round-robin rotation, so a tenant that queued fifty jobs and a
+ * tenant that queued one alternate instead of running back-to-back.
+ * The rotation order is the order tenants first appeared in the
+ * class, so scheduling is deterministic given the arrival sequence.
+ *
+ * Thread model: connection threads push, the single dispatcher
+ * thread pops (blocking); close() wakes the dispatcher for
+ * shutdown.  All state lives behind one mutex — job dispatch is
+ * seconds-scale work, contention is irrelevant.
+ */
+
+#ifndef GLLC_SERVICE_JOB_QUEUE_HH
+#define GLLC_SERVICE_JOB_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/job_spec.hh"
+
+namespace gllc
+{
+
+/** One queued unit of work. */
+struct QueuedJob
+{
+    std::uint64_t id = 0;
+    std::string tenant;
+    int priority = 0;
+    SweepJobSpec spec;
+};
+
+/** Tenant-fair priority queue (see file comment). */
+class JobQueue
+{
+  public:
+    /** Enqueue a job; wakes a blocked waitPop(). */
+    void push(QueuedJob job);
+
+    /**
+     * Dequeue the next job per the scheduling policy without
+     * blocking; false when the queue is empty.
+     */
+    bool pop(QueuedJob &out);
+
+    /**
+     * Blocking pop: waits for a job or close().  False only after
+     * close() with the queue drained-or-abandoned.
+     */
+    bool waitPop(QueuedJob &out);
+
+    /** Wake all waiters; subsequent waitPop() calls fail fast. */
+    void close();
+
+    /** Jobs currently queued (not the one being executed). */
+    std::size_t depth() const;
+
+  private:
+    /** One priority class: tenant lanes plus their rotation. */
+    struct PriorityClass
+    {
+        /** Tenants with queued jobs, in round-robin order. */
+        std::vector<std::string> rotation;
+        std::map<std::string, std::deque<QueuedJob>> lanes;
+    };
+
+    bool popLocked(QueuedJob &out);
+
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    /** Classes keyed by priority, highest first. */
+    std::map<int, PriorityClass, std::greater<>> classes_;
+    std::size_t depth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace gllc
+
+#endif // GLLC_SERVICE_JOB_QUEUE_HH

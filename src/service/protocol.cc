@@ -1,0 +1,358 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/json.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Read exactly @p len bytes; short count = EOF, -1 = errno. */
+ssize_t
+readFull(int fd, char *buf, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::read(fd, buf + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            break;
+        done += static_cast<std::size_t>(n);
+    }
+    return static_cast<ssize_t>(done);
+}
+
+/** Write all of @p len bytes; false on any unrecoverable error. */
+bool
+writeFull(int fd, const char *buf, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd, buf + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Reverse of errorCodeName(); InvalidArgument for unknown names. */
+ErrorCode
+errorCodeFromName(const std::string &name)
+{
+    static constexpr ErrorCode kCodes[] = {
+        ErrorCode::Io,           ErrorCode::BadMagic,
+        ErrorCode::BadVersion,   ErrorCode::Truncated,
+        ErrorCode::Corrupt,      ErrorCode::ChecksumMismatch,
+        ErrorCode::LimitExceeded, ErrorCode::InvalidArgument,
+        ErrorCode::Injected,     ErrorCode::CellFailed,
+    };
+    for (const ErrorCode code : kCodes) {
+        if (name == errorCodeName(code))
+            return code;
+    }
+    return ErrorCode::InvalidArgument;
+}
+
+/** Append %016x of @p v. */
+void
+appendHex64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    out += buf;
+}
+
+} // namespace
+
+Result<Unit>
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return Error::format(ErrorCode::LimitExceeded,
+                             "frame of %zu bytes exceeds %u cap",
+                             payload.size(), kMaxFrameBytes);
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    char header[4] = {
+        static_cast<char>((len >> 24) & 0xff),
+        static_cast<char>((len >> 16) & 0xff),
+        static_cast<char>((len >> 8) & 0xff),
+        static_cast<char>(len & 0xff),
+    };
+    if (!writeFull(fd, header, sizeof(header))
+        || !writeFull(fd, payload.data(), payload.size()))
+        return Error::format(ErrorCode::Io,
+                             "frame write failed: %s",
+                             std::strerror(errno));
+    return Unit{};
+}
+
+Result<bool>
+readFrame(int fd, std::string &payload)
+{
+    char header[4];
+    const ssize_t got = readFull(fd, header, sizeof(header));
+    if (got < 0)
+        return Error::format(ErrorCode::Io,
+                             "frame header read failed: %s",
+                             std::strerror(errno));
+    if (got == 0)
+        return false;  // clean close between frames
+    if (got < static_cast<ssize_t>(sizeof(header)))
+        return Error::format(ErrorCode::Truncated,
+                             "connection closed inside a frame "
+                             "header (%zd of 4 bytes)",
+                             got);
+    const std::uint32_t len =
+        (static_cast<std::uint32_t>(
+             static_cast<unsigned char>(header[0]))
+         << 24)
+        | (static_cast<std::uint32_t>(
+               static_cast<unsigned char>(header[1]))
+           << 16)
+        | (static_cast<std::uint32_t>(
+               static_cast<unsigned char>(header[2]))
+           << 8)
+        | static_cast<std::uint32_t>(
+            static_cast<unsigned char>(header[3]));
+    if (len > kMaxFrameBytes)
+        return Error::format(ErrorCode::LimitExceeded,
+                             "frame declares %u bytes, cap is %u",
+                             len, kMaxFrameBytes);
+    payload.resize(len);
+    if (len > 0) {
+        const ssize_t body = readFull(fd, payload.data(), len);
+        if (body < 0)
+            return Error::format(ErrorCode::Io,
+                                 "frame body read failed: %s",
+                                 std::strerror(errno));
+        if (body < static_cast<ssize_t>(len))
+            return Error::format(
+                ErrorCode::Truncated,
+                "connection closed inside a frame body "
+                "(%zd of %u bytes)",
+                body, len);
+    }
+    return true;
+}
+
+std::string
+submitEnvelopeJson(const std::string &tenant, int priority)
+{
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"submit\",\"tenant\":\"";
+    out += jsonEscape(tenant);
+    out += "\",\"priority\":";
+    out += std::to_string(priority);
+    out += '}';
+    return out;
+}
+
+std::string
+statusEnvelopeJson()
+{
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"status\"}";
+    return out;
+}
+
+Result<RequestEnvelope>
+parseRequestEnvelope(const std::string &json)
+{
+    Result<JsonValue> parsed = parseJson(json);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue doc = parsed.take();
+    if (!doc.isObject())
+        return Error(ErrorCode::BadMagic,
+                     "request envelope must be a JSON object");
+    const JsonValue *version = doc.find("gllcd");
+    if (version == nullptr)
+        return Error(ErrorCode::BadMagic,
+                     "not a gllcd envelope (missing \"gllcd\")");
+    Result<std::uint64_t> v = version->asU64("gllcd");
+    if (!v.ok())
+        return v.error();
+    if (v.value() != kServiceProtocolVersion)
+        return Error::format(
+            ErrorCode::BadVersion,
+            "protocol version %llu unsupported (speaking %u)",
+            static_cast<unsigned long long>(v.value()),
+            kServiceProtocolVersion);
+
+    RequestEnvelope env;
+    const JsonValue *type = doc.find("type");
+    if (type == nullptr)
+        return Error(ErrorCode::InvalidArgument,
+                     "envelope missing \"type\"");
+    Result<std::string> type_name = type->asString("type");
+    if (!type_name.ok())
+        return type_name.error();
+    if (type_name.value() == "submit")
+        env.type = RequestType::Submit;
+    else if (type_name.value() == "status")
+        env.type = RequestType::Status;
+    else
+        return Error::format(ErrorCode::InvalidArgument,
+                             "unknown request type \"%s\"",
+                             type_name.value().c_str());
+
+    if (const JsonValue *tenant = doc.find("tenant")) {
+        Result<std::string> name = tenant->asString("tenant");
+        if (!name.ok())
+            return name.error();
+        env.tenant = name.take();
+        if (env.tenant.empty())
+            return Error(ErrorCode::InvalidArgument,
+                         "tenant must be nonempty");
+    }
+    if (const JsonValue *priority = doc.find("priority")) {
+        if (!priority->isNumber())
+            return Error(ErrorCode::InvalidArgument,
+                         "priority: expected a number");
+        const double p = priority->number();
+        if (p < -1000.0 || p > 1000.0)
+            return Error(ErrorCode::InvalidArgument,
+                         "priority out of range [-1000, 1000]");
+        env.priority = static_cast<int>(p);
+    }
+    return env;
+}
+
+std::string
+resultHeaderJson(const ResultHeader &header)
+{
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"result\",\"job\":";
+    out += std::to_string(header.jobId);
+    out += ",\"cached\":";
+    out += header.cached ? "true" : "false";
+    out += ",\"spec_hash\":\"";
+    appendHex64(out, header.specHash);
+    out += "\",\"trace_hash\":\"";
+    appendHex64(out, header.traceHash);
+    out += "\",\"quarantined\":";
+    out += std::to_string(header.quarantined);
+    out += ",\"wall_seconds\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", header.wallSeconds);
+    out += buf;
+    out += '}';
+    return out;
+}
+
+std::string
+errorFrameJson(const Error &error)
+{
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"error\",\"code\":\"";
+    out += errorCodeName(error.code);
+    out += "\",\"message\":\"";
+    out += jsonEscape(error.context);
+    out += "\"}";
+    return out;
+}
+
+Result<bool>
+parseResponseFrame(const std::string &json, ResultHeader &header,
+                   Error &error)
+{
+    Result<JsonValue> parsed = parseJson(json);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue doc = parsed.take();
+    const JsonValue *type =
+        doc.isObject() ? doc.find("type") : nullptr;
+    if (type == nullptr)
+        return Error(ErrorCode::BadMagic,
+                     "response frame has no \"type\"");
+    Result<std::string> type_name = type->asString("type");
+    if (!type_name.ok())
+        return type_name.error();
+
+    if (type_name.value() == "error") {
+        const JsonValue *code = doc.find("code");
+        const JsonValue *message = doc.find("message");
+        if (code == nullptr || message == nullptr)
+            return Error(ErrorCode::Corrupt,
+                         "error frame needs code and message");
+        Result<std::string> code_name = code->asString("code");
+        if (!code_name.ok())
+            return code_name.error();
+        Result<std::string> text = message->asString("message");
+        if (!text.ok())
+            return text.error();
+        error = Error(errorCodeFromName(code_name.value()),
+                      text.take());
+        return false;
+    }
+    if (type_name.value() != "result")
+        return Error::format(ErrorCode::InvalidArgument,
+                             "unexpected response type \"%s\"",
+                             type_name.value().c_str());
+
+    const JsonValue *job = doc.find("job");
+    const JsonValue *cached = doc.find("cached");
+    const JsonValue *quarantined = doc.find("quarantined");
+    if (job == nullptr || cached == nullptr
+        || quarantined == nullptr)
+        return Error(ErrorCode::Corrupt,
+                     "result frame missing job/cached/quarantined");
+    Result<std::uint64_t> job_id = job->asU64("job");
+    if (!job_id.ok())
+        return job_id.error();
+    header.jobId = job_id.value();
+    Result<bool> was_cached = cached->asBool("cached");
+    if (!was_cached.ok())
+        return was_cached.error();
+    header.cached = was_cached.value();
+    Result<std::uint64_t> quarantine_count =
+        quarantined->asU64("quarantined");
+    if (!quarantine_count.ok())
+        return quarantine_count.error();
+    header.quarantined =
+        static_cast<std::uint32_t>(quarantine_count.value());
+    if (const JsonValue *spec_hash = doc.find("spec_hash")) {
+        Result<std::string> hex = spec_hash->asString("spec_hash");
+        if (!hex.ok())
+            return hex.error();
+        header.specHash = std::strtoull(hex.value().c_str(),
+                                        nullptr, 16);
+    }
+    if (const JsonValue *trace_hash = doc.find("trace_hash")) {
+        Result<std::string> hex =
+            trace_hash->asString("trace_hash");
+        if (!hex.ok())
+            return hex.error();
+        header.traceHash = std::strtoull(hex.value().c_str(),
+                                         nullptr, 16);
+    }
+    if (const JsonValue *wall = doc.find("wall_seconds")) {
+        if (!wall->isNumber())
+            return Error(ErrorCode::Corrupt,
+                         "wall_seconds: expected a number");
+        header.wallSeconds = wall->number();
+    }
+    return true;
+}
+
+} // namespace gllc

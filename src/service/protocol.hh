@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Wire protocol of the gllcd sweep service.
+ *
+ * Framing.  Every message is one frame: a 4-byte big-endian payload
+ * length followed by that many bytes of UTF-8 JSON (or, for result
+ * payloads, raw report bytes).  Frames larger than kMaxFrameBytes
+ * are rejected before allocation, a connection that closes mid-frame
+ * surfaces as Truncated, and unparseable payloads surface as
+ * Corrupt — always a typed Error on the daemon side, never a crash,
+ * because clients are outside our trust boundary.
+ *
+ * Conversation shapes (client speaks first):
+ *
+ *   submit   -> envelope frame {"gllcd":1,"type":"submit",
+ *                               "tenant":T,"priority":P}
+ *            -> spec frame     SweepJobSpec::toJson() bytes
+ *            <- result frame   {"gllcd":1,"type":"result",...}
+ *               payload frame  exact writeSweepJson() bytes
+ *               (or one error frame)
+ *   status   -> envelope frame {"gllcd":1,"type":"status"}
+ *            <- status frame   {"gllcd":1,"type":"status",...}
+ *
+ * The spec travels as its own frame, byte-for-byte the canonical
+ * SweepJobSpec serialization, so the daemon parses it with the same
+ * parseSweepJobSpec() every other consumer uses and the envelope
+ * never needs to nest documents.
+ *
+ * Errors cross the wire as {"gllcd":1,"type":"error","code":
+ * "<errorCodeName>","message":...} and reconstruct into the same
+ * typed Error the daemon produced locally.
+ */
+
+#ifndef GLLC_SERVICE_PROTOCOL_HH
+#define GLLC_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/job_spec.hh"
+#include "common/result.hh"
+
+namespace gllc
+{
+
+/** Protocol version pinned into every envelope. */
+constexpr std::uint32_t kServiceProtocolVersion = 1;
+
+/** Sanity cap on one frame (64 MB covers any realistic report). */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/**
+ * Write one length-prefixed frame to @p fd.  LimitExceeded when the
+ * payload exceeds kMaxFrameBytes; Io when the peer is gone.
+ */
+Result<Unit> writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one frame from @p fd into @p payload.  ok(false) on a clean
+ * close (EOF before any header byte) — the peer simply hung up;
+ * Truncated when the stream ends inside a frame, LimitExceeded when
+ * the header declares more than kMaxFrameBytes, Io on read errors.
+ */
+Result<bool> readFrame(int fd, std::string &payload);
+
+/** What a request envelope asks for. */
+enum class RequestType : std::uint8_t
+{
+    Submit,
+    Status,
+};
+
+/** Parsed request envelope (the spec arrives in its own frame). */
+struct RequestEnvelope
+{
+    RequestType type = RequestType::Status;
+    std::string tenant = "default";
+    int priority = 0;
+};
+
+/** Serialize a submit envelope. */
+std::string submitEnvelopeJson(const std::string &tenant,
+                               int priority);
+
+/** Serialize a status envelope. */
+std::string statusEnvelopeJson();
+
+/**
+ * Parse a request envelope.  Corrupt for non-JSON, BadMagic for a
+ * document that is not a gllcd envelope, BadVersion for a protocol
+ * we do not speak, InvalidArgument for an unknown request type.
+ */
+Result<RequestEnvelope> parseRequestEnvelope(const std::string &json);
+
+/** Header of a successful job response (payload frame follows). */
+struct ResultHeader
+{
+    std::uint64_t jobId = 0;
+    bool cached = false;            ///< served from the result store
+    std::uint64_t specHash = 0;     ///< SweepJobSpec::contentHash()
+    std::uint64_t traceHash = 0;    ///< SweepJobSpec::traceHash()
+    std::uint32_t quarantined = 0;  ///< cells that failed permanently
+    double wallSeconds = 0.0;       ///< 0 for cache hits
+};
+
+std::string resultHeaderJson(const ResultHeader &header);
+
+/** Serialize a typed Error as an error frame. */
+std::string errorFrameJson(const Error &error);
+
+/**
+ * Classify a response frame: fills exactly one of @p header (result;
+ * caller then reads the payload frame) or @p error (the daemon's
+ * typed Error, reconstructed).  Returns false for an error frame.
+ */
+Result<bool> parseResponseFrame(const std::string &json,
+                                ResultHeader &header, Error &error);
+
+} // namespace gllc
+
+#endif // GLLC_SERVICE_PROTOCOL_HH

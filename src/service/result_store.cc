@@ -1,0 +1,124 @@
+#include "service/result_store.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace gllc
+{
+
+namespace
+{
+
+/** mkdir -p: create @p dir and any missing parents. */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string partial;
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+        const std::size_t slash = dir.find('/', pos);
+        const std::size_t end =
+            slash == std::string::npos ? dir.size() : slash;
+        partial.assign(dir, 0, end);
+        pos = end + 1;
+        if (partial.empty())
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0
+            && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+std::string
+keyFileName(const ResultKey &key)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "tr%016" PRIx64 "-sp%016" PRIx64 ".json",
+                  key.traceHash, key.specHash);
+    return buf;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string root) : root_(std::move(root))
+{
+}
+
+std::string
+ResultStore::path(const ResultKey &key) const
+{
+    if (root_.empty())
+        return "";
+    return root_ + "/" + keyFileName(key);
+}
+
+bool
+ResultStore::contains(const ResultKey &key) const
+{
+    if (root_.empty())
+        return false;
+    struct stat st;
+    return ::stat(path(key).c_str(), &st) == 0;
+}
+
+Result<std::string>
+ResultStore::load(const ResultKey &key) const
+{
+    if (root_.empty())
+        return Error(ErrorCode::Io, "result store disabled");
+    std::ifstream is(path(key), std::ios::binary);
+    if (!is)
+        return Error::format(ErrorCode::Io, "no stored result at %s",
+                             path(key).c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!is.good() && !is.eof())
+        return Error::format(ErrorCode::Io, "read failed on %s",
+                             path(key).c_str());
+    return buf.str();
+}
+
+Result<Unit>
+ResultStore::store(const ResultKey &key, const std::string &payload)
+{
+    if (root_.empty())
+        return Unit{};
+    if (!makeDirs(root_))
+        return Error::format(ErrorCode::Io,
+                             "cannot create store dir %s: %s",
+                             root_.c_str(), std::strerror(errno));
+    const std::string final_path = path(key);
+    const std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp_path, std::ios::binary);
+        if (!os)
+            return Error::format(ErrorCode::Io,
+                                 "cannot write %s: %s",
+                                 tmp_path.c_str(),
+                                 std::strerror(errno));
+        os << payload;
+        if (!os.good())
+            return Error::format(ErrorCode::Io, "write failed on %s",
+                                 tmp_path.c_str());
+    }
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        const Error err = Error::format(
+            ErrorCode::Io, "rename %s -> %s failed: %s",
+            tmp_path.c_str(), final_path.c_str(),
+            std::strerror(errno));
+        ::unlink(tmp_path.c_str());
+        return err;
+    }
+    return Unit{};
+}
+
+} // namespace gllc

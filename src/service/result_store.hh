@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Content-addressed store of finished sweep reports.
+ *
+ * A sweep's result bytes are a pure function of its identity: the
+ * rendered traces (frames + scale) and the replay parameters
+ * (policies + LLC size).  SweepJobSpec captures exactly that split
+ * as (traceHash, contentHash), so the pair addresses a result the
+ * way a git blob hash addresses content — two tenants submitting
+ * the same job byte-for-byte share one entry, and a resubmission is
+ * a file read instead of an hours-long recompute.
+ *
+ * Layout: one file per result under the store root,
+ *
+ *   <root>/tr<traceHash:016x>-sp<specHash:016x>.json
+ *
+ * holding the exact writeSweepJson() bytes that were served.  Writes
+ * go through a same-directory temp file and rename(2), so a crashed
+ * daemon can never leave a torn entry for a later hit to trust;
+ * results with quarantined cells are never stored (partial results
+ * must be recomputed, not replayed forever).
+ */
+
+#ifndef GLLC_SERVICE_RESULT_STORE_HH
+#define GLLC_SERVICE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hh"
+
+namespace gllc
+{
+
+/** The content address of one sweep result. */
+struct ResultKey
+{
+    std::uint64_t traceHash = 0;  ///< SweepJobSpec::traceHash()
+    std::uint64_t specHash = 0;   ///< SweepJobSpec::contentHash()
+
+    bool
+    operator<(const ResultKey &other) const
+    {
+        if (traceHash != other.traceHash)
+            return traceHash < other.traceHash;
+        return specHash < other.specHash;
+    }
+    bool
+    operator==(const ResultKey &other) const
+    {
+        return traceHash == other.traceHash
+            && specHash == other.specHash;
+    }
+};
+
+/** Filesystem-backed content-addressed result cache. */
+class ResultStore
+{
+  public:
+    /**
+     * Use @p root as the store directory, creating it (and parents)
+     * on first store() if absent.  An empty root disables the store:
+     * contains() is false and store() is a no-op, which is how a
+     * cache-less daemon runs.
+     */
+    explicit ResultStore(std::string root);
+
+    /** True when the store is configured with a directory. */
+    bool enabled() const { return !root_.empty(); }
+
+    /** The file a key maps to ("" when disabled). */
+    std::string path(const ResultKey &key) const;
+
+    /** True when a stored result exists for @p key. */
+    bool contains(const ResultKey &key) const;
+
+    /**
+     * Read the stored payload for @p key.  Io when absent or
+     * unreadable — the caller falls back to computing.
+     */
+    Result<std::string> load(const ResultKey &key) const;
+
+    /**
+     * Atomically persist @p payload under @p key (temp file +
+     * rename).  Io on filesystem failure; the daemon logs and
+     * continues, because serving the computed result matters more
+     * than caching it.
+     */
+    Result<Unit> store(const ResultKey &key,
+                       const std::string &payload);
+
+  private:
+    std::string root_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_SERVICE_RESULT_STORE_HH

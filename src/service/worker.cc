@@ -1,0 +1,650 @@
+#include "service/worker.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "analysis/checkpoint.hh"
+#include "analysis/offline_sim.hh"
+#include "analysis/policy_table.hh"
+#include "common/env.hh"
+#include "common/fault.hh"
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "workload/app_profile.hh"
+#include "workload/trace_cache.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Seal a line the way the checkpoint journal does. */
+std::string
+sealLine(std::string line)
+{
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016" PRIx64,
+                  fnv1a64(line.data(), line.size()));
+    line += ",\"line_hash\":\"";
+    line += hash;
+    line += "\"}\n";
+    return line;
+}
+
+/** Verify a sealed line's trailing checksum. */
+bool
+verifySeal(const std::string &line)
+{
+    const std::size_t tail = line.find(",\"line_hash\":\"");
+    if (tail == std::string::npos)
+        return false;
+    char want[24];
+    std::snprintf(want, sizeof(want), "%016" PRIx64,
+                  fnv1a64(line.data(), tail));
+    return line.compare(tail + 15, 16, want) == 0;
+}
+
+/** The failed-cell line of the worker protocol (sealed). */
+std::string
+failedCellLine(const CellKey &key, unsigned attempts,
+               const std::string &error)
+{
+    std::string line = "{\"failed\":1,\"app\":\"";
+    line += jsonEscape(key.app);
+    line += "\",\"frame\":";
+    line += std::to_string(key.frameIndex);
+    line += ",\"policy\":\"";
+    line += jsonEscape(key.policy);
+    line += "\",\"attempts\":";
+    line += std::to_string(attempts);
+    line += ",\"error\":\"";
+    line += jsonEscape(error);
+    line += '"';
+    return sealLine(std::move(line));
+}
+
+/** Parsed failure report. */
+struct FailedCell
+{
+    CellKey key;
+    unsigned attempts = 0;
+    std::string error;
+};
+
+/** Parse a sealed failed-cell line; false on any deviation. */
+bool
+parseFailedCellLine(const std::string &line, FailedCell &out)
+{
+    if (line.compare(0, 12, "{\"failed\":1,") != 0
+        || !verifySeal(line))
+        return false;
+    Result<JsonValue> parsed = parseJson(
+        line.back() == '\n' ? line.substr(0, line.size() - 1)
+                            : line);
+    if (!parsed.ok())
+        return false;
+    const JsonValue doc = parsed.take();
+    const JsonValue *app = doc.find("app");
+    const JsonValue *frame = doc.find("frame");
+    const JsonValue *policy = doc.find("policy");
+    const JsonValue *attempts = doc.find("attempts");
+    const JsonValue *error = doc.find("error");
+    if (app == nullptr || frame == nullptr || policy == nullptr
+        || attempts == nullptr || error == nullptr)
+        return false;
+    Result<std::string> app_name = app->asString("app");
+    Result<std::uint64_t> frame_index = frame->asU64("frame");
+    Result<std::string> policy_name = policy->asString("policy");
+    Result<std::uint64_t> attempt_count =
+        attempts->asU64("attempts");
+    Result<std::string> error_text = error->asString("error");
+    if (!app_name.ok() || !frame_index.ok() || !policy_name.ok()
+        || !attempt_count.ok() || !error_text.ok())
+        return false;
+    out.key = {app_name.take(),
+               static_cast<std::uint32_t>(frame_index.value()),
+               policy_name.take()};
+    out.attempts = static_cast<unsigned>(attempt_count.value());
+    out.error = error_text.take();
+    return true;
+}
+
+/**
+ * The fault key of a cell attempt — the exact formula the in-process
+ * engine uses, so GLLC_FAULT reproduces the same failing cells
+ * whether a sweep runs in-process or sharded over workers.
+ */
+std::uint64_t
+cellFaultKey(const CellKey &key, unsigned attempt)
+{
+    return fnv1a64(key.policy, fnv1a64(key.app))
+        ^ mix64((static_cast<std::uint64_t>(key.frameIndex) << 8)
+                | attempt);
+}
+
+/** Exception boundary (mirrors the sweep engine's guarded()). */
+template <typename F>
+std::string
+guardedCall(F &&fn)
+{
+    try {
+        fn();
+        return {};
+    } catch (const std::exception &e) {
+        return e.what()[0] != '\0' ? e.what() : "unnamed exception";
+    } catch (...) {
+        return "non-standard exception";
+    }
+}
+
+/** Exponential backoff before re-attempt @p attempt (1-based). */
+void
+retryBackoff(unsigned first_delay_ms, unsigned attempt)
+{
+    if (first_delay_ms == 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<std::uint64_t>(first_delay_ms)
+        << (attempt - 1)));
+}
+
+/** Write all bytes; false on unrecoverable error (EPIPE, ...). */
+bool
+writeAll(int fd, const char *buf, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd, buf + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** One worker-bound cell request line. */
+std::string
+cellRequestLine(std::size_t frame, std::size_t policy,
+                unsigned attempt)
+{
+    std::string line = "{\"cell\":{\"frame\":";
+    line += std::to_string(frame);
+    line += ",\"policy\":";
+    line += std::to_string(policy);
+    line += ",\"attempt\":";
+    line += std::to_string(attempt);
+    line += "}}\n";
+    return line;
+}
+
+/** Describe how a reaped worker died. */
+std::string
+exitDescription(int status)
+{
+    if (WIFEXITED(status))
+        return "exit status "
+            + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "signal " + std::to_string(WTERMSIG(status));
+    return "unknown status " + std::to_string(status);
+}
+
+/** A live worker subprocess (parent side). */
+class WorkerProcess
+{
+  public:
+    WorkerProcess() = default;
+    ~WorkerProcess() { shutdown(); }
+
+    WorkerProcess(const WorkerProcess &) = delete;
+    WorkerProcess &operator=(const WorkerProcess &) = delete;
+
+    bool alive() const { return pid_ > 0; }
+
+    /** Spawn and send the spec line; false on any failure. */
+    bool
+    spawn(const std::string &exe, const std::string &spec_line)
+    {
+        int to_child[2];
+        int from_child[2];
+        if (::pipe(to_child) != 0)
+            return false;
+        if (::pipe(from_child) != 0) {
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            return false;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            ::close(from_child[0]);
+            ::close(from_child[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child: stdin/stdout onto the pipes, then exec the
+            // worker entry.  Only async-signal-safe calls here.
+            ::dup2(to_child[0], 0);
+            ::dup2(from_child[1], 1);
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            ::close(from_child[0]);
+            ::close(from_child[1]);
+            char arg0[] = "gllcd-worker";
+            char arg1[] = "--worker";
+            char *argv[] = {arg0, arg1, nullptr};
+            ::execv(exe.c_str(), argv);
+            ::_exit(127);
+        }
+        pid_ = pid;
+        writeFd_ = to_child[1];
+        ::close(to_child[0]);
+        ::close(from_child[1]);
+        readFile_ = ::fdopen(from_child[0], "r");
+        if (readFile_ == nullptr) {
+            ::close(from_child[0]);
+            shutdown();
+            return false;
+        }
+        if (!send(spec_line)) {
+            shutdown();
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    send(const std::string &line)
+    {
+        return writeFd_ >= 0
+            && writeAll(writeFd_, line.data(), line.size());
+    }
+
+    /** Read one response line; false on EOF (worker died). */
+    bool
+    receive(std::string &line)
+    {
+        if (readFile_ == nullptr)
+            return false;
+        char *buf = nullptr;
+        std::size_t cap = 0;
+        const ssize_t n = ::getline(&buf, &cap, readFile_);
+        if (n < 0) {
+            std::free(buf);
+            return false;
+        }
+        line.assign(buf, static_cast<std::size_t>(n));
+        std::free(buf);
+        return true;
+    }
+
+    /** Close pipes and reap; returns the exit description. */
+    std::string
+    shutdown()
+    {
+        if (writeFd_ >= 0) {
+            ::close(writeFd_);
+            writeFd_ = -1;
+        }
+        if (readFile_ != nullptr) {
+            std::fclose(readFile_);
+            readFile_ = nullptr;
+        }
+        std::string how = "never ran";
+        if (pid_ > 0) {
+            int status = 0;
+            while (::waitpid(pid_, &status, 0) < 0
+                   && errno == EINTR) {
+            }
+            how = exitDescription(status);
+            pid_ = -1;
+        }
+        return how;
+    }
+
+  private:
+    pid_t pid_ = -1;
+    int writeFd_ = -1;
+    std::FILE *readFile_ = nullptr;
+};
+
+/** The worker binary to exec (tests point this at gllcd). */
+std::string
+workerExecutable()
+{
+    const std::string configured = envString("GLLC_WORKER_EXE", "");
+    return configured.empty() ? "/proc/self/exe" : configured;
+}
+
+/** Outcome slot of one cell of a sharded run. */
+struct CellOutcome
+{
+    bool done = false;
+    bool ok = false;
+    SweepCell cell;
+    std::string error;
+    unsigned attempts = 0;
+};
+
+/**
+ * Drive one worker's shard of cells to completion (one thread per
+ * worker runs this).  Crashes respawn the worker and retry the
+ * unanswered cell within the job's retry budget; a cell that keeps
+ * killing workers is quarantined and the shard moves on.
+ */
+void
+runShard(const SweepJobSpec &spec, const std::string &spec_line,
+         const std::vector<std::pair<std::size_t, std::size_t>>
+             &cells,
+         std::vector<CellOutcome> &outcomes, std::size_t num_policies,
+         ShardedRunStats &stats, std::mutex &stats_mutex)
+{
+    const std::string exe = workerExecutable();
+    const unsigned max_attempts = spec.retries + 1;
+    WorkerProcess proc;
+
+    const auto note_spawn = [&] {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.workersSpawned;
+    };
+    const auto note_crash = [&] {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.workerCrashes;
+        if (metricsActive())
+            MetricsRegistry::instance().addCounter(
+                "gllcd.worker_crashes");
+    };
+
+    for (const auto &[frame_idx, policy_idx] : cells) {
+        CellOutcome &out =
+            outcomes[frame_idx * num_policies + policy_idx];
+        const CellKey expect{spec.frames[frame_idx].app,
+                             spec.frames[frame_idx].frameIndex,
+                             spec.policies[policy_idx]};
+        for (unsigned attempt = 1;; ++attempt) {
+            out.attempts = attempt;
+            if (!proc.alive()) {
+                if (!proc.spawn(exe, spec_line)) {
+                    out.done = true;
+                    out.error = "cannot spawn worker " + exe;
+                    break;
+                }
+                note_spawn();
+            }
+            std::string line;
+            if (!proc.send(cellRequestLine(frame_idx, policy_idx,
+                                           attempt))
+                || !proc.receive(line)) {
+                // The unanswered request names the killer cell.
+                const std::string how = proc.shutdown();
+                note_crash();
+                warn("gllcd worker died (%s) on cell %s "
+                     "(attempt %u)",
+                     how.c_str(), expect.toString().c_str(),
+                     attempt);
+                if (attempt >= max_attempts) {
+                    out.done = true;
+                    out.error =
+                        "worker crashed (" + how + ")";
+                    break;
+                }
+                retryBackoff(spec.backoffMs, attempt);
+                continue;
+            }
+
+            SweepCell cell;
+            if (parseCheckpointCellLine(line, cell)
+                && cell.key == expect) {
+                out.done = true;
+                out.ok = true;
+                out.cell = std::move(cell);
+                break;
+            }
+            FailedCell failed;
+            if (parseFailedCellLine(line, failed)
+                && failed.key == expect) {
+                if (attempt >= max_attempts) {
+                    out.done = true;
+                    out.error = failed.error;
+                    break;
+                }
+                retryBackoff(spec.backoffMs, attempt);
+                continue;
+            }
+            // Unparseable response: the worker is off the rails;
+            // treat it like a crash of this cell.
+            const std::string how = proc.shutdown();
+            note_crash();
+            warn("gllcd worker spoke garbage (%s) on cell %s",
+                 how.c_str(), expect.toString().c_str());
+            if (attempt >= max_attempts) {
+                out.done = true;
+                out.error = "worker protocol failure (" + how + ")";
+                break;
+            }
+            retryBackoff(spec.backoffMs, attempt);
+        }
+    }
+    proc.shutdown();
+}
+
+} // namespace
+
+Result<SweepResult>
+runShardedSweep(const SweepJobSpec &spec, unsigned workers,
+                ShardedRunStats *stats)
+{
+    Result<Unit> valid = spec.validate();
+    if (!valid.ok())
+        return valid.error();
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t num_frames = spec.frames.size();
+    const std::size_t num_policies = spec.policies.size();
+    const unsigned shard_count = static_cast<unsigned>(std::min(
+        static_cast<std::size_t>(std::max(workers, 1u)),
+        num_frames));
+    const std::string spec_line = spec.toJson() + "\n";
+
+    // Frames round-robin over shards: each frame's cells stay in
+    // one worker, so its trace renders exactly once.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+        shards(shard_count);
+    for (std::size_t f = 0; f < num_frames; ++f) {
+        for (std::size_t p = 0; p < num_policies; ++p)
+            shards[f % shard_count].emplace_back(f, p);
+    }
+
+    std::vector<CellOutcome> outcomes(num_frames * num_policies);
+    ShardedRunStats run_stats;
+    std::mutex stats_mutex;
+    {
+        std::vector<std::thread> drivers;
+        drivers.reserve(shard_count);
+        for (unsigned s = 0; s < shard_count; ++s) {
+            drivers.emplace_back([&, s] {
+                runShard(spec, spec_line, shards[s], outcomes,
+                         num_policies, run_stats, stats_mutex);
+            });
+        }
+        for (std::thread &t : drivers)
+            t.join();
+    }
+
+    // Merge in deterministic engine order: surviving cells first
+    // (frame-major, policy-minor), quarantined cells alongside.
+    std::vector<SweepCell> cells;
+    cells.reserve(outcomes.size());
+    std::vector<QuarantinedCell> quarantined;
+    for (std::size_t k = 0; k < outcomes.size(); ++k) {
+        CellOutcome &out = outcomes[k];
+        GLLC_ASSERT_MSG(out.done, "sharded cell left unprocessed");
+        if (out.ok) {
+            cells.push_back(std::move(out.cell));
+        } else {
+            const std::size_t f = k / num_policies;
+            const std::size_t p = k % num_policies;
+            quarantined.push_back(
+                {CellKey{spec.frames[f].app,
+                         spec.frames[f].frameIndex,
+                         spec.policies[p]},
+                 out.error, out.attempts});
+        }
+    }
+
+    RenderScale scale;
+    scale.linear = spec.scaleLinear;
+    scale.scatterPages = spec.scatterPages;
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (stats != nullptr)
+        *stats = run_stats;
+    return SweepResult::fromParts(
+        spec.policies, scale,
+        scaledLlcConfig(spec.llcBytes, scale.pixelScale()),
+        std::move(cells), std::move(quarantined), 0, wall,
+        shard_count);
+}
+
+int
+runSweepWorker()
+{
+    // Line 1: the job spec this worker serves cells of.
+    char *buf = nullptr;
+    std::size_t cap = 0;
+    ssize_t n = ::getline(&buf, &cap, stdin);
+    if (n < 0) {
+        std::free(buf);
+        return 65;  // EX_DATAERR: no spec
+    }
+    const std::string spec_json(buf, static_cast<std::size_t>(n));
+    Result<SweepJobSpec> parsed = parseSweepJobSpec(spec_json);
+    if (!parsed.ok()) {
+        std::free(buf);
+        warn("gllcd worker: bad spec: %s",
+             parsed.error().toString().c_str());
+        return 65;
+    }
+    const SweepJobSpec spec = parsed.take();
+    Result<Unit> valid = spec.validate();
+    if (!valid.ok()) {
+        std::free(buf);
+        warn("gllcd worker: invalid spec: %s",
+             valid.error().toString().c_str());
+        return 65;
+    }
+
+    RenderScale scale;
+    scale.linear = spec.scaleLinear;
+    scale.scatterPages = spec.scatterPages;
+    const LlcConfig llc =
+        scaledLlcConfig(spec.llcBytes, scale.pixelScale());
+
+    std::vector<PolicySpec> policies;
+    policies.reserve(spec.policies.size());
+    for (const std::string &name : spec.policies)
+        policies.push_back(tryPolicySpec(name).takeOrFatal());
+    std::map<std::string, const AppProfile *> apps;
+    for (const AppProfile &app : paperApps())
+        apps[app.name] = &app;
+
+    // Serve cell requests until the parent hangs up.
+    int rc = 0;
+    while ((n = ::getline(&buf, &cap, stdin)) >= 0) {
+        const std::string line(buf, static_cast<std::size_t>(n));
+        Result<JsonValue> doc = parseJson(line);
+        const JsonValue *cell_node =
+            doc.ok() && doc.value().isObject()
+                ? doc.value().find("cell")
+                : nullptr;
+        const JsonValue *frame_node =
+            cell_node != nullptr && cell_node->isObject()
+                ? cell_node->find("frame")
+                : nullptr;
+        const JsonValue *policy_node =
+            cell_node != nullptr && cell_node->isObject()
+                ? cell_node->find("policy")
+                : nullptr;
+        const JsonValue *attempt_node =
+            cell_node != nullptr && cell_node->isObject()
+                ? cell_node->find("attempt")
+                : nullptr;
+        if (frame_node == nullptr || policy_node == nullptr
+            || attempt_node == nullptr) {
+            warn("gllcd worker: unintelligible request");
+            rc = 65;
+            break;
+        }
+        Result<std::uint64_t> frame_idx = frame_node->asU64("frame");
+        Result<std::uint64_t> policy_idx =
+            policy_node->asU64("policy");
+        Result<std::uint64_t> attempt_no =
+            attempt_node->asU64("attempt");
+        if (!frame_idx.ok() || !policy_idx.ok() || !attempt_no.ok()
+            || frame_idx.value() >= spec.frames.size()
+            || policy_idx.value() >= spec.policies.size()
+            || attempt_no.value() == 0) {
+            warn("gllcd worker: cell request out of range");
+            rc = 65;
+            break;
+        }
+        const SweepJobFrame &frame =
+            spec.frames[frame_idx.value()];
+        const PolicySpec &policy = policies[policy_idx.value()];
+        const unsigned attempt =
+            static_cast<unsigned>(attempt_no.value());
+
+        SweepCell cell;
+        cell.key = {frame.app, frame.frameIndex, policy.name};
+        cell.attempts = attempt;
+        const std::uint64_t fault_key =
+            cellFaultKey(cell.key, attempt);
+
+        // The crash site fires before any reply, so the parent sees
+        // EOF on exactly this cell.  _Exit skips atexit/destructors:
+        // this models a hard death, not an orderly failure.
+        if (faultFires(FaultSite::WorkerCrash, fault_key))
+            std::_Exit(kWorkerCrashExitCode);
+
+        const std::string error = guardedCall([&] {
+            if (faultFires(FaultSite::CellThrow, fault_key))
+                throwInjectedFault(FaultSite::CellThrow);
+            const FrameTrace trace = cachedRenderFrame(
+                *apps.at(frame.app), frame.frameIndex, scale);
+            cell.result = runTrace(trace, policy, llc);
+        });
+        const std::string reply =
+            error.empty()
+                ? checkpointCellLine(cell)
+                : failedCellLine(cell.key, attempt, error);
+        if (!writeAll(1, reply.data(), reply.size())) {
+            rc = 74;  // EX_IOERR: parent is gone
+            break;
+        }
+    }
+    std::free(buf);
+    return rc;
+}
+
+} // namespace gllc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sweep-cell worker subprocesses and the sharded job runner.
+ *
+ * The daemon's fault boundary is the process: a cell that segfaults,
+ * aborts, or hard-exits (the worker.crash injection site) must kill
+ * a disposable worker, never the service.  So a job's (frame,
+ * policy) cells are sharded across worker subprocesses by frame
+ * (each frame's trace renders once, in the one worker that owns it)
+ * and executed over a line protocol on the worker's stdin/stdout:
+ *
+ *   parent -> worker   line 1:  SweepJobSpec::toJson()
+ *   parent -> worker   {"cell":{"frame":F,"policy":P,"attempt":A}}
+ *                      (F, P index the spec's frames/policies)
+ *   worker -> parent   one line per cell, in request order:
+ *                        success: checkpointCellLine() bytes — the
+ *                          same sealed line a checkpoint journal
+ *                          holds, so a cell survives a pipe exactly
+ *                          the way it survives a crash
+ *                        failure: {"failed":1,...} sealed the same
+ *                          way, carrying the error text
+ *
+ * Requests are strictly request/response, so when a worker dies the
+ * unanswered request names the killer cell precisely.  The parent
+ * respawns the worker and retries that cell with the job's retry
+ * budget (spec.retries, spec.backoffMs — the same semantics the
+ * in-process engine applies to throwing cells), then quarantines it
+ * and moves on.  A clean job is therefore byte-identical to
+ * SweepConfig::fromSpec(spec).run() — fewer moving parts than it
+ * sounds: both paths end in the same runTrace() on the same trace.
+ *
+ * The worker executable is GLLC_WORKER_EXE when set (tests point it
+ * at the gllcd binary) and /proc/self/exe otherwise; either way it
+ * is entered through runSweepWorker() via the --worker flag.
+ */
+
+#ifndef GLLC_SERVICE_WORKER_HH
+#define GLLC_SERVICE_WORKER_HH
+
+#include "analysis/job_spec.hh"
+#include "analysis/sweep.hh"
+#include "common/result.hh"
+
+namespace gllc
+{
+
+/** Exit code of a worker killed by the worker.crash fault site. */
+constexpr int kWorkerCrashExitCode = 70;
+
+/** Telemetry of one sharded run (service status, tests). */
+struct ShardedRunStats
+{
+    unsigned workersSpawned = 0;
+    unsigned workerCrashes = 0;
+};
+
+/**
+ * Execute @p spec with its cells sharded over @p workers worker
+ * subprocesses (clamped to the frame count, minimum 1).  Execution
+ * knobs inside the spec keep their engine meaning where they apply
+ * (retries, backoffMs); threads/frameWindow are superseded by the
+ * process-level sharding and checkpointing is the caller's concern,
+ * not the workers'.  InvalidArgument when the spec does not
+ * validate(); Io when workers cannot be spawned at all.  Individual
+ * cell failures and crashes never fail the run — they quarantine,
+ * exactly like the in-process engine.
+ */
+Result<SweepResult> runShardedSweep(const SweepJobSpec &spec,
+                                    unsigned workers,
+                                    ShardedRunStats *stats = nullptr);
+
+/**
+ * Worker-subprocess entry: serve cell requests on stdin/stdout per
+ * the protocol above until EOF.  Returns the process exit code (0
+ * on an orderly shutdown, EX_DATAERR-style nonzero when the parent
+ * speaks garbage).
+ */
+int runSweepWorker();
+
+} // namespace gllc
+
+#endif // GLLC_SERVICE_WORKER_HH

@@ -36,9 +36,7 @@ SweepCell
 sampleCell(std::uint32_t frame)
 {
     SweepCell cell;
-    cell.app = "App\\One";
-    cell.frameIndex = frame;
-    cell.policy = "DRRIP";
+    cell.key = {"App\\One", frame, "DRRIP"};
     cell.attempts = 2;
     LlcStats &s = cell.result.stats;
     for (std::size_t i = 0; i < kNumStreams; ++i) {
@@ -69,9 +67,9 @@ sampleCell(std::uint32_t frame)
 void
 expectCellEqual(const SweepCell &a, const SweepCell &b)
 {
-    EXPECT_EQ(a.app, b.app);
-    EXPECT_EQ(a.frameIndex, b.frameIndex);
-    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.key.app, b.key.app);
+    EXPECT_EQ(a.key.frameIndex, b.key.frameIndex);
+    EXPECT_EQ(a.key.policy, b.key.policy);
     EXPECT_EQ(a.attempts, b.attempts);
     for (std::size_t i = 0; i < kNumStreams; ++i) {
         EXPECT_EQ(a.result.stats.stream[i].accesses,
@@ -124,8 +122,7 @@ TEST(Checkpoint, RoundTripsCellsExactly)
 
     for (std::uint32_t frame = 0; frame < 2; ++frame) {
         const SweepCell want = sampleCell(frame);
-        const auto it = contents.cells.find(
-            checkpointCellKey(want.app, frame, want.policy));
+        const auto it = contents.cells.find(want.key);
         ASSERT_NE(it, contents.cells.end()) << frame;
         expectCellEqual(it->second, want);
     }

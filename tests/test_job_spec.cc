@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the serializable sweep-job API: canonical JSON round
+ * trips, golden pinned content hashes (a serialization change is a
+ * result-store format break and must fail here first), CellKey
+ * ordering against Table-1 order, and spec validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/cell_key.hh"
+#include "analysis/job_spec.hh"
+#include "analysis/sweep.hh"
+#include "workload/app_profile.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** A spec with every field off its default. */
+SweepJobSpec
+sampleSpec()
+{
+    SweepJobSpec spec;
+    spec.policies = {"DRRIP+UCD", "GSPC+UCD"};
+    spec.frames = {{"3DMarkVAGT1", 0},
+                   {"3DMarkVAGT1", 1},
+                   {"BioShock", 2}};
+    spec.scaleLinear = 8;
+    spec.scatterPages = false;
+    spec.llcBytes = 4ull << 20;
+    spec.collectDramTrace = true;
+    spec.threads = 3;
+    spec.frameWindow = 6;
+    spec.progress = true;
+    spec.retries = 5;
+    spec.backoffMs = 7;
+    spec.cellTimeoutMs = 9000;
+    spec.checkpoint = "/tmp/j.jsonl";
+    spec.resume = true;
+    return spec;
+}
+
+} // namespace
+
+TEST(SweepJobSpec, JsonRoundTripIsIdentity)
+{
+    const SweepJobSpec spec = sampleSpec();
+    const std::string json = spec.toJson();
+    Result<SweepJobSpec> back = parseSweepJobSpec(json);
+    ASSERT_TRUE(back.ok()) << back.error().toString();
+    EXPECT_EQ(back.value(), spec);
+    // Canonical serialization: re-serializing the parsed spec
+    // reproduces the exact bytes.
+    EXPECT_EQ(back.value().toJson(), json);
+}
+
+TEST(SweepJobSpec, ParserAcceptsAnyFieldOrderAndWhitespace)
+{
+    const std::string shuffled =
+        "{ \"llc_bytes\": 8388608,\n"
+        "  \"frames\": [ {\"frame\": 1, \"app\": \"DMC\"} ],\n"
+        "  \"scale\": {\"scatter_pages\": true, \"linear\": 4},\n"
+        "  \"policies\": [\"DRRIP+UCD\"],\n"
+        "  \"gllc_sweep_job\": 1 }";
+    Result<SweepJobSpec> spec = parseSweepJobSpec(shuffled);
+    ASSERT_TRUE(spec.ok()) << spec.error().toString();
+    EXPECT_EQ(spec.value().frames.size(), 1u);
+    EXPECT_EQ(spec.value().frames[0].app, "DMC");
+    EXPECT_EQ(spec.value().frames[0].frameIndex, 1u);
+    // Execution knobs keep struct defaults when absent.
+    EXPECT_EQ(spec.value().retries, 2u);
+    EXPECT_EQ(spec.value().backoffMs, 25u);
+}
+
+TEST(SweepJobSpec, UnknownKeysAreRejected)
+{
+    SweepJobSpec spec = sampleSpec();
+    std::string json = spec.toJson();
+    json.pop_back();
+    json += ",\"retrees\":3}";  // misspelled knob must not default
+    Result<SweepJobSpec> back = parseSweepJobSpec(json);
+    ASSERT_FALSE(back.ok());
+    EXPECT_EQ(back.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(SweepJobSpec, MissingVersionIsBadMagic)
+{
+    Result<SweepJobSpec> spec =
+        parseSweepJobSpec("{\"policies\":[\"DRRIP\"]}");
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().code, ErrorCode::BadMagic);
+}
+
+TEST(SweepJobSpec, FutureVersionIsBadVersion)
+{
+    Result<SweepJobSpec> spec =
+        parseSweepJobSpec("{\"gllc_sweep_job\":999}");
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().code, ErrorCode::BadVersion);
+}
+
+TEST(SweepJobSpec, GarbageIsCorrupt)
+{
+    Result<SweepJobSpec> spec = parseSweepJobSpec("{\"unterminated");
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().code, ErrorCode::Corrupt);
+}
+
+/**
+ * Golden hashes.  These values are pinned on purpose: contentHash()
+ * keys the service's result store and traceHash() its trace
+ * identity, so any change to the canonical serialization (field
+ * order, key spelling, version) silently orphans every stored
+ * result.  If this test fails, you changed the format: bump
+ * SweepJobSpec::kVersion and re-pin.
+ */
+TEST(SweepJobSpec, GoldenContentHashesArePinned)
+{
+    const SweepJobSpec spec = sampleSpec();
+    EXPECT_EQ(spec.contentHash(), UINT64_C(0x0c6a56f75e6f2227));
+    EXPECT_EQ(spec.traceHash(), UINT64_C(0xa94cfa79eb367088));
+}
+
+TEST(SweepJobSpec, ContentHashCoversIdentityOnly)
+{
+    const SweepJobSpec base = sampleSpec();
+    SweepJobSpec tweaked = base;
+    tweaked.threads = 99;
+    tweaked.retries = 0;
+    tweaked.checkpoint = "/elsewhere";
+    tweaked.progress = !base.progress;
+    EXPECT_EQ(tweaked.contentHash(), base.contentHash());
+    EXPECT_EQ(tweaked.traceHash(), base.traceHash());
+
+    SweepJobSpec different = base;
+    different.llcBytes *= 2;
+    EXPECT_NE(different.contentHash(), base.contentHash());
+    // ... but the LLC size does not change which traces render.
+    EXPECT_EQ(different.traceHash(), base.traceHash());
+
+    SweepJobSpec rescaled = base;
+    rescaled.scaleLinear *= 2;
+    EXPECT_NE(rescaled.contentHash(), base.contentHash());
+    EXPECT_NE(rescaled.traceHash(), base.traceHash());
+}
+
+TEST(SweepJobSpec, ValidateRejectsUnknownNames)
+{
+    SweepJobSpec spec = sampleSpec();
+    spec.policies.push_back("NoSuchPolicy");
+    EXPECT_FALSE(spec.validate().ok());
+
+    SweepJobSpec bad_app = sampleSpec();
+    bad_app.frames.push_back({"NoSuchApp", 0});
+    EXPECT_FALSE(bad_app.validate().ok());
+
+    EXPECT_TRUE(sampleSpec().validate().ok());
+}
+
+TEST(SweepJobSpec, ResolveRoundTripsThroughFromSpec)
+{
+    const AppProfile &app = paperApps().front();
+    const SweepJobSpec spec =
+        SweepConfig()
+            .policies({"DRRIP+UCD"})
+            .frames({{&app, 0}})
+            .scale({8, true})
+            .threads(2)
+            .retries(1)
+            .backoffMs(3)
+            .resolve();
+    EXPECT_EQ(SweepConfig::fromSpec(spec).resolve(), spec);
+}
+
+TEST(CellKey, OrderFollowsTableOne)
+{
+    // Table-1 order is paperApps() order, not lexicographic:
+    // BioShock precedes AssnCreed nowhere in the alphabet, but
+    // "3DMarkVAGT2" precedes "AssnCreed" in both; use apps whose
+    // table and lexicographic orders disagree.
+    const std::vector<AppProfile> &apps = paperApps();
+    ASSERT_GE(apps.size(), 6u);
+    // "Civilization" (index 5) < "DMC" (index 4) alphabetically,
+    // but the table ranks DMC first.
+    const CellKey dmc{"DMC", 0, "DRRIP"};
+    const CellKey civ{"Civilization", 0, "DRRIP"};
+    EXPECT_LT(dmc, civ);
+    EXPECT_FALSE(civ < dmc);
+
+    // Within an app: frames ascend, then policies.
+    const CellKey f0{"DMC", 0, "GSPC"};
+    const CellKey f1{"DMC", 1, "DRRIP"};
+    EXPECT_LT(f0, f1);
+    const CellKey p_a{"DMC", 0, "AAA"};
+    const CellKey p_b{"DMC", 0, "BBB"};
+    EXPECT_LT(p_a, p_b);
+
+    // Unknown apps rank after every table app, ordered by name.
+    const CellKey unknown{"ZZZCustomApp", 0, "DRRIP"};
+    const CellKey last_table{apps.back().name, 99, "ZZZ"};
+    EXPECT_LT(last_table, unknown);
+}
+
+TEST(CellKey, SortingMatchesPaperAppOrder)
+{
+    std::vector<CellKey> keys;
+    for (auto it = paperApps().rbegin(); it != paperApps().rend();
+         ++it)
+        keys.push_back({it->name, 0, "DRRIP"});
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(keys[i].app, paperApps()[i].name);
+}
+
+TEST(CellKey, HashAndEqualityAgree)
+{
+    const CellKey a{"DMC", 3, "DRRIP"};
+    const CellKey b{"DMC", 3, "DRRIP"};
+    const CellKey c{"DMC", 4, "DRRIP"};
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a, c);
+    EXPECT_NE(a.hash(), c.hash());
+    EXPECT_EQ(a.toString(), "DMC frame 3 DRRIP");
+}

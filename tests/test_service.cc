@@ -1,0 +1,303 @@
+/**
+ * @file
+ * End-to-end tests of the gllcd sweep service: an in-process
+ * SweepDaemon forking real worker subprocesses (the gllcd binary via
+ * GLLC_WORKER_EXE), exercised through real sockets.
+ *
+ * The non-negotiable properties under test:
+ *  - a served result is byte-identical to an in-process
+ *    SweepConfig::fromSpec(spec).run();
+ *  - resubmitting an identical job is answered from the result
+ *    store without recompute;
+ *  - a crashing worker quarantines its cell and never kills the
+ *    daemon;
+ *  - hostile bytes on the wire come back as typed error frames, and
+ *    the daemon keeps serving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "analysis/report.hh"
+#include "analysis/sweep.hh"
+#include "common/fault.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "workload/app_profile.hh"
+
+using namespace gllc;
+
+namespace
+{
+
+/** Tiny two-frame, one-policy job: fast, deterministic. */
+SweepJobSpec
+tinySpec()
+{
+    SweepJobSpec spec;
+    spec.policies = {"DRRIP+UCD"};
+    spec.frames = {{paperApps()[0].name, 0},
+                   {paperApps()[0].name, 1}};
+    spec.scaleLinear = 8;
+    spec.scatterPages = true;
+    spec.llcBytes = 8ull << 20;
+    spec.threads = 1;
+    spec.backoffMs = 1;
+    return spec;
+}
+
+/** The bytes an in-process run of @p spec serializes to. */
+std::string
+localPayload(const SweepJobSpec &spec)
+{
+    const SweepResult result = SweepConfig::fromSpec(spec).run();
+    std::ostringstream os;
+    writeSweepJson(result, os);
+    return os.str();
+}
+
+/** Daemon + socket paths scoped to one test. */
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Workers fork+exec the gllcd binary (compiled in by CMake);
+        // without this the worker exe would be the test binary via
+        // /proc/self/exe, which has no --worker mode.
+        ::setenv("GLLC_WORKER_EXE", GLLC_GLLCD_PATH, 1);
+        ::unsetenv("GLLC_FAULT");
+        configureFaults("");
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("GLLC_FAULT");
+        configureFaults("");
+    }
+
+    std::string
+    tempPath(const std::string &leaf)
+    {
+        return ::testing::TempDir() + "/gllc_svc_"
+            + std::to_string(::getpid()) + "_" + leaf;
+    }
+
+    /** Start a daemon on a fresh Unix socket (no result store). */
+    SweepDaemon &
+    startDaemon(const std::string &store_dir = "")
+    {
+        DaemonOptions options;
+        options.socketPath = tempPath("sock");
+        options.workers = 2;
+        options.storeDir = store_dir;
+        daemon_ = std::make_unique<SweepDaemon>(std::move(options));
+        Result<Unit> started = daemon_->start();
+        EXPECT_TRUE(started.ok()) << started.error().toString();
+        return *daemon_;
+    }
+
+    ServiceClient
+    connect()
+    {
+        Result<ServiceClient> client =
+            ServiceClient::connectUnix(daemon_->socketPath());
+        EXPECT_TRUE(client.ok()) << client.error().toString();
+        return client.take();
+    }
+
+    std::unique_ptr<SweepDaemon> daemon_;
+};
+
+} // namespace
+
+TEST_F(ServiceTest, ServedResultIsByteIdenticalToLocalRun)
+{
+    const SweepJobSpec spec = tinySpec();
+    const std::string expected = localPayload(spec);
+
+    startDaemon();
+    ServiceClient client = connect();
+    Result<SubmitOutcome> outcome = client.submit(spec);
+    ASSERT_TRUE(outcome.ok()) << outcome.error().toString();
+
+    EXPECT_FALSE(outcome.value().header.cached);
+    EXPECT_EQ(outcome.value().header.specHash, spec.contentHash());
+    EXPECT_EQ(outcome.value().header.traceHash, spec.traceHash());
+    EXPECT_EQ(outcome.value().header.quarantined, 0u);
+    EXPECT_EQ(outcome.value().payload, expected);
+}
+
+TEST_F(ServiceTest, ResubmissionIsServedFromTheResultStore)
+{
+    const SweepJobSpec spec = tinySpec();
+    SweepDaemon &daemon = startDaemon(tempPath("store"));
+
+    ServiceClient first = connect();
+    Result<SubmitOutcome> computed = first.submit(spec, "tenant-a");
+    ASSERT_TRUE(computed.ok()) << computed.error().toString();
+    ASSERT_FALSE(computed.value().header.cached);
+
+    // A different tenant submitting the identical job shares the
+    // stored entry: content addressing, not per-tenant caching.
+    ServiceClient second = connect();
+    Result<SubmitOutcome> cached = second.submit(spec, "tenant-b");
+    ASSERT_TRUE(cached.ok()) << cached.error().toString();
+    EXPECT_TRUE(cached.value().header.cached);
+    EXPECT_EQ(cached.value().payload, computed.value().payload);
+    EXPECT_EQ(daemon.cacheHits(), 1u);
+    EXPECT_EQ(daemon.jobsCompleted(), 1u);
+}
+
+TEST_F(ServiceTest, ConcurrentClientsBothGetFullResults)
+{
+    const SweepJobSpec spec = tinySpec();
+    SweepJobSpec other = spec;
+    other.llcBytes = 4ull << 20;  // different job, same traces
+    ASSERT_NE(other.contentHash(), spec.contentHash());
+
+    startDaemon();
+    std::string payload_a, payload_b;
+    std::thread submit_a([&] {
+        ServiceClient client = connect();
+        Result<SubmitOutcome> got = client.submit(spec, "a");
+        if (got.ok())
+            payload_a = got.take().payload;
+    });
+    std::thread submit_b([&] {
+        ServiceClient client = connect();
+        Result<SubmitOutcome> got = client.submit(other, "b");
+        if (got.ok())
+            payload_b = got.take().payload;
+    });
+    submit_a.join();
+    submit_b.join();
+
+    EXPECT_EQ(payload_a, localPayload(spec));
+    EXPECT_EQ(payload_b, localPayload(other));
+    EXPECT_EQ(daemon_->jobsCompleted(), 2u);
+}
+
+TEST_F(ServiceTest, InvalidSpecIsRejectedWithoutKillingTheDaemon)
+{
+    startDaemon();
+    SweepJobSpec bad = tinySpec();
+    bad.policies = {"NoSuchPolicy"};
+
+    ServiceClient client = connect();
+    Result<SubmitOutcome> outcome = client.submit(bad);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, ErrorCode::InvalidArgument);
+
+    // Same connection still serves a good job afterwards.
+    Result<SubmitOutcome> good = client.submit(tinySpec());
+    EXPECT_TRUE(good.ok()) << good.error().toString();
+}
+
+TEST_F(ServiceTest, WorkerCrashQuarantinesCellsNotTheDaemon)
+{
+    startDaemon();
+
+    // Workers inherit the environment, so every cell attempt
+    // hard-exits its worker mid-cell.  The test process itself never
+    // draws at this site (the parent does not run cells in-process).
+    ::setenv("GLLC_FAULT", "worker.crash:p=1", 1);
+    ServiceClient client = connect();
+    Result<SubmitOutcome> outcome = client.submit(tinySpec());
+    ::unsetenv("GLLC_FAULT");
+
+    ASSERT_TRUE(outcome.ok()) << outcome.error().toString();
+    EXPECT_EQ(outcome.value().header.quarantined, 2u);
+    EXPECT_GE(daemon_->workerCrashes(), 2u);
+
+    // The daemon survived and a clean resubmission now computes the
+    // full result (quarantined results are never cached).
+    Result<SubmitOutcome> clean = client.submit(tinySpec());
+    ASSERT_TRUE(clean.ok()) << clean.error().toString();
+    EXPECT_FALSE(clean.value().header.cached);
+    EXPECT_EQ(clean.value().header.quarantined, 0u);
+}
+
+TEST_F(ServiceTest, StatusReportsCounters)
+{
+    SweepDaemon &daemon = startDaemon(tempPath("status_store"));
+    ServiceClient client = connect();
+    ASSERT_TRUE(client.submit(tinySpec()).ok());
+    ASSERT_TRUE(client.submit(tinySpec()).ok());
+
+    Result<std::string> status = client.status();
+    ASSERT_TRUE(status.ok()) << status.error().toString();
+    EXPECT_NE(status.value().find("\"jobs_completed\":1"),
+              std::string::npos);
+    EXPECT_NE(status.value().find("\"cache_hits\":1"),
+              std::string::npos);
+    EXPECT_EQ(daemon.jobsCompleted(), 1u);
+    EXPECT_EQ(daemon.cacheHits(), 1u);
+}
+
+TEST_F(ServiceTest, HostileBytesGetTypedErrorsAndServiceSurvives)
+{
+    startDaemon();
+
+    // Raw connection, bypassing ServiceClient.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, daemon_->socketPath().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // A well-framed frame of non-JSON garbage: the daemon must
+    // answer with a typed error frame, not crash or hang up.
+    ASSERT_TRUE(writeFrame(fd, "\x01\x02not json at all").ok());
+    std::string response;
+    Result<bool> read = readFrame(fd, response);
+    ASSERT_TRUE(read.ok()) << read.error().toString();
+    ASSERT_TRUE(read.value());
+    ResultHeader header;
+    Error error;
+    Result<bool> kind = parseResponseFrame(response, header, error);
+    ASSERT_TRUE(kind.ok()) << kind.error().toString();
+    EXPECT_FALSE(kind.value());
+    EXPECT_EQ(error.code, ErrorCode::Corrupt);
+
+    // The same connection still answers a valid status request.
+    ASSERT_TRUE(writeFrame(fd, statusEnvelopeJson()).ok());
+    read = readFrame(fd, response);
+    ASSERT_TRUE(read.ok()) << read.error().toString();
+    ASSERT_TRUE(read.value());
+    EXPECT_NE(response.find("\"jobs_submitted\""),
+              std::string::npos);
+
+    // An envelope that is valid JSON but not a gllcd document.
+    ASSERT_TRUE(writeFrame(fd, "{\"hello\":1}").ok());
+    read = readFrame(fd, response);
+    ASSERT_TRUE(read.ok()) << read.error().toString();
+    ASSERT_TRUE(read.value());
+    kind = parseResponseFrame(response, header, error);
+    ASSERT_TRUE(kind.ok());
+    EXPECT_FALSE(kind.value());
+    EXPECT_EQ(error.code, ErrorCode::BadMagic);
+
+    ::close(fd);
+
+    // The daemon outlived all of it and serves a fresh client.
+    ServiceClient client = connect();
+    EXPECT_TRUE(client.status().ok());
+}

@@ -49,9 +49,9 @@ expectCellsIdentical(const SweepResult &a, const SweepResult &b)
     for (std::size_t i = 0; i < a.cells().size(); ++i) {
         const SweepCell &ca = a.cells()[i];
         const SweepCell &cb = b.cells()[i];
-        EXPECT_EQ(ca.app, cb.app) << "cell " << i;
-        EXPECT_EQ(ca.frameIndex, cb.frameIndex) << "cell " << i;
-        EXPECT_EQ(ca.policy, cb.policy) << "cell " << i;
+        EXPECT_EQ(ca.key.app, cb.key.app) << "cell " << i;
+        EXPECT_EQ(ca.key.frameIndex, cb.key.frameIndex) << "cell " << i;
+        EXPECT_EQ(ca.key.policy, cb.key.policy) << "cell " << i;
 
         const LlcStats &sa = ca.result.stats;
         const LlcStats &sb = cb.result.stats;
@@ -98,11 +98,11 @@ TEST_F(SweepEnv, CellsAreInDeterministicSweepOrder)
     ASSERT_EQ(sweep.cells().size(), 4u);
     // Frames in frame-set order, policies in configured order
     // within each frame, regardless of completion order.
-    EXPECT_EQ(sweep.cells()[0].policy, "DRRIP");
-    EXPECT_EQ(sweep.cells()[1].policy, "NRU");
-    EXPECT_EQ(sweep.cells()[0].app, sweep.cells()[1].app);
-    EXPECT_EQ(sweep.cells()[2].policy, "DRRIP");
-    EXPECT_EQ(sweep.cells()[3].policy, "NRU");
+    EXPECT_EQ(sweep.cells()[0].key.policy, "DRRIP");
+    EXPECT_EQ(sweep.cells()[1].key.policy, "NRU");
+    EXPECT_EQ(sweep.cells()[0].key.app, sweep.cells()[1].key.app);
+    EXPECT_EQ(sweep.cells()[2].key.policy, "DRRIP");
+    EXPECT_EQ(sweep.cells()[3].key.policy, "NRU");
 }
 
 TEST_F(SweepEnv, SerialAndParallelAreBitIdentical)
@@ -213,7 +213,7 @@ TEST_F(SweepEnv, ObserverSeesCellsInSweepOrder)
     const SweepResult sweep =
         SweepConfig().policies({"DRRIP", "NRU"}).threads(4).run(
             [&seen](const SweepCell &cell, const FrameTrace &t) {
-                seen.push_back(cell.policy);
+                seen.push_back(cell.key.policy);
                 EXPECT_EQ(cell.result.stats.totalAccesses(),
                           t.accesses.size());
             });
@@ -251,7 +251,7 @@ TEST_F(SweepEnv, RegistryFreePolicySpecsSweep)
         SweepConfig().policySpecs(specs).run();
     EXPECT_EQ(sweep.policies(),
               (std::vector<std::string>{"DRRIP", "custom-name"}));
-    EXPECT_EQ(sweep.cells()[1].policy, "custom-name");
+    EXPECT_EQ(sweep.cells()[1].key.policy, "custom-name");
 }
 
 TEST_F(SweepEnv, CsvExportHasHeaderAndOneRowPerCell)

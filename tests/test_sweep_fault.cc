@@ -96,9 +96,9 @@ TEST_F(SweepFaultEnv, RetryRecoversAnInjectedThrow)
     // The attempt that failed left no residue: results match a
     // clean run cell for cell (attempts differ, payloads must not).
     for (std::size_t i = 0; i < clean.cells().size(); ++i) {
-        EXPECT_EQ(faulted.cells()[i].app, clean.cells()[i].app);
-        EXPECT_EQ(faulted.cells()[i].policy,
-                  clean.cells()[i].policy);
+        EXPECT_EQ(faulted.cells()[i].key.app, clean.cells()[i].key.app);
+        EXPECT_EQ(faulted.cells()[i].key.policy,
+                  clean.cells()[i].key.policy);
         EXPECT_EQ(
             faulted.cells()[i].result.stats.totalMisses(),
             clean.cells()[i].result.stats.totalMisses());
@@ -241,8 +241,9 @@ TEST_F(SweepFaultEnv, CliArgsWireResumeAndCheckpoint)
     SweepConfig config;
     config.policies({"DRRIP"})
         .cliArgs(6, const_cast<char **>(argv));
-    EXPECT_EQ(config.resolvedCheckpoint(), "/tmp/x.jsonl");
-    EXPECT_TRUE(config.resolvedResume());
+    const SweepJobSpec spec = config.resolve();
+    EXPECT_EQ(spec.checkpoint, "/tmp/x.jsonl");
+    EXPECT_TRUE(spec.resume);
 }
 
 TEST_F(SweepFaultEnv, EnvKnobsFeedTheResolvers)
@@ -252,16 +253,16 @@ TEST_F(SweepFaultEnv, EnvKnobsFeedTheResolvers)
     ::setenv("GLLC_CELL_TIMEOUT_MS", "1234", 1);
     ::setenv("GLLC_CHECKPOINT", "/tmp/env.jsonl", 1);
     ::setenv("GLLC_RESUME", "1", 1);
-    SweepConfig config;
-    EXPECT_EQ(config.resolvedRetries(), 5u);
-    EXPECT_EQ(config.resolvedBackoffMs(), 3u);
-    EXPECT_EQ(config.resolvedCellTimeoutMs(), 1234u);
-    EXPECT_EQ(config.resolvedCheckpoint(), "/tmp/env.jsonl");
-    EXPECT_TRUE(config.resolvedResume());
+    const SweepJobSpec spec = SweepConfig().resolve();
+    EXPECT_EQ(spec.retries, 5u);
+    EXPECT_EQ(spec.backoffMs, 3u);
+    EXPECT_EQ(spec.cellTimeoutMs, 1234u);
+    EXPECT_EQ(spec.checkpoint, "/tmp/env.jsonl");
+    EXPECT_TRUE(spec.resume);
 
     // Builder overrides beat the environment.
-    EXPECT_EQ(SweepConfig().retries(0).resolvedRetries(), 0u);
-    EXPECT_FALSE(SweepConfig().resume(false).resolvedResume());
+    EXPECT_EQ(SweepConfig().retries(0).resolve().retries, 0u);
+    EXPECT_FALSE(SweepConfig().resume(false).resolve().resume);
     ::unsetenv("GLLC_CELL_RETRIES");
     ::unsetenv("GLLC_CELL_BACKOFF_MS");
     ::unsetenv("GLLC_CELL_TIMEOUT_MS");

@@ -1,0 +1,177 @@
+/**
+ * gllc-submit: submit a sweep job to a gllcd daemon (or run it
+ * locally) and write the result JSON.
+ *
+ * Usage:
+ *   gllc-submit (--socket PATH | --port N | --local)
+ *               [--policies A,B,C] [--llc-bytes N]
+ *               [--tenant NAME] [--priority N] [--out PATH]
+ *   gllc-submit (--socket PATH | --port N) --status
+ *
+ * The job is built exactly the way the bench harnesses build
+ * sweeps: frames and scale come from the environment (GLLC_FRAMES,
+ * GLLC_SCALE), then SweepConfig::resolve() pins every default into
+ * a serializable SweepJobSpec.  --local runs the same spec
+ * in-process through SweepConfig::fromSpec(spec).run() and writes
+ * the same writeSweepJson() bytes — CI diffs the two outputs to
+ * prove the service is byte-faithful.
+ *
+ * Exit status: 0 on a clean result, 75 (EX_TEMPFAIL, matching the
+ * bench harnesses) when the result contains quarantined cells, 1 on
+ * any hard failure.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "analysis/sweep.hh"
+#include "common/logging.hh"
+#include "service/client.hh"
+
+namespace
+{
+
+/** Split a comma-separated list. */
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > pos)
+            out.push_back(csv.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return out;
+}
+
+/** Write @p payload to @p path ("" or "-" = stdout). */
+bool
+writeOutput(const std::string &path, const std::string &payload)
+{
+    if (path.empty() || path == "-") {
+        std::cout << payload;
+        return true;
+    }
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        gllc::warn("cannot write %s", path.c_str());
+        return false;
+    }
+    os << payload;
+    return os.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gllc;
+
+    std::string socket_path;
+    int port = -1;
+    bool local = false;
+    bool status = false;
+    std::string tenant = "gllc-submit";
+    int priority = 0;
+    std::string out_path;
+    std::vector<std::string> policies{"DRRIP+UCD", "GSPC+UCD"};
+    std::uint64_t llc_bytes = 8ull << 20;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--local") {
+            local = true;
+            continue;
+        }
+        if (flag == "--status") {
+            status = true;
+            continue;
+        }
+        if (i + 1 >= argc)
+            fatal("%s requires a value", flag.c_str());
+        const std::string value = argv[++i];
+        if (flag == "--socket")
+            socket_path = value;
+        else if (flag == "--port")
+            port = std::atoi(value.c_str());
+        else if (flag == "--policies")
+            policies = splitList(value);
+        else if (flag == "--llc-bytes")
+            llc_bytes = std::strtoull(value.c_str(), nullptr, 0);
+        else if (flag == "--tenant")
+            tenant = value;
+        else if (flag == "--priority")
+            priority = std::atoi(value.c_str());
+        else if (flag == "--out")
+            out_path = value;
+        else
+            fatal("unknown flag %s", flag.c_str());
+    }
+
+    if (!local && socket_path.empty() && port < 0)
+        fatal("need --socket, --port, or --local");
+
+    if (status) {
+        Result<ServiceClient> client =
+            socket_path.empty()
+                ? ServiceClient::connectTcp(port)
+                : ServiceClient::connectUnix(socket_path);
+        if (!client.ok())
+            fatal("%s", client.error().toString().c_str());
+        ServiceClient conn = client.take();
+        Result<std::string> doc = conn.status();
+        if (!doc.ok())
+            fatal("%s", doc.error().toString().c_str());
+        std::cout << doc.value() << "\n";
+        return 0;
+    }
+
+    // Same construction path as the benches: env-driven frames and
+    // scale, resolved into an explicit, serializable spec.
+    const SweepJobSpec spec = SweepConfig()
+                                  .policies(policies)
+                                  .llcBytes(llc_bytes)
+                                  .resolve();
+
+    if (local) {
+        const SweepResult result =
+            SweepConfig::fromSpec(spec).run();
+        std::ostringstream payload;
+        writeSweepJson(result, payload);
+        if (!writeOutput(out_path, payload.str()))
+            return 1;
+        return result.quarantined().empty() ? 0 : 75;
+    }
+
+    Result<ServiceClient> client =
+        socket_path.empty()
+            ? ServiceClient::connectTcp(port)
+            : ServiceClient::connectUnix(socket_path);
+    if (!client.ok())
+        fatal("%s", client.error().toString().c_str());
+    ServiceClient conn = client.take();
+    Result<SubmitOutcome> outcome =
+        conn.submit(spec, tenant, priority);
+    if (!outcome.ok())
+        fatal("%s", outcome.error().toString().c_str());
+
+    const SubmitOutcome &got = outcome.value();
+    note("job %llu: %s, %u quarantined cell(s)",
+         static_cast<unsigned long long>(got.header.jobId),
+         got.header.cached ? "served from result store"
+                           : "computed",
+         got.header.quarantined);
+    if (!writeOutput(out_path, got.payload))
+        return 1;
+    return got.header.quarantined == 0 ? 0 : 75;
+}

@@ -1,0 +1,94 @@
+/**
+ * gllcd: the sweep service daemon (and, via --worker, the worker
+ * subprocess it forks).
+ *
+ * Usage:
+ *   gllcd --socket /run/gllcd.sock [--port N] [--workers N]
+ *         [--store DIR] [--print-port]
+ *   gllcd --worker            # internal: cell worker on stdin/stdout
+ *
+ * Serves sweep jobs per src/service/protocol.hh until SIGINT or
+ * SIGTERM.  --port 0 binds an ephemeral loopback port; --print-port
+ * writes the bound port to stdout (scripts parse it).  --store
+ * enables the content-addressed result cache.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+#include "service/daemon.hh"
+#include "service/worker.hh"
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gllc;
+
+    DaemonOptions options;
+    bool print_port = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--worker")
+            return runSweepWorker();
+        if (flag == "--print-port") {
+            print_port = true;
+            continue;
+        }
+        if (i + 1 >= argc)
+            fatal("%s requires a value", flag.c_str());
+        const std::string value = argv[++i];
+        if (flag == "--socket")
+            options.socketPath = value;
+        else if (flag == "--port")
+            options.tcpPort = std::atoi(value.c_str());
+        else if (flag == "--workers")
+            options.workers = static_cast<unsigned>(
+                std::atoi(value.c_str()));
+        else if (flag == "--store")
+            options.storeDir = value;
+        else
+            fatal("unknown flag %s", flag.c_str());
+    }
+
+    SweepDaemon daemon(std::move(options));
+    Result<Unit> started = daemon.start();
+    if (!started.ok())
+        fatal("gllcd: %s", started.error().toString().c_str());
+
+    if (print_port && daemon.tcpPort() >= 0) {
+        std::cout << daemon.tcpPort() << std::endl;
+    }
+    if (!daemon.socketPath().empty())
+        note("gllcd: serving on %s", daemon.socketPath().c_str());
+    if (daemon.tcpPort() >= 0)
+        note("gllcd: serving on localhost:%d", daemon.tcpPort());
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop.load())
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+
+    note("gllcd: shutting down");
+    daemon.stop();
+    return 0;
+}
