@@ -1,5 +1,6 @@
 #include "analysis/job_spec.hh"
 
+#include <cstdint>
 #include <set>
 
 #include "analysis/policy_table.hh"
@@ -44,6 +45,24 @@ const char *
 boolWord(bool v)
 {
     return v ? "true" : "false";
+}
+
+/**
+ * A u64 JSON field narrowed into u32 range.  Rejecting overflow
+ * instead of truncating matters for identity: frame 4294967296 must
+ * not silently become frame 0 and alias a different cell.
+ */
+Result<std::uint32_t>
+asU32(const JsonValue &value, const char *key)
+{
+    Result<std::uint64_t> v = value.asU64(key);
+    if (!v.ok())
+        return v.error();
+    if (v.value() > UINT32_MAX)
+        return Error::format(
+            ErrorCode::InvalidArgument, "%s out of range: %llu", key,
+            static_cast<unsigned long long>(v.value()));
+    return static_cast<std::uint32_t>(v.value());
 }
 
 } // namespace
@@ -184,8 +203,17 @@ parseSweepJobSpec(const std::string &json)
     bool saw_frames = false;
     bool saw_scale = false;
     bool saw_llc = false;
+    std::set<std::string> seen_keys;
 
     for (const auto &[key, value] : doc.members()) {
+        // Duplicates are never benign here: a repeated "policies"
+        // would concatenate both arrays and a repeated scalar would
+        // be last-wins, so two textually different documents could
+        // both parse yet mean something unintended.
+        if (!seen_keys.insert(key).second)
+            return Error::format(ErrorCode::InvalidArgument,
+                                 "duplicate job spec key \"%s\"",
+                                 key.c_str());
         if (key == "gllc_sweep_job") {
             Result<std::uint64_t> v = value.asU64(key.c_str());
             if (!v.ok())
@@ -225,12 +253,11 @@ parseSweepJobSpec(const std::string &json)
                 if (!name.ok())
                     return name.error();
                 ref.app = name.take();
-                Result<std::uint64_t> index =
-                    frame->asU64("frame");
+                Result<std::uint32_t> index =
+                    asU32(*frame, "frame");
                 if (!index.ok())
                     return index.error();
-                ref.frameIndex =
-                    static_cast<std::uint32_t>(index.value());
+                ref.frameIndex = index.value();
                 spec.frames.push_back(std::move(ref));
             }
             saw_frames = true;
@@ -244,11 +271,10 @@ parseSweepJobSpec(const std::string &json)
             if (linear == nullptr || scatter == nullptr)
                 return Error(ErrorCode::InvalidArgument,
                              "scale needs linear and scatter_pages");
-            Result<std::uint64_t> lin = linear->asU64("linear");
+            Result<std::uint32_t> lin = asU32(*linear, "linear");
             if (!lin.ok())
                 return lin.error();
-            spec.scaleLinear =
-                static_cast<std::uint32_t>(lin.value());
+            spec.scaleLinear = lin.value();
             Result<bool> sc = scatter->asBool("scatter_pages");
             if (!sc.ok())
                 return sc.error();
@@ -268,11 +294,10 @@ parseSweepJobSpec(const std::string &json)
         } else if (key == "threads" || key == "frame_window"
                    || key == "retries" || key == "backoff_ms"
                    || key == "cell_timeout_ms") {
-            Result<std::uint64_t> v = value.asU64(key.c_str());
+            Result<std::uint32_t> v = asU32(value, key.c_str());
             if (!v.ok())
                 return v.error();
-            const std::uint32_t u =
-                static_cast<std::uint32_t>(v.value());
+            const std::uint32_t u = v.value();
             if (key == "threads")
                 spec.threads = u;
             else if (key == "frame_window")

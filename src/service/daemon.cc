@@ -160,29 +160,38 @@ SweepDaemon::stop()
     acceptThreads_.clear();
     if (dispatcher_.joinable())
         dispatcher_.join();
+    // The dispatcher is gone and the queue is closed, so no queued
+    // job will ever execute: fail every submit waiter BEFORE joining
+    // the connection threads, which may be blocked on exactly those
+    // jobs' doneCv.  (A submit racing in after this point hits the
+    // closed queue and fails itself in handleSubmit.)
+    failPendingJobs(Error(ErrorCode::Io, "daemon shutting down"));
     std::vector<std::thread> conns;
     {
         std::lock_guard<std::mutex> lock(connMutex_);
         conns.swap(connThreads_);
+        finishedConnIds_.clear();
     }
     for (std::thread &t : conns)
         t.join();
-    // Jobs still queued at shutdown never complete; release any
-    // clients that raced past the closing listeners.
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
+}
+
+void
+SweepDaemon::failPendingJobs(const Error &error)
+{
     std::lock_guard<std::mutex> lock(inflightMutex_);
     for (auto &[key, state] : inflight_) {
         std::lock_guard<std::mutex> state_lock(state->mutex);
         if (!state->done) {
             state->done = true;
             state->failed = true;
-            state->error =
-                Error(ErrorCode::Io, "daemon shutting down");
+            state->error = error;
             state->doneCv.notify_all();
         }
     }
     inflight_.clear();
-    if (!options_.socketPath.empty())
-        ::unlink(options_.socketPath.c_str());
 }
 
 void
@@ -200,10 +209,32 @@ SweepDaemon::acceptLoop(int listen_fd)
             ::close(fd);
             return;
         }
+        // Retire finished connections before admitting a new one,
+        // so a long-running daemon holds handles only for live
+        // connections, not for every connection ever served.
+        reapFinishedConnsLocked();
         connFds_.push_back(fd);
         connThreads_.emplace_back(
             [this, fd] { serveConnection(fd); });
     }
+}
+
+void
+SweepDaemon::reapFinishedConnsLocked()
+{
+    for (const std::thread::id id : finishedConnIds_) {
+        for (std::size_t i = 0; i < connThreads_.size(); ++i) {
+            if (connThreads_[i].get_id() != id)
+                continue;
+            // Joins near-instantly: the thread registered its id as
+            // its final action under connMutex_, which we hold.
+            connThreads_[i].join();
+            connThreads_.erase(connThreads_.begin()
+                               + static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    finishedConnIds_.clear();
 }
 
 void
@@ -254,6 +285,7 @@ SweepDaemon::serveConnection(int fd)
             break;
         }
     }
+    finishedConnIds_.push_back(std::this_thread::get_id());
 }
 
 bool
@@ -319,16 +351,25 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
             state->header.jobId = nextJobId_.fetch_add(1);
             state->header.specHash = key.specHash;
             state->header.traceHash = key.traceHash;
-            inflight_.emplace(key, state);
             QueuedJob job;
             job.id = state->header.jobId;
             job.tenant = envelope.tenant;
             job.priority = envelope.priority;
             job.spec = spec;
-            queue_.push(std::move(job));
-            if (metricsActive())
-                MetricsRegistry::instance().maxGauge(
-                    "gllcd.queue_depth", queue_.depth());
+            if (queue_.push(std::move(job))) {
+                inflight_.emplace(key, state);
+                if (metricsActive())
+                    MetricsRegistry::instance().maxGauge(
+                        "gllcd.queue_depth", queue_.depth());
+            } else {
+                // Lost the race with stop(): the queue is closed and
+                // nothing will ever pop this job.  Fail it here —
+                // waiting on doneCv would block stop() forever.
+                state->done = true;
+                state->failed = true;
+                state->error =
+                    Error(ErrorCode::Io, "daemon shutting down");
+            }
         }
     }
 
@@ -364,6 +405,8 @@ SweepDaemon::statusJson()
     out += std::to_string(inflightJoins_.load());
     out += ",\"worker_crashes\":";
     out += std::to_string(workerCrashes_.load());
+    out += ",\"cell_timeouts\":";
+    out += std::to_string(cellTimeouts_.load());
     out += '}';
     return out;
 }
@@ -389,6 +432,7 @@ SweepDaemon::executeJob(const QueuedJob &job)
     Result<SweepResult> run =
         runShardedSweep(job.spec, options_.workers, &stats);
     workerCrashes_.fetch_add(stats.workerCrashes);
+    cellTimeouts_.fetch_add(stats.cellTimeouts);
 
     const ResultKey key{job.spec.traceHash(),
                         job.spec.contentHash()};

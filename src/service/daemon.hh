@@ -117,6 +117,12 @@ class SweepDaemon
         return workerCrashes_.load();
     }
 
+    /** Hung workers killed at the cell timeout. */
+    std::uint64_t cellTimeouts() const
+    {
+        return cellTimeouts_.load();
+    }
+
   private:
     /** A job one-or-more connections are waiting on. */
     struct JobState
@@ -141,6 +147,12 @@ class SweepDaemon
     std::string statusJson();
     void countMetric(const char *name);
 
+    /** Join conn threads whose serveConnection() has returned. */
+    void reapFinishedConnsLocked();
+
+    /** Wake every submit waiter with @p error; empties inflight_. */
+    void failPendingJobs(const Error &error);
+
     DaemonOptions options_;
     int boundTcpPort_ = -1;
 
@@ -151,6 +163,8 @@ class SweepDaemon
 
     std::mutex connMutex_;
     std::vector<std::thread> connThreads_;
+    /** Threads in connThreads_ that have finished and await join. */
+    std::vector<std::thread::id> finishedConnIds_;
     std::vector<int> connFds_;
 
     JobQueue queue_;
@@ -166,6 +180,7 @@ class SweepDaemon
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> inflightJoins_{0};
     std::atomic<std::uint64_t> workerCrashes_{0};
+    std::atomic<std::uint64_t> cellTimeouts_{0};
 };
 
 } // namespace gllc

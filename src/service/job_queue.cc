@@ -7,11 +7,13 @@
 namespace gllc
 {
 
-void
+bool
 JobQueue::push(QueuedJob job)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return false;
         PriorityClass &cls = classes_[job.priority];
         auto lane = cls.lanes.find(job.tenant);
         if (lane == cls.lanes.end()) {
@@ -24,6 +26,7 @@ JobQueue::push(QueuedJob job)
         ++depth_;
     }
     available_.notify_one();
+    return true;
 }
 
 bool

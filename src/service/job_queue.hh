@@ -47,8 +47,12 @@ struct QueuedJob
 class JobQueue
 {
   public:
-    /** Enqueue a job; wakes a blocked waitPop(). */
-    void push(QueuedJob job);
+    /**
+     * Enqueue a job; wakes a blocked waitPop().  False once the
+     * queue is close()d — nothing will ever pop the job, so the
+     * caller must fail it instead of waiting on it.
+     */
+    bool push(QueuedJob job);
 
     /**
      * Dequeue the next job per the scheduling policy without

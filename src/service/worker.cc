@@ -4,11 +4,14 @@
 #include <cerrno>
 #include <chrono>
 #include <cinttypes>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
@@ -195,6 +198,17 @@ cellRequestLine(std::size_t frame, std::size_t policy,
     return line;
 }
 
+/** Stall injected by the cell.delay fault site (mirrors sweep.cc). */
+constexpr unsigned kInjectedDelayMs = 100;
+
+/** How a receive() attempt ended. */
+enum class RecvStatus
+{
+    Line,    ///< one complete response line delivered
+    Eof,     ///< worker closed its pipe (died or exited)
+    Timeout  ///< no complete line within the deadline
+};
+
 /** Describe how a reaped worker died. */
 std::string
 exitDescription(int status)
@@ -257,14 +271,10 @@ class WorkerProcess
         }
         pid_ = pid;
         writeFd_ = to_child[1];
+        readFd_ = from_child[0];
+        buffer_.clear();
         ::close(to_child[0]);
         ::close(from_child[1]);
-        readFile_ = ::fdopen(from_child[0], "r");
-        if (readFile_ == nullptr) {
-            ::close(from_child[0]);
-            shutdown();
-            return false;
-        }
         if (!send(spec_line)) {
             shutdown();
             return false;
@@ -279,22 +289,70 @@ class WorkerProcess
             && writeAll(writeFd_, line.data(), line.size());
     }
 
-    /** Read one response line; false on EOF (worker died). */
-    bool
-    receive(std::string &line)
+    /**
+     * Read one response line.  @p timeout_ms bounds the whole wait
+     * (0 = wait forever); Timeout means the worker is alive but
+     * hung past the budget — the caller must kill() it, since a
+     * spinning worker ignores its pipes closing.
+     */
+    RecvStatus
+    receive(std::string &line, unsigned timeout_ms)
     {
-        if (readFile_ == nullptr)
-            return false;
-        char *buf = nullptr;
-        std::size_t cap = 0;
-        const ssize_t n = ::getline(&buf, &cap, readFile_);
-        if (n < 0) {
-            std::free(buf);
-            return false;
+        using clock = std::chrono::steady_clock;
+        const clock::time_point deadline =
+            clock::now() + std::chrono::milliseconds(timeout_ms);
+        for (;;) {
+            const std::size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                line.assign(buffer_, 0, nl + 1);
+                buffer_.erase(0, nl + 1);
+                return RecvStatus::Line;
+            }
+            if (readFd_ < 0)
+                return RecvStatus::Eof;
+            if (timeout_ms > 0) {
+                const long long left_ms =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(deadline
+                                                   - clock::now())
+                        .count();
+                if (left_ms <= 0)
+                    return RecvStatus::Timeout;
+                pollfd pfd{};
+                pfd.fd = readFd_;
+                pfd.events = POLLIN;
+                const int ready = ::poll(
+                    &pfd, 1,
+                    static_cast<int>(std::min<long long>(
+                        left_ms, INT_MAX)));
+                if (ready < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    return RecvStatus::Eof;
+                }
+                if (ready == 0)
+                    return RecvStatus::Timeout;
+            }
+            char chunk[4096];
+            const ssize_t n =
+                ::read(readFd_, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return RecvStatus::Eof;
+            }
+            if (n == 0)
+                return RecvStatus::Eof;
+            buffer_.append(chunk, static_cast<std::size_t>(n));
         }
-        line.assign(buf, static_cast<std::size_t>(n));
-        std::free(buf);
-        return true;
+    }
+
+    /** SIGKILL a hung worker so shutdown()'s reap cannot block. */
+    void
+    kill()
+    {
+        if (pid_ > 0)
+            ::kill(pid_, SIGKILL);
     }
 
     /** Close pipes and reap; returns the exit description. */
@@ -305,10 +363,11 @@ class WorkerProcess
             ::close(writeFd_);
             writeFd_ = -1;
         }
-        if (readFile_ != nullptr) {
-            std::fclose(readFile_);
-            readFile_ = nullptr;
+        if (readFd_ >= 0) {
+            ::close(readFd_);
+            readFd_ = -1;
         }
+        buffer_.clear();
         std::string how = "never ran";
         if (pid_ > 0) {
             int status = 0;
@@ -324,7 +383,8 @@ class WorkerProcess
   private:
     pid_t pid_ = -1;
     int writeFd_ = -1;
-    std::FILE *readFile_ = nullptr;
+    int readFd_ = -1;
+    std::string buffer_;
 };
 
 /** The worker binary to exec (tests point this at gllcd). */
@@ -373,6 +433,13 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
             MetricsRegistry::instance().addCounter(
                 "gllcd.worker_crashes");
     };
+    const auto note_timeout = [&] {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.cellTimeouts;
+        if (metricsActive())
+            MetricsRegistry::instance().addCounter(
+                "gllcd.cell_timeouts");
+    };
 
     for (const auto &[frame_idx, policy_idx] : cells) {
         CellOutcome &out =
@@ -391,20 +458,34 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
                 note_spawn();
             }
             std::string line;
-            if (!proc.send(cellRequestLine(frame_idx, policy_idx,
-                                           attempt))
-                || !proc.receive(line)) {
-                // The unanswered request names the killer cell.
+            RecvStatus received = RecvStatus::Eof;
+            if (proc.send(cellRequestLine(frame_idx, policy_idx,
+                                          attempt)))
+                received = proc.receive(line, spec.cellTimeoutMs);
+            if (received != RecvStatus::Line) {
+                // The unanswered request names the killer cell.  A
+                // hung worker (Timeout) must die by SIGKILL first:
+                // it is not reading its pipes, so shutdown()'s reap
+                // would otherwise block on it forever.
+                const bool hung = received == RecvStatus::Timeout;
+                if (hung) {
+                    proc.kill();
+                    note_timeout();
+                } else {
+                    note_crash();
+                }
                 const std::string how = proc.shutdown();
-                note_crash();
-                warn("gllcd worker died (%s) on cell %s "
-                     "(attempt %u)",
+                warn("gllcd worker %s (%s) on cell %s (attempt %u)",
+                     hung ? "hung past the cell timeout" : "died",
                      how.c_str(), expect.toString().c_str(),
                      attempt);
                 if (attempt >= max_attempts) {
                     out.done = true;
-                    out.error =
-                        "worker crashed (" + how + ")";
+                    out.error = hung
+                        ? "cell exceeded timeout "
+                            + std::to_string(spec.cellTimeoutMs)
+                            + " ms"
+                        : "worker crashed (" + how + ")";
                     break;
                 }
                 retryBackoff(spec.backoffMs, attempt);
@@ -628,6 +709,12 @@ runSweepWorker()
             std::_Exit(kWorkerCrashExitCode);
 
         const std::string error = guardedCall([&] {
+            // Same injection sites, same keyed draws as the
+            // in-process engine; cell.delay is how tests make a
+            // worker hang past the cell timeout.
+            if (faultFires(FaultSite::CellDelay, fault_key))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(kInjectedDelayMs));
             if (faultFires(FaultSite::CellThrow, fault_key))
                 throwInjectedFault(FaultSite::CellThrow);
             const FrameTrace trace = cachedRenderFrame(

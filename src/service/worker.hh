@@ -52,6 +52,8 @@ struct ShardedRunStats
 {
     unsigned workersSpawned = 0;
     unsigned workerCrashes = 0;
+    /** Cells whose worker hung past cellTimeoutMs and was killed. */
+    unsigned cellTimeouts = 0;
 };
 
 /**
@@ -60,7 +62,12 @@ struct ShardedRunStats
  * knobs inside the spec keep their engine meaning where they apply
  * (retries, backoffMs); threads/frameWindow are superseded by the
  * process-level sharding and checkpointing is the caller's concern,
- * not the workers'.  InvalidArgument when the spec does not
+ * not the workers'.  cellTimeoutMs is enforced HARD here, unlike
+ * the in-process engine's warn-only watchdog: a worker that hangs
+ * past the budget is SIGKILLed and the cell retried on a fresh
+ * worker, then quarantined — safe because the fault boundary is a
+ * disposable process with no shared state to corrupt (0 = no
+ * timeout).  InvalidArgument when the spec does not
  * validate(); Io when workers cannot be spawned at all.  Individual
  * cell failures and crashes never fail the run — they quarantine,
  * exactly like the in-process engine.

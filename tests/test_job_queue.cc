@@ -127,3 +127,15 @@ TEST(JobQueue, CloseReleasesBlockedWaiters)
     QueuedJob got;
     EXPECT_FALSE(queue.waitPop(got));
 }
+
+TEST(JobQueue, PushAfterCloseIsRefused)
+{
+    JobQueue queue;
+    EXPECT_TRUE(queue.push(job(1, "a")));
+    queue.close();
+    // A push that lost the race with close() must be refused —
+    // nothing will ever pop it, so accepting it would strand a
+    // client waiting on the job forever.
+    EXPECT_FALSE(queue.push(job(2, "a")));
+    EXPECT_EQ(queue.depth(), 1u);
+}

@@ -89,6 +89,67 @@ TEST(SweepJobSpec, UnknownKeysAreRejected)
     EXPECT_EQ(back.error().code, ErrorCode::InvalidArgument);
 }
 
+TEST(SweepJobSpec, OutOfRangeU32FieldsAreRejected)
+{
+    // 2^32 truncated to u32 is 0 — a silently different identity.
+    // Every u32 field must reject overflow instead of wrapping.
+    const char *overflowing[] = {
+        "{\"gllc_sweep_job\":1,\"policies\":[\"DRRIP+UCD\"],"
+        "\"frames\":[{\"app\":\"DMC\",\"frame\":4294967296}],"
+        "\"scale\":{\"linear\":4,\"scatter_pages\":true},"
+        "\"llc_bytes\":1048576}",
+        "{\"gllc_sweep_job\":1,\"policies\":[\"DRRIP+UCD\"],"
+        "\"frames\":[{\"app\":\"DMC\",\"frame\":0}],"
+        "\"scale\":{\"linear\":4294967296,\"scatter_pages\":true},"
+        "\"llc_bytes\":1048576}",
+        "{\"gllc_sweep_job\":1,\"policies\":[\"DRRIP+UCD\"],"
+        "\"frames\":[{\"app\":\"DMC\",\"frame\":0}],"
+        "\"scale\":{\"linear\":4,\"scatter_pages\":true},"
+        "\"llc_bytes\":1048576,\"retries\":4294967296}",
+        "{\"gllc_sweep_job\":1,\"policies\":[\"DRRIP+UCD\"],"
+        "\"frames\":[{\"app\":\"DMC\",\"frame\":0}],"
+        "\"scale\":{\"linear\":4,\"scatter_pages\":true},"
+        "\"llc_bytes\":1048576,\"cell_timeout_ms\":4294967296}",
+    };
+    for (const char *json : overflowing) {
+        Result<SweepJobSpec> spec = parseSweepJobSpec(json);
+        ASSERT_FALSE(spec.ok()) << json;
+        EXPECT_EQ(spec.error().code, ErrorCode::InvalidArgument);
+    }
+
+    // The u32 boundary itself still parses.
+    Result<SweepJobSpec> edge = parseSweepJobSpec(
+        "{\"gllc_sweep_job\":1,\"policies\":[\"DRRIP+UCD\"],"
+        "\"frames\":[{\"app\":\"DMC\",\"frame\":4294967295}],"
+        "\"scale\":{\"linear\":4,\"scatter_pages\":true},"
+        "\"llc_bytes\":1048576}");
+    ASSERT_TRUE(edge.ok()) << edge.error().toString();
+    EXPECT_EQ(edge.value().frames[0].frameIndex, 4294967295u);
+}
+
+TEST(SweepJobSpec, DuplicateKeysAreRejected)
+{
+    // A repeated array key would concatenate both arrays...
+    Result<SweepJobSpec> arrays = parseSweepJobSpec(
+        "{\"gllc_sweep_job\":1,"
+        "\"policies\":[\"DRRIP+UCD\"],\"policies\":[\"GSPC+UCD\"],"
+        "\"frames\":[{\"app\":\"DMC\",\"frame\":0}],"
+        "\"scale\":{\"linear\":4,\"scatter_pages\":true},"
+        "\"llc_bytes\":1048576}");
+    ASSERT_FALSE(arrays.ok());
+    EXPECT_EQ(arrays.error().code, ErrorCode::InvalidArgument);
+
+    // ...and a repeated scalar key would be last-wins; both must
+    // fail the strictness bar instead of parsing ambiguously.
+    Result<SweepJobSpec> scalars = parseSweepJobSpec(
+        "{\"gllc_sweep_job\":1,\"policies\":[\"DRRIP+UCD\"],"
+        "\"frames\":[{\"app\":\"DMC\",\"frame\":0}],"
+        "\"scale\":{\"linear\":4,\"scatter_pages\":true},"
+        "\"llc_bytes\":1048576,\"llc_bytes\":2097152}");
+    ASSERT_FALSE(scalars.ok());
+    EXPECT_EQ(scalars.error().code, ErrorCode::InvalidArgument);
+}
+
 TEST(SweepJobSpec, MissingVersionIsBadMagic)
 {
     Result<SweepJobSpec> spec =

@@ -21,6 +21,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -300,4 +302,71 @@ TEST_F(ServiceTest, HostileBytesGetTypedErrorsAndServiceSurvives)
     // The daemon outlived all of it and serves a fresh client.
     ServiceClient client = connect();
     EXPECT_TRUE(client.status().ok());
+}
+
+TEST_F(ServiceTest, StopUnderLoadReleasesQueuedClients)
+{
+    startDaemon();
+
+    // Every cell stalls 100 ms in its worker, so the first job
+    // holds the dispatcher long enough for stop() to land while the
+    // second is still queued.  Jobs queued at shutdown must fail
+    // their waiting clients, not strand them (and stop() with them).
+    ::setenv("GLLC_FAULT", "cell.delay:p=1", 1);
+    const SweepJobSpec slow_a = tinySpec();
+    SweepJobSpec slow_b = tinySpec();
+    slow_b.llcBytes = 4ull << 20;  // distinct job, no dedup join
+
+    std::atomic<int> released{0};
+    std::thread submit_a([&] {
+        ServiceClient client = connect();
+        (void)client.submit(slow_a, "a");
+        released.fetch_add(1);
+    });
+    std::thread submit_b([&] {
+        ServiceClient client = connect();
+        (void)client.submit(slow_b, "b");
+        released.fetch_add(1);
+    });
+    // Let both submissions reach the daemon, then pull the plug.
+    // If stop() abandons queued jobs without failing their waiters,
+    // it never returns and this test times out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    daemon_->stop();
+    submit_a.join();
+    submit_b.join();
+    ::unsetenv("GLLC_FAULT");
+    EXPECT_EQ(released.load(), 2);
+}
+
+TEST_F(ServiceTest, HungWorkerIsKilledAtTheCellTimeout)
+{
+    startDaemon();
+
+    // cell.delay stalls every cell 100 ms inside the worker; a
+    // 30 ms hard timeout must kill the hung worker and quarantine
+    // the cell instead of waiting out the stall (retries = 0 so
+    // each cell is attempted exactly once).
+    SweepJobSpec spec = tinySpec();
+    spec.cellTimeoutMs = 30;
+    spec.retries = 0;
+    ::setenv("GLLC_FAULT", "cell.delay:p=1", 1);
+    ServiceClient client = connect();
+    Result<SubmitOutcome> outcome = client.submit(spec);
+    ::unsetenv("GLLC_FAULT");
+
+    ASSERT_TRUE(outcome.ok()) << outcome.error().toString();
+    EXPECT_EQ(outcome.value().header.quarantined, 2u);
+    EXPECT_EQ(daemon_->cellTimeouts(), 2u);
+    EXPECT_NE(outcome.value().payload.find("exceeded timeout"),
+              std::string::npos);
+
+    // The daemon survived; without the fault the same job now
+    // completes cleanly.  A generous budget keeps slow CI machines
+    // from tripping it (the knob is outside the content hash, so
+    // this is still the same job).
+    spec.cellTimeoutMs = 10000;
+    Result<SubmitOutcome> clean = client.submit(spec);
+    ASSERT_TRUE(clean.ok()) << clean.error().toString();
+    EXPECT_EQ(clean.value().header.quarantined, 0u);
 }
