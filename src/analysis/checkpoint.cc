@@ -428,6 +428,7 @@ CheckpointWriter::CheckpointWriter(const std::string &path,
         }
         write_header = bytes.empty();
     }
+    MutexLock lock(mutex_);
     file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
     if (file_ == nullptr)
         fatal("cannot open checkpoint \"%s\" for writing",
@@ -435,24 +436,28 @@ CheckpointWriter::CheckpointWriter(const std::string &path,
     if (write_header) {
         const std::string header = headerLine(meta);
         std::fwrite(header.data(), 1, header.size(), file_);
-        sync();
+        syncLocked();
     }
 }
 
 CheckpointWriter::~CheckpointWriter()
 {
+    MutexLock lock(mutex_);
     if (file_ == nullptr)
         return;
-    sync();
+    syncLocked();
     std::fclose(file_);
 }
 
 void
 CheckpointWriter::append(const SweepCell &cell)
 {
+    // Serialize the cell outside the lock; only the write below
+    // needs to exclude concurrent appenders.
+    const std::string line = checkpointCellLine(cell);
+    MutexLock lock(mutex_);
     if (file_ == nullptr)
         return;
-    const std::string line = checkpointCellLine(cell);
     if (std::fwrite(line.data(), 1, line.size(), file_)
         != line.size()) {
         warn("checkpoint write to \"%s\" failed; journal disabled "
@@ -462,11 +467,18 @@ CheckpointWriter::append(const SweepCell &cell)
         return;
     }
     if (++pendingLines_ >= kSyncBatch)
-        sync();
+        syncLocked();
 }
 
 void
 CheckpointWriter::sync()
+{
+    MutexLock lock(mutex_);
+    syncLocked();
+}
+
+void
+CheckpointWriter::syncLocked()
 {
     if (file_ == nullptr)
         return;

@@ -34,6 +34,7 @@
 
 #include "analysis/cell_key.hh"
 #include "common/result.hh"
+#include "common/thread_annotations.hh"
 
 namespace gllc
 {
@@ -93,12 +94,19 @@ bool parseCheckpointCellLine(std::string line, SweepCell &cell);
  * counted, because a torn tail is the expected shape of a journal
  * whose writer was killed.
  */
-Result<CheckpointContents> loadCheckpoint(const std::string &path);
+[[nodiscard]] Result<CheckpointContents>
+loadCheckpoint(const std::string &path);
 
 /**
  * Appending journal writer.  fatal() on I/O failure at open (an
  * unusable checkpoint path is a configuration error; silently not
  * checkpointing would be worse).
+ *
+ * Thread-safe: append()/sync() serialize on an internal mutex, so
+ * concurrent writers (the sharded service path, future multi-merge
+ * engines) interleave whole sealed lines, never torn ones.  The
+ * in-process sweep engine appends from its single merge thread and
+ * pays one uncontended lock per cell.
  */
 class CheckpointWriter
 {
@@ -118,18 +126,21 @@ class CheckpointWriter
     CheckpointWriter &operator=(const CheckpointWriter &) = delete;
 
     /** Journal one completed cell; syncs every kSyncBatch lines. */
-    void append(const SweepCell &cell);
+    void append(const SweepCell &cell) GLLC_EXCLUDES(mutex_);
 
     /** Flush user-space buffers and fsync to stable storage. */
-    void sync();
+    void sync() GLLC_EXCLUDES(mutex_);
 
     /** Lines fsync'd per batch; small so a crash loses little. */
     static constexpr unsigned kSyncBatch = 16;
 
   private:
-    std::FILE *file_ = nullptr;
+    void syncLocked() GLLC_REQUIRES(mutex_);
+
+    Mutex mutex_;
+    std::FILE *file_ GLLC_GUARDED_BY(mutex_) = nullptr;
     std::string path_;
-    unsigned pendingLines_ = 0;
+    unsigned pendingLines_ GLLC_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace gllc

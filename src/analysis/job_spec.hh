@@ -122,7 +122,7 @@ struct SweepJobSpec
      * InvalidArgument with a precise context otherwise — the service
      * rejects the job instead of fatal()ing the daemon.
      */
-    Result<Unit> validate() const;
+    [[nodiscard]] Result<Unit> validate() const;
 };
 
 /**
@@ -132,7 +132,8 @@ struct SweepJobSpec
  * silently fall back to a default, and structurally broken JSON
  * surfaces as Corrupt.
  */
-Result<SweepJobSpec> parseSweepJobSpec(const std::string &json);
+[[nodiscard]] Result<SweepJobSpec>
+parseSweepJobSpec(const std::string &json);
 
 } // namespace gllc
 

@@ -57,7 +57,8 @@ PolicySpec policySpec(const std::string &name);
  * service validates client-submitted job specs through this so a bad
  * request is rejected instead of killing the daemon.
  */
-Result<PolicySpec> tryPolicySpec(const std::string &name);
+[[nodiscard]] Result<PolicySpec>
+tryPolicySpec(const std::string &name);
 
 /** All registered base policy names (no UCD variants). */
 std::vector<std::string> allPolicyNames();

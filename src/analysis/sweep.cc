@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <thread>
 
@@ -18,6 +16,7 @@
 #include "common/metrics.hh"
 #include "common/progress.hh"
 #include "common/stats.hh"
+#include "common/thread_annotations.hh"
 #include "common/thread_pool.hh"
 #include "common/trace_event.hh"
 #include "workload/trace_cache.hh"
@@ -113,10 +112,10 @@ class CellWatchdog
         if (!thread_.joinable())
             return;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stopping_ = true;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
         thread_.join();
     }
 
@@ -151,13 +150,17 @@ class CellWatchdog
     }
 
     void
-    loop()
+    loop() GLLC_EXCLUDES(mutex_)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto poll = std::chrono::milliseconds(
             std::max<unsigned>(timeoutMs_ / 4, 10));
-        while (!cv_.wait_for(lock, poll,
-                             [this] { return stopping_; })) {
+        for (;;) {
+            // A spurious wakeup before the poll interval elapses
+            // only scans early; scanning is idempotent.
+            (void)cv_.waitFor(mutex_, poll);
+            if (stopping_)
+                return;
             const std::int64_t now = nowMs();
             for (std::size_t k = 0; k < slots_; ++k) {
                 const std::int64_t start =
@@ -185,9 +188,9 @@ class CellWatchdog
     std::unique_ptr<std::atomic<std::int64_t>[]> starts_;
     std::unique_ptr<std::atomic<bool>[]> warned_;
     std::thread thread_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    bool stopping_ GLLC_GUARDED_BY(mutex_) = false;
 };
 
 /** RAII in-flight marker for one cell attempt. */

@@ -78,13 +78,15 @@ class JsonValue
      * when the node is not a number, is negative, has a fractional
      * part, or exceeds 2^53 (where doubles stop being exact).
      */
-    Result<std::uint64_t> asU64(const char *what) const;
+    [[nodiscard]] Result<std::uint64_t>
+    asU64(const char *what) const;
 
     /** The value as a string; InvalidArgument otherwise. */
-    Result<std::string> asString(const char *what) const;
+    [[nodiscard]] Result<std::string>
+    asString(const char *what) const;
 
     /** The value as a bool; InvalidArgument otherwise. */
-    Result<bool> asBool(const char *what) const;
+    [[nodiscard]] Result<bool> asBool(const char *what) const;
 
   private:
     friend class JsonParser;
@@ -102,7 +104,7 @@ class JsonValue
  * nesting beyond 64 levels, and every syntax violation produce an
  * Error of code Corrupt with the byte offset in the context string.
  */
-Result<JsonValue> parseJson(const std::string &text);
+[[nodiscard]] Result<JsonValue> parseJson(const std::string &text);
 
 /**
  * Escape a string for embedding in a JSON emitter ("\\", '"',

@@ -242,7 +242,7 @@ MetricsRegistry::localShard()
     // The calling thread's shard of the singleton registry.
     thread_local Shard *tlsShard = nullptr;
     if (tlsShard == nullptr) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shards_.push_back(std::make_unique<Shard>());
         tlsShard = shards_.back().get();
     }
@@ -269,7 +269,7 @@ MetricsRegistry::addCounter(const std::string &name,
                             std::uint64_t delta)
 {
     Shard &shard = localShard();
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     slotLocked(shard, name, MetricKind::Counter).count += delta;
 }
 
@@ -277,7 +277,7 @@ void
 MetricsRegistry::maxGauge(const std::string &name, double value)
 {
     Shard &shard = localShard();
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     MetricValue &v = slotLocked(shard, name, MetricKind::Gauge);
     v.gauge = (value > v.gauge) ? value : v.gauge;
 }
@@ -287,7 +287,7 @@ MetricsRegistry::recordValue(const std::string &name,
                              std::int64_t value, std::uint64_t count)
 {
     Shard &shard = localShard();
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     slotLocked(shard, name, MetricKind::Histogram).buckets[value] +=
         count;
 }
@@ -296,9 +296,9 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot snap;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        MutexLock shard_lock(shard->mutex);
         for (const auto &[name, value] : shard->values) {
             auto [it, inserted] =
                 snap.values_.try_emplace(name, value);
@@ -312,11 +312,11 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Shards stay allocated: thread-local pointers into shards_ must
     // remain valid for the lifetime of their threads.
     for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> shard_lock(shard->mutex);
+        MutexLock shard_lock(shard->mutex);
         shard->values.clear();
     }
 }

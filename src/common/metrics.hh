@@ -37,9 +37,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace gllc
 {
@@ -152,16 +153,20 @@ class MetricsRegistry
 
     struct Shard
     {
-        std::mutex mutex;  ///< uncontended except during snapshot
-        std::map<std::string, MetricValue> values;
+        Mutex mutex;  ///< uncontended except during snapshot
+        std::map<std::string, MetricValue> values
+            GLLC_GUARDED_BY(mutex);
     };
 
-    Shard &localShard();
-    MetricValue &slotLocked(Shard &shard, const std::string &name,
-                            MetricKind kind);
+    Shard &localShard() GLLC_EXCLUDES(mutex_);
+    static MetricValue &slotLocked(Shard &shard,
+                                   const std::string &name,
+                                   MetricKind kind)
+        GLLC_REQUIRES(shard.mutex);
 
-    mutable std::mutex mutex_;  ///< guards shards_ growth
-    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable Mutex mutex_;  ///< guards shards_ growth
+    std::vector<std::unique_ptr<Shard>> shards_
+        GLLC_GUARDED_BY(mutex_);
 };
 
 } // namespace gllc

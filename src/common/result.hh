@@ -52,7 +52,7 @@ struct Unit
 };
 
 /** A recoverable failure: typed code + formatted context. */
-struct Error
+struct [[nodiscard]] Error
 {
     ErrorCode code = ErrorCode::Io;
     std::string context;
@@ -74,9 +74,13 @@ struct Error
  * Either a T or an Error.  Accessors assert on misuse: calling
  * value() on an error result is a bug in the caller, not a
  * recoverable condition.
+ *
+ * [[nodiscard]]: a dropped Result is a swallowed failure, so every
+ * producer's return value must be inspected (or discarded loudly
+ * with a (void) cast and a comment saying why).
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /* implicit */ Result(T value) : state_(std::move(value)) {}

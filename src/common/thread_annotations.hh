@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Clang thread-safety capability wrappers and annotation macros.
+ *
+ * The repo's correctness story is thread-count invariance: a sweep
+ * must produce byte-identical results at any GLLC_THREADS, and the
+ * gllcd service multiplies the concurrency surface with connection
+ * threads, a dispatcher and worker-shard threads.  TSan catches the
+ * races a test happens to provoke; Clang's thread-safety analysis
+ * (-Wthread-safety) catches the whole bug class at compile time —
+ * but only where lock relationships are declared.  This header is
+ * that declaration vocabulary:
+ *
+ *   gllc::Mutex       std::mutex wrapped as a CAPABILITY so the
+ *                     analysis can track what it protects
+ *   gllc::MutexLock   scoped lock (lock_guard replacement)
+ *   gllc::CondVar     condition variable waiting on a gllc::Mutex;
+ *                     wait() REQUIRES the mutex, so a wait outside
+ *                     the lock is a compile error
+ *
+ *   GLLC_GUARDED_BY(mu)   field only touched with mu held
+ *   GLLC_REQUIRES(mu)     function must be called with mu held
+ *                         (the *Locked() helper convention)
+ *   GLLC_ACQUIRE/RELEASE  lock-management functions
+ *   GLLC_EXCLUDES(mu)     function must NOT be called with mu held
+ *                         (self-deadlock prevention)
+ *
+ * All macros expand to nothing outside Clang, so GCC builds are
+ * unaffected; the CI thread-safety job compiles with Clang and
+ * -DGLLC_THREAD_SAFETY=ON (-Wthread-safety -Werror=thread-safety)
+ * to make violations build failures.  Convention notes live in
+ * DESIGN.md section 11.
+ */
+
+#ifndef GLLC_COMMON_THREAD_ANNOTATIONS_HH
+#define GLLC_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define GLLC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GLLC_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define GLLC_CAPABILITY(x) GLLC_THREAD_ANNOTATION(capability(x))
+#define GLLC_SCOPED_CAPABILITY GLLC_THREAD_ANNOTATION(scoped_lockable)
+#define GLLC_GUARDED_BY(x) GLLC_THREAD_ANNOTATION(guarded_by(x))
+#define GLLC_PT_GUARDED_BY(x) GLLC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GLLC_REQUIRES(...) \
+    GLLC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GLLC_ACQUIRE(...) \
+    GLLC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GLLC_RELEASE(...) \
+    GLLC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GLLC_TRY_ACQUIRE(...) \
+    GLLC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GLLC_EXCLUDES(...) \
+    GLLC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GLLC_ACQUIRED_BEFORE(...) \
+    GLLC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GLLC_ACQUIRED_AFTER(...) \
+    GLLC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define GLLC_RETURN_CAPABILITY(x) \
+    GLLC_THREAD_ANNOTATION(lock_returned(x))
+#define GLLC_NO_THREAD_SAFETY_ANALYSIS \
+    GLLC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gllc
+{
+
+/**
+ * std::mutex as a Clang capability.  Locking functions carry
+ * ACQUIRE/RELEASE so the analysis tracks the lock state; fields
+ * protected by a Mutex declare it with GLLC_GUARDED_BY.
+ */
+class GLLC_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() GLLC_ACQUIRE() { mutex_.lock(); }
+    void unlock() GLLC_RELEASE() { mutex_.unlock(); }
+    bool tryLock() GLLC_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mutex_;
+};
+
+/**
+ * Scoped lock of a gllc::Mutex (the lock_guard idiom).  Declared as
+ * a SCOPED_CAPABILITY so the analysis knows the mutex is held from
+ * construction to end of scope.
+ */
+class GLLC_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) GLLC_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() GLLC_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable that waits on a gllc::Mutex.  Every wait
+ * REQUIRES the mutex, which turns the classic wait-without-lock bug
+ * into a compile error under the analysis.  Predicate re-checking is
+ * the caller's loop:
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!ready_)          // ready_ is GUARDED_BY(mutex_)
+ *         cv_.wait(mutex_);
+ *
+ * (A while loop instead of a predicate lambda keeps the guarded
+ * reads inside the analyzed function body; lambdas are opaque to the
+ * analysis.)
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p mutex, sleep, reacquire before return. */
+    void
+    wait(Mutex &mutex) GLLC_REQUIRES(mutex)
+    {
+        // Adopt the already-held native mutex for the wait, then
+        // release ownership so the unique_lock's destructor leaves
+        // it held, exactly as the annotation promises the caller.
+        std::unique_lock<std::mutex> native(mutex.mutex_,
+                                            std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    /**
+     * wait() with a timeout; std::cv_status::timeout when @p d
+     * elapsed.  Spurious wakeups happen — loop on the condition.
+     */
+    template <typename Rep, typename Period>
+    std::cv_status
+    waitFor(Mutex &mutex, const std::chrono::duration<Rep, Period> &d)
+        GLLC_REQUIRES(mutex)
+    {
+        std::unique_lock<std::mutex> native(mutex.mutex_,
+                                            std::adopt_lock);
+        const std::cv_status status = cv_.wait_for(native, d);
+        native.release();
+        return status;
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace gllc
+
+#endif // GLLC_COMMON_THREAD_ANNOTATIONS_HH

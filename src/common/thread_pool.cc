@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     for (std::thread &worker : workers_)
         worker.join();
 }
@@ -27,10 +27,10 @@ void
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         tasks_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.notifyOne();
 }
 
 void
@@ -39,9 +39,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return stopping_ || !tasks_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stopping_ && tasks_.empty())
+                cv_.wait(mutex_);
             if (tasks_.empty())
                 return;  // stopping_ with a drained queue
             task = std::move(tasks_.front());

@@ -18,14 +18,14 @@
 #ifndef GLLC_COMMON_THREAD_POOL_HH
 #define GLLC_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace gllc
 {
@@ -73,14 +73,16 @@ class ThreadPool
                      const std::function<void(std::size_t)> &fn);
 
   private:
-    void enqueue(std::function<void()> task);
-    void workerLoop();
+    void enqueue(std::function<void()> task) GLLC_EXCLUDES(mutex_);
+    void workerLoop() GLLC_EXCLUDES(mutex_);
 
+    /** Immutable after construction (joined by the destructor). */
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+
+    Mutex mutex_;
+    CondVar cv_;
+    std::deque<std::function<void()>> tasks_ GLLC_GUARDED_BY(mutex_);
+    bool stopping_ GLLC_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace gllc

@@ -115,7 +115,7 @@ std::uint32_t
 TraceCollector::threadId()
 {
     if (tlsTraceTid == 0) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         tlsTraceTid = ++nextTid_;
     }
     return tlsTraceTid;
@@ -127,7 +127,7 @@ TraceCollector::complete(std::string name, const char *category,
                          TraceArgs args)
 {
     const std::uint32_t tid = threadId();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events_.push_back(Event{std::move(name), category, start_us,
                             end_us - start_us, tid,
                             std::move(args)});
@@ -136,14 +136,14 @@ TraceCollector::complete(std::string name, const char *category,
 std::size_t
 TraceCollector::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return events_.size();
 }
 
 void
 TraceCollector::write(std::ostream &os) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const Event &e = events_[i];
@@ -169,7 +169,7 @@ TraceCollector::write(std::ostream &os) const
 void
 TraceCollector::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     events_.clear();
 }
 

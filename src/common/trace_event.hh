@@ -30,10 +30,11 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace gllc
 {
@@ -86,10 +87,13 @@ class TraceCollector
         TraceArgs args;
     };
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
+
+    /** Immutable after construction: the shared span clock's zero. */
     std::chrono::steady_clock::time_point epoch_;
-    std::vector<Event> events_;
-    std::uint32_t nextTid_ = 0;
+
+    std::vector<Event> events_ GLLC_GUARDED_BY(mutex_);
+    std::uint32_t nextTid_ GLLC_GUARDED_BY(mutex_) = 0;
 };
 
 /**

@@ -35,11 +35,12 @@ class ServiceClient
 {
   public:
     /** Connect over a Unix-domain socket. */
-    static Result<ServiceClient>
+    [[nodiscard]] static Result<ServiceClient>
     connectUnix(const std::string &path);
 
     /** Connect to a loopback TCP port. */
-    static Result<ServiceClient> connectTcp(int port);
+    [[nodiscard]] static Result<ServiceClient>
+    connectTcp(int port);
 
     ~ServiceClient();
 
@@ -53,13 +54,13 @@ class ServiceClient
      * (invalid spec, execution failure) come back as the daemon's
      * typed Error; transport failures as Io/Truncated.
      */
-    Result<SubmitOutcome> submit(const SweepJobSpec &spec,
-                                 const std::string &tenant
-                                 = "default",
-                                 int priority = 0);
+    [[nodiscard]] Result<SubmitOutcome>
+    submit(const SweepJobSpec &spec,
+           const std::string &tenant = "default",
+           int priority = 0);
 
     /** Fetch the daemon's status document (raw JSON). */
-    Result<std::string> status();
+    [[nodiscard]] Result<std::string> status();
 
   private:
     explicit ServiceClient(int fd) : fd_(fd) {}

@@ -151,7 +151,7 @@ SweepDaemon::stop()
     listenFds_.clear();
     queue_.close();
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         for (const int fd : connFds_)
             ::shutdown(fd, SHUT_RDWR);
     }
@@ -168,7 +168,7 @@ SweepDaemon::stop()
     failPendingJobs(Error(ErrorCode::Io, "daemon shutting down"));
     std::vector<std::thread> conns;
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         conns.swap(connThreads_);
         finishedConnIds_.clear();
     }
@@ -181,14 +181,14 @@ SweepDaemon::stop()
 void
 SweepDaemon::failPendingJobs(const Error &error)
 {
-    std::lock_guard<std::mutex> lock(inflightMutex_);
+    MutexLock lock(inflightMutex_);
     for (auto &[key, state] : inflight_) {
-        std::lock_guard<std::mutex> state_lock(state->mutex);
+        MutexLock state_lock(state->mutex);
         if (!state->done) {
             state->done = true;
             state->failed = true;
             state->error = error;
-            state->doneCv.notify_all();
+            state->doneCv.notifyAll();
         }
     }
     inflight_.clear();
@@ -204,7 +204,7 @@ SweepDaemon::acceptLoop(int listen_fd)
                 continue;
             return;  // listener closed by stop()
         }
-        std::lock_guard<std::mutex> lock(connMutex_);
+        MutexLock lock(connMutex_);
         if (!running_.load()) {
             ::close(fd);
             return;
@@ -277,7 +277,7 @@ SweepDaemon::serveConnection(int fd)
             break;
     }
     ::close(fd);
-    std::lock_guard<std::mutex> lock(connMutex_);
+    MutexLock lock(connMutex_);
     for (std::size_t i = 0; i < connFds_.size(); ++i) {
         if (connFds_[i] == fd) {
             connFds_.erase(connFds_.begin()
@@ -340,7 +340,7 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
     // Join an identical in-flight job or queue a new one.
     std::shared_ptr<JobState> state;
     {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        MutexLock lock(inflightMutex_);
         auto it = inflight_.find(key);
         if (it != inflight_.end()) {
             state = it->second;
@@ -348,6 +348,10 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
             countMetric("gllcd.inflight_joins");
         } else {
             state = std::make_shared<JobState>();
+            // The state is not shared until the emplace below, but
+            // its fields are guarded: take the (uncontended) lock so
+            // every access to them is provably consistent.
+            MutexLock state_lock(state->mutex);
             state->header.jobId = nextJobId_.fetch_add(1);
             state->header.specHash = key.specHash;
             state->header.traceHash = key.traceHash;
@@ -373,17 +377,32 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
         }
     }
 
+    bool failed = false;
+    Error error;
+    ResultHeader header;
+    const std::string *payload = nullptr;
     {
-        std::unique_lock<std::mutex> lock(state->mutex);
-        state->doneCv.wait(lock, [&] { return state->done; });
+        MutexLock lock(state->mutex);
+        while (!state->done)
+            state->doneCv.wait(state->mutex);
+        failed = state->failed;
+        if (failed) {
+            error = state->error;
+        } else {
+            header = state->header;
+            // After done, no writer ever touches the payload again,
+            // so the reference outlives the lock safely (the shared
+            // JobState keeps the bytes alive).
+            payload = &state->payload;
+        }
     }
-    if (state->failed) {
-        sendError(fd, state->error);
+    if (failed) {
+        sendError(fd, error);
         return true;
     }
-    if (!writeFrame(fd, resultHeaderJson(state->header)).ok())
+    if (!writeFrame(fd, resultHeaderJson(header)).ok())
         return false;
-    return writeFrame(fd, state->payload).ok();
+    return writeFrame(fd, *payload).ok();
 }
 
 std::string
@@ -438,7 +457,7 @@ SweepDaemon::executeJob(const QueuedJob &job)
                         job.spec.contentHash()};
     std::shared_ptr<JobState> state;
     {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        MutexLock lock(inflightMutex_);
         auto it = inflight_.find(key);
         GLLC_ASSERT_MSG(it != inflight_.end(),
                         "executed a job nobody is waiting on");
@@ -446,7 +465,7 @@ SweepDaemon::executeJob(const QueuedJob &job)
         inflight_.erase(it);
     }
 
-    std::lock_guard<std::mutex> state_lock(state->mutex);
+    MutexLock state_lock(state->mutex);
     if (!run.ok()) {
         jobsFailed_.fetch_add(1);
         countMetric("gllcd.jobs_failed");
@@ -472,7 +491,7 @@ SweepDaemon::executeJob(const QueuedJob &job)
         }
     }
     state->done = true;
-    state->doneCv.notify_all();
+    state->doneCv.notifyAll();
 }
 
 } // namespace gllc

@@ -35,15 +35,14 @@
 #define GLLC_SERVICE_DAEMON_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "service/job_queue.hh"
 #include "service/protocol.hh"
 #include "service/result_store.hh"
@@ -85,7 +84,7 @@ class SweepDaemon
      * InvalidArgument when no listener is configured; Io when a
      * bind fails.
      */
-    Result<Unit> start();
+    [[nodiscard]] Result<Unit> start();
 
     /**
      * Shut down: close listeners, abort in-flight connections,
@@ -127,51 +126,60 @@ class SweepDaemon
     /** A job one-or-more connections are waiting on. */
     struct JobState
     {
-        std::mutex mutex;
-        std::condition_variable doneCv;
-        bool done = false;
-        bool failed = false;
-        Error error;
-        ResultHeader header;
-        std::string payload;
+        Mutex mutex;
+        CondVar doneCv;
+        bool done GLLC_GUARDED_BY(mutex) = false;
+        bool failed GLLC_GUARDED_BY(mutex) = false;
+        Error error GLLC_GUARDED_BY(mutex);
+        ResultHeader header GLLC_GUARDED_BY(mutex);
+        std::string payload GLLC_GUARDED_BY(mutex);
     };
 
     Result<int> bindUnixListener();
     Result<int> bindTcpListener();
-    void acceptLoop(int listen_fd);
-    void serveConnection(int fd);
+    void acceptLoop(int listen_fd) GLLC_EXCLUDES(connMutex_);
+    void serveConnection(int fd) GLLC_EXCLUDES(connMutex_);
     void dispatchLoop();
-    void executeJob(const QueuedJob &job);
-    bool handleSubmit(int fd, const RequestEnvelope &envelope);
+    void executeJob(const QueuedJob &job)
+        GLLC_EXCLUDES(inflightMutex_);
+    bool handleSubmit(int fd, const RequestEnvelope &envelope)
+        GLLC_EXCLUDES(inflightMutex_);
     bool handleStatus(int fd);
     std::string statusJson();
     void countMetric(const char *name);
 
     /** Join conn threads whose serveConnection() has returned. */
-    void reapFinishedConnsLocked();
+    void reapFinishedConnsLocked() GLLC_REQUIRES(connMutex_);
 
     /** Wake every submit waiter with @p error; empties inflight_. */
-    void failPendingJobs(const Error &error);
+    void failPendingJobs(const Error &error)
+        GLLC_EXCLUDES(inflightMutex_);
 
     DaemonOptions options_;
+
+    /** Written while binding listeners in start(), read after. */
     int boundTcpPort_ = -1;
 
+    /** start()/stop() bookkeeping; touched only by their caller. */
     std::vector<int> listenFds_;
     std::vector<std::thread> acceptThreads_;
     std::thread dispatcher_;
     std::atomic<bool> running_{false};
 
-    std::mutex connMutex_;
-    std::vector<std::thread> connThreads_;
+    Mutex connMutex_;
+    std::vector<std::thread> connThreads_
+        GLLC_GUARDED_BY(connMutex_);
     /** Threads in connThreads_ that have finished and await join. */
-    std::vector<std::thread::id> finishedConnIds_;
-    std::vector<int> connFds_;
+    std::vector<std::thread::id> finishedConnIds_
+        GLLC_GUARDED_BY(connMutex_);
+    std::vector<int> connFds_ GLLC_GUARDED_BY(connMutex_);
 
     JobQueue queue_;
     ResultStore store_;
 
-    std::mutex inflightMutex_;
-    std::map<ResultKey, std::shared_ptr<JobState>> inflight_;
+    Mutex inflightMutex_;
+    std::map<ResultKey, std::shared_ptr<JobState>> inflight_
+        GLLC_GUARDED_BY(inflightMutex_);
 
     std::atomic<std::uint64_t> nextJobId_{1};
     std::atomic<std::uint64_t> jobsSubmitted_{0};

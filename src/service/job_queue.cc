@@ -11,7 +11,7 @@ bool
 JobQueue::push(QueuedJob job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (closed_)
             return false;
         PriorityClass &cls = classes_[job.priority];
@@ -25,7 +25,7 @@ JobQueue::push(QueuedJob job)
         lane->second.push_back(std::move(job));
         ++depth_;
     }
-    available_.notify_one();
+    available_.notifyOne();
     return true;
 }
 
@@ -59,16 +59,16 @@ JobQueue::popLocked(QueuedJob &out)
 bool
 JobQueue::pop(QueuedJob &out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return popLocked(out);
 }
 
 bool
 JobQueue::waitPop(QueuedJob &out)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    available_.wait(lock,
-                    [this] { return closed_ || depth_ > 0; });
+    MutexLock lock(mutex_);
+    while (!closed_ && depth_ == 0)
+        available_.wait(mutex_);
     if (closed_)
         return false;
     return popLocked(out);
@@ -78,16 +78,16 @@ void
 JobQueue::close()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         closed_ = true;
     }
-    available_.notify_all();
+    available_.notifyAll();
 }
 
 std::size_t
 JobQueue::depth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return depth_;
 }
 

@@ -20,16 +20,15 @@
 #ifndef GLLC_SERVICE_JOB_QUEUE_HH
 #define GLLC_SERVICE_JOB_QUEUE_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "analysis/job_spec.hh"
+#include "common/thread_annotations.hh"
 
 namespace gllc
 {
@@ -52,25 +51,25 @@ class JobQueue
      * queue is close()d — nothing will ever pop the job, so the
      * caller must fail it instead of waiting on it.
      */
-    bool push(QueuedJob job);
+    [[nodiscard]] bool push(QueuedJob job) GLLC_EXCLUDES(mutex_);
 
     /**
      * Dequeue the next job per the scheduling policy without
      * blocking; false when the queue is empty.
      */
-    bool pop(QueuedJob &out);
+    [[nodiscard]] bool pop(QueuedJob &out) GLLC_EXCLUDES(mutex_);
 
     /**
      * Blocking pop: waits for a job or close().  False only after
      * close() with the queue drained-or-abandoned.
      */
-    bool waitPop(QueuedJob &out);
+    [[nodiscard]] bool waitPop(QueuedJob &out) GLLC_EXCLUDES(mutex_);
 
     /** Wake all waiters; subsequent waitPop() calls fail fast. */
-    void close();
+    void close() GLLC_EXCLUDES(mutex_);
 
     /** Jobs currently queued (not the one being executed). */
-    std::size_t depth() const;
+    std::size_t depth() const GLLC_EXCLUDES(mutex_);
 
   private:
     /** One priority class: tenant lanes plus their rotation. */
@@ -81,14 +80,15 @@ class JobQueue
         std::map<std::string, std::deque<QueuedJob>> lanes;
     };
 
-    bool popLocked(QueuedJob &out);
+    bool popLocked(QueuedJob &out) GLLC_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::condition_variable available_;
+    mutable Mutex mutex_;
+    CondVar available_;
     /** Classes keyed by priority, highest first. */
-    std::map<int, PriorityClass, std::greater<>> classes_;
-    std::size_t depth_ = 0;
-    bool closed_ = false;
+    std::map<int, PriorityClass, std::greater<>> classes_
+        GLLC_GUARDED_BY(mutex_);
+    std::size_t depth_ GLLC_GUARDED_BY(mutex_) = 0;
+    bool closed_ GLLC_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace gllc

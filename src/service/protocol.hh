@@ -53,7 +53,8 @@ constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
  * Write one length-prefixed frame to @p fd.  LimitExceeded when the
  * payload exceeds kMaxFrameBytes; Io when the peer is gone.
  */
-Result<Unit> writeFrame(int fd, const std::string &payload);
+[[nodiscard]] Result<Unit>
+writeFrame(int fd, const std::string &payload);
 
 /**
  * Read one frame from @p fd into @p payload.  ok(false) on a clean
@@ -61,7 +62,7 @@ Result<Unit> writeFrame(int fd, const std::string &payload);
  * Truncated when the stream ends inside a frame, LimitExceeded when
  * the header declares more than kMaxFrameBytes, Io on read errors.
  */
-Result<bool> readFrame(int fd, std::string &payload);
+[[nodiscard]] Result<bool> readFrame(int fd, std::string &payload);
 
 /** What a request envelope asks for. */
 enum class RequestType : std::uint8_t
@@ -90,7 +91,8 @@ std::string statusEnvelopeJson();
  * document that is not a gllcd envelope, BadVersion for a protocol
  * we do not speak, InvalidArgument for an unknown request type.
  */
-Result<RequestEnvelope> parseRequestEnvelope(const std::string &json);
+[[nodiscard]] Result<RequestEnvelope>
+parseRequestEnvelope(const std::string &json);
 
 /** Header of a successful job response (payload frame follows). */
 struct ResultHeader
@@ -113,8 +115,9 @@ std::string errorFrameJson(const Error &error);
  * caller then reads the payload frame) or @p error (the daemon's
  * typed Error, reconstructed).  Returns false for an error frame.
  */
-Result<bool> parseResponseFrame(const std::string &json,
-                                ResultHeader &header, Error &error);
+[[nodiscard]] Result<bool>
+parseResponseFrame(const std::string &json, ResultHeader &header,
+                   Error &error);
 
 } // namespace gllc
 

@@ -78,7 +78,8 @@ class ResultStore
      * Read the stored payload for @p key.  Io when absent or
      * unreadable — the caller falls back to computing.
      */
-    Result<std::string> load(const ResultKey &key) const;
+    [[nodiscard]] Result<std::string>
+    load(const ResultKey &key) const;
 
     /**
      * Atomically persist @p payload under @p key (temp file +
@@ -86,7 +87,7 @@ class ResultStore
      * continues, because serving the computed result matters more
      * than caching it.
      */
-    Result<Unit> store(const ResultKey &key,
+    [[nodiscard]] Result<Unit> store(const ResultKey &key,
                        const std::string &payload);
 
   private:

@@ -9,7 +9,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -27,6 +26,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/thread_annotations.hh"
 #include "workload/app_profile.hh"
 #include "workload/trace_cache.hh"
 
@@ -234,7 +234,7 @@ class WorkerProcess
     bool alive() const { return pid_ > 0; }
 
     /** Spawn and send the spec line; false on any failure. */
-    bool
+    [[nodiscard]] bool
     spawn(const std::string &exe, const std::string &spec_line)
     {
         int to_child[2];
@@ -282,7 +282,7 @@ class WorkerProcess
         return true;
     }
 
-    bool
+    [[nodiscard]] bool
     send(const std::string &line)
     {
         return writeFd_ >= 0
@@ -395,6 +395,13 @@ workerExecutable()
     return configured.empty() ? "/proc/self/exe" : configured;
 }
 
+/** Run-wide stats the shard threads update concurrently. */
+struct SharedStats
+{
+    Mutex mutex;
+    ShardedRunStats stats GLLC_GUARDED_BY(mutex);
+};
+
 /** Outcome slot of one cell of a sharded run. */
 struct CellOutcome
 {
@@ -416,26 +423,26 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
          const std::vector<std::pair<std::size_t, std::size_t>>
              &cells,
          std::vector<CellOutcome> &outcomes, std::size_t num_policies,
-         ShardedRunStats &stats, std::mutex &stats_mutex)
+         SharedStats &shared)
 {
     const std::string exe = workerExecutable();
     const unsigned max_attempts = spec.retries + 1;
     WorkerProcess proc;
 
     const auto note_spawn = [&] {
-        std::lock_guard<std::mutex> lock(stats_mutex);
-        ++stats.workersSpawned;
+        MutexLock lock(shared.mutex);
+        ++shared.stats.workersSpawned;
     };
     const auto note_crash = [&] {
-        std::lock_guard<std::mutex> lock(stats_mutex);
-        ++stats.workerCrashes;
+        MutexLock lock(shared.mutex);
+        ++shared.stats.workerCrashes;
         if (metricsActive())
             MetricsRegistry::instance().addCounter(
                 "gllcd.worker_crashes");
     };
     const auto note_timeout = [&] {
-        std::lock_guard<std::mutex> lock(stats_mutex);
-        ++stats.cellTimeouts;
+        MutexLock lock(shared.mutex);
+        ++shared.stats.cellTimeouts;
         if (metricsActive())
             MetricsRegistry::instance().addCounter(
                 "gllcd.cell_timeouts");
@@ -556,15 +563,14 @@ runShardedSweep(const SweepJobSpec &spec, unsigned workers,
     }
 
     std::vector<CellOutcome> outcomes(num_frames * num_policies);
-    ShardedRunStats run_stats;
-    std::mutex stats_mutex;
+    SharedStats shared;
     {
         std::vector<std::thread> drivers;
         drivers.reserve(shard_count);
         for (unsigned s = 0; s < shard_count; ++s) {
             drivers.emplace_back([&, s] {
                 runShard(spec, spec_line, shards[s], outcomes,
-                         num_policies, run_stats, stats_mutex);
+                         num_policies, shared);
             });
         }
         for (std::thread &t : drivers)
@@ -599,8 +605,10 @@ runShardedSweep(const SweepJobSpec &spec, unsigned workers,
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
-    if (stats != nullptr)
-        *stats = run_stats;
+    if (stats != nullptr) {
+        MutexLock lock(shared.mutex);
+        *stats = shared.stats;
+    }
     return SweepResult::fromParts(
         spec.policies, scale,
         scaledLlcConfig(spec.llcBytes, scale.pixelScale()),

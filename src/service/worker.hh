@@ -72,9 +72,9 @@ struct ShardedRunStats
  * cell failures and crashes never fail the run — they quarantine,
  * exactly like the in-process engine.
  */
-Result<SweepResult> runShardedSweep(const SweepJobSpec &spec,
-                                    unsigned workers,
-                                    ShardedRunStats *stats = nullptr);
+[[nodiscard]] Result<SweepResult>
+runShardedSweep(const SweepJobSpec &spec, unsigned workers,
+                ShardedRunStats *stats = nullptr);
 
 /**
  * Worker-subprocess entry: serve cell requests on stdin/stdout per

@@ -48,17 +48,18 @@ namespace gllc
 void writeTrace(const FrameTrace &trace, std::ostream &os);
 
 /** Serialize @p trace to a file; typed error on I/O failure. */
-Result<Unit> tryWriteTraceFile(const FrameTrace &trace,
+[[nodiscard]] Result<Unit> tryWriteTraceFile(const FrameTrace &trace,
                                const std::string &path);
 
 /** Legacy wrapper over tryWriteTraceFile(); fatal on I/O failure. */
 void writeTraceFile(const FrameTrace &trace, const std::string &path);
 
 /** Deserialize a trace from a stream; typed error on bad input. */
-Result<FrameTrace> tryReadTrace(std::istream &is);
+[[nodiscard]] Result<FrameTrace> tryReadTrace(std::istream &is);
 
 /** Deserialize a trace from a file; typed error on bad input. */
-Result<FrameTrace> tryReadTraceFile(const std::string &path);
+[[nodiscard]] Result<FrameTrace>
+tryReadTraceFile(const std::string &path);
 
 /** Legacy wrapper over tryReadTrace(); fatal on malformed input. */
 FrameTrace readTrace(std::istream &is);

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Negative compile test: a silently dropped gllc::Result<T> must not
+ * build.
+ *
+ * Compiled twice by tests/compile_fail/CMakeLists.txt:
+ *   - without GLLC_EXPECT_FAIL: the well-behaved variant (checks the
+ *     result, discards one loudly with (void)) must compile — this is
+ *     the control proving the test file itself is valid C++;
+ *   - with -DGLLC_EXPECT_FAIL: the bare-drop statement is compiled
+ *     in and the build MUST fail under -Werror=unused-result
+ *     (registered as WILL_FAIL in ctest).
+ */
+
+#include "common/result.hh"
+
+namespace
+{
+
+gllc::Result<int>
+tryAnswer(bool ok)
+{
+    if (!ok)
+        return gllc::Error(gllc::ErrorCode::InvalidArgument, "no");
+    return 42;
+}
+
+} // namespace
+
+int
+main()
+{
+    int sum = 0;
+
+    // Checked use: always fine.
+    gllc::Result<int> checked = tryAnswer(true);
+    if (checked.ok())
+        sum += checked.value();
+
+    // Loud discard: always fine (this is the sanctioned spelling).
+    (void)tryAnswer(true);
+
+#ifdef GLLC_EXPECT_FAIL
+    // Silent drop: must be rejected by -Werror=unused-result.
+    tryAnswer(false);
+#endif
+
+    return sum == 42 ? 0 : 1;
+}

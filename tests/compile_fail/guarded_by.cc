@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Negative compile test: touching a GLLC_GUARDED_BY field without
+ * its mutex must not build under Clang -Wthread-safety.
+ *
+ * Compiled twice by tests/compile_fail/CMakeLists.txt, only when the
+ * toolchain is Clang with GLLC_THREAD_SAFETY=ON (GCC compiles the
+ * annotations to nothing, so there the test is not registered):
+ *   - without GLLC_EXPECT_FAIL: the locked variant must compile;
+ *   - with -DGLLC_EXPECT_FAIL: the unlocked write is compiled in and
+ *     the build MUST fail under -Werror=thread-safety (WILL_FAIL).
+ */
+
+#include "common/thread_annotations.hh"
+
+namespace
+{
+
+class Counter
+{
+  public:
+    void
+    bump() GLLC_EXCLUDES(mutex_)
+    {
+        gllc::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+#ifdef GLLC_EXPECT_FAIL
+    /** Unguarded write: thread-safety analysis must reject this. */
+    void
+    bumpRacy()
+    {
+        ++value_;
+    }
+#endif
+
+    int
+    value() GLLC_EXCLUDES(mutex_)
+    {
+        gllc::MutexLock lock(mutex_);
+        return value_;
+    }
+
+  private:
+    gllc::Mutex mutex_;
+    int value_ GLLC_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+#ifdef GLLC_EXPECT_FAIL
+    counter.bumpRacy();
+#endif
+    return counter.value() == 0 ? 1 : 0;
+}

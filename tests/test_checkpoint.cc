@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/checkpoint.hh"
 #include "analysis/sweep.hh"
@@ -246,5 +248,43 @@ TEST(Checkpoint, MetaMismatchIsDetectable)
     ASSERT_TRUE(loaded.ok());
     EXPECT_TRUE(loaded.value().meta == sampleMeta());
     EXPECT_TRUE(loaded.value().meta != other);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ConcurrentAppendersTearNoLines)
+{
+    // Regression for the writer's thread-safety contract: the
+    // sharded service path appends from several driver threads at
+    // once; every journaled line must stay whole and checksummed.
+    const std::string path = tempJournal("concurrent");
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint32_t kCellsPerThread = 25;
+    {
+        CheckpointWriter writer(path, sampleMeta(), false);
+        std::vector<std::thread> appenders;
+        appenders.reserve(kThreads);
+        for (unsigned t = 0; t < kThreads; ++t) {
+            appenders.emplace_back([&writer, t] {
+                for (std::uint32_t i = 0; i < kCellsPerThread; ++i)
+                    writer.append(
+                        sampleCell(t * kCellsPerThread + i));
+            });
+        }
+        for (std::thread &t : appenders)
+            t.join();
+        writer.sync();
+    }
+
+    Result<CheckpointContents> loaded = loadCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(loaded.value().skippedLines, 0u);
+    ASSERT_EQ(loaded.value().cells.size(),
+              static_cast<std::size_t>(kThreads) * kCellsPerThread);
+    for (std::uint32_t f = 0; f < kThreads * kCellsPerThread; ++f) {
+        const SweepCell want = sampleCell(f);
+        const auto it = loaded.value().cells.find(want.key);
+        ASSERT_NE(it, loaded.value().cells.end()) << f;
+        expectCellEqual(it->second, want);
+    }
     std::remove(path.c_str());
 }

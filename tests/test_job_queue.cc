@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,9 +44,9 @@ drain(JobQueue &queue)
 TEST(JobQueue, FifoWithinOneTenant)
 {
     JobQueue queue;
-    queue.push(job(1, "a"));
-    queue.push(job(2, "a"));
-    queue.push(job(3, "a"));
+    ASSERT_TRUE(queue.push(job(1, "a")));
+    ASSERT_TRUE(queue.push(job(2, "a")));
+    ASSERT_TRUE(queue.push(job(3, "a")));
     EXPECT_EQ(queue.depth(), 3u);
     EXPECT_EQ(drain(queue), (std::vector<std::uint64_t>{1, 2, 3}));
     EXPECT_EQ(queue.depth(), 0u);
@@ -55,12 +57,12 @@ TEST(JobQueue, TenantsTakeTurnsWithinAClass)
     JobQueue queue;
     // Tenant a floods the queue before b and c submit one job each:
     // the rotation must alternate instead of serving a back-to-back.
-    queue.push(job(1, "a"));
-    queue.push(job(2, "a"));
-    queue.push(job(3, "a"));
-    queue.push(job(4, "b"));
-    queue.push(job(5, "c"));
-    queue.push(job(6, "c"));
+    ASSERT_TRUE(queue.push(job(1, "a")));
+    ASSERT_TRUE(queue.push(job(2, "a")));
+    ASSERT_TRUE(queue.push(job(3, "a")));
+    ASSERT_TRUE(queue.push(job(4, "b")));
+    ASSERT_TRUE(queue.push(job(5, "c")));
+    ASSERT_TRUE(queue.push(job(6, "c")));
     EXPECT_EQ(drain(queue),
               (std::vector<std::uint64_t>{1, 4, 5, 2, 6, 3}));
 }
@@ -68,10 +70,10 @@ TEST(JobQueue, TenantsTakeTurnsWithinAClass)
 TEST(JobQueue, HigherPriorityClassRunsFirst)
 {
     JobQueue queue;
-    queue.push(job(1, "a", 0));
-    queue.push(job(2, "b", 10));
-    queue.push(job(3, "a", -5));
-    queue.push(job(4, "c", 10));
+    ASSERT_TRUE(queue.push(job(1, "a", 0)));
+    ASSERT_TRUE(queue.push(job(2, "b", 10)));
+    ASSERT_TRUE(queue.push(job(3, "a", -5)));
+    ASSERT_TRUE(queue.push(job(4, "c", 10)));
     EXPECT_EQ(drain(queue),
               (std::vector<std::uint64_t>{2, 4, 1, 3}));
 }
@@ -81,10 +83,10 @@ TEST(JobQueue, RotationIsDeterministicInArrivalOrder)
     // Same jobs pushed in the same order pop in the same order.
     for (int round = 0; round < 3; ++round) {
         JobQueue queue;
-        queue.push(job(1, "x"));
-        queue.push(job(2, "y"));
-        queue.push(job(3, "x"));
-        queue.push(job(4, "y"));
+        ASSERT_TRUE(queue.push(job(1, "x")));
+        ASSERT_TRUE(queue.push(job(2, "y")));
+        ASSERT_TRUE(queue.push(job(3, "x")));
+        ASSERT_TRUE(queue.push(job(4, "y")));
         EXPECT_EQ(drain(queue),
                   (std::vector<std::uint64_t>{1, 2, 3, 4}));
     }
@@ -106,7 +108,7 @@ TEST(JobQueue, WaitPopDeliversAcrossThreads)
         if (queue.waitPop(got))
             got_id = got.id;
     });
-    queue.push(job(7, "a"));
+    ASSERT_TRUE(queue.push(job(7, "a")));
     consumer.join();
     EXPECT_EQ(got_id, 7u);
 }
@@ -138,4 +140,56 @@ TEST(JobQueue, PushAfterCloseIsRefused)
     // client waiting on the job forever.
     EXPECT_FALSE(queue.push(job(2, "a")));
     EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(JobQueue, ConcurrentPushersAndPopperLoseNothing)
+{
+    // Hammer the queue the way the daemon does: many connection
+    // threads pushing while the single dispatcher pops, close() at
+    // the end.  Every accepted job must pop exactly once (the TSan
+    // CI job additionally holds the locking honest here).
+    constexpr unsigned kPushers = 8;
+    constexpr std::uint64_t kJobsPerPusher = 200;
+    JobQueue queue;
+
+    std::vector<std::uint64_t> popped;
+    std::thread dispatcher([&] {
+        QueuedJob got;
+        while (queue.waitPop(got))
+            popped.push_back(got.id);
+        // close() fails waitPop fast even with jobs still queued,
+        // so drain the remainder non-blocking.
+        while (queue.pop(got))
+            popped.push_back(got.id);
+    });
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::vector<std::thread> pushers;
+    pushers.reserve(kPushers);
+    for (unsigned t = 0; t < kPushers; ++t) {
+        pushers.emplace_back([&, t] {
+            const std::string tenant = "t" + std::to_string(t % 3);
+            for (std::uint64_t i = 0; i < kJobsPerPusher; ++i) {
+                const std::uint64_t id =
+                    t * kJobsPerPusher + i + 1;
+                if (queue.push(job(id, tenant,
+                                   static_cast<int>(i % 2))))
+                    ++accepted;
+            }
+        });
+    }
+    for (std::thread &t : pushers)
+        t.join();
+    queue.close();
+    dispatcher.join();
+
+    // close() raced no pusher here, so nothing may be refused.
+    EXPECT_EQ(accepted.load(), kPushers * kJobsPerPusher);
+    ASSERT_EQ(popped.size(), kPushers * kJobsPerPusher);
+    std::sort(popped.begin(), popped.end());
+    EXPECT_EQ(std::adjacent_find(popped.begin(), popped.end()),
+              popped.end());
+    EXPECT_EQ(popped.front(), 1u);
+    EXPECT_EQ(popped.back(), kPushers * kJobsPerPusher);
+    EXPECT_EQ(queue.depth(), 0u);
 }

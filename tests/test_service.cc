@@ -370,3 +370,48 @@ TEST_F(ServiceTest, HungWorkerIsKilledAtTheCellTimeout)
     ASSERT_TRUE(clean.ok()) << clean.error().toString();
     EXPECT_EQ(clean.value().header.quarantined, 0u);
 }
+
+TEST_F(ServiceTest, StatusAnswersConcurrentlyWithRunningJobs)
+{
+    // Regression for the daemon's lock discipline: status requests
+    // answer from counters while the dispatcher executes jobs and
+    // submit waiters sleep on their JobState.  Hammering status
+    // concurrently with two real jobs must never wedge, crash, or
+    // return malformed JSON (the TSan CI job checks the data-race
+    // half of this contract).
+    const SweepJobSpec spec = tinySpec();
+    SweepJobSpec other = spec;
+    other.llcBytes = 4ull << 20;
+
+    startDaemon();
+    std::atomic<bool> submits_done{false};
+    std::atomic<unsigned> status_ok{0};
+    std::thread pest([&] {
+        while (!submits_done.load()) {
+            ServiceClient client = connect();
+            Result<std::string> status = client.status();
+            ASSERT_TRUE(status.ok()) << status.error().toString();
+            EXPECT_NE(status.value().find("\"queue_depth\":"),
+                      std::string::npos);
+            ++status_ok;
+        }
+    });
+
+    std::thread submit_a([&] {
+        ServiceClient client = connect();
+        Result<SubmitOutcome> got = client.submit(spec, "a");
+        EXPECT_TRUE(got.ok());
+    });
+    std::thread submit_b([&] {
+        ServiceClient client = connect();
+        Result<SubmitOutcome> got = client.submit(other, "b");
+        EXPECT_TRUE(got.ok());
+    });
+    submit_a.join();
+    submit_b.join();
+    submits_done.store(true);
+    pest.join();
+
+    EXPECT_GE(status_ok.load(), 1u);
+    EXPECT_EQ(daemon_->jobsCompleted(), 2u);
+}

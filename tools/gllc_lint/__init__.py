@@ -1,0 +1,8 @@
+"""Repo-convention and drift linter for gllc.
+
+A small checker framework (see core.py) with one module per checker
+under checkers/.  Run through tools/lint.py, the `lint` CMake target,
+or `python3 -m gllc_lint` from tools/.
+"""
+
+__all__ = ["core", "cli"]

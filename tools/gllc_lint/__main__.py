@@ -1,0 +1,7 @@
+"""`python3 -m gllc_lint` entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

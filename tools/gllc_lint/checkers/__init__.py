@@ -1,0 +1,7 @@
+"""Checker modules; importing this package registers them all."""
+
+from . import conventions  # noqa: F401
+from . import env_doc  # noqa: F401
+from . import include_cycle  # noqa: F401
+from . import include_guard  # noqa: F401
+from . import metrics_doc  # noqa: F401

@@ -1,0 +1,79 @@
+"""Environment-knob drift checker.
+
+The README documents every GLLC_* environment variable the code
+reads.  This checker extracts the knob names from the envInt()/
+envString() call sites in src/ and cross-checks them against
+README.md in both directions:
+
+  * a knob read by code but never mentioned in the README is an
+    undocumented knob (finding on the call site);
+  * a README bullet (`* \\`GLLC_FOO\\``) for a knob nothing reads is
+    stale documentation (finding on the README line).
+
+"Mentioned" for the first direction is any backticked occurrence, so
+knobs explained inline inside another bullet (GLLC_RESUME inside the
+GLLC_CHECKPOINT entry, say) count as documented.
+"""
+
+import re
+
+from ..core import Finding, register
+
+ENV_READ = re.compile(r"\benv(?:Int|String)\s*\(")
+ENV_NAME = re.compile(r'"(GLLC_[A-Z0-9_]+)"')
+README_MENTION = re.compile(r"`(GLLC_[A-Z0-9_]+)")
+README_BULLET = re.compile(r"^\*\s+`(GLLC_[A-Z0-9_]+)")
+
+README = "README.md"
+
+
+def knobs_read_by_code(repo):
+    """{knob: (rel-path, line)} for every envInt/envString site."""
+    knobs = {}
+    for ctx in repo.files:
+        if ctx.rel.parts[0] != "src":
+            continue
+        for lineno, line in enumerate(ctx.code_lines, start=1):
+            if not ENV_READ.search(line):
+                continue
+            raw = ctx.raw_lines[lineno - 1]
+            # The name literal may sit on the next line when the
+            # call wraps; look one line ahead.
+            match = ENV_NAME.search(raw)
+            if match is None and lineno < len(ctx.raw_lines):
+                match = ENV_NAME.search(ctx.raw_lines[lineno])
+            if match:
+                knobs.setdefault(match.group(1),
+                                 (str(ctx.rel), lineno))
+    return knobs
+
+
+@register
+class EnvDoc:
+    name = "env-doc"
+    description = ("README documents every GLLC_* env knob the code "
+                   "reads, and documents no dead ones")
+
+    def check_repo(self, repo):
+        readme = repo.root / README
+        if not readme.is_file():
+            yield Finding(self.name, README, 0, "README.md missing")
+            return
+        text = readme.read_text(encoding="utf-8")
+        mentioned = set(README_MENTION.findall(text))
+        knobs = knobs_read_by_code(repo)
+
+        for knob, (rel, lineno) in sorted(knobs.items()):
+            if knob not in mentioned:
+                yield Finding(
+                    self.name, rel, lineno,
+                    f"env knob {knob} is read here but not "
+                    f"documented in README.md")
+
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = README_BULLET.match(line)
+            if match and match.group(1) not in knobs:
+                yield Finding(
+                    self.name, README, lineno,
+                    f"documented env knob {match.group(1)} is read "
+                    f"by nothing in src/")

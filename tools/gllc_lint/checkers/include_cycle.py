@@ -1,0 +1,75 @@
+"""Include-cycle checker.
+
+Quoted includes in src/ resolve against the src/ root (the build
+compiles with -Isrc), so the quoted-include graph over src/ headers
+is statically known.  A cycle in it compiles today only by accident
+of guard ordering and breaks the moment someone reorders includes;
+this checker walks the graph and reports every elementary cycle
+among headers.
+"""
+
+import re
+
+from ..core import Finding, register
+
+QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"',
+                            re.MULTILINE)
+
+
+def include_graph(repo):
+    """{src-relative header: [included src-relative headers]}."""
+    headers = {
+        str(ctx.rel.relative_to("src")): ctx
+        for ctx in repo.files
+        if ctx.rel.parts[0] == "src" and ctx.is_header
+    }
+    graph = {}
+    for name, ctx in headers.items():
+        edges = []
+        # Includes live in the raw text: the stripped view blanks
+        # string literals, taking the include paths with them.
+        for inc in QUOTED_INCLUDE.findall(ctx.raw):
+            if inc in headers:
+                edges.append(inc)
+        graph[name] = sorted(set(edges))
+    return graph
+
+
+def find_cycles(graph):
+    """Elementary cycles as canonical node tuples (DFS back-edges;
+    each cycle reported once, rotated to start at its minimum)."""
+    cycles = set()
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in graph.get(node, ()):
+            if color[nxt] == GRAY:
+                cycle = stack[stack.index(nxt):]
+                pivot = cycle.index(min(cycle))
+                cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+            elif color[nxt] == WHITE:
+                visit(nxt)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            visit(node)
+    return sorted(cycles)
+
+
+@register
+class IncludeCycle:
+    name = "include-cycle"
+    description = "no cycles in the src/ quoted-include graph"
+
+    def check_repo(self, repo):
+        for cycle in find_cycles(include_graph(repo)):
+            chain = " -> ".join(cycle + (cycle[0],))
+            yield Finding(
+                self.name, "src/" + cycle[0], 0,
+                f"header include cycle: {chain}")

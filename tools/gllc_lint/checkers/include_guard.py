@@ -1,0 +1,52 @@
+"""Include-guard checker: #ifndef GLLC_<PATH>_HH, never #pragma
+once, guard name derived from the path under the source root."""
+
+import re
+
+from ..core import Finding, register
+
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
+IFNDEF = re.compile(r"^\s*#\s*ifndef\s+(\w+)", re.MULTILINE)
+DEFINE = re.compile(r"^\s*#\s*define\s+(\w+)", re.MULTILINE)
+
+
+def expected_guard(rel, strip_prefix):
+    """GLLC_CACHE_RRIP_HH for src/cache/rrip.hh, and so on."""
+    parts = list(rel.parts)
+    if strip_prefix is not None and parts and parts[0] == strip_prefix:
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(hh|hpp|h)$", "", stem)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return "GLLC_" + stem.upper() + "_HH"
+
+
+@register
+class IncludeGuard:
+    name = "include-guard"
+    description = ("headers use #ifndef GLLC_<PATH>_HH guards, "
+                   "not #pragma once")
+
+    def check_file(self, ctx):
+        if not ctx.is_header:
+            return
+        rel = str(ctx.rel)
+        if PRAGMA_ONCE.search(ctx.raw):
+            yield Finding(
+                self.name, rel, 0,
+                "#pragma once; use a GLLC_*_HH include guard")
+        guard = expected_guard(ctx.rel, ctx.strip_prefix)
+        ifndef = IFNDEF.search(ctx.code)
+        define = DEFINE.search(ctx.code)
+        if ifndef is None or define is None:
+            yield Finding(self.name, rel, 0,
+                          f"missing include guard {guard}")
+        elif ifndef.group(1) != guard:
+            yield Finding(
+                self.name, rel, 0,
+                f"include guard {ifndef.group(1)}, expected {guard}")
+        elif define.group(1) != guard:
+            yield Finding(
+                self.name, rel, 0,
+                f"#define {define.group(1)} does not match guard "
+                f"{guard}")

@@ -1,0 +1,252 @@
+"""Unit tests for the gllc_lint checker framework.
+
+Each test builds a miniature repository in a temp directory and runs
+one checker over it, so the checkers are exercised against known-bad
+and known-good fixtures rather than the live tree (which must stay
+clean anyway — CI runs the real linter separately).
+
+Run directly or through ctest (`gllc_lint_unittests`):
+
+    python3 tools/gllc_lint/tests/test_checkers.py
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent))
+
+from gllc_lint import checkers  # noqa: F401, E402
+from gllc_lint.checkers import metrics_doc  # noqa: E402
+from gllc_lint.core import get_checker, run_checkers  # noqa: E402
+
+GUARDED_HEADER = """\
+#ifndef GLLC_{STEM}_HH
+#define GLLC_{STEM}_HH
+{body}
+#endif // GLLC_{STEM}_HH
+"""
+
+
+class LintFixture(unittest.TestCase):
+    """A scratch repo the tests populate file by file."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, rel, text):
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def header(self, rel, body=""):
+        stem = (rel.replace("src/", "", 1)
+                .replace("/", "_").replace(".hh", "").upper())
+        return self.write(
+            rel, GUARDED_HEADER.format(STEM=stem, body=body))
+
+    def run_checker(self, name):
+        findings, _ = run_checkers(self.root, [get_checker(name)])
+        return findings
+
+
+class TestConventions(LintFixture):
+    def test_bare_assert_flagged_static_assert_not(self):
+        self.write("src/a.cc", "void f() { assert(1); }\n"
+                               "static_assert(true);\n")
+        findings = self.run_checker("bare-assert")
+        self.assertEqual([(f.path, f.line) for f in findings],
+                         [("src/a.cc", 1)])
+
+    def test_assert_in_comment_or_string_ignored(self):
+        self.write("src/a.cc",
+                   '// assert(1)\nconst char *s = "assert(2)";\n')
+        self.assertEqual(self.run_checker("bare-assert"), [])
+
+    def test_banned_rand(self):
+        self.write("src/a.cc", "int x = std::rand();\n")
+        findings = self.run_checker("banned-rand")
+        self.assertEqual(len(findings), 1)
+
+    def test_raw_stderr_only_in_src_minus_allowlist(self):
+        self.write("src/a.cc", 'void f() { fprintf(stderr, "x"); }\n')
+        self.write("src/common/logging.cc",
+                   'void g() { fprintf(stderr, "x"); }\n')
+        self.write("tests/t.cc",
+                   'void h() { fprintf(stderr, "x"); }\n')
+        findings = self.run_checker("raw-stderr")
+        self.assertEqual([f.path for f in findings], ["src/a.cc"])
+
+    def test_raw_getenv(self):
+        self.write("src/a.cc", 'char *v = getenv("X");\n')
+        self.write("src/common/env.cc", 'char *v = getenv("X");\n')
+        findings = self.run_checker("raw-getenv")
+        self.assertEqual([f.path for f in findings], ["src/a.cc"])
+
+    def test_suppression_comment(self):
+        self.write(
+            "src/a.cc",
+            "void f() { assert(1); } // gllc-lint: allow(bare-assert)\n"
+            "void g() { assert(2); }\n")
+        findings = self.run_checker("bare-assert")
+        self.assertEqual([f.line for f in findings], [2])
+
+
+class TestIncludeGuard(LintFixture):
+    def test_correct_guard_passes(self):
+        self.header("src/cache/rrip.hh")
+        self.assertEqual(self.run_checker("include-guard"), [])
+
+    def test_wrong_guard_name(self):
+        self.write("src/a.hh",
+                   "#ifndef WRONG_HH\n#define WRONG_HH\n#endif\n")
+        findings = self.run_checker("include-guard")
+        self.assertIn("expected GLLC_A_HH", findings[0].message)
+
+    def test_pragma_once_rejected(self):
+        self.write("src/a.hh", "#pragma once\n")
+        findings = self.run_checker("include-guard")
+        messages = " ".join(f.message for f in findings)
+        self.assertIn("#pragma once", messages)
+
+    def test_missing_guard(self):
+        self.write("src/a.hh", "int x;\n")
+        findings = self.run_checker("include-guard")
+        self.assertIn("missing include guard", findings[0].message)
+
+
+class TestMetricsDoc(LintFixture):
+    CODE = """\
+void dump(MetricsRegistry &reg, const std::string &prefix) {
+    reg.addCounter("dram.refreshes", 1);
+    reg.addCounter(prefix + "ship.fills_dead", 2);
+    reg.recordValue(prefix + "table." + key, 3);
+    reg.maxGauge("gllcd.queue_depth", 4);
+    reg.addCounter(computed);  // no literal: skipped
+}
+"""
+
+    def test_missing_doc_flagged(self):
+        self.write("src/m.cc", self.CODE)
+        findings = self.run_checker("metrics-doc")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("missing", findings[0].message)
+
+    def test_patterns_extracted(self):
+        self.write("src/m.cc", self.CODE)
+        from gllc_lint.core import RepoContext, walk_files
+
+        repo = RepoContext(self.root, list(walk_files(self.root)))
+        patterns = sorted(
+            p for p, _ in metrics_doc.extract_metrics(repo))
+        self.assertEqual(patterns, [
+            "*ship.fills_dead", "*table.*", "dram.refreshes",
+            "gllcd.queue_depth"])
+
+    def test_up_to_date_doc_passes_and_drift_flagged(self):
+        self.write("src/m.cc", self.CODE)
+        from gllc_lint.core import RepoContext, walk_files
+
+        repo = RepoContext(self.root, list(walk_files(self.root)))
+        get_checker("metrics-doc").update(repo)
+        self.assertEqual(self.run_checker("metrics-doc"), [])
+
+        # A renamed metric makes the committed doc stale.
+        self.write("src/m.cc",
+                   self.CODE.replace("dram.refreshes", "dram.blinks"))
+        findings = self.run_checker("metrics-doc")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("stale", findings[0].message)
+
+
+class TestEnvDoc(LintFixture):
+    def test_undocumented_knob_flagged(self):
+        self.write("src/e.cc", 'int v = envInt("GLLC_SECRET", 0);\n')
+        self.write("README.md", "nothing here\n")
+        findings = self.run_checker("env-doc")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("GLLC_SECRET", findings[0].message)
+        self.assertEqual(findings[0].path, "src/e.cc")
+
+    def test_inline_mention_counts_as_documented(self):
+        self.write("src/e.cc", 'int v = envInt("GLLC_KNOB", 0);\n')
+        self.write("README.md", "set `GLLC_KNOB=1` to enable\n")
+        self.assertEqual(self.run_checker("env-doc"), [])
+
+    def test_stale_bullet_flagged(self):
+        self.write("src/e.cc", 'int v = envInt("GLLC_KNOB", 0);\n')
+        self.write("README.md",
+                   "* `GLLC_KNOB` — real\n* `GLLC_GONE` — stale\n")
+        findings = self.run_checker("env-doc")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("GLLC_GONE", findings[0].message)
+        self.assertEqual(findings[0].path, "README.md")
+
+    def test_wrapped_call_name_on_next_line(self):
+        self.write("src/e.cc",
+                   'int v = envInt(\n    "GLLC_WRAPPED", 0);\n')
+        self.write("README.md", "docs\n")
+        findings = self.run_checker("env-doc")
+        self.assertIn("GLLC_WRAPPED", findings[0].message)
+
+
+class TestIncludeCycle(LintFixture):
+    def test_acyclic_graph_passes(self):
+        self.header("src/a.hh", '#include "b.hh"\n')
+        self.header("src/b.hh")
+        self.assertEqual(self.run_checker("include-cycle"), [])
+
+    def test_two_node_cycle_reported_once(self):
+        self.header("src/a.hh", '#include "b.hh"\n')
+        self.header("src/b.hh", '#include "a.hh"\n')
+        findings = self.run_checker("include-cycle")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("a.hh -> b.hh -> a.hh", findings[0].message)
+
+    def test_self_include_reported(self):
+        self.header("src/a.hh", '#include "a.hh"\n')
+        findings = self.run_checker("include-cycle")
+        self.assertEqual(len(findings), 1)
+
+    def test_missing_target_ignored(self):
+        self.header("src/a.hh", '#include "not_in_repo.hh"\n')
+        self.assertEqual(self.run_checker("include-cycle"), [])
+
+
+class TestCli(unittest.TestCase):
+    """End-to-end: the shim entry point against the real repo."""
+
+    ROOT = Path(__file__).resolve().parents[3]
+
+    def test_json_output_schema(self):
+        proc = subprocess.run(
+            [sys.executable,
+             str(self.ROOT / "tools" / "lint.py"), "--json", "-"],
+            capture_output=True, text=True, check=False)
+        document = json.loads(proc.stdout)
+        self.assertEqual(document["schema"], "gllc-lint-v1")
+        self.assertGreater(document["files_checked"], 0)
+        self.assertIn("include-cycle", document["checkers"])
+        for finding in document["findings"]:
+            self.assertIn("checker", finding)
+            self.assertIn("path", finding)
+            self.assertIn("line", finding)
+            self.assertIn("message", finding)
+
+    def test_unknown_checker_is_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable,
+             str(self.ROOT / "tools" / "lint.py"),
+             "--checkers", "no-such"],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,220 +1,20 @@
 #!/usr/bin/env python3
-"""Repo-convention linter for gllc.
+"""Entry point for the gllc repo linter.
 
-Checks that clang-tidy cannot express (or that must run without any
-LLVM tooling installed):
-
-  * no bare assert(): invariants go through GLLC_ASSERT /
-    GLLC_ASSERT_MSG (common/logging.hh) so they survive NDEBUG builds
-    and honour -DGLLC_ASSERTS=OFF; static_assert and gtest's
-    ASSERT_* / EXPECT_* are fine
-  * include guards: every header uses #ifndef GLLC_<PATH>_HH derived
-    from its path under its source root; #pragma once is rejected
-  * no std::rand / srand / rand: all randomness flows through
-    common/rng.hh (Rng) so experiments are reproducible from seeds
-  * no raw fprintf(stderr, ...) in src/ outside common/logging.cc
-    and common/progress.cc: diagnostics go through warn()/note()/
-    panic()/fatal() (common/logging.hh) or the shared ProgressMeter
-    so they stay greppable and consistently tagged
-  * no getenv outside src/common/env.cc: environment knobs flow
-    through envInt()/envString() (common/env.hh) and are sampled
-    once at construction time, never in per-access code, so the
-    replay hot path stays free of libc calls
-
-Run from the repository root (or via the `lint` CMake target):
-
-    python3 tools/lint.py
-
-Exits 0 when clean, 1 with a file:line report otherwise.
+The linter itself is the tools/gllc_lint package — a small checker
+framework (convention checks, include-guard style, metrics/env-knob
+documentation drift, include-cycle detection).  This shim keeps the
+historical `python3 tools/lint.py` invocation (and the `lint` CMake
+target) working; see `python3 tools/lint.py --help` for the options
+and `--list-checkers` for what runs.
 """
 
-import re
 import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# (directory, strip-prefix-for-guard) pairs; the guard of
-# src/cache/rrip.hh is GLLC_CACHE_RRIP_HH, of bench/trace_bench.hh is
-# GLLC_BENCH_TRACE_BENCH_HH, and so on.
-SOURCE_DIRS = [
-    ("src", "src"),
-    ("tests", None),
-    ("bench", None),
-    ("examples", None),
-]
-
-CPP_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp", ".h"}
-
-BARE_ASSERT = re.compile(r"(?<![\w:])assert\s*\(")
-BANNED_RAND = re.compile(r"(?<![\w:])(?:std::)?(?:rand|srand|rand_r)\s*\(")
-PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b", re.MULTILINE)
-RAW_STDERR = re.compile(r"(?:std::)?v?fprintf\s*\(\s*stderr\b")
-RAW_GETENV = re.compile(r"(?<![\w:])(?:std::)?getenv\s*\(")
-
-# The only files in src/ allowed to write stderr directly: the
-# logging sink itself and the throttled progress reporter.
-STDERR_ALLOWLIST = {
-    Path("src/common/logging.cc"),
-    Path("src/common/progress.cc"),
-}
-
-# The only file allowed to call getenv: the env-knob wrapper itself.
-GETENV_ALLOWLIST = {
-    Path("src/common/env.cc"),
-}
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, keeping line
-    structure so reported line numbers stay accurate."""
-    out = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line | block | dquote | squote
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "dquote"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "squote"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        else:  # dquote / squote
-            quote = '"' if state == "dquote" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-            out.append(" " if c != "\n" else c)
-        i += 1
-    return "".join(out)
-
-
-def expected_guard(path, strip_prefix):
-    rel = path.relative_to(ROOT)
-    parts = list(rel.parts)
-    if strip_prefix is not None and parts and parts[0] == strip_prefix:
-        parts = parts[1:]
-    stem = "_".join(parts)
-    stem = re.sub(r"\.(hh|hpp|h)$", "", stem)
-    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
-    return "GLLC_" + stem.upper() + "_HH"
-
-
-def check_file(path, strip_prefix, findings):
-    raw = path.read_text(encoding="utf-8")
-    code = strip_comments_and_strings(raw)
-    rel = path.relative_to(ROOT)
-
-    for lineno, line in enumerate(code.splitlines(), start=1):
-        for match in BARE_ASSERT.finditer(line):
-            # static_assert survives the (?<![\w:]) guard only when
-            # written as "static_assert"; re-check to be safe.
-            start = match.start()
-            if line[:start].rstrip().endswith("static"):
-                continue
-            findings.append(
-                f"{rel}:{lineno}: bare assert(); use GLLC_ASSERT / "
-                "GLLC_ASSERT_MSG from common/logging.hh"
-            )
-        if BANNED_RAND.search(line):
-            findings.append(
-                f"{rel}:{lineno}: std::rand/srand; use gllc::Rng "
-                "(common/rng.hh) so runs are seed-reproducible"
-            )
-        if (
-            rel.parts[0] == "src"
-            and rel not in STDERR_ALLOWLIST
-            and RAW_STDERR.search(line)
-        ):
-            findings.append(
-                f"{rel}:{lineno}: raw fprintf(stderr); use warn()/"
-                "note() (common/logging.hh) or the progress reporter"
-            )
-        if rel not in GETENV_ALLOWLIST and RAW_GETENV.search(line):
-            findings.append(
-                f"{rel}:{lineno}: getenv; use envInt()/envString() "
-                "(common/env.hh) and sample the knob once at "
-                "construction, not per access"
-            )
-
-    if path.suffix in {".hh", ".hpp", ".h"}:
-        if PRAGMA_ONCE.search(raw):
-            findings.append(
-                f"{rel}: #pragma once; use a GLLC_*_HH include guard"
-            )
-        guard = expected_guard(path, strip_prefix)
-        ifndef = re.search(r"^\s*#\s*ifndef\s+(\w+)", code, re.MULTILINE)
-        define = re.search(r"^\s*#\s*define\s+(\w+)", code, re.MULTILINE)
-        if ifndef is None or define is None:
-            findings.append(f"{rel}: missing include guard {guard}")
-        else:
-            if ifndef.group(1) != guard:
-                findings.append(
-                    f"{rel}: include guard {ifndef.group(1)}, "
-                    f"expected {guard}"
-                )
-            elif define.group(1) != guard:
-                findings.append(
-                    f"{rel}: #define {define.group(1)} does not match "
-                    f"guard {guard}"
-                )
-
-
-def main():
-    findings = []
-    checked = 0
-    for directory, strip_prefix in SOURCE_DIRS:
-        base = ROOT / directory
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix not in CPP_SUFFIXES:
-                continue
-            check_file(path, strip_prefix, findings)
-            checked += 1
-
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"lint: {len(findings)} finding(s) in {checked} files")
-        return 1
-    print(f"lint: OK ({checked} files)")
-    return 0
-
+from gllc_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
