@@ -1,6 +1,7 @@
 #include "common/metrics.hh"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,9 +19,13 @@ namespace
 /** -1 = undecided (read the environment), 0 = off, 1 = on. */
 std::atomic<int> metricsState{-1};
 
-/** Registered at most once, when GLLC_STATS_JSON requests a dump. */
+/**
+ * Write the snapshot to the GLLC_STATS_JSON path.  Registered as an
+ * atexit handler when that variable requests a dump; also invoked
+ * directly via flushConfiguredStatsJson() by long-lived daemons.
+ */
 void
-writeStatsJsonAtExit()
+writeStatsJsonNow()
 {
     const std::string path = envString("GLLC_STATS_JSON", "");
     if (path.empty())
@@ -41,7 +46,7 @@ scheduleStatsExportOnce()
         // Touch the registry first so its (leaked) storage outlives
         // any static destruction interleaved with atexit handlers.
         MetricsRegistry::instance();
-        std::atexit(writeStatsJsonAtExit);
+        std::atexit(writeStatsJsonNow);
     });
 }
 
@@ -64,6 +69,27 @@ jsonEscape(const std::string &s)
         if (c == '"' || c == '\\')
             out.push_back('\\');
         out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Prometheus metric-name form of a dotted registry name: every
+ * character outside [a-zA-Z0-9_] becomes '_', and a leading digit
+ * gains a '_' prefix.
+ */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (!name.empty() && name[0] >= '0' && name[0] <= '9')
+        out.push_back('_');
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z')
+                        || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
     }
     return out;
 }
@@ -93,6 +119,50 @@ setMetricsActive(bool active)
     // --stats flag was what turned collection on.
     if (active && !envString("GLLC_STATS_JSON", "").empty())
         scheduleStatsExportOnce();
+}
+
+const std::int64_t kLatencyBucketBoundsMs[15] = {
+    1,    2,    5,     10,    25,    50,    100,  250,
+    500,  1000, 2500,  5000,  10000, 30000, 60000,
+};
+
+std::int64_t
+latencyBucketMs(double ms)
+{
+    for (const std::int64_t bound : kLatencyBucketBoundsMs) {
+        if (ms <= static_cast<double>(bound))
+            return bound;
+    }
+    return kLatencyBucketBoundsMs[14];
+}
+
+void
+recordLatencyMs(const std::string &name, double ms)
+{
+    if (!metricsActive())
+        return;
+    MetricsRegistry::instance().recordValue(name, latencyBucketMs(ms));
+}
+
+std::int64_t
+histogramQuantile(const MetricValue &hist, double q)
+{
+    const std::uint64_t total = hist.samples();
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t cumulative = 0;
+    for (const auto &[value, count] : hist.buckets) {
+        cumulative += count;
+        if (cumulative >= rank)
+            return value;
+    }
+    return hist.buckets.rbegin()->first;
 }
 
 const char *
@@ -223,6 +293,40 @@ MetricsSnapshot::writeCsv(std::ostream &os) const
     }
 }
 
+void
+MetricsSnapshot::writePrometheus(std::ostream &os) const
+{
+    for (const auto &[name, v] : values_) {
+        const std::string base = promName(name);
+        switch (v.kind) {
+          case MetricKind::Counter:
+            os << "# TYPE " << base << "_total counter\n"
+               << base << "_total " << v.count << '\n';
+            break;
+          case MetricKind::Gauge:
+            os << "# TYPE " << base << " gauge\n"
+               << base << ' ' << fmtDouble(v.gauge) << '\n';
+            break;
+          case MetricKind::Histogram: {
+            os << "# TYPE " << base << " histogram\n";
+            std::uint64_t cumulative = 0;
+            std::int64_t weighted = 0;
+            for (const auto &[value, count] : v.buckets) {
+                cumulative += count;
+                weighted += value * static_cast<std::int64_t>(count);
+                os << base << "_bucket{le=\"" << value << "\"} "
+                   << cumulative << '\n';
+            }
+            os << base << "_bucket{le=\"+Inf\"} " << cumulative
+               << '\n'
+               << base << "_sum " << weighted << '\n'
+               << base << "_count " << cumulative << '\n';
+            break;
+          }
+        }
+    }
+}
+
 // ---------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------
@@ -319,6 +423,26 @@ MetricsRegistry::reset()
         MutexLock shard_lock(shard->mutex);
         shard->values.clear();
     }
+}
+
+void
+MetricsRegistry::rearmGauge(const std::string &name)
+{
+    MutexLock lock(mutex_);
+    for (const auto &shard : shards_) {
+        MutexLock shard_lock(shard->mutex);
+        const auto it = shard->values.find(name);
+        if (it != shard->values.end()
+            && it->second.kind == MetricKind::Gauge) {
+            shard->values.erase(it);
+        }
+    }
+}
+
+void
+flushConfiguredStatsJson()
+{
+    writeStatsJsonNow();
 }
 
 } // namespace gllc

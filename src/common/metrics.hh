@@ -65,6 +65,29 @@ enum class MetricKind : std::uint8_t
 /** Human-readable kind name ("counter", "gauge", "histogram"). */
 const char *metricKindName(MetricKind kind);
 
+/**
+ * Explicit latency bucket bounds (milliseconds) for the service
+ * latency histograms.  recordLatencyMs() maps a measured duration to
+ * the smallest bound that contains it, so sharded histograms stay
+ * sparse, mergeable, and byte-identical across thread counts; the
+ * Prometheus exposition renders the bounds as cumulative `le` edges.
+ */
+extern const std::int64_t kLatencyBucketBoundsMs[15];
+
+/**
+ * The histogram bucket (one of kLatencyBucketBoundsMs) that @p ms
+ * falls into: the smallest bound >= ms, clamped to the largest bound
+ * for longer durations.  Negative durations clamp to the first bound.
+ */
+std::int64_t latencyBucketMs(double ms);
+
+/**
+ * Record @p ms into the explicit-bucket latency histogram @p name.
+ * No-op when metricsActive() is false, so hot paths may call it
+ * unconditionally.
+ */
+void recordLatencyMs(const std::string &name, double ms);
+
 /** One merged metric in a snapshot. */
 struct MetricValue
 {
@@ -83,6 +106,16 @@ struct MetricValue
     /** Merge another observation of the same metric (commutative). */
     void merge(const MetricValue &other, const std::string &name);
 };
+
+/**
+ * The @p q quantile (0 <= q <= 1) of a histogram metric: the
+ * smallest bucket key whose cumulative count reaches rank
+ * ceil(q * samples).  Returns 0 for an empty histogram.  For the
+ * explicit latency buckets this is the usual Prometheus-style upper
+ * bound estimate (p95 reads as "95% of samples took at most this
+ * many ms").
+ */
+std::int64_t histogramQuantile(const MetricValue &hist, double q);
 
 /**
  * A merged, name-sorted view of the registry at one instant.  The
@@ -116,6 +149,16 @@ class MetricsSnapshot
     /** CSV export: name,type,key,value (one row per bucket). */
     void writeCsv(std::ostream &os) const;
 
+    /**
+     * Prometheus text exposition (format version 0.0.4).  Dotted
+     * names sanitize to underscore form; counters gain the `_total`
+     * suffix; histograms render their sparse buckets as cumulative
+     * `_bucket{le="..."}` samples plus `_sum` / `_count` (the sum is
+     * computed from bucket keys, i.e. bucketed durations for the
+     * latency histograms).  Output is name-sorted and deterministic.
+     */
+    void writePrometheus(std::ostream &os) const;
+
   private:
     friend class MetricsRegistry;
     std::map<std::string, MetricValue> values_;
@@ -148,6 +191,16 @@ class MetricsRegistry
     /** Drop all accumulated values (tests). */
     void reset();
 
+    /**
+     * Erase the gauge @p name from every shard so the next
+     * observation starts a fresh max watermark.  This turns a
+     * watermark gauge into a windowed gauge: the /metrics handler
+     * rearms queue-depth gauges after each scrape, so every scrape
+     * window reports the peak depth since the previous scrape rather
+     * than the all-time peak.  No-op for counters and histograms.
+     */
+    void rearmGauge(const std::string &name);
+
   private:
     MetricsRegistry() = default;
 
@@ -168,6 +221,15 @@ class MetricsRegistry
     std::vector<std::unique_ptr<Shard>> shards_
         GLLC_GUARDED_BY(mutex_);
 };
+
+/**
+ * Write the registry snapshot to the GLLC_STATS_JSON path right now
+ * (no-op when the variable is unset).  The same writer runs from the
+ * atexit hook; long-lived daemons call this explicitly after a
+ * SIGTERM-initiated stop so a terminated process still leaves a
+ * complete, valid stats artifact even if exit handlers are skipped.
+ */
+void flushConfiguredStatsJson();
 
 } // namespace gllc
 

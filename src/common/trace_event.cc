@@ -21,8 +21,13 @@ std::atomic<int> traceState{-1};
 /** The calling thread's span-clock thread id; 0 = unassigned. */
 thread_local std::uint32_t tlsTraceTid = 0;
 
+/**
+ * Write the collected spans to the GLLC_TRACE_OUT path.  Registered
+ * as an atexit handler; also invoked directly via
+ * flushConfiguredTraceJson() by long-lived daemons.
+ */
 void
-writeTraceJsonAtExit()
+writeTraceJsonNow()
 {
     const std::string path = envString("GLLC_TRACE_OUT", "");
     if (path.empty())
@@ -41,7 +46,7 @@ scheduleTraceExportOnce()
     static std::once_flag once;
     std::call_once(once, [] {
         TraceCollector::instance();  // leaked: outlives atexit
-        std::atexit(writeTraceJsonAtExit);
+        std::atexit(writeTraceJsonNow);
     });
 }
 
@@ -111,6 +116,14 @@ TraceCollector::nowUs() const
         .count();
 }
 
+double
+TraceCollector::epochSinceBootUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               epoch_.time_since_epoch())
+        .count();
+}
+
 std::uint32_t
 TraceCollector::threadId()
 {
@@ -140,6 +153,33 @@ TraceCollector::size() const
     return events_.size();
 }
 
+namespace
+{
+
+/** One trace-event object (no trailing separator). */
+void
+writeEventObject(std::ostream &os, const std::string &name,
+                 const char *category, double start_us, double dur_us,
+                 std::uint32_t pid, std::uint32_t tid,
+                 const TraceArgs &args)
+{
+    os << "{\"name\": \"" << jsonEscape(name) << "\", \"cat\": \""
+       << category << "\", \"ph\": \"X\", \"ts\": " << fmtUs(start_us)
+       << ", \"dur\": " << fmtUs(dur_us) << ", \"pid\": " << pid
+       << ", \"tid\": " << tid;
+    if (!args.empty()) {
+        os << ", \"args\": {";
+        for (std::size_t a = 0; a < args.size(); ++a) {
+            os << (a ? ", " : "") << "\"" << jsonEscape(args[a].first)
+               << "\": \"" << jsonEscape(args[a].second) << "\"";
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+} // namespace
+
 void
 TraceCollector::write(std::ostream &os) const
 {
@@ -147,23 +187,24 @@ TraceCollector::write(std::ostream &os) const
     os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const Event &e = events_[i];
-        os << "  {\"name\": \"" << jsonEscape(e.name)
-           << "\", \"cat\": \"" << e.category
-           << "\", \"ph\": \"X\", \"ts\": " << fmtUs(e.startUs)
-           << ", \"dur\": " << fmtUs(e.durUs)
-           << ", \"pid\": 1, \"tid\": " << e.tid;
-        if (!e.args.empty()) {
-            os << ", \"args\": {";
-            for (std::size_t a = 0; a < e.args.size(); ++a) {
-                os << (a ? ", " : "") << "\""
-                   << jsonEscape(e.args[a].first) << "\": \""
-                   << jsonEscape(e.args[a].second) << "\"";
-            }
-            os << "}";
-        }
-        os << "}" << (i + 1 < events_.size() ? "," : "") << '\n';
+        os << "  ";
+        writeEventObject(os, e.name, e.category, e.startUs, e.durUs,
+                         1, e.tid, e.args);
+        os << (i + 1 < events_.size() ? "," : "") << '\n';
     }
     os << "]}\n";
+}
+
+void
+TraceCollector::writeJsonl(std::ostream &os, double shift_us,
+                           std::uint32_t pid) const
+{
+    MutexLock lock(mutex_);
+    for (const Event &e : events_) {
+        writeEventObject(os, e.name, e.category, e.startUs + shift_us,
+                         e.durUs, pid, e.tid, e.args);
+        os << '\n';
+    }
 }
 
 void
@@ -192,6 +233,12 @@ TraceSpan::~TraceSpan()
     TraceCollector &collector = TraceCollector::instance();
     collector.complete(std::move(name_), category_, startUs_,
                        collector.nowUs(), std::move(args_));
+}
+
+void
+flushConfiguredTraceJson()
+{
+    writeTraceJsonNow();
 }
 
 } // namespace gllc

@@ -58,6 +58,16 @@ class TraceCollector
     /** Microseconds on the shared span clock. */
     double nowUs() const;
 
+    /**
+     * The collector's clock zero expressed as microseconds on the
+     * raw steady clock (CLOCK_MONOTONIC, i.e. since boot).  Two
+     * processes on the same machine share that raw clock, so a
+     * worker can shift its span timestamps by
+     * (its epochSinceBootUs() - the daemon's) and land them on the
+     * daemon's timeline — the basis of the merged per-job traces.
+     */
+    double epochSinceBootUs() const;
+
     /** Stable small id of the calling thread (assigned on first use). */
     std::uint32_t threadId();
 
@@ -70,6 +80,16 @@ class TraceCollector
 
     /** Serialize as trace-event JSON ({"traceEvents": [...]}). */
     void write(std::ostream &os) const;
+
+    /**
+     * Serialize as bare trace-event objects, one per line (no
+     * enclosing array), with every timestamp shifted by @p shift_us
+     * and @p pid stamped as the process id.  Worker subprocesses use
+     * this to stream their spans into per-job files the daemon can
+     * splice verbatim into one merged timeline.
+     */
+    void writeJsonl(std::ostream &os, double shift_us,
+                    std::uint32_t pid) const;
 
     /** Drop all recorded spans (tests). */
     void reset();
@@ -120,6 +140,14 @@ class TraceSpan
     TraceArgs args_;
     double startUs_ = 0.0;
 };
+
+/**
+ * Write the collected spans to the GLLC_TRACE_OUT path right now
+ * (no-op when the variable is unset).  The same writer runs from the
+ * atexit hook; daemons call this explicitly after a SIGTERM-initiated
+ * stop so a drained gllcd leaves a complete timeline.
+ */
+void flushConfiguredTraceJson();
 
 } // namespace gllc
 

@@ -125,14 +125,18 @@ ServiceClient::submit(const SweepJobSpec &spec,
     return outcome;
 }
 
-Result<std::string>
-ServiceClient::status()
+namespace
 {
-    Result<Unit> sent = writeFrame(fd_, statusEnvelopeJson());
+
+/** Shared request/response round trip of both status flavours. */
+Result<std::string>
+statusRoundTrip(int fd, const std::string &envelope)
+{
+    Result<Unit> sent = writeFrame(fd, envelope);
     if (!sent.ok())
         return sent.error();
     std::string response;
-    Result<bool> got = readFrame(fd_, response);
+    Result<bool> got = readFrame(fd, response);
     if (!got.ok())
         return got.error();
     if (!got.value())
@@ -140,6 +144,20 @@ ServiceClient::status()
                      "daemon closed the connection before "
                      "answering");
     return response;
+}
+
+} // namespace
+
+Result<std::string>
+ServiceClient::status()
+{
+    return statusRoundTrip(fd_, statusEnvelopeJson());
+}
+
+Result<std::string>
+ServiceClient::statusV2()
+{
+    return statusRoundTrip(fd_, statusV2EnvelopeJson());
 }
 
 } // namespace gllc

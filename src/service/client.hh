@@ -62,6 +62,13 @@ class ServiceClient
     /** Fetch the daemon's status document (raw JSON). */
     [[nodiscard]] Result<std::string> status();
 
+    /**
+     * Fetch the telemetry status document (raw JSON): queue depth
+     * per priority class, counters, latency quantiles — what
+     * gllc-top renders.
+     */
+    [[nodiscard]] Result<std::string> statusV2();
+
   private:
     explicit ServiceClient(int fd) : fd_(fd) {}
 

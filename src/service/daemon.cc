@@ -1,17 +1,26 @@
 #include "service/daemon.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cinttypes>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <dirent.h>
+#include <fstream>
 #include <netinet/in.h>
 #include <sstream>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "analysis/report.hh"
+#include "common/hash.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/trace_event.hh"
 
 namespace gllc
 {
@@ -24,6 +33,80 @@ void
 sendError(int fd, const Error &error)
 {
     (void)writeFrame(fd, errorFrameJson(error));
+}
+
+/** mkdir -p: create @p dir and any missing parents. */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string partial;
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+        const std::size_t slash = dir.find('/', pos);
+        const std::size_t end =
+            slash == std::string::npos ? dir.size() : slash;
+        partial.assign(dir, 0, end);
+        pos = end + 1;
+        if (partial.empty())
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+/** Fixed-point rendering of trace-clock microseconds. */
+std::string
+fmtUs(double us)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+/** The daemon-minted per-job trace id (hex). */
+std::string
+mintTraceId(std::uint64_t job_id, std::uint64_t spec_hash)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                  mix64(job_id) ^ spec_hash);
+    return buf;
+}
+
+/** One daemon-side span object of a merged per-job timeline. */
+std::string
+daemonSpanJson(const char *name, const char *category,
+               double start_us, double dur_us, std::uint32_t tid,
+               const QueuedJob &job, const std::string &trace_id)
+{
+    std::string out = "{\"name\": \"";
+    out += name;
+    out += "\", \"cat\": \"";
+    out += category;
+    out += "\", \"ph\": \"X\", \"ts\": ";
+    out += fmtUs(start_us);
+    out += ", \"dur\": ";
+    out += fmtUs(dur_us);
+    out += ", \"pid\": ";
+    out += std::to_string(static_cast<unsigned>(::getpid()));
+    out += ", \"tid\": ";
+    out += std::to_string(tid);
+    out += ", \"args\": {\"job\": \"";
+    out += std::to_string(job.id);
+    out += "\", \"tenant\": \"";
+    out += jsonEscape(job.tenant);
+    out += "\", \"trace\": \"";
+    out += jsonEscape(trace_id);
+    out += "\"}}";
+    return out;
+}
+
+/** Milliseconds between two trace-clock microsecond stamps. */
+double
+spanMs(double start_us, double end_us)
+{
+    return (end_us - start_us) / 1000.0;
 }
 
 } // namespace
@@ -114,6 +197,19 @@ SweepDaemon::start()
     // process-killing signal.
     std::signal(SIGPIPE, SIG_IGN);
 
+    if (!options_.eventLogPath.empty()) {
+        Result<Unit> opened = eventLog_.open(options_.eventLogPath);
+        if (!opened.ok())
+            return opened.error();
+    }
+    if (!options_.traceDir.empty()
+        && !makeDirs(options_.traceDir))
+        return Error::format(ErrorCode::Io,
+                             "cannot create trace dir %s: %s",
+                             options_.traceDir.c_str(),
+                             std::strerror(errno));
+    startTime_ = std::chrono::steady_clock::now();
+
     if (!options_.socketPath.empty()) {
         Result<int> fd = bindUnixListener();
         if (!fd.ok())
@@ -130,6 +226,24 @@ SweepDaemon::start()
         }
         listenFds_.push_back(fd.value());
     }
+    if (options_.metricsPort >= 0) {
+        Result<Unit> served = metricsServer_.start(
+            options_.metricsPort,
+            [this] { return metricsExposition(); },
+            [this] { return statusV2Json(); });
+        if (!served.ok()) {
+            for (const int open_fd : listenFds_)
+                ::close(open_fd);
+            listenFds_.clear();
+            return served.error();
+        }
+    }
+
+    if (eventLog_.active())
+        eventLog_.emit(ServiceEvent("daemon_started")
+                           .num("pid", ::getpid())
+                           .num("workers", options_.workers)
+                           .num("metrics_port", metricsPort()));
 
     running_.store(true);
     dispatcher_ = std::thread([this] { dispatchLoop(); });
@@ -144,6 +258,12 @@ SweepDaemon::stop()
 {
     if (!running_.exchange(false))
         return;
+    metricsServer_.stop();
+    if (eventLog_.active())
+        eventLog_.emit(ServiceEvent("daemon_stopping")
+                           .num("jobs_completed",
+                                static_cast<std::int64_t>(
+                                    jobsCompleted_.load())));
     for (const int fd : listenFds_) {
         ::shutdown(fd, SHUT_RDWR);
         ::close(fd);
@@ -269,10 +389,18 @@ SweepDaemon::serveConnection(int fd)
             sendError(fd, envelope.error());
             continue;
         }
-        const bool keep_going =
-            envelope.value().type == RequestType::Submit
-                ? handleSubmit(fd, envelope.value())
-                : handleStatus(fd);
+        bool keep_going = false;
+        switch (envelope.value().type) {
+        case RequestType::Submit:
+            keep_going = handleSubmit(fd, envelope.value());
+            break;
+        case RequestType::Status:
+            keep_going = handleStatus(fd);
+            break;
+        case RequestType::StatusV2:
+            keep_going = handleStatusV2(fd);
+            break;
+        }
         if (!keep_going)
             break;
     }
@@ -316,19 +444,26 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
 
     const ResultKey key{spec.traceHash(), spec.contentHash()};
     jobsSubmitted_.fetch_add(1);
-    countMetric("gllcd.jobs_submitted");
+    countMetric("gllcd.jobs.submitted");
 
     // Fast path: the store already holds these exact bytes.
     if (store_.contains(key)) {
         Result<std::string> stored = store_.load(key);
         if (stored.ok()) {
             cacheHits_.fetch_add(1);
-            countMetric("gllcd.cache_hits");
+            countMetric("gllcd.jobs.cache_hits");
             ResultHeader header;
             header.jobId = nextJobId_.fetch_add(1);
             header.cached = true;
             header.specHash = key.specHash;
             header.traceHash = key.traceHash;
+            if (eventLog_.active())
+                eventLog_.emit(
+                    ServiceEvent("job_cache_hit")
+                        .num("job", static_cast<std::int64_t>(
+                                        header.jobId))
+                        .str("tenant", envelope.tenant)
+                        .num("priority", envelope.priority));
             if (!writeFrame(fd, resultHeaderJson(header)).ok())
                 return false;
             return writeFrame(fd, stored.value()).ok();
@@ -345,7 +480,12 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
         if (it != inflight_.end()) {
             state = it->second;
             inflightJoins_.fetch_add(1);
-            countMetric("gllcd.inflight_joins");
+            countMetric("gllcd.jobs.inflight_joins");
+            if (eventLog_.active())
+                eventLog_.emit(ServiceEvent("job_joined")
+                                   .str("tenant", envelope.tenant)
+                                   .num("priority",
+                                        envelope.priority));
         } else {
             state = std::make_shared<JobState>();
             // The state is not shared until the emplace below, but
@@ -360,11 +500,26 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
             job.tenant = envelope.tenant;
             job.priority = envelope.priority;
             job.spec = spec;
+            job.acceptedUs = TraceCollector::instance().nowUs();
+            // Emitted before the push so the log's causal order
+            // (accepted, then started) holds even when the
+            // dispatcher pops the job immediately.
+            if (eventLog_.active())
+                eventLog_.emit(
+                    ServiceEvent("job_accepted")
+                        .num("job", static_cast<std::int64_t>(
+                                        state->header.jobId))
+                        .str("tenant", envelope.tenant)
+                        .num("priority", envelope.priority)
+                        .num("frames", static_cast<std::int64_t>(
+                                           spec.frames.size()))
+                        .num("policies",
+                             static_cast<std::int64_t>(
+                                 spec.policies.size())));
             if (queue_.push(std::move(job))) {
                 inflight_.emplace(key, state);
-                if (metricsActive())
-                    MetricsRegistry::instance().maxGauge(
-                        "gllcd.queue_depth", queue_.depth());
+                countMetric("gllcd.jobs.accepted");
+                recordQueueGauges();
             } else {
                 // Lost the race with stop(): the queue is closed and
                 // nothing will ever pop this job.  Fail it here —
@@ -436,6 +591,198 @@ SweepDaemon::handleStatus(int fd)
     return writeFrame(fd, statusJson()).ok();
 }
 
+std::string
+SweepDaemon::statusV2Json()
+{
+    const double uptime_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count();
+    const std::uint64_t submitted = jobsSubmitted_.load();
+    const std::uint64_t hits = cacheHits_.load();
+    char buf[64];
+
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"status_v2\",\"uptime_seconds\":";
+    std::snprintf(buf, sizeof(buf), "%.3f", uptime_s);
+    out += buf;
+    out += ",\"queue\":{\"depth\":";
+    out += std::to_string(queue_.depth());
+    out += ",\"classes\":[";
+    bool first = true;
+    for (const auto &[prio, depth] : queue_.classDepths()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"priority\":";
+        out += std::to_string(prio);
+        out += ",\"depth\":";
+        out += std::to_string(depth);
+        out += '}';
+    }
+    out += "]},\"jobs\":{\"submitted\":";
+    out += std::to_string(submitted);
+    out += ",\"completed\":";
+    out += std::to_string(jobsCompleted_.load());
+    out += ",\"failed\":";
+    out += std::to_string(jobsFailed_.load());
+    out += ",\"quarantined\":";
+    out += std::to_string(jobsQuarantined_.load());
+    out += ",\"cache_hits\":";
+    out += std::to_string(hits);
+    out += ",\"inflight_joins\":";
+    out += std::to_string(inflightJoins_.load());
+    out += "},\"workers\":{\"configured\":";
+    out += std::to_string(options_.workers);
+    out += ",\"crashes\":";
+    out += std::to_string(workerCrashes_.load());
+    out += ",\"cell_timeouts\":";
+    out += std::to_string(cellTimeouts_.load());
+    out += "},\"latency_ms\":{";
+    const MetricsSnapshot snap =
+        MetricsRegistry::instance().snapshot();
+    const char *hist_keys[3][2] = {
+        {"queue_wait", "gllcd.job.queue_wait_ms"},
+        {"exec", "gllcd.job.exec_ms"},
+        {"e2e", "gllcd.job.e2e_ms"},
+    };
+    for (int i = 0; i < 3; ++i) {
+        if (i > 0)
+            out += ',';
+        std::int64_t p50 = 0;
+        std::int64_t p95 = 0;
+        if (const MetricValue *hist = snap.find(hist_keys[i][1])) {
+            p50 = histogramQuantile(*hist, 0.50);
+            p95 = histogramQuantile(*hist, 0.95);
+        }
+        out += '"';
+        out += hist_keys[i][0];
+        out += "\":{\"p50\":";
+        out += std::to_string(p50);
+        out += ",\"p95\":";
+        out += std::to_string(p95);
+        out += '}';
+    }
+    out += "},\"cache_hit_rate\":";
+    std::snprintf(buf, sizeof(buf), "%.4f",
+                  static_cast<double>(hits)
+                      / static_cast<double>(
+                          submitted > 0 ? submitted : 1));
+    out += buf;
+    out += '}';
+    return out;
+}
+
+bool
+SweepDaemon::handleStatusV2(int fd)
+{
+    return writeFrame(fd, statusV2Json()).ok();
+}
+
+void
+SweepDaemon::recordQueueGauges()
+{
+    if (!metricsActive())
+        return;
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    registry.maxGauge("gllcd.queue.depth",
+                      static_cast<double>(queue_.depth()));
+    for (const auto &[prio, depth] : queue_.classDepths())
+        registry.maxGauge("gllcd.queue.depth.p"
+                              + std::to_string(prio),
+                          static_cast<double>(depth));
+}
+
+std::string
+SweepDaemon::metricsExposition()
+{
+    recordQueueGauges();
+    const MetricsSnapshot snap =
+        MetricsRegistry::instance().snapshot();
+    std::ostringstream os;
+    snap.writePrometheus(os);
+    // Queue-depth gauges are windowed: each scrape reports the max
+    // depth since the previous scrape, then rearms the window so the
+    // next scrape isn't forever stuck at the all-time high.
+    for (const auto &[name, value] : snap.values()) {
+        (void)value;
+        if (name.compare(0, 17, "gllcd.queue.depth") == 0)
+            MetricsRegistry::instance().rearmGauge(name);
+    }
+    recordQueueGauges();
+    return os.str();
+}
+
+void
+SweepDaemon::stitchJobTrace(const QueuedJob &job,
+                            const std::string &trace_id,
+                            const std::string &job_trace_dir,
+                            double accepted_us, double popped_us,
+                            double done_us)
+{
+    std::string merged = "{\"displayTimeUnit\": \"ms\", "
+                         "\"traceEvents\": [\n";
+    merged += daemonSpanJson("job", "job", accepted_us,
+                             done_us - accepted_us, 0, job,
+                             trace_id);
+    merged += ",\n";
+    merged += daemonSpanJson("queue-wait", "job_phase",
+                             accepted_us, popped_us - accepted_us,
+                             0, job, trace_id);
+    merged += ",\n";
+    merged += daemonSpanJson("execute", "job_phase", popped_us,
+                             done_us - popped_us, 0, job, trace_id);
+
+    // Splice every worker's span lines, each line re-validated so
+    // one torn file cannot corrupt the merged timeline.
+    DIR *dir = ::opendir(job_trace_dir.c_str());
+    if (dir != nullptr) {
+        std::vector<std::string> names;
+        while (const dirent *entry = ::readdir(dir)) {
+            const std::string name = entry->d_name;
+            if (name.size() > 6
+                && name.compare(0, 7, "worker-") == 0
+                && name.size() > 6
+                && name.compare(name.size() - 6, 6, ".jsonl")
+                       == 0)
+                names.push_back(name);
+        }
+        ::closedir(dir);
+        std::sort(names.begin(), names.end());
+        for (const std::string &name : names) {
+            std::ifstream in(job_trace_dir + "/" + name);
+            std::string line;
+            while (std::getline(in, line)) {
+                if (line.empty())
+                    continue;
+                Result<JsonValue> parsed = parseJson(line);
+                if (!parsed.ok() || !parsed.value().isObject()
+                    || parsed.value().find("ph") == nullptr) {
+                    warn("gllcd: skipping torn trace line in %s",
+                         name.c_str());
+                    continue;
+                }
+                merged += ",\n";
+                merged += line;
+            }
+        }
+    }
+    merged += "\n]}\n";
+
+    const std::string out_path = options_.traceDir + "/job-"
+                                 + std::to_string(job.id)
+                                 + ".json";
+    std::ofstream out(out_path,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("gllcd: cannot write merged job trace %s",
+             out_path.c_str());
+        return;
+    }
+    out << merged;
+}
+
 void
 SweepDaemon::dispatchLoop()
 {
@@ -447,11 +794,55 @@ SweepDaemon::dispatchLoop()
 void
 SweepDaemon::executeJob(const QueuedJob &job)
 {
+    TraceCollector &collector = TraceCollector::instance();
+    const double popped_us = collector.nowUs();
+    const double accepted_us =
+        job.acceptedUs > 0.0 ? job.acceptedUs : popped_us;
+    if (metricsActive())
+        recordLatencyMs("gllcd.job.queue_wait_ms",
+                        spanMs(accepted_us, popped_us));
+    if (eventLog_.active())
+        eventLog_.emit(
+            ServiceEvent("job_started")
+                .num("job", static_cast<std::int64_t>(job.id))
+                .str("tenant", job.tenant)
+                .num("priority", job.priority)
+                .dbl("queue_wait_ms",
+                     spanMs(accepted_us, popped_us)));
+
+    ShardTelemetry telemetry;
+    telemetry.jobId = job.id;
+    telemetry.traceId =
+        mintTraceId(job.id, job.spec.contentHash());
+    telemetry.daemonEpochUs = collector.epochSinceBootUs();
+    telemetry.events = &eventLog_;
+    std::string job_trace_dir;
+    if (!options_.traceDir.empty()) {
+        job_trace_dir = options_.traceDir + "/job-"
+                        + std::to_string(job.id) + ".d";
+        if (makeDirs(job_trace_dir))
+            telemetry.traceDir = job_trace_dir;
+        else
+            warn("gllcd: cannot create job trace dir %s: %s",
+                 job_trace_dir.c_str(), std::strerror(errno));
+    }
+
     ShardedRunStats stats;
-    Result<SweepResult> run =
-        runShardedSweep(job.spec, options_.workers, &stats);
+    Result<SweepResult> run = runShardedSweep(
+        job.spec, options_.workers, &stats, &telemetry);
     workerCrashes_.fetch_add(stats.workerCrashes);
     cellTimeouts_.fetch_add(stats.cellTimeouts);
+
+    const double done_us = collector.nowUs();
+    if (metricsActive()) {
+        recordLatencyMs("gllcd.job.exec_ms",
+                        spanMs(popped_us, done_us));
+        recordLatencyMs("gllcd.job.e2e_ms",
+                        spanMs(accepted_us, done_us));
+    }
+    if (!telemetry.traceDir.empty())
+        stitchJobTrace(job, telemetry.traceId, job_trace_dir,
+                       accepted_us, popped_us, done_us);
 
     const ResultKey key{job.spec.traceHash(),
                         job.spec.contentHash()};
@@ -468,9 +859,15 @@ SweepDaemon::executeJob(const QueuedJob &job)
     MutexLock state_lock(state->mutex);
     if (!run.ok()) {
         jobsFailed_.fetch_add(1);
-        countMetric("gllcd.jobs_failed");
+        countMetric("gllcd.jobs.failed");
         state->failed = true;
         state->error = run.error();
+        if (eventLog_.active())
+            eventLog_.emit(
+                ServiceEvent("job_failed")
+                    .num("job", static_cast<std::int64_t>(job.id))
+                    .str("tenant", job.tenant)
+                    .str("error", run.error().toString()));
     } else {
         const SweepResult result = run.take();
         std::ostringstream payload;
@@ -480,7 +877,23 @@ SweepDaemon::executeJob(const QueuedJob &job)
             result.quarantined().size());
         state->header.wallSeconds = result.wallSeconds();
         jobsCompleted_.fetch_add(1);
-        countMetric("gllcd.jobs_completed");
+        countMetric("gllcd.jobs.completed");
+        if (!result.quarantined().empty()) {
+            jobsQuarantined_.fetch_add(1);
+            countMetric("gllcd.jobs.quarantined");
+        }
+        if (eventLog_.active())
+            eventLog_.emit(
+                ServiceEvent("job_completed")
+                    .num("job", static_cast<std::int64_t>(job.id))
+                    .str("tenant", job.tenant)
+                    .num("cells", static_cast<std::int64_t>(
+                                      result.cells().size()))
+                    .num("quarantined",
+                         static_cast<std::int64_t>(
+                             result.quarantined().size()))
+                    .dbl("exec_ms", spanMs(popped_us, done_us))
+                    .dbl("e2e_ms", spanMs(accepted_us, done_us)));
         // Only complete results are worth replaying forever.
         if (result.quarantined().empty()) {
             Result<Unit> stored =

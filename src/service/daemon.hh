@@ -35,6 +35,7 @@
 #define GLLC_SERVICE_DAEMON_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -43,6 +44,8 @@
 #include <vector>
 
 #include "common/thread_annotations.hh"
+#include "service/event_log.hh"
+#include "service/exposition.hh"
 #include "service/job_queue.hh"
 #include "service/protocol.hh"
 #include "service/result_store.hh"
@@ -65,6 +68,22 @@ struct DaemonOptions
 
     /** ResultStore root; "" disables result caching. */
     std::string storeDir;
+
+    /**
+     * Loopback HTTP port for GET /metrics + /status; -1 = no
+     * exposition listener, 0 = pick an ephemeral port.
+     */
+    int metricsPort = -1;
+
+    /**
+     * Directory for merged per-job Perfetto timelines
+     * (job-<id>.json, stitched from daemon spans and the worker
+     * subprocesses' span files); "" disables job tracing.
+     */
+    std::string traceDir;
+
+    /** JSON-lines event log path ("gllcd-events-v1"); "" = off. */
+    std::string eventLogPath;
 };
 
 /** The service (see file comment).  start() it, stop() it. */
@@ -94,6 +113,9 @@ class SweepDaemon
 
     /** The TCP port actually bound (after start(); -1 = none). */
     int tcpPort() const { return boundTcpPort_; }
+
+    /** The exposition listener's bound port (-1 = not serving). */
+    int metricsPort() const { return metricsServer_.port(); }
 
     /** The Unix socket path served (empty = none). */
     const std::string &socketPath() const
@@ -145,8 +167,30 @@ class SweepDaemon
     bool handleSubmit(int fd, const RequestEnvelope &envelope)
         GLLC_EXCLUDES(inflightMutex_);
     bool handleStatus(int fd);
+    bool handleStatusV2(int fd);
     std::string statusJson();
+    std::string statusV2Json();
     void countMetric(const char *name);
+
+    /** Record current queue depths into the windowed gauges. */
+    void recordQueueGauges();
+
+    /**
+     * Render the Prometheus exposition and rearm the windowed
+     * queue-depth gauges for the next scrape window.
+     */
+    std::string metricsExposition();
+
+    /**
+     * Stitch the daemon's job spans and every worker-<pid>.jsonl
+     * under @p job_trace_dir into one merged Perfetto timeline at
+     * traceDir/job-<id>.json.
+     */
+    void stitchJobTrace(const QueuedJob &job,
+                        const std::string &trace_id,
+                        const std::string &job_trace_dir,
+                        double accepted_us, double popped_us,
+                        double done_us);
 
     /** Join conn threads whose serveConnection() has returned. */
     void reapFinishedConnsLocked() GLLC_REQUIRES(connMutex_);
@@ -181,10 +225,15 @@ class SweepDaemon
     std::map<ResultKey, std::shared_ptr<JobState>> inflight_
         GLLC_GUARDED_BY(inflightMutex_);
 
+    MetricsHttpServer metricsServer_;
+    ServiceEventLog eventLog_;
+    std::chrono::steady_clock::time_point startTime_;
+
     std::atomic<std::uint64_t> nextJobId_{1};
     std::atomic<std::uint64_t> jobsSubmitted_{0};
     std::atomic<std::uint64_t> jobsCompleted_{0};
     std::atomic<std::uint64_t> jobsFailed_{0};
+    std::atomic<std::uint64_t> jobsQuarantined_{0};
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> inflightJoins_{0};
     std::atomic<std::uint64_t> workerCrashes_{0};

@@ -1,0 +1,93 @@
+#include "service/event_log.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.hh"
+
+namespace gllc
+{
+
+namespace
+{
+
+/** Deterministic double rendering (matches the metrics exporter). */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+ServiceEvent::ServiceEvent(const char *type)
+{
+    fields_ = ", \"event\": \"";
+    fields_ += type;
+    fields_ += "\"";
+}
+
+ServiceEvent &
+ServiceEvent::str(const char *key, const std::string &value)
+{
+    fields_ += ", \"";
+    fields_ += key;
+    fields_ += "\": \"";
+    fields_ += jsonEscape(value);
+    fields_ += "\"";
+    return *this;
+}
+
+ServiceEvent &
+ServiceEvent::num(const char *key, std::int64_t value)
+{
+    fields_ += ", \"";
+    fields_ += key;
+    fields_ += "\": ";
+    fields_ += std::to_string(value);
+    return *this;
+}
+
+ServiceEvent &
+ServiceEvent::dbl(const char *key, double value)
+{
+    fields_ += ", \"";
+    fields_ += key;
+    fields_ += "\": ";
+    fields_ += fmtDouble(value);
+    return *this;
+}
+
+Result<Unit>
+ServiceEventLog::open(const std::string &path)
+{
+    if (path.empty())
+        return Unit{};
+    MutexLock lock(mutex_);
+    os_.open(path, std::ios::app);
+    if (!os_) {
+        return Error::format(ErrorCode::Io,
+                             "cannot open event log %s", path.c_str());
+    }
+    active_.store(true, std::memory_order_relaxed);
+    return Unit{};
+}
+
+void
+ServiceEventLog::emit(const ServiceEvent &event)
+{
+    if (!active())
+        return;
+    const auto now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    MutexLock lock(mutex_);
+    os_ << "{\"schema\": \"gllcd-events-v1\", \"ts_ms\": " << now_ms
+        << event.fields_ << "}\n";
+    os_.flush();
+}
+
+} // namespace gllc

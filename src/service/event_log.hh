@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Structured JSON-lines event log for the sweep service.
+ *
+ * Every operationally interesting transition in gllcd — a job
+ * accepted, started, served from cache, retried, quarantined,
+ * completed — appends one self-describing JSON object per line
+ * (schema "gllcd-events-v1") to a log file, replacing the ad-hoc
+ * note() lines the service path used before.  Lines are flushed as
+ * they are written, so a crashed or SIGTERM'd daemon leaves a
+ * parseable prefix; tools/check_observability.py --events validates
+ * the schema and CI cross-checks quarantine events against the
+ * result payload.
+ *
+ * Example line:
+ *   {"schema": "gllcd-events-v1", "ts_ms": 1754650000123,
+ *    "event": "job_accepted", "job": 3, "tenant": "alice",
+ *    "priority": 1, "frames": 2, "policies": 2}
+ */
+
+#ifndef GLLC_SERVICE_EVENT_LOG_HH
+#define GLLC_SERVICE_EVENT_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/result.hh"
+#include "common/thread_annotations.hh"
+
+namespace gllc
+{
+
+/**
+ * One event under construction: a type plus typed key/value fields,
+ * rendered incrementally so emitting an event never allocates a DOM.
+ * Field order is the call order, giving deterministic lines.
+ */
+class ServiceEvent
+{
+  public:
+    explicit ServiceEvent(const char *type);
+
+    ServiceEvent &str(const char *key, const std::string &value);
+    ServiceEvent &num(const char *key, std::int64_t value);
+    ServiceEvent &dbl(const char *key, double value);
+
+  private:
+    friend class ServiceEventLog;
+    std::string fields_;  ///< pre-rendered `, "k": v` fragments
+};
+
+/**
+ * The append-only event sink.  Thread-safe: connection handlers, the
+ * dispatcher, and worker-driving shard threads all emit concurrently.
+ * A default-constructed (or unopened) log drops events for free, so
+ * call sites never need to test whether logging is configured.
+ */
+class ServiceEventLog
+{
+  public:
+    ServiceEventLog() = default;
+
+    /** Open (append) @p path; "" keeps the log disabled. */
+    [[nodiscard]] Result<Unit> open(const std::string &path);
+
+    /** True when events are being written. */
+    bool active() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /** Append one schema-stamped, wall-clock-stamped line. */
+    void emit(const ServiceEvent &event);
+
+  private:
+    std::atomic<bool> active_{false};
+    Mutex mutex_;
+    std::ofstream os_ GLLC_GUARDED_BY(mutex_);
+};
+
+} // namespace gllc
+
+#endif // GLLC_SERVICE_EVENT_LOG_HH

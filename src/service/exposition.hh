@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Embedded HTTP exposition listener for gllcd.
+ *
+ * Prometheus and friends scrape over plain HTTP, so the daemon
+ * offers a deliberately tiny single-threaded HTTP/1.0-style server
+ * on loopback: GET /metrics answers the text exposition format
+ * (version 0.0.4) rendered from the metrics registry, GET /status
+ * answers the status_v2 JSON document, anything else is a 404.
+ * Every response closes the connection — scrapes are seconds apart,
+ * connection reuse would buy nothing and cost state.
+ *
+ * This is not a general web server and must never become one: no
+ * TLS, no keep-alive, no request bodies, loopback only, 8 KB
+ * request cap, one connection served at a time.  The framed gllcd
+ * protocol remains the real API; this listener exists only so a
+ * scraper needs zero custom code.
+ */
+
+#ifndef GLLC_SERVICE_EXPOSITION_HH
+#define GLLC_SERVICE_EXPOSITION_HH
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/result.hh"
+
+namespace gllc
+{
+
+/** Loopback HTTP listener serving /metrics and /status. */
+class MetricsHttpServer
+{
+  public:
+    /** Renders a response body on demand (called per request). */
+    using BodyFn = std::function<std::string()>;
+
+    MetricsHttpServer() = default;
+
+    /** stop()s if still running. */
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and serve @p
+     * metrics_text on /metrics and @p status_json on /status from a
+     * background thread.  Io when the bind fails.
+     */
+    [[nodiscard]] Result<Unit> start(int port, BodyFn metrics_text,
+                                     BodyFn status_json);
+
+    /** Close the listener and join the serving thread. Idempotent. */
+    void stop();
+
+    /** The port actually bound (after start(); -1 = not serving). */
+    int port() const { return boundPort_; }
+
+  private:
+    void serveLoop();
+    void serveOne(int fd);
+
+    BodyFn metricsText_;
+    BodyFn statusJson_;
+    int listenFd_ = -1;
+    int boundPort_ = -1;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+};
+
+} // namespace gllc
+
+#endif // GLLC_SERVICE_EXPOSITION_HH

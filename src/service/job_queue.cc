@@ -91,4 +91,19 @@ JobQueue::depth() const
     return depth_;
 }
 
+std::vector<std::pair<int, std::size_t>>
+JobQueue::classDepths() const
+{
+    std::vector<std::pair<int, std::size_t>> out;
+    MutexLock lock(mutex_);
+    out.reserve(classes_.size());
+    for (const auto &[priority, cls] : classes_) {
+        std::size_t depth = 0;
+        for (const auto &[tenant, lane] : cls.lanes)
+            depth += lane.size();
+        out.emplace_back(priority, depth);
+    }
+    return out;
+}
+
 } // namespace gllc

@@ -25,6 +25,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/job_spec.hh"
@@ -40,6 +41,13 @@ struct QueuedJob
     std::string tenant;
     int priority = 0;
     SweepJobSpec spec;
+
+    /**
+     * When the daemon accepted the job, on its trace clock
+     * (TraceCollector::nowUs()).  The dispatcher reads it at pop
+     * time to charge queue-wait latency to the right histogram.
+     */
+    double acceptedUs = 0.0;
 };
 
 /** Tenant-fair priority queue (see file comment). */
@@ -70,6 +78,15 @@ class JobQueue
 
     /** Jobs currently queued (not the one being executed). */
     std::size_t depth() const GLLC_EXCLUDES(mutex_);
+
+    /**
+     * Queued jobs per priority class, highest priority first.
+     * Classes empty out and disappear as jobs pop, so this lists
+     * only classes with work — status reporting and the per-class
+     * queue-depth gauges consume it.
+     */
+    std::vector<std::pair<int, std::size_t>> classDepths() const
+        GLLC_EXCLUDES(mutex_);
 
   private:
     /** One priority class: tenant lanes plus their rotation. */

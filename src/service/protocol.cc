@@ -173,6 +173,15 @@ statusEnvelopeJson()
     return out;
 }
 
+std::string
+statusV2EnvelopeJson()
+{
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"status_v2\"}";
+    return out;
+}
+
 Result<RequestEnvelope>
 parseRequestEnvelope(const std::string &json)
 {
@@ -209,6 +218,8 @@ parseRequestEnvelope(const std::string &json)
         env.type = RequestType::Submit;
     else if (type_name.value() == "status")
         env.type = RequestType::Status;
+    else if (type_name.value() == "status_v2")
+        env.type = RequestType::StatusV2;
     else
         return Error::format(ErrorCode::InvalidArgument,
                              "unknown request type \"%s\"",

@@ -20,6 +20,17 @@
  *               (or one error frame)
  *   status   -> envelope frame {"gllcd":1,"type":"status"}
  *            <- status frame   {"gllcd":1,"type":"status",...}
+ *   status_v2-> envelope frame {"gllcd":1,"type":"status_v2"}
+ *            <- status frame   {"gllcd":1,"type":"status_v2",
+ *                               "uptime_seconds":...,"queue":{...},
+ *                               "jobs":{...},"workers":{...},
+ *                               "latency_ms":{...},...}
+ *
+ * status_v2 is the telemetry view gllc-top polls: queue depth per
+ * priority class, job counters, cache hit rate, and rolling
+ * p50/p95 latency quantiles read from the metrics registry.  It is
+ * additive — same version, new request type — so old clients keep
+ * speaking plain status untouched.
  *
  * The spec travels as its own frame, byte-for-byte the canonical
  * SweepJobSpec serialization, so the daemon parses it with the same
@@ -69,6 +80,7 @@ enum class RequestType : std::uint8_t
 {
     Submit,
     Status,
+    StatusV2,
 };
 
 /** Parsed request envelope (the spec arrives in its own frame). */
@@ -85,6 +97,9 @@ std::string submitEnvelopeJson(const std::string &tenant,
 
 /** Serialize a status envelope. */
 std::string statusEnvelopeJson();
+
+/** Serialize a status_v2 (telemetry status) envelope. */
+std::string statusV2EnvelopeJson();
 
 /**
  * Parse a request envelope.  Corrupt for non-JSON, BadMagic for a

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <poll.h>
 #include <signal.h>
@@ -27,6 +28,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/thread_annotations.hh"
+#include "common/trace_event.hh"
 #include "workload/app_profile.hh"
 #include "workload/trace_cache.hh"
 
@@ -198,6 +200,46 @@ cellRequestLine(std::size_t frame, std::size_t policy,
     return line;
 }
 
+/** The trace-context line handed to a freshly spawned worker. */
+std::string
+traceRequestLine(const ShardTelemetry &telemetry,
+                 const std::string &out_path)
+{
+    char epoch[64];
+    std::snprintf(epoch, sizeof(epoch), "%.3f",
+                  telemetry.daemonEpochUs);
+    std::string line = "{\"trace\":{\"id\":\"";
+    line += jsonEscape(telemetry.traceId);
+    line += "\",\"job\":";
+    line += std::to_string(telemetry.jobId);
+    line += ",\"epoch_us\":";
+    line += epoch;
+    line += ",\"out\":\"";
+    line += jsonEscape(out_path);
+    line += "\"}}\n";
+    return line;
+}
+
+/** Emit a per-cell structured event when an event sink is wired. */
+void
+emitCellEvent(const ShardTelemetry *telemetry, const char *type,
+              const CellKey &key, unsigned attempts,
+              const std::string &detail)
+{
+    if (telemetry == nullptr || telemetry->events == nullptr
+        || !telemetry->events->active())
+        return;
+    ServiceEvent event(type);
+    event.num("job", static_cast<std::int64_t>(telemetry->jobId))
+        .str("app", key.app)
+        .num("frame", key.frameIndex)
+        .str("policy", key.policy)
+        .num("attempts", attempts);
+    if (!detail.empty())
+        event.str("error", detail);
+    telemetry->events->emit(event);
+}
+
 /** Stall injected by the cell.delay fault site (mirrors sweep.cc). */
 constexpr unsigned kInjectedDelayMs = 100;
 
@@ -232,6 +274,9 @@ class WorkerProcess
     WorkerProcess &operator=(const WorkerProcess &) = delete;
 
     bool alive() const { return pid_ > 0; }
+
+    /** The subprocess pid (names its per-spawn trace file). */
+    pid_t pid() const { return pid_; }
 
     /** Spawn and send the spec line; false on any failure. */
     [[nodiscard]] bool
@@ -423,11 +468,26 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
          const std::vector<std::pair<std::size_t, std::size_t>>
              &cells,
          std::vector<CellOutcome> &outcomes, std::size_t num_policies,
-         SharedStats &shared)
+         SharedStats &shared, const ShardTelemetry *telemetry)
 {
     const std::string exe = workerExecutable();
     const unsigned max_attempts = spec.retries + 1;
     WorkerProcess proc;
+
+    // Hand every fresh worker the job's trace context; each spawn
+    // writes its own worker-<pid>.jsonl, so a crashed worker leaves
+    // at most a file the daemon's stitcher will ignore as invalid.
+    const bool tracing = telemetry != nullptr
+        && !telemetry->traceDir.empty();
+    const auto send_trace_context = [&] {
+        if (!tracing)
+            return;
+        const std::string out_path = telemetry->traceDir + "/worker-"
+            + std::to_string(proc.pid()) + ".jsonl";
+        // A failed send means the worker died already; the next
+        // cell request surfaces that as a crash.
+        (void)proc.send(traceRequestLine(*telemetry, out_path));
+    };
 
     const auto note_spawn = [&] {
         MutexLock lock(shared.mutex);
@@ -463,12 +523,20 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
                     break;
                 }
                 note_spawn();
+                send_trace_context();
             }
+            const auto attempt_start =
+                std::chrono::steady_clock::now();
             std::string line;
             RecvStatus received = RecvStatus::Eof;
             if (proc.send(cellRequestLine(frame_idx, policy_idx,
                                           attempt)))
                 received = proc.receive(line, spec.cellTimeoutMs);
+            recordLatencyMs(
+                "gllcd.cell.exec_ms",
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - attempt_start)
+                    .count());
             if (received != RecvStatus::Line) {
                 // The unanswered request names the killer cell.  A
                 // hung worker (Timeout) must die by SIGKILL first:
@@ -495,6 +563,10 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
                         : "worker crashed (" + how + ")";
                     break;
                 }
+                emitCellEvent(telemetry, "cell_retry", expect,
+                              attempt,
+                              hung ? "cell timeout"
+                                   : "worker crashed (" + how + ")");
                 retryBackoff(spec.backoffMs, attempt);
                 continue;
             }
@@ -515,6 +587,8 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
                     out.error = failed.error;
                     break;
                 }
+                emitCellEvent(telemetry, "cell_retry", expect,
+                              attempt, failed.error);
                 retryBackoff(spec.backoffMs, attempt);
                 continue;
             }
@@ -529,8 +603,16 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
                 out.error = "worker protocol failure (" + how + ")";
                 break;
             }
+            emitCellEvent(telemetry, "cell_retry", expect, attempt,
+                          "worker protocol failure");
             retryBackoff(spec.backoffMs, attempt);
         }
+        if (metricsActive())
+            MetricsRegistry::instance().recordValue(
+                "gllcd.cell.attempts", out.attempts);
+        if (!out.ok)
+            emitCellEvent(telemetry, "cell_quarantined", expect,
+                          out.attempts, out.error);
     }
     proc.shutdown();
 }
@@ -539,7 +621,8 @@ runShard(const SweepJobSpec &spec, const std::string &spec_line,
 
 Result<SweepResult>
 runShardedSweep(const SweepJobSpec &spec, unsigned workers,
-                ShardedRunStats *stats)
+                ShardedRunStats *stats,
+                const ShardTelemetry *telemetry)
 {
     Result<Unit> valid = spec.validate();
     if (!valid.ok())
@@ -570,7 +653,7 @@ runShardedSweep(const SweepJobSpec &spec, unsigned workers,
         for (unsigned s = 0; s < shard_count; ++s) {
             drivers.emplace_back([&, s] {
                 runShard(spec, spec_line, shards[s], outcomes,
-                         num_policies, shared);
+                         num_policies, shared, telemetry);
             });
         }
         for (std::thread &t : drivers)
@@ -619,6 +702,13 @@ runShardedSweep(const SweepJobSpec &spec, unsigned workers,
 int
 runSweepWorker()
 {
+    // The daemon's telemetry env vars are inherited through exec;
+    // left in place, every worker's atexit exporters would race to
+    // clobber the daemon's own stats/trace files.  Workers report
+    // through the line protocol and the trace context instead.
+    ::unsetenv("GLLC_STATS_JSON");
+    ::unsetenv("GLLC_TRACE_OUT");
+
     // Line 1: the job spec this worker serves cells of.
     char *buf = nullptr;
     std::size_t cap = 0;
@@ -658,11 +748,41 @@ runSweepWorker()
     for (const AppProfile &app : paperApps())
         apps[app.name] = &app;
 
+    // Trace context (set by the optional trace line): where this
+    // worker's spans go and how to land them on the daemon's clock.
+    std::string trace_id;
+    std::string trace_out;
+    double daemon_epoch_us = 0.0;
+
     // Serve cell requests until the parent hangs up.
     int rc = 0;
     while ((n = ::getline(&buf, &cap, stdin)) >= 0) {
         const std::string line(buf, static_cast<std::size_t>(n));
         Result<JsonValue> doc = parseJson(line);
+        const JsonValue *trace_node =
+            doc.ok() && doc.value().isObject()
+                ? doc.value().find("trace")
+                : nullptr;
+        if (trace_node != nullptr) {
+            const JsonValue *id = trace_node->isObject()
+                ? trace_node->find("id") : nullptr;
+            const JsonValue *epoch = trace_node->isObject()
+                ? trace_node->find("epoch_us") : nullptr;
+            const JsonValue *out = trace_node->isObject()
+                ? trace_node->find("out") : nullptr;
+            if (id == nullptr || !id->isString() || epoch == nullptr
+                || !epoch->isNumber() || out == nullptr
+                || !out->isString()) {
+                warn("gllcd worker: malformed trace context");
+                rc = 65;
+                break;
+            }
+            trace_id = id->string();
+            daemon_epoch_us = epoch->number();
+            trace_out = out->string();
+            setTraceEventsActive(true);
+            continue;  // configuration, not a request: no reply
+        }
         const JsonValue *cell_node =
             doc.ok() && doc.value().isObject()
                 ? doc.value().find("cell")
@@ -716,6 +836,12 @@ runSweepWorker()
         if (faultFires(FaultSite::WorkerCrash, fault_key))
             std::_Exit(kWorkerCrashExitCode);
 
+        TraceSpan span("cell", cell.key.toString(),
+                       {{"app", cell.key.app},
+                        {"frame",
+                         std::to_string(cell.key.frameIndex)},
+                        {"policy", cell.key.policy},
+                        {"trace", trace_id}});
         const std::string error = guardedCall([&] {
             // Same injection sites, same keyed draws as the
             // in-process engine; cell.delay is how tests make a
@@ -739,6 +865,26 @@ runSweepWorker()
         }
     }
     std::free(buf);
+
+    // Flush this worker's spans where the daemon's stitcher expects
+    // them, shifted onto the daemon's trace clock and stamped with
+    // the real pid so the merged timeline shows one track per
+    // worker process.  Crashed workers never get here; the stitcher
+    // simply finds fewer files.
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::trunc);
+        if (os) {
+            const TraceCollector &collector =
+                TraceCollector::instance();
+            collector.writeJsonl(
+                os,
+                collector.epochSinceBootUs() - daemon_epoch_us,
+                static_cast<std::uint32_t>(::getpid()));
+        } else {
+            warn("gllcd worker: cannot write trace %s",
+                 trace_out.c_str());
+        }
+    }
     return rc;
 }
 

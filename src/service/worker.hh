@@ -10,6 +10,13 @@
  * and executed over a line protocol on the worker's stdin/stdout:
  *
  *   parent -> worker   line 1:  SweepJobSpec::toJson()
+ *   parent -> worker   {"trace":{"id":"...","job":N,"epoch_us":E,
+ *                       "out":"<path>.jsonl"}}   (optional, once,
+ *                      right after the spec: the daemon's per-job
+ *                      trace context — the worker records one span
+ *                      per cell and writes them to "out" at EOF,
+ *                      timestamps shifted onto the daemon's trace
+ *                      clock via the epoch difference; no reply)
  *   parent -> worker   {"cell":{"frame":F,"policy":P,"attempt":A}}
  *                      (F, P index the spec's frames/policies)
  *   worker -> parent   one line per cell, in request order:
@@ -37,9 +44,13 @@
 #ifndef GLLC_SERVICE_WORKER_HH
 #define GLLC_SERVICE_WORKER_HH
 
+#include <cstdint>
+#include <string>
+
 #include "analysis/job_spec.hh"
 #include "analysis/sweep.hh"
 #include "common/result.hh"
+#include "service/event_log.hh"
 
 namespace gllc
 {
@@ -54,6 +65,33 @@ struct ShardedRunStats
     unsigned workerCrashes = 0;
     /** Cells whose worker hung past cellTimeoutMs and was killed. */
     unsigned cellTimeouts = 0;
+};
+
+/**
+ * Per-job observability context the daemon threads through a
+ * sharded run.  traceDir enables cross-process tracing: every
+ * spawned worker is handed a trace line naming a private
+ * worker-<pid>.jsonl file under traceDir plus the daemon's trace
+ * epoch, and the daemon stitches the files it finds there into one
+ * merged per-job timeline after the run.  events (when non-null and
+ * active) receives cell_retry / cell_quarantined structured events
+ * as they happen.  A default-constructed context disables both.
+ */
+struct ShardTelemetry
+{
+    std::uint64_t jobId = 0;
+
+    /** Daemon-minted per-job trace id (hex), tags every span. */
+    std::string traceId;
+
+    /** Worker trace files land here; "" = no cross-process traces. */
+    std::string traceDir;
+
+    /** The daemon collector's TraceCollector::epochSinceBootUs(). */
+    double daemonEpochUs = 0.0;
+
+    /** Structured event sink (not owned); may be null. */
+    ServiceEventLog *events = nullptr;
 };
 
 /**
@@ -74,7 +112,8 @@ struct ShardedRunStats
  */
 [[nodiscard]] Result<SweepResult>
 runShardedSweep(const SweepJobSpec &spec, unsigned workers,
-                ShardedRunStats *stats = nullptr);
+                ShardedRunStats *stats = nullptr,
+                const ShardTelemetry *telemetry = nullptr);
 
 /**
  * Worker-subprocess entry: serve cell requests on stdin/stdout per

@@ -255,6 +255,171 @@ TEST_F(MetricsTest, CsvHasOneRowPerBucket)
 }
 
 // ---------------------------------------------------------------
+// Explicit latency buckets and quantiles
+// ---------------------------------------------------------------
+
+TEST_F(MetricsTest, LatencyBucketMapping)
+{
+    // The smallest bound >= ms wins; edges land in their own bucket.
+    EXPECT_EQ(latencyBucketMs(0.0), 1);
+    EXPECT_EQ(latencyBucketMs(-3.0), 1);
+    EXPECT_EQ(latencyBucketMs(1.0), 1);
+    EXPECT_EQ(latencyBucketMs(1.001), 2);
+    EXPECT_EQ(latencyBucketMs(7.2), 10);
+    EXPECT_EQ(latencyBucketMs(25.0), 25);
+    EXPECT_EQ(latencyBucketMs(59999.0), 60000);
+    // Past the last bound: clamp, never drop.
+    EXPECT_EQ(latencyBucketMs(1e9), 60000);
+}
+
+TEST_F(MetricsTest, RecordLatencyUsesExplicitBuckets)
+{
+    recordLatencyMs("svc.lat", 0.4);
+    recordLatencyMs("svc.lat", 7.2);
+    recordLatencyMs("svc.lat", 7.9);
+    recordLatencyMs("svc.lat", 400.0);
+    const MetricsSnapshot snap =
+        MetricsRegistry::instance().snapshot();
+    const MetricValue *h = snap.find("svc.lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->kind, MetricKind::Histogram);
+    EXPECT_EQ(h->samples(), 4u);
+    EXPECT_EQ(h->buckets.at(1), 1u);
+    EXPECT_EQ(h->buckets.at(10), 2u);
+    EXPECT_EQ(h->buckets.at(500), 1u);
+
+    // Inactive registry: recording is a no-op, not a crash.
+    setMetricsActive(false);
+    recordLatencyMs("svc.lat", 3.0);
+    setMetricsActive(true);
+    EXPECT_EQ(MetricsRegistry::instance()
+                  .snapshot()
+                  .find("svc.lat")
+                  ->samples(),
+              4u);
+}
+
+TEST_F(MetricsTest, HistogramQuantiles)
+{
+    auto &reg = MetricsRegistry::instance();
+    // 10 samples at 1ms, 80 at 10ms, 10 at 1000ms.
+    reg.recordValue("q", 1, 10);
+    reg.recordValue("q", 10, 80);
+    reg.recordValue("q", 1000, 10);
+    const MetricsSnapshot snap = reg.snapshot();
+    const MetricValue *h = snap.find("q");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(histogramQuantile(*h, 0.0), 1);
+    EXPECT_EQ(histogramQuantile(*h, 0.05), 1);
+    EXPECT_EQ(histogramQuantile(*h, 0.50), 10);
+    EXPECT_EQ(histogramQuantile(*h, 0.90), 10);
+    EXPECT_EQ(histogramQuantile(*h, 0.95), 1000);
+    EXPECT_EQ(histogramQuantile(*h, 1.0), 1000);
+    EXPECT_EQ(histogramQuantile(MetricValue{}, 0.5), 0);
+}
+
+TEST_F(MetricsTest, LatencyMergeCommutesAcrossThreadCounts)
+{
+    // The sharded histograms must merge to byte-identical snapshots
+    // whether the samples came from 1 thread or from many.
+    const auto record_all = [](unsigned nthreads) {
+        auto &reg = MetricsRegistry::instance();
+        reg.reset();
+        std::vector<std::thread> workers;
+        for (unsigned t = 0; t < nthreads; ++t)
+            workers.emplace_back([t, nthreads] {
+                for (unsigned i = t; i < 600; i += nthreads)
+                    recordLatencyMs("svc.lat",
+                                    static_cast<double>(i % 137));
+            });
+        for (std::thread &w : workers)
+            w.join();
+        std::ostringstream os;
+        reg.snapshot().writeJson(os);
+        return os.str();
+    };
+    const std::string one = record_all(1);
+    EXPECT_EQ(one, record_all(3));
+    EXPECT_EQ(one, record_all(8));
+}
+
+// ---------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------
+
+TEST_F(MetricsTest, PrometheusExpositionGolden)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("svc.jobs.completed", 3);
+    reg.maxGauge("svc.queue.depth", 4.0);
+    reg.recordValue("svc.lat_ms", 5, 2);
+    reg.recordValue("svc.lat_ms", 25, 1);
+    std::ostringstream os;
+    reg.snapshot().writePrometheus(os);
+    EXPECT_EQ(os.str(),
+              "# TYPE svc_jobs_completed_total counter\n"
+              "svc_jobs_completed_total 3\n"
+              "# TYPE svc_lat_ms histogram\n"
+              "svc_lat_ms_bucket{le=\"5\"} 2\n"
+              "svc_lat_ms_bucket{le=\"25\"} 3\n"
+              "svc_lat_ms_bucket{le=\"+Inf\"} 3\n"
+              "svc_lat_ms_sum 35\n"
+              "svc_lat_ms_count 3\n"
+              "# TYPE svc_queue_depth gauge\n"
+              "svc_queue_depth 4\n");
+}
+
+TEST_F(MetricsTest, PrometheusBucketRoundTrip)
+{
+    // The cumulative le counts must invert back to the exact sparse
+    // bucket counts the registry holds.
+    auto &reg = MetricsRegistry::instance();
+    const std::int64_t keys[] = {1, 10, 250, 60000};
+    const std::uint64_t counts[] = {4, 9, 1, 6};
+    for (int i = 0; i < 4; ++i)
+        reg.recordValue("rt", keys[i], counts[i]);
+    std::ostringstream os;
+    reg.snapshot().writePrometheus(os);
+    const std::string text = os.str();
+
+    std::uint64_t previous = 0;
+    for (int i = 0; i < 4; ++i) {
+        const std::string needle = "rt_bucket{le=\""
+                                   + std::to_string(keys[i])
+                                   + "\"} ";
+        const std::size_t at = text.find(needle);
+        ASSERT_NE(at, std::string::npos) << text;
+        const std::uint64_t cumulative = std::stoull(
+            text.substr(at + needle.size()));
+        EXPECT_EQ(cumulative - previous, counts[i]);
+        previous = cumulative;
+    }
+    EXPECT_NE(text.find("rt_bucket{le=\"+Inf\"} 20"),
+              std::string::npos);
+    EXPECT_NE(text.find("rt_count 20"), std::string::npos);
+}
+
+TEST_F(MetricsTest, GaugeRearmStartsFreshWindow)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.maxGauge("win.depth", 9.0);
+    reg.maxGauge("win.depth", 2.0);
+    EXPECT_DOUBLE_EQ(reg.snapshot().find("win.depth")->gauge, 9.0);
+
+    reg.rearmGauge("win.depth");
+    EXPECT_EQ(reg.snapshot().find("win.depth"), nullptr);
+
+    // The next observation wins outright: no stale watermark.
+    reg.maxGauge("win.depth", 3.0);
+    EXPECT_DOUBLE_EQ(reg.snapshot().find("win.depth")->gauge, 3.0);
+
+    // Counters and histograms are immune.
+    reg.addCounter("win.count", 5);
+    reg.rearmGauge("win.count");
+    EXPECT_EQ(reg.snapshot().counter("win.count"), 5u);
+}
+
+// ---------------------------------------------------------------
 // Observation-only guarantee (mirrors the audit layer's test)
 // ---------------------------------------------------------------
 

@@ -17,15 +17,22 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -33,6 +40,8 @@
 #include "analysis/report.hh"
 #include "analysis/sweep.hh"
 #include "common/fault.hh"
+#include "common/json.hh"
+#include "common/metrics.hh"
 #include "service/client.hh"
 #include "service/daemon.hh"
 #include "workload/app_profile.hh"
@@ -105,6 +114,15 @@ class ServiceTest : public ::testing::Test
         options.socketPath = tempPath("sock");
         options.workers = 2;
         options.storeDir = store_dir;
+        return startDaemonWith(std::move(options));
+    }
+
+    /** Start a daemon with caller-tuned options (telemetry tests). */
+    SweepDaemon &
+    startDaemonWith(DaemonOptions options)
+    {
+        if (options.socketPath.empty())
+            options.socketPath = tempPath("sock");
         daemon_ = std::make_unique<SweepDaemon>(std::move(options));
         Result<Unit> started = daemon_->start();
         EXPECT_TRUE(started.ok()) << started.error().toString();
@@ -369,6 +387,285 @@ TEST_F(ServiceTest, HungWorkerIsKilledAtTheCellTimeout)
     Result<SubmitOutcome> clean = client.submit(spec);
     ASSERT_TRUE(clean.ok()) << clean.error().toString();
     EXPECT_EQ(clean.value().header.quarantined, 0u);
+}
+
+TEST_F(ServiceTest, StatusV2ReportsQueueClassesAndLatency)
+{
+    MetricsRegistry::instance().reset();
+    setMetricsActive(true);
+    startDaemon();
+    ServiceClient client = connect();
+    ASSERT_TRUE(client.submit(tinySpec()).ok());
+
+    Result<std::string> doc = client.statusV2();
+    ASSERT_TRUE(doc.ok()) << doc.error().toString();
+    Result<JsonValue> parsed = parseJson(doc.value());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().toString();
+    const JsonValue &status = parsed.value();
+
+    ASSERT_NE(status.find("type"), nullptr);
+    EXPECT_EQ(status.find("type")->string(), "status_v2");
+    ASSERT_NE(status.find("uptime_seconds"), nullptr);
+    EXPECT_GT(status.find("uptime_seconds")->number(), 0.0);
+
+    const JsonValue *queue = status.find("queue");
+    ASSERT_NE(queue, nullptr);
+    ASSERT_NE(queue->find("depth"), nullptr);
+    ASSERT_NE(queue->find("classes"), nullptr);
+    EXPECT_TRUE(queue->find("classes")->isArray());
+
+    const JsonValue *jobs = status.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    EXPECT_EQ(jobs->find("submitted")->number(), 1.0);
+    EXPECT_EQ(jobs->find("completed")->number(), 1.0);
+    EXPECT_EQ(jobs->find("quarantined")->number(), 0.0);
+
+    // The job latency histograms fed the quantiles: e2e covers the
+    // whole job, so its p95 upper bound is at least exec's.
+    const JsonValue *latency = status.find("latency_ms");
+    ASSERT_NE(latency, nullptr);
+    const JsonValue *e2e = latency->find("e2e");
+    const JsonValue *exec = latency->find("exec");
+    ASSERT_NE(e2e, nullptr);
+    ASSERT_NE(exec, nullptr);
+    EXPECT_GT(e2e->find("p95")->number(), 0.0);
+    EXPECT_GE(e2e->find("p95")->number(),
+              exec->find("p95")->number());
+
+    ASSERT_NE(status.find("cache_hit_rate"), nullptr);
+    setMetricsActive(false);
+    MetricsRegistry::instance().reset();
+}
+
+TEST_F(ServiceTest, MetricsEndpointServesPrometheusText)
+{
+    MetricsRegistry::instance().reset();
+    setMetricsActive(true);
+    DaemonOptions options;
+    options.workers = 2;
+    options.metricsPort = 0;  // ephemeral loopback HTTP
+    SweepDaemon &daemon = startDaemonWith(std::move(options));
+    ASSERT_GT(daemon.metricsPort(), 0);
+
+    ServiceClient client = connect();
+    ASSERT_TRUE(client.submit(tinySpec()).ok());
+
+    // Scrape over a raw TCP socket: real HTTP bytes, no helper.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(daemon.metricsPort()));
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string request =
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(fd, chunk, sizeof(chunk))) > 0)
+        response.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(response.find("# TYPE gllcd_jobs_completed_total "
+                            "counter"),
+              std::string::npos);
+    EXPECT_NE(response.find("gllcd_jobs_completed_total 1"),
+              std::string::npos);
+    EXPECT_NE(response.find("gllcd_job_e2e_ms_bucket{le="),
+              std::string::npos);
+    EXPECT_NE(response.find("# TYPE gllcd_queue_depth gauge"),
+              std::string::npos);
+    setMetricsActive(false);
+    MetricsRegistry::instance().reset();
+}
+
+TEST_F(ServiceTest, MergedJobTraceSpansDaemonAndWorkers)
+{
+    DaemonOptions options;
+    options.workers = 2;
+    options.traceDir = tempPath("traces");
+    startDaemonWith(std::move(options));
+
+    ServiceClient client = connect();
+    Result<SubmitOutcome> outcome = client.submit(tinySpec());
+    ASSERT_TRUE(outcome.ok()) << outcome.error().toString();
+    const std::uint64_t job_id = outcome.value().header.jobId;
+
+    const std::string trace_path = tempPath("traces") + "/job-"
+                                   + std::to_string(job_id)
+                                   + ".json";
+    std::ifstream in(trace_path);
+    ASSERT_TRUE(in.good()) << "missing " << trace_path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<JsonValue> parsed = parseJson(buffer.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().toString();
+
+    const JsonValue *events = parsed.value().find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::set<double> daemon_pids;
+    std::set<double> cell_pids;
+    std::size_t cells = 0;
+    for (const JsonValue &e : events->items()) {
+        ASSERT_NE(e.find("ph"), nullptr);
+        EXPECT_EQ(e.find("ph")->string(), "X");
+        const JsonValue *cat = e.find("cat");
+        ASSERT_NE(cat, nullptr);
+        ASSERT_NE(e.find("pid"), nullptr);
+        const double pid = e.find("pid")->number();
+        if (cat->string() == "job" || cat->string() == "job_phase")
+            daemon_pids.insert(pid);
+        if (cat->string() == "cell") {
+            cell_pids.insert(pid);
+            ++cells;
+        }
+    }
+    // One daemon process, one job/queue-wait/execute trio.
+    EXPECT_EQ(daemon_pids.size(), 1u);
+    EXPECT_EQ(daemon_pids.count(
+                  static_cast<double>(::getpid())),
+              1u);
+    // Both frames' cells, sharded across two distinct workers, and
+    // every pid in the merged timeline is a real process, so the
+    // trace demonstrably spans >= 2 processes.
+    EXPECT_EQ(cells, 2u);
+    EXPECT_EQ(cell_pids.size(), 2u);
+    EXPECT_EQ(cell_pids.count(static_cast<double>(::getpid())), 0u);
+}
+
+TEST_F(ServiceTest, EventLogRecordsLifecycleAndQuarantines)
+{
+    const std::string events_path = tempPath("events.jsonl");
+    DaemonOptions options;
+    options.workers = 2;
+    options.eventLogPath = events_path;
+    options.storeDir = tempPath("ev_store");
+    startDaemonWith(std::move(options));
+
+    // One clean job, one cache hit, then a quarantining job.
+    ServiceClient client = connect();
+    ASSERT_TRUE(client.submit(tinySpec()).ok());
+    ASSERT_TRUE(client.submit(tinySpec()).ok());
+    ::setenv("GLLC_FAULT", "cell.throw:p=1", 1);
+    SweepJobSpec faulty = tinySpec();
+    // Distinct content: execution knobs (retries) sit outside the
+    // content hash, so an identical spec would be a cache hit.
+    faulty.llcBytes = 4ull << 20;
+    faulty.retries = 1;
+    Result<SubmitOutcome> bad = client.submit(faulty);
+    ::unsetenv("GLLC_FAULT");
+    ASSERT_TRUE(bad.ok()) << bad.error().toString();
+    ASSERT_EQ(bad.value().header.quarantined, 2u);
+    daemon_->stop();
+
+    std::ifstream in(events_path);
+    ASSERT_TRUE(in.good());
+    std::map<std::string, unsigned> counts;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Result<JsonValue> event = parseJson(line);
+        ASSERT_TRUE(event.ok())
+            << event.error().toString() << ": " << line;
+        ASSERT_NE(event.value().find("schema"), nullptr);
+        EXPECT_EQ(event.value().find("schema")->string(),
+                  "gllcd-events-v1");
+        ASSERT_NE(event.value().find("ts_ms"), nullptr);
+        EXPECT_GT(event.value().find("ts_ms")->number(), 0.0);
+        ASSERT_NE(event.value().find("event"), nullptr);
+        ++counts[event.value().find("event")->string()];
+    }
+    EXPECT_EQ(counts["daemon_started"], 1u);
+    EXPECT_EQ(counts["daemon_stopping"], 1u);
+    EXPECT_EQ(counts["job_accepted"], 2u);
+    EXPECT_EQ(counts["job_started"], 2u);
+    EXPECT_EQ(counts["job_completed"], 2u);
+    EXPECT_EQ(counts["job_cache_hit"], 1u);
+    // Both cells threw on every attempt: one retry each (retries=1),
+    // then quarantine.
+    EXPECT_EQ(counts["cell_retry"], 2u);
+    EXPECT_EQ(counts["cell_quarantined"], 2u);
+}
+
+TEST_F(ServiceTest, SigtermedDaemonLeavesValidArtifacts)
+{
+    // The real binary, a real SIGTERM: the stats snapshot and the
+    // event log must still be complete, valid JSON afterwards.
+    const std::string socket_path = tempPath("term_sock");
+    const std::string stats_path = tempPath("term_stats.json");
+    const std::string events_path = tempPath("term_events.jsonl");
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv("GLLC_STATS_JSON", stats_path.c_str(), 1);
+        ::execl(GLLC_GLLCD_PATH, GLLC_GLLCD_PATH, "--socket",
+                socket_path.c_str(), "--events",
+                events_path.c_str(), "--workers", "2",
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    // Wait for the daemon to serve, run one job through it.
+    bool served = false;
+    for (int i = 0; i < 200 && !served; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        Result<ServiceClient> client =
+            ServiceClient::connectUnix(socket_path);
+        if (!client.ok())
+            continue;
+        ServiceClient live = client.take();
+        served = live.submit(tinySpec()).ok();
+    }
+    ASSERT_TRUE(served);
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+
+    // The stats artifact parses and is the documented schema.
+    std::ifstream stats(stats_path);
+    ASSERT_TRUE(stats.good()) << "missing " << stats_path;
+    std::stringstream buffer;
+    buffer << stats.rdbuf();
+    Result<JsonValue> snap = parseJson(buffer.str());
+    ASSERT_TRUE(snap.ok()) << snap.error().toString();
+    ASSERT_NE(snap.value().find("schema"), nullptr);
+    EXPECT_EQ(snap.value().find("schema")->string(),
+              "gllc-stats-v1");
+
+    // Every event log line parses, and the shutdown was recorded.
+    std::ifstream events(events_path);
+    ASSERT_TRUE(events.good()) << "missing " << events_path;
+    bool saw_stopping = false;
+    std::string line;
+    while (std::getline(events, line)) {
+        if (line.empty())
+            continue;
+        Result<JsonValue> event = parseJson(line);
+        ASSERT_TRUE(event.ok())
+            << event.error().toString() << ": " << line;
+        if (event.value().find("event") != nullptr
+            && event.value().find("event")->string()
+                   == "daemon_stopping")
+            saw_stopping = true;
+    }
+    EXPECT_TRUE(saw_stopping);
 }
 
 TEST_F(ServiceTest, StatusAnswersConcurrentlyWithRunningJobs)

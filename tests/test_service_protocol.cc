@@ -159,6 +159,18 @@ TEST(ServiceProtocol, StatusEnvelopeRoundTrip)
     EXPECT_EQ(env.value().type, RequestType::Status);
 }
 
+TEST(ServiceProtocol, StatusV2EnvelopeRoundTrip)
+{
+    // StatusV2 is additive on the same protocol version: an old
+    // daemon rejects it as a bad request, nothing worse.
+    Result<RequestEnvelope> env =
+        parseRequestEnvelope(statusV2EnvelopeJson());
+    ASSERT_TRUE(env.ok()) << env.error().toString();
+    EXPECT_EQ(env.value().type, RequestType::StatusV2);
+    EXPECT_NE(statusV2EnvelopeJson().find("\"status_v2\""),
+              std::string::npos);
+}
+
 TEST(ServiceProtocol, GarbageEnvelopeIsCorrupt)
 {
     Result<RequestEnvelope> env =

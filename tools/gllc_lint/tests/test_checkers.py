@@ -128,6 +128,7 @@ void dump(MetricsRegistry &reg, const std::string &prefix) {
     reg.addCounter(prefix + "ship.fills_dead", 2);
     reg.recordValue(prefix + "table." + key, 3);
     reg.maxGauge("gllcd.queue_depth", 4);
+    recordLatencyMs("gllcd.job.e2e_ms", 12.5);
     reg.addCounter(computed);  // no literal: skipped
 }
 """
@@ -147,7 +148,15 @@ void dump(MetricsRegistry &reg, const std::string &prefix) {
             p for p, _ in metrics_doc.extract_metrics(repo))
         self.assertEqual(patterns, [
             "*ship.fills_dead", "*table.*", "dram.refreshes",
-            "gllcd.queue_depth"])
+            "gllcd.job.e2e_ms", "gllcd.queue_depth"])
+
+    def test_latency_histograms_documented_with_own_kind(self):
+        self.write("src/m.cc", self.CODE)
+        from gllc_lint.core import RepoContext, walk_files
+
+        repo = RepoContext(self.root, list(walk_files(self.root)))
+        kinds = dict(metrics_doc.extract_metrics(repo))
+        self.assertIn(("gllcd.job.e2e_ms", "latency"), kinds)
 
     def test_up_to_date_doc_passes_and_drift_flagged(self):
         self.write("src/m.cc", self.CODE)

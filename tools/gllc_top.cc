@@ -1,0 +1,186 @@
+/**
+ * gllc-top: live terminal status for a running gllcd.
+ *
+ * Usage:
+ *   gllc-top --socket /run/gllcd.sock [--interval-ms N] [--once]
+ *   gllc-top --port N            [--interval-ms N] [--once]
+ *
+ * Polls the daemon's StatusV2 document over the framed protocol and
+ * renders queue depths per priority class, worker health, cache hit
+ * rate, and rolling p50/p95 job latency.  --once prints a single
+ * snapshot without clearing the screen (scripts, tests); otherwise
+ * the screen repaints every --interval-ms (default 1000) until
+ * interrupted.  A daemon restart mid-watch is survived by
+ * reconnecting on the next poll.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "service/client.hh"
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+/** A number member of @p node, or @p fallback when absent. */
+double
+numberOr(const gllc::JsonValue *node, const char *key,
+         double fallback)
+{
+    if (node == nullptr)
+        return fallback;
+    const gllc::JsonValue *member = node->find(key);
+    if (member == nullptr || !member->isNumber())
+        return fallback;
+    return member->number();
+}
+
+void
+renderLatencyRow(const gllc::JsonValue *latency, const char *key,
+                 const char *label)
+{
+    const gllc::JsonValue *hist =
+        latency != nullptr ? latency->find(key) : nullptr;
+    std::printf("  %-12s p50 %6.0f ms   p95 %6.0f ms\n", label,
+                numberOr(hist, "p50", 0.0),
+                numberOr(hist, "p95", 0.0));
+}
+
+/** Render one StatusV2 document to stdout. */
+void
+render(const gllc::JsonValue &status, bool clear_screen)
+{
+    if (clear_screen)
+        std::printf("\x1b[H\x1b[2J");
+
+    const gllc::JsonValue *queue = status.find("queue");
+    const gllc::JsonValue *jobs = status.find("jobs");
+    const gllc::JsonValue *workers = status.find("workers");
+    const gllc::JsonValue *latency = status.find("latency_ms");
+
+    std::printf("gllcd  up %.0f s  cache hit rate %.1f%%\n\n",
+                numberOr(&status, "uptime_seconds", 0.0),
+                100.0 * numberOr(&status, "cache_hit_rate", 0.0));
+
+    std::printf("queue  depth %.0f\n",
+                numberOr(queue, "depth", 0.0));
+    const gllc::JsonValue *classes =
+        queue != nullptr ? queue->find("classes") : nullptr;
+    if (classes != nullptr && classes->isArray()) {
+        for (const gllc::JsonValue &cls : classes->items())
+            std::printf("  prio %3.0f  depth %.0f\n",
+                        numberOr(&cls, "priority", 0.0),
+                        numberOr(&cls, "depth", 0.0));
+    }
+
+    std::printf("\njobs   submitted %.0f  completed %.0f  "
+                "failed %.0f  quarantined %.0f\n",
+                numberOr(jobs, "submitted", 0.0),
+                numberOr(jobs, "completed", 0.0),
+                numberOr(jobs, "failed", 0.0),
+                numberOr(jobs, "quarantined", 0.0));
+    std::printf("       cache hits %.0f  inflight joins %.0f\n",
+                numberOr(jobs, "cache_hits", 0.0),
+                numberOr(jobs, "inflight_joins", 0.0));
+
+    std::printf("\nworkers  configured %.0f  crashes %.0f  "
+                "cell timeouts %.0f\n",
+                numberOr(workers, "configured", 0.0),
+                numberOr(workers, "crashes", 0.0),
+                numberOr(workers, "cell_timeouts", 0.0));
+
+    std::printf("\nlatency\n");
+    renderLatencyRow(latency, "queue_wait", "queue wait");
+    renderLatencyRow(latency, "exec", "execute");
+    renderLatencyRow(latency, "e2e", "end-to-end");
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gllc;
+
+    std::string socket_path;
+    int tcp_port = -1;
+    int interval_ms = 1000;
+    bool once = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--once") {
+            once = true;
+            continue;
+        }
+        if (i + 1 >= argc)
+            fatal("%s requires a value", flag.c_str());
+        const std::string value = argv[++i];
+        if (flag == "--socket")
+            socket_path = value;
+        else if (flag == "--port")
+            tcp_port = std::atoi(value.c_str());
+        else if (flag == "--interval-ms")
+            interval_ms = std::atoi(value.c_str());
+        else
+            fatal("unknown flag %s", flag.c_str());
+    }
+    if (socket_path.empty() && tcp_port < 0)
+        fatal("need --socket PATH or --port N");
+    if (interval_ms < 50)
+        interval_ms = 50;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    bool connected_once = false;
+    while (!g_stop.load()) {
+        Result<ServiceClient> client =
+            socket_path.empty()
+                ? ServiceClient::connectTcp(tcp_port)
+                : ServiceClient::connectUnix(socket_path);
+        Result<std::string> doc = Error(ErrorCode::Io, "");
+        if (client.ok()) {
+            ServiceClient live = client.take();
+            doc = live.statusV2();
+        } else {
+            doc = client.error();
+        }
+        if (!doc.ok()) {
+            if (once || !connected_once)
+                fatal("gllc-top: %s",
+                      doc.error().toString().c_str());
+            // The daemon may be restarting; keep polling.
+            std::printf("\x1b[H\x1b[2Jgllcd unreachable: %s\n",
+                        doc.error().toString().c_str());
+            std::fflush(stdout);
+        } else {
+            Result<JsonValue> parsed = parseJson(doc.value());
+            if (!parsed.ok())
+                fatal("gllc-top: bad status document: %s",
+                      parsed.error().toString().c_str());
+            connected_once = true;
+            render(parsed.value(), !once);
+        }
+        if (once)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}

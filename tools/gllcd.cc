@@ -5,12 +5,30 @@
  * Usage:
  *   gllcd --socket /run/gllcd.sock [--port N] [--workers N]
  *         [--store DIR] [--print-port]
+ *         [--metrics-port N] [--trace-dir DIR] [--events PATH]
  *   gllcd --worker            # internal: cell worker on stdin/stdout
  *
  * Serves sweep jobs per src/service/protocol.hh until SIGINT or
  * SIGTERM.  --port 0 binds an ephemeral loopback port; --print-port
- * writes the bound port to stdout (scripts parse it).  --store
- * enables the content-addressed result cache.
+ * writes each bound loopback port to stdout, one per line (the TCP
+ * service port first if any, then the metrics port if any), for
+ * scripts to parse.  --store enables the content-addressed result
+ * cache.
+ *
+ * Telemetry plane:
+ *   --metrics-port N   loopback HTTP GET /metrics (Prometheus text
+ *                      0.0.4) and /status (StatusV2 JSON); 0 binds
+ *                      an ephemeral port.  Implies live metrics
+ *                      collection.
+ *   --trace-dir DIR    merged per-job Perfetto timelines
+ *                      (job-<id>.json) stitched from daemon and
+ *                      worker-subprocess spans.
+ *   --events PATH      structured JSON-lines event log
+ *                      ("gllcd-events-v1").
+ *
+ * A SIGTERM'd daemon flushes GLLC_STATS_JSON / GLLC_TRACE_OUT
+ * explicitly after stop(), so terminated daemons still leave valid
+ * observability artifacts.
  */
 
 #include <atomic>
@@ -22,6 +40,8 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace_event.hh"
 #include "service/daemon.hh"
 #include "service/worker.hh"
 
@@ -65,22 +85,41 @@ main(int argc, char **argv)
                 std::atoi(value.c_str()));
         else if (flag == "--store")
             options.storeDir = value;
+        else if (flag == "--metrics-port")
+            options.metricsPort = std::atoi(value.c_str());
+        else if (flag == "--trace-dir")
+            options.traceDir = value;
+        else if (flag == "--events")
+            options.eventLogPath = value;
         else
             fatal("unknown flag %s", flag.c_str());
     }
+
+    // The exposition listener and the per-job timelines are only as
+    // live as the registries behind them.
+    if (options.metricsPort >= 0)
+        setMetricsActive(true);
+    if (!options.traceDir.empty())
+        setTraceEventsActive(true);
 
     SweepDaemon daemon(std::move(options));
     Result<Unit> started = daemon.start();
     if (!started.ok())
         fatal("gllcd: %s", started.error().toString().c_str());
 
-    if (print_port && daemon.tcpPort() >= 0) {
-        std::cout << daemon.tcpPort() << std::endl;
+    if (print_port) {
+        if (daemon.tcpPort() >= 0)
+            std::cout << daemon.tcpPort() << std::endl;
+        if (daemon.metricsPort() >= 0)
+            std::cout << daemon.metricsPort() << std::endl;
     }
     if (!daemon.socketPath().empty())
         note("gllcd: serving on %s", daemon.socketPath().c_str());
     if (daemon.tcpPort() >= 0)
         note("gllcd: serving on localhost:%d", daemon.tcpPort());
+    if (daemon.metricsPort() >= 0)
+        note("gllcd: metrics on localhost:%d/metrics",
+             daemon.metricsPort());
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -90,5 +129,10 @@ main(int argc, char **argv)
 
     note("gllcd: shutting down");
     daemon.stop();
+    // Belt and braces for SIGTERM shutdowns: write the configured
+    // stats/trace artifacts now, while everything is joined, rather
+    // than trusting exit handlers.
+    flushConfiguredStatsJson();
+    flushConfiguredTraceJson();
     return 0;
 }
