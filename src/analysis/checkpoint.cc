@@ -52,19 +52,6 @@ appendU64Array(std::string &out, const Array &values)
     out += ']';
 }
 
-/** Close a line: append the self-checksum of everything so far. */
-std::string
-sealLine(std::string line)
-{
-    char hash[24];
-    std::snprintf(hash, sizeof(hash), "%016" PRIx64,
-                  fnv1a64(line.data(), line.size()));
-    line += ",\"line_hash\":\"";
-    line += hash;
-    line += "\"}\n";
-    return line;
-}
-
 std::string
 headerLine(const CheckpointMeta &meta)
 {
@@ -85,10 +72,50 @@ headerLine(const CheckpointMeta &meta)
         line += '"';
     }
     line += ']';
-    return sealLine(std::move(line));
+    return sealJournalLine(std::move(line));
 }
 
 } // namespace
+
+std::string
+sealJournalLine(std::string line)
+{
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016" PRIx64,
+                  fnv1a64(line.data(), line.size()));
+    line += ",\"line_hash\":\"";
+    line += hash;
+    line += "\"}\n";
+    return line;
+}
+
+bool
+unsealJournalLine(std::string &line)
+{
+    const std::string marker = ",\"line_hash\":\"";
+    const std::size_t pos = line.rfind(marker);
+    if (pos == std::string::npos)
+        return false;
+    const std::size_t hex = pos + marker.size();
+    if (line.size() < hex + 17 || line.compare(hex + 16, 2, "\"}") != 0)
+        return false;
+    std::uint64_t stored = 0;
+    for (std::size_t k = 0; k < 16; ++k) {
+        const char c = line[hex + k];
+        std::uint64_t digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        stored = (stored << 4) | digit;
+    }
+    if (fnv1a64(line.data(), pos) != stored)
+        return false;
+    line.resize(pos);
+    return true;
+}
 
 std::string
 checkpointCellLine(const SweepCell &cell)
@@ -135,7 +162,7 @@ checkpointCellLine(const SweepCell &cell)
         appendU64Array(line, cell.result.fills.counts[p]);
     }
     line += ']';
-    return sealLine(std::move(line));
+    return sealJournalLine(std::move(line));
 }
 
 namespace
@@ -221,42 +248,10 @@ struct Cursor
     }
 };
 
-/**
- * Verify and strip the trailing line_hash; on success @p line is
- * the checksummed prefix the field parsers run over.
- */
-bool
-verifyLineHash(std::string &line)
-{
-    const std::string marker = ",\"line_hash\":\"";
-    const std::size_t pos = line.rfind(marker);
-    if (pos == std::string::npos)
-        return false;
-    const std::size_t hex = pos + marker.size();
-    if (line.size() < hex + 17 || line.compare(hex + 16, 2, "\"}") != 0)
-        return false;
-    std::uint64_t stored = 0;
-    for (std::size_t k = 0; k < 16; ++k) {
-        const char c = line[hex + k];
-        std::uint64_t digit = 0;
-        if (c >= '0' && c <= '9')
-            digit = static_cast<std::uint64_t>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            digit = static_cast<std::uint64_t>(c - 'a') + 10;
-        else
-            return false;
-        stored = (stored << 4) | digit;
-    }
-    if (fnv1a64(line.data(), pos) != stored)
-        return false;
-    line.resize(pos);
-    return true;
-}
-
 bool
 parseHeaderLine(std::string line, CheckpointMeta &meta)
 {
-    if (!verifyLineHash(line))
+    if (!unsealJournalLine(line))
         return false;
     Cursor c{line};
     std::uint64_t v = 0;
@@ -294,7 +289,7 @@ parseHeaderLine(std::string line, CheckpointMeta &meta)
 bool
 parseCheckpointCellLine(std::string line, SweepCell &cell)
 {
-    if (!verifyLineHash(line))
+    if (!unsealJournalLine(line))
         return false;
     Cursor c{line};
     std::uint64_t v = 0;

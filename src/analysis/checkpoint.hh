@@ -41,6 +41,23 @@ namespace gllc
 
 struct SweepCell;
 
+/**
+ * Close a journal line: append the fnv1a64 self-checksum of
+ * everything so far as a trailing "line_hash" field plus "}\n".
+ * The checkpoint journal, the worker wire protocol, and the gllcd
+ * job journal all seal their lines with this one helper so a line
+ * survives a socket, a pipe, and a crash identically.
+ */
+std::string sealJournalLine(std::string line);
+
+/**
+ * Verify and strip a sealed line's trailing "line_hash"; on success
+ * @p line is the checksummed prefix (note: WITHOUT its closing '}' —
+ * re-append one before handing the prefix to a JSON parser).  False
+ * on a torn, rotted, or unsealed line.
+ */
+bool unsealJournalLine(std::string &line);
+
 /** The sweep configuration a journal belongs to. */
 struct CheckpointMeta
 {

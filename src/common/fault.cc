@@ -188,6 +188,12 @@ faultSiteName(FaultSite site)
         return "dram.simulate";
       case FaultSite::WorkerCrash:
         return "worker.crash";
+      case FaultSite::ConnStall:
+        return "conn.stall";
+      case FaultSite::ConnDrop:
+        return "conn.drop";
+      case FaultSite::DaemonCrash:
+        return "daemon.crash";
       case FaultSite::kCount:
         break;
     }

@@ -25,6 +25,12 @@
  *   dram.simulate   throw out of DramModel::simulate()
  *   worker.crash    hard-exit a gllcd sweep worker mid-cell (the
  *                   daemon must respawn and quarantine, never die)
+ *   conn.stall      stall a gllcd connection thread before it
+ *                   handles a frame (exercises IO deadlines)
+ *   conn.drop       abruptly close a gllcd client connection
+ *                   mid-conversation
+ *   daemon.crash    hard-exit the gllcd daemon mid-job (recovery
+ *                   via --recover must complete the job)
  *
  * Determinism: each draw hashes (site seed, draw index) — or a
  * caller-provided key for the keyed overload, which the sweep uses
@@ -57,6 +63,9 @@ enum class FaultSite : std::uint8_t
     SimAccess,
     DramSimulate,
     WorkerCrash,
+    ConnStall,
+    ConnDrop,
+    DaemonCrash,
     kCount
 };
 

@@ -297,11 +297,17 @@ void
 MetricsSnapshot::writePrometheus(std::ostream &os) const
 {
     for (const auto &[name, v] : values_) {
-        const std::string base = promName(name);
+        std::string base = promName(name);
         switch (v.kind) {
           case MetricKind::Counter:
-            os << "# TYPE " << base << "_total counter\n"
-               << base << "_total " << v.count << '\n';
+            // Counters gain the conventional `_total` suffix unless
+            // the source name already carries it (gllcd.shed_total
+            // must not become gllcd_shed_total_total).
+            if (base.size() < 6
+                || base.compare(base.size() - 6, 6, "_total") != 0)
+                base += "_total";
+            os << "# TYPE " << base << " counter\n"
+               << base << ' ' << v.count << '\n';
             break;
           case MetricKind::Gauge:
             os << "# TYPE " << base << " gauge\n"

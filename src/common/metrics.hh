@@ -152,7 +152,8 @@ class MetricsSnapshot
     /**
      * Prometheus text exposition (format version 0.0.4).  Dotted
      * names sanitize to underscore form; counters gain the `_total`
-     * suffix; histograms render their sparse buckets as cumulative
+     * suffix (unless the name already ends in it); histograms
+     * render their sparse buckets as cumulative
      * `_bucket{le="..."}` samples plus `_sum` / `_count` (the sum is
      * computed from bucket keys, i.e. bucketed durations for the
      * latency histograms).  Output is name-sorted and deterministic.

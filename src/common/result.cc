@@ -30,6 +30,10 @@ errorCodeName(ErrorCode code)
         return "injected";
       case ErrorCode::CellFailed:
         return "cell-failed";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Overloaded:
+        return "overloaded";
     }
     return "unknown";
 }

@@ -41,6 +41,8 @@ enum class ErrorCode : std::uint8_t
     InvalidArgument,   ///< caller-supplied parameter is unusable
     Injected,          ///< deterministic fault-injection harness fired
     CellFailed,        ///< a sweep cell exhausted its retry budget
+    Timeout,           ///< an IO deadline expired
+    Overloaded,        ///< admission control shed the request
 };
 
 /** Stable lower-case name of @p code ("checksum-mismatch", ...). */

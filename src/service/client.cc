@@ -89,14 +89,30 @@ ServiceClient::operator=(ServiceClient &&other) noexcept
 
 Result<SubmitOutcome>
 ServiceClient::submit(const SweepJobSpec &spec,
-                      const std::string &tenant, int priority)
+                      const std::string &tenant, int priority,
+                      ShedInfo *shed)
 {
     Result<Unit> sent =
         writeFrame(fd_, submitEnvelopeJson(tenant, priority));
     if (sent.ok())
         sent = writeFrame(fd_, spec.toJson());
-    if (!sent.ok())
+    if (!sent.ok()) {
+        // The daemon may have answered before reading the request —
+        // a connection-limit shed writes its frame and hangs up
+        // immediately, which makes our writes fail with EPIPE.  A
+        // buffered early answer beats the write error.
+        std::string early;
+        Result<bool> got = readFrame(fd_, early, 1000);
+        if (got.ok() && got.value()) {
+            SubmitOutcome outcome;
+            Error daemon_error;
+            Result<bool> is_result = parseResponseFrame(
+                early, outcome.header, daemon_error, shed);
+            if (is_result.ok() && !is_result.value())
+                return daemon_error;
+        }
         return sent.error();
+    }
 
     std::string response;
     Result<bool> got = readFrame(fd_, response);
@@ -108,8 +124,8 @@ ServiceClient::submit(const SweepJobSpec &spec,
                      "answering");
     SubmitOutcome outcome;
     Error daemon_error;
-    Result<bool> is_result =
-        parseResponseFrame(response, outcome.header, daemon_error);
+    Result<bool> is_result = parseResponseFrame(
+        response, outcome.header, daemon_error, shed);
     if (!is_result.ok())
         return is_result.error();
     if (!is_result.value())

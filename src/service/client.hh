@@ -52,12 +52,15 @@ class ServiceClient
     /**
      * Submit a job and wait for its result.  Daemon-side failures
      * (invalid spec, execution failure) come back as the daemon's
-     * typed Error; transport failures as Io/Truncated.
+     * typed Error; transport failures as Io/Truncated.  A daemon
+     * shedding load answers with an Overloaded error; when @p shed
+     * is non-null it also receives the typed reason and the
+     * daemon's retry-after hint, so callers can back off smartly.
      */
     [[nodiscard]] Result<SubmitOutcome>
     submit(const SweepJobSpec &spec,
            const std::string &tenant = "default",
-           int priority = 0);
+           int priority = 0, ShedInfo *shed = nullptr);
 
     /** Fetch the daemon's status document (raw JSON). */
     [[nodiscard]] Result<std::string> status();

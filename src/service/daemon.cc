@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "analysis/report.hh"
+#include "common/fault.hh"
 #include "common/hash.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -28,11 +29,21 @@ namespace gllc
 namespace
 {
 
+/**
+ * How often a blocked submit waiter wakes to probe whether its
+ * client is still connected (the hook for cancelling a queued job
+ * whose every submitter hung up).
+ */
+constexpr int kDisconnectProbeMs = 200;
+
+/** Injected stall length of the conn.stall fault site. */
+constexpr unsigned kConnStallMs = 100;
+
 /** Best-effort error reply; the client may already be gone. */
 void
-sendError(int fd, const Error &error)
+sendError(int fd, const Error &error, int timeout_ms)
 {
-    (void)writeFrame(fd, errorFrameJson(error));
+    (void)writeFrame(fd, errorFrameJson(error), timeout_ms);
 }
 
 /** mkdir -p: create @p dir and any missing parents. */
@@ -210,6 +221,26 @@ SweepDaemon::start()
                              std::strerror(errno));
     startTime_ = std::chrono::steady_clock::now();
 
+    if (options_.recover && options_.journalPath.empty())
+        return Error(ErrorCode::InvalidArgument,
+                     "--recover needs a job journal path");
+    if (!options_.journalPath.empty()) {
+        // Open (and torn-tail-trim) before replaying, so recovery
+        // reads a clean file and its finish records persist.
+        Result<Unit> opened = journal_.open(options_.journalPath);
+        if (!opened.ok())
+            return opened.error();
+    }
+    if (options_.recover) {
+        Result<Unit> recovered = recoverFromJournal();
+        if (!recovered.ok())
+            return recovered.error();
+    }
+    // Limits engage only after recovery: every journaled job was
+    // already accepted once and must re-enqueue, full queue or not.
+    queue_.configureLimits(
+        {options_.maxQueue, options_.tenantQuota});
+
     if (!options_.socketPath.empty()) {
         Result<int> fd = bindUnixListener();
         if (!fd.ok())
@@ -294,8 +325,78 @@ SweepDaemon::stop()
     }
     for (std::thread &t : conns)
         t.join();
+    // No finish records for the jobs failPendingJobs just aborted:
+    // they were accepted but never ran, so the journal deliberately
+    // still owes them — a --recover restart picks them back up.
+    journal_.close();
     if (!options_.socketPath.empty())
         ::unlink(options_.socketPath.c_str());
+}
+
+Result<Unit>
+SweepDaemon::recoverFromJournal()
+{
+    Result<JournalRecovery> loaded =
+        JobJournal::load(options_.journalPath);
+    if (!loaded.ok()) {
+        // A missing journal is a fresh start, not a failure; a
+        // corrupt one (bad header) is refused loudly — silently
+        // dropping accepted jobs is the failure mode this file
+        // exists to prevent.
+        if (loaded.error().code == ErrorCode::Io)
+            return Unit{};
+        return loaded.error();
+    }
+    const JournalRecovery recovery = loaded.take();
+    std::size_t requeued = 0;
+    for (const JournalJob &entry : recovery.pending) {
+        const ResultKey key{entry.spec.traceHash(),
+                            entry.spec.contentHash()};
+        // Crash between the store write and the finish record:
+        // result already durable, just settle the journal's debt.
+        if (store_.contains(key)) {
+            journal_.recordFinish(entry.id, "completed");
+            continue;
+        }
+        auto state = std::make_shared<JobState>();
+        QueuedJob job;
+        {
+            MutexLock state_lock(state->mutex);
+            state->header.jobId = entry.id;
+            state->header.specHash = key.specHash;
+            state->header.traceHash = key.traceHash;
+            job.id = entry.id;
+            job.tenant = entry.tenant;
+            job.priority = entry.priority;
+            job.spec = entry.spec;
+            job.acceptedUs = 0.0;
+        }
+        MutexLock lock(inflightMutex_);
+        if (inflight_.count(key) != 0)
+            continue;  // duplicate accepts collapse to one run
+        if (queue_.push(std::move(job))
+            != JobQueue::PushOutcome::Ok)
+            continue;  // unreachable: limits not yet configured
+        inflight_.emplace(key, std::move(state));
+        ++requeued;
+        jobsRecovered_.fetch_add(1);
+        countMetric("gllcd.jobs.recovered");
+        if (eventLog_.active())
+            eventLog_.emit(
+                ServiceEvent("job_recovered")
+                    .num("job",
+                         static_cast<std::int64_t>(entry.id))
+                    .str("tenant", entry.tenant)
+                    .num("priority", entry.priority));
+    }
+    if (recovery.maxJobId >= nextJobId_.load())
+        nextJobId_.store(recovery.maxJobId + 1);
+    if (requeued > 0 || recovery.skippedLines > 0)
+        warn("gllcd: journal recovery re-enqueued %zu job(s) "
+             "(%zu accepted, %zu finished, %zu line(s) skipped)",
+             requeued, recovery.accepted, recovery.finished,
+             recovery.skippedLines);
+    return Unit{};
 }
 
 void
@@ -324,18 +425,33 @@ SweepDaemon::acceptLoop(int listen_fd)
                 continue;
             return;  // listener closed by stop()
         }
-        MutexLock lock(connMutex_);
-        if (!running_.load()) {
-            ::close(fd);
-            return;
+        bool over_cap = false;
+        {
+            MutexLock lock(connMutex_);
+            if (!running_.load()) {
+                ::close(fd);
+                return;
+            }
+            // Retire finished connections before admitting a new
+            // one, so a long-running daemon holds handles only for
+            // live connections, not for every connection ever
+            // served.
+            reapFinishedConnsLocked();
+            if (options_.maxConns != 0
+                && connFds_.size() >= options_.maxConns) {
+                over_cap = true;
+            } else {
+                connFds_.push_back(fd);
+                connThreads_.emplace_back(
+                    [this, fd] { serveConnection(fd); });
+            }
         }
-        // Retire finished connections before admitting a new one,
-        // so a long-running daemon holds handles only for live
-        // connections, not for every connection ever served.
-        reapFinishedConnsLocked();
-        connFds_.push_back(fd);
-        connThreads_.emplace_back(
-            [this, fd] { serveConnection(fd); });
+        if (over_cap) {
+            // Shed outside connMutex_: the write is to an untrusted
+            // peer and must never stall the accept path's lock.
+            shedSubmit(fd, "conn_limit", "");
+            ::close(fd);
+        }
     }
 }
 
@@ -369,12 +485,21 @@ SweepDaemon::serveConnection(int fd)
 {
     std::string payload;
     while (running_.load()) {
-        Result<bool> got = readFrame(fd, payload);
+        if (faultFires(FaultSite::ConnStall))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kConnStallMs));
+        if (faultFires(FaultSite::ConnDrop))
+            break;
+        Result<bool> got =
+            readFrame(fd, payload, options_.connTimeoutMs);
         if (!got.ok()) {
             // Framing is unrecoverable mid-stream: report the
-            // typed error (truncated header, oversized frame, ...)
-            // and hang up; the daemon itself shrugs.
-            sendError(fd, got.error());
+            // typed error (truncated header, oversized frame, a
+            // slowloris peer caught by the deadline, ...) and hang
+            // up; the daemon itself shrugs.
+            if (got.error().code == ErrorCode::Timeout)
+                countMetric("gllcd.conn.timeouts");
+            sendError(fd, got.error(), options_.connTimeoutMs);
             break;
         }
         if (!got.value())
@@ -386,7 +511,8 @@ SweepDaemon::serveConnection(int fd)
             // Garbage inside an intact frame: typed error, keep
             // the conversation (framing is still in sync).
             countMetric("gllcd.bad_requests");
-            sendError(fd, envelope.error());
+            sendError(fd, envelope.error(),
+                      options_.connTimeoutMs);
             continue;
         }
         bool keep_going = false;
@@ -420,9 +546,12 @@ bool
 SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
 {
     std::string spec_bytes;
-    Result<bool> got = readFrame(fd, spec_bytes);
+    Result<bool> got =
+        readFrame(fd, spec_bytes, options_.connTimeoutMs);
     if (!got.ok()) {
-        sendError(fd, got.error());
+        if (got.error().code == ErrorCode::Timeout)
+            countMetric("gllcd.conn.timeouts");
+        sendError(fd, got.error(), options_.connTimeoutMs);
         return false;
     }
     if (!got.value())
@@ -431,14 +560,14 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
     Result<SweepJobSpec> parsed = parseSweepJobSpec(spec_bytes);
     if (!parsed.ok()) {
         countMetric("gllcd.bad_requests");
-        sendError(fd, parsed.error());
+        sendError(fd, parsed.error(), options_.connTimeoutMs);
         return true;
     }
     const SweepJobSpec spec = parsed.take();
     Result<Unit> valid = spec.validate();
     if (!valid.ok()) {
         countMetric("gllcd.bad_requests");
-        sendError(fd, valid.error());
+        sendError(fd, valid.error(), options_.connTimeoutMs);
         return true;
     }
 
@@ -464,9 +593,16 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
                                         header.jobId))
                         .str("tenant", envelope.tenant)
                         .num("priority", envelope.priority));
-            if (!writeFrame(fd, resultHeaderJson(header)).ok())
+            if (!writeFrame(fd, resultHeaderJson(header),
+                            options_.connTimeoutMs)
+                     .ok()
+                || !writeFrame(fd, stored.value(),
+                               options_.connTimeoutMs)
+                        .ok()) {
+                noteClientGone(header.jobId, envelope.tenant);
                 return false;
-            return writeFrame(fd, stored.value()).ok();
+            }
+            return true;
         }
         warn("gllcd: stored result unreadable, recomputing: %s",
              stored.error().toString().c_str());
@@ -474,11 +610,19 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
 
     // Join an identical in-flight job or queue a new one.
     std::shared_ptr<JobState> state;
+    const char *shed_reason = nullptr;
     {
         MutexLock lock(inflightMutex_);
         auto it = inflight_.find(key);
         if (it != inflight_.end()) {
             state = it->second;
+            {
+                // Register as a waiter while inflightMutex_ is
+                // still held: cancellation checks waiters under
+                // both locks, so it can never miss us.
+                MutexLock state_lock(state->mutex);
+                ++state->waiters;
+            }
             inflightJoins_.fetch_add(1);
             countMetric("gllcd.jobs.inflight_joins");
             if (eventLog_.active())
@@ -495,6 +639,7 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
             state->header.jobId = nextJobId_.fetch_add(1);
             state->header.specHash = key.specHash;
             state->header.traceHash = key.traceHash;
+            state->waiters = 1;
             QueuedJob job;
             job.id = state->header.jobId;
             job.tenant = envelope.tenant;
@@ -516,48 +661,178 @@ SweepDaemon::handleSubmit(int fd, const RequestEnvelope &envelope)
                         .num("policies",
                              static_cast<std::int64_t>(
                                  spec.policies.size())));
-            if (queue_.push(std::move(job))) {
+            // Journal BEFORE queuing: once a job can be popped it
+            // must be recoverable.  A rejected push compensates
+            // with an immediate "shed" finish record, so the
+            // journal never replays a job that never queued.
+            journal_.recordAccept(job);
+            switch (queue_.push(std::move(job))) {
+            case JobQueue::PushOutcome::Ok:
                 inflight_.emplace(key, state);
                 countMetric("gllcd.jobs.accepted");
                 recordQueueGauges();
-            } else {
-                // Lost the race with stop(): the queue is closed and
-                // nothing will ever pop this job.  Fail it here —
-                // waiting on doneCv would block stop() forever.
-                state->done = true;
-                state->failed = true;
-                state->error =
-                    Error(ErrorCode::Io, "daemon shutting down");
+                break;
+            case JobQueue::PushOutcome::QueueFull:
+                shed_reason = "queue_full";
+                break;
+            case JobQueue::PushOutcome::TenantQuotaExceeded:
+                shed_reason = "tenant_quota";
+                break;
+            case JobQueue::PushOutcome::Closed:
+                // Lost the race with stop(): the queue is closed
+                // and nothing will ever pop this job.
+                shed_reason = "shutdown";
+                break;
             }
+            if (shed_reason != nullptr)
+                journal_.recordFinish(state->header.jobId,
+                                      "shed");
         }
+    }
+    if (shed_reason != nullptr) {
+        shedSubmit(fd, shed_reason, envelope.tenant);
+        return true;
     }
 
     bool failed = false;
+    bool abandoned = false;
     Error error;
     ResultHeader header;
     const std::string *payload = nullptr;
     {
         MutexLock lock(state->mutex);
-        while (!state->done)
-            state->doneCv.wait(state->mutex);
+        while (!state->done) {
+            // Wake periodically to probe the socket: a client that
+            // hung up while its job sits queued should not pin the
+            // job (nor this thread) until dispatch.
+            const std::cv_status status = state->doneCv.waitFor(
+                state->mutex,
+                std::chrono::milliseconds(kDisconnectProbeMs));
+            if (status == std::cv_status::timeout && !state->done
+                && peerClosed(fd)) {
+                abandoned = true;
+                break;
+            }
+        }
+        --state->waiters;
         failed = state->failed;
-        if (failed) {
-            error = state->error;
-        } else {
+        if (!failed) {
             header = state->header;
             // After done, no writer ever touches the payload again,
             // so the reference outlives the lock safely (the shared
             // JobState keeps the bytes alive).
             payload = &state->payload;
+        } else {
+            error = state->error;
         }
     }
+    if (abandoned) {
+        // If cancellation loses the race (another waiter joined,
+        // or the dispatcher already popped the job), the job simply
+        // runs to completion and lands in the result store.
+        (void)cancelAbandonedJob(key, state, envelope.tenant);
+        return false;
+    }
     if (failed) {
-        sendError(fd, error);
+        sendError(fd, error, options_.connTimeoutMs);
         return true;
     }
-    if (!writeFrame(fd, resultHeaderJson(header)).ok())
+    if (!writeFrame(fd, resultHeaderJson(header),
+                    options_.connTimeoutMs)
+             .ok()
+        || !writeFrame(fd, *payload, options_.connTimeoutMs)
+               .ok()) {
+        noteClientGone(header.jobId, envelope.tenant);
         return false;
-    return writeFrame(fd, *payload).ok();
+    }
+    return true;
+}
+
+void
+SweepDaemon::shedSubmit(int fd, const char *reason,
+                        const std::string &tenant)
+{
+    jobsShed_.fetch_add(1);
+    if (metricsActive()) {
+        MetricsRegistry &registry = MetricsRegistry::instance();
+        registry.addCounter("gllcd.shed_total");
+        registry.addCounter(std::string("gllcd.shed.") + reason);
+    }
+    ShedInfo shed;
+    shed.reason = reason;
+    // Depth-proportional backoff hint: a barely-full queue clears
+    // in a beat; a deep one tells clients to stay away longer.
+    const std::size_t depth = queue_.depth();
+    shed.retryAfterMs = static_cast<int>(
+        std::min<std::size_t>(30000, 100 * (depth + 1)));
+    if (eventLog_.active())
+        eventLog_.emit(
+            ServiceEvent("job_shed")
+                .str("tenant", tenant)
+                .str("reason", reason)
+                .num("queue_depth",
+                     static_cast<std::int64_t>(depth))
+                .num("retry_after_ms", shed.retryAfterMs));
+    // Never block shedding on a peer that won't read: fall back to
+    // a short bounded write even when connections are undeadlined.
+    const int timeout_ms = options_.connTimeoutMs > 0
+                               ? options_.connTimeoutMs
+                               : 1000;
+    (void)writeFrame(fd, shedFrameJson(shed), timeout_ms);
+}
+
+void
+SweepDaemon::noteClientGone(std::uint64_t job_id,
+                            const std::string &tenant)
+{
+    clientGone_.fetch_add(1);
+    countMetric("gllcd.client_gone");
+    if (eventLog_.active())
+        eventLog_.emit(
+            ServiceEvent("job_client_gone")
+                .num("job", static_cast<std::int64_t>(job_id))
+                .str("tenant", tenant));
+}
+
+bool
+SweepDaemon::cancelAbandonedJob(
+    const ResultKey &key, const std::shared_ptr<JobState> &state,
+    const std::string &tenant)
+{
+    std::uint64_t job_id = 0;
+    {
+        MutexLock lock(inflightMutex_);
+        auto it = inflight_.find(key);
+        if (it == inflight_.end() || it->second != state)
+            return false;  // already finished (or a fresh retry)
+        MutexLock state_lock(state->mutex);
+        // waiters was registered under inflightMutex_, so zero here
+        // — under both locks — proves no connection is waiting or
+        // about to wait on this job.
+        if (state->done || state->waiters > 0)
+            return false;
+        if (!queue_.cancel(state->header.jobId))
+            return false;  // dispatcher got there first: it runs
+        job_id = state->header.jobId;
+        state->done = true;
+        state->failed = true;
+        state->error =
+            Error(ErrorCode::Io,
+                  "every client disconnected; job cancelled "
+                  "before dispatch");
+        state->doneCv.notifyAll();
+        inflight_.erase(it);
+    }
+    journal_.recordFinish(job_id, "cancelled");
+    jobsCancelled_.fetch_add(1);
+    countMetric("gllcd.jobs.cancelled");
+    recordQueueGauges();
+    if (eventLog_.active())
+        eventLog_.emit(
+            ServiceEvent("job_cancelled")
+                .num("job", static_cast<std::int64_t>(job_id))
+                .str("tenant", tenant));
+    return true;
 }
 
 std::string
@@ -588,7 +863,8 @@ SweepDaemon::statusJson()
 bool
 SweepDaemon::handleStatus(int fd)
 {
-    return writeFrame(fd, statusJson()).ok();
+    return writeFrame(fd, statusJson(), options_.connTimeoutMs)
+        .ok();
 }
 
 std::string
@@ -633,6 +909,14 @@ SweepDaemon::statusV2Json()
     out += std::to_string(hits);
     out += ",\"inflight_joins\":";
     out += std::to_string(inflightJoins_.load());
+    out += ",\"shed\":";
+    out += std::to_string(jobsShed_.load());
+    out += ",\"cancelled\":";
+    out += std::to_string(jobsCancelled_.load());
+    out += ",\"recovered\":";
+    out += std::to_string(jobsRecovered_.load());
+    out += ",\"client_gone\":";
+    out += std::to_string(clientGone_.load());
     out += "},\"workers\":{\"configured\":";
     out += std::to_string(options_.workers);
     out += ",\"crashes\":";
@@ -677,7 +961,8 @@ SweepDaemon::statusV2Json()
 bool
 SweepDaemon::handleStatusV2(int fd)
 {
-    return writeFrame(fd, statusV2Json()).ok();
+    return writeFrame(fd, statusV2Json(), options_.connTimeoutMs)
+        .ok();
 }
 
 void
@@ -810,6 +1095,11 @@ SweepDaemon::executeJob(const QueuedJob &job)
                 .dbl("queue_wait_ms",
                      spanMs(accepted_us, popped_us)));
 
+    // Chaos site: die mid-dispatch with the job accepted but
+    // unfinished — exactly the window --recover must cover.
+    if (faultFires(FaultSite::DaemonCrash))
+        std::_Exit(kDaemonCrashExitCode);
+
     ShardTelemetry telemetry;
     telemetry.jobId = job.id;
     telemetry.traceId =
@@ -903,6 +1193,11 @@ SweepDaemon::executeJob(const QueuedJob &job)
                      stored.error().toString().c_str());
         }
     }
+    // Settle the journal only after the result (if any) is stored:
+    // a crash in between replays the job, which is idempotent; the
+    // reverse order would lose it.
+    journal_.recordFinish(job.id,
+                          run.ok() ? "completed" : "failed");
     state->done = true;
     state->doneCv.notifyAll();
 }

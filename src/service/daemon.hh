@@ -46,6 +46,7 @@
 #include "common/thread_annotations.hh"
 #include "service/event_log.hh"
 #include "service/exposition.hh"
+#include "service/job_journal.hh"
 #include "service/job_queue.hh"
 #include "service/protocol.hh"
 #include "service/result_store.hh"
@@ -53,6 +54,9 @@
 
 namespace gllc
 {
+
+/** Exit code of a daemon killed by the daemon.crash fault site. */
+constexpr int kDaemonCrashExitCode = 70;
 
 /** Where and how a SweepDaemon serves. */
 struct DaemonOptions
@@ -84,6 +88,31 @@ struct DaemonOptions
 
     /** JSON-lines event log path ("gllcd-events-v1"); "" = off. */
     std::string eventLogPath;
+
+    /** Queue depth cap; over-limit submits shed.  0 = unbounded. */
+    std::size_t maxQueue = 0;
+
+    /** Per-tenant in-queue quota; 0 = unlimited. */
+    std::size_t tenantQuota = 0;
+
+    /**
+     * Deadline in ms on every client-connection read and write; a
+     * peer that stalls past it (slowloris, half-open socket) is
+     * disconnected.  0 = no deadline.
+     */
+    int connTimeoutMs = 0;
+
+    /** Concurrent-connection cap; over-limit accepts shed.  0 = ∞. */
+    std::size_t maxConns = 0;
+
+    /** Durable job journal (WAL) path; "" = no journal. */
+    std::string journalPath;
+
+    /**
+     * Replay the journal at startup: unfinished jobs re-enqueue in
+     * original order before the daemon starts serving.
+     */
+    bool recover = false;
 };
 
 /** The service (see file comment).  start() it, stop() it. */
@@ -144,14 +173,39 @@ class SweepDaemon
         return cellTimeouts_.load();
     }
 
+    /** Submits refused by admission control (all reasons). */
+    std::uint64_t jobsShed() const { return jobsShed_.load(); }
+
+    /** Queued jobs cancelled because every waiter disconnected. */
+    std::uint64_t jobsCancelled() const
+    {
+        return jobsCancelled_.load();
+    }
+
+    /** Jobs re-enqueued from the journal by --recover. */
+    std::uint64_t jobsRecovered() const
+    {
+        return jobsRecovered_.load();
+    }
+
   private:
-    /** A job one-or-more connections are waiting on. */
+    /** A job zero-or-more connections are waiting on. */
     struct JobState
     {
         Mutex mutex;
         CondVar doneCv;
         bool done GLLC_GUARDED_BY(mutex) = false;
         bool failed GLLC_GUARDED_BY(mutex) = false;
+        /**
+         * Connections currently blocked on doneCv.  Registered
+         * under inflightMutex_ at join/create time, so a zero here
+         * (checked under both locks) proves nobody can be about to
+         * wait — the precondition for cancelling a queued job whose
+         * last client hung up.  Recovered jobs start at zero and
+         * are never cancelled: cancellation only triggers from a
+         * disconnecting waiter.
+         */
+        unsigned waiters GLLC_GUARDED_BY(mutex) = 0;
         Error error GLLC_GUARDED_BY(mutex);
         ResultHeader header GLLC_GUARDED_BY(mutex);
         std::string payload GLLC_GUARDED_BY(mutex);
@@ -171,6 +225,31 @@ class SweepDaemon
     std::string statusJson();
     std::string statusV2Json();
     void countMetric(const char *name);
+
+    /**
+     * Answer an over-limit submit with a shed frame (typed reason +
+     * retry-after hint) and account for it.
+     */
+    void shedSubmit(int fd, const char *reason,
+                    const std::string &tenant);
+
+    /** Count a failed response write: the client is gone. */
+    void noteClientGone(std::uint64_t job_id,
+                        const std::string &tenant);
+
+    /**
+     * Cancel @p state's queued job after its last waiter hung up;
+     * false when the dispatcher got there first (the job runs and
+     * its result lands in the store).
+     */
+    bool cancelAbandonedJob(const ResultKey &key,
+                            const std::shared_ptr<JobState> &state,
+                            const std::string &tenant)
+        GLLC_EXCLUDES(inflightMutex_);
+
+    /** Replay the journal: re-enqueue unfinished jobs in order. */
+    [[nodiscard]] Result<Unit> recoverFromJournal()
+        GLLC_EXCLUDES(inflightMutex_);
 
     /** Record current queue depths into the windowed gauges. */
     void recordQueueGauges();
@@ -227,6 +306,7 @@ class SweepDaemon
 
     MetricsHttpServer metricsServer_;
     ServiceEventLog eventLog_;
+    JobJournal journal_;
     std::chrono::steady_clock::time_point startTime_;
 
     std::atomic<std::uint64_t> nextJobId_{1};
@@ -238,6 +318,10 @@ class SweepDaemon
     std::atomic<std::uint64_t> inflightJoins_{0};
     std::atomic<std::uint64_t> workerCrashes_{0};
     std::atomic<std::uint64_t> cellTimeouts_{0};
+    std::atomic<std::uint64_t> jobsShed_{0};
+    std::atomic<std::uint64_t> jobsCancelled_{0};
+    std::atomic<std::uint64_t> jobsRecovered_{0};
+    std::atomic<std::uint64_t> clientGone_{0};
 };
 
 } // namespace gllc

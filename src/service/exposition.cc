@@ -4,9 +4,10 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 #include <utility>
+
+#include "service/protocol.hh"
 
 namespace gllc
 {
@@ -15,7 +16,7 @@ namespace
 {
 
 /** A slow or hostile scraper may hold the fd this long, no more. */
-constexpr int kRequestTimeoutSeconds = 2;
+constexpr int kRequestTimeoutMs = 2000;
 
 /** Request lines longer than this are nobody's scrape. */
 constexpr std::size_t kMaxRequestBytes = 8192;
@@ -24,17 +25,8 @@ constexpr std::size_t kMaxRequestBytes = 8192;
 void
 writeAll(int fd, const std::string &bytes)
 {
-    std::size_t done = 0;
-    while (done < bytes.size()) {
-        const ssize_t n =
-            ::write(fd, bytes.data() + done, bytes.size() - done);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return;
-        }
-        done += static_cast<std::size_t>(n);
-    }
+    (void)writeAllDeadline(fd, bytes.data(), bytes.size(),
+                           kRequestTimeoutMs);
 }
 
 std::string
@@ -131,22 +123,16 @@ MetricsHttpServer::serveLoop()
 void
 MetricsHttpServer::serveOne(int fd)
 {
-    timeval timeout{};
-    timeout.tv_sec = kRequestTimeoutSeconds;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                 sizeof(timeout));
-
     // Read until the end of the request head; we never want a body.
     std::string request;
     char chunk[1024];
     while (request.find("\r\n\r\n") == std::string::npos
            && request.size() < kMaxRequestBytes) {
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
+        Result<std::size_t> n = readSomeDeadline(
+            fd, chunk, sizeof(chunk), kRequestTimeoutMs);
+        if (!n.ok() || n.value() == 0)
             return;  // timeout, error, or early hangup: just drop
-        request.append(chunk, static_cast<std::size_t>(n));
+        request.append(chunk, n.value());
     }
 
     const std::size_t line_end = request.find("\r\n");

@@ -7,13 +7,28 @@
 namespace gllc
 {
 
-bool
+void
+JobQueue::configureLimits(QueueLimits limits)
+{
+    MutexLock lock(mutex_);
+    limits_ = limits;
+}
+
+JobQueue::PushOutcome
 JobQueue::push(QueuedJob job)
 {
     {
         MutexLock lock(mutex_);
         if (closed_)
-            return false;
+            return PushOutcome::Closed;
+        if (limits_.maxDepth != 0 && depth_ >= limits_.maxDepth)
+            return PushOutcome::QueueFull;
+        if (limits_.tenantQuota != 0) {
+            const auto td = tenantDepth_.find(job.tenant);
+            if (td != tenantDepth_.end()
+                && td->second >= limits_.tenantQuota)
+                return PushOutcome::TenantQuotaExceeded;
+        }
         PriorityClass &cls = classes_[job.priority];
         auto lane = cls.lanes.find(job.tenant);
         if (lane == cls.lanes.end()) {
@@ -22,11 +37,60 @@ JobQueue::push(QueuedJob job)
                                      std::deque<QueuedJob>{})
                        .first;
         }
+        ++tenantDepth_[job.tenant];
         lane->second.push_back(std::move(job));
         ++depth_;
     }
     available_.notifyOne();
-    return true;
+    return PushOutcome::Ok;
+}
+
+void
+JobQueue::releaseTenantLocked(const std::string &tenant)
+{
+    const auto td = tenantDepth_.find(tenant);
+    GLLC_ASSERT_MSG(td != tenantDepth_.end() && td->second > 0,
+                    "tenant depth underflow");
+    if (--td->second == 0)
+        tenantDepth_.erase(td);
+}
+
+bool
+JobQueue::cancel(std::uint64_t id)
+{
+    MutexLock lock(mutex_);
+    for (auto cls_it = classes_.begin(); cls_it != classes_.end();
+         ++cls_it) {
+        PriorityClass &cls = cls_it->second;
+        for (auto lane = cls.lanes.begin();
+             lane != cls.lanes.end(); ++lane) {
+            auto &jobs = lane->second;
+            for (auto it = jobs.begin(); it != jobs.end(); ++it) {
+                if (it->id != id)
+                    continue;
+                const std::string tenant = lane->first;
+                jobs.erase(it);
+                releaseTenantLocked(tenant);
+                --depth_;
+                if (jobs.empty()) {
+                    // An empty lane must leave the rotation too, or
+                    // a later pop asserts on a tenant with no work.
+                    cls.lanes.erase(lane);
+                    auto rot = std::find(cls.rotation.begin(),
+                                         cls.rotation.end(),
+                                         tenant);
+                    GLLC_ASSERT_MSG(
+                        rot != cls.rotation.end(),
+                        "cancelled tenant missing from rotation");
+                    cls.rotation.erase(rot);
+                    if (cls.lanes.empty())
+                        classes_.erase(cls_it);
+                }
+                return true;
+            }
+        }
+    }
+    return false;
 }
 
 bool
@@ -46,6 +110,7 @@ JobQueue::popLocked(QueuedJob &out)
                     "rotation names an empty tenant lane");
     out = std::move(lane->second.front());
     lane->second.pop_front();
+    releaseTenantLocked(tenant);
     if (lane->second.empty())
         cls.lanes.erase(lane);
     else

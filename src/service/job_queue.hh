@@ -11,6 +11,13 @@
  * The rotation order is the order tenants first appeared in the
  * class, so scheduling is deterministic given the arrival sequence.
  *
+ * Bounded admission: the queue optionally caps its total depth and
+ * each tenant's in-queue share (configureLimits), and push() reports
+ * a typed PushOutcome instead of a bare bool so the daemon can shed
+ * an over-limit submit with a reasoned reply instead of letting a
+ * flood grow memory without bound.  A client that gives up on a
+ * queued job can cancel() it by id before it dispatches.
+ *
  * Thread model: connection threads push, the single dispatcher
  * thread pops (blocking); close() wakes the dispatcher for
  * shutdown.  All state lives behind one mutex — job dispatch is
@@ -50,16 +57,51 @@ struct QueuedJob
     double acceptedUs = 0.0;
 };
 
+/** Admission limits; 0 = unlimited (the default). */
+struct QueueLimits
+{
+    /** Cap on total queued jobs across all classes and tenants. */
+    std::size_t maxDepth = 0;
+
+    /** Cap on one tenant's queued jobs (across all its classes). */
+    std::size_t tenantQuota = 0;
+};
+
 /** Tenant-fair priority queue (see file comment). */
 class JobQueue
 {
   public:
+    /** Why a push() was accepted or refused. */
+    enum class PushOutcome : std::uint8_t
+    {
+        Ok,                   ///< queued; a waitPop() was woken
+        Closed,               ///< queue close()d — fail the job
+        QueueFull,            ///< total depth cap reached — shed
+        TenantQuotaExceeded,  ///< tenant's in-queue quota hit — shed
+    };
+
     /**
-     * Enqueue a job; wakes a blocked waitPop().  False once the
-     * queue is close()d — nothing will ever pop the job, so the
-     * caller must fail it instead of waiting on it.
+     * Set admission limits; applies to subsequent pushes only (jobs
+     * already queued — e.g. recovered ones — are never evicted).
      */
-    [[nodiscard]] bool push(QueuedJob job) GLLC_EXCLUDES(mutex_);
+    void configureLimits(QueueLimits limits) GLLC_EXCLUDES(mutex_);
+
+    /**
+     * Enqueue a job; wakes a blocked waitPop() on Ok.  Any other
+     * outcome means nothing will ever pop the job: the caller must
+     * fail or shed it instead of waiting on it.
+     */
+    [[nodiscard]] PushOutcome push(QueuedJob job)
+        GLLC_EXCLUDES(mutex_);
+
+    /**
+     * Remove a still-queued job by id (a waiting client hung up).
+     * False when the job is not in the queue — already popped,
+     * already cancelled, or never queued; the caller must then
+     * leave it to run.
+     */
+    [[nodiscard]] bool cancel(std::uint64_t id)
+        GLLC_EXCLUDES(mutex_);
 
     /**
      * Dequeue the next job per the scheduling policy without
@@ -99,11 +141,19 @@ class JobQueue
 
     bool popLocked(QueuedJob &out) GLLC_REQUIRES(mutex_);
 
+    /** Drop @p tenant's depth by one; erases the entry at zero. */
+    void releaseTenantLocked(const std::string &tenant)
+        GLLC_REQUIRES(mutex_);
+
     mutable Mutex mutex_;
     CondVar available_;
     /** Classes keyed by priority, highest first. */
     std::map<int, PriorityClass, std::greater<>> classes_
         GLLC_GUARDED_BY(mutex_);
+    /** In-queue jobs per tenant, summed across classes. */
+    std::map<std::string, std::size_t> tenantDepth_
+        GLLC_GUARDED_BY(mutex_);
+    QueueLimits limits_ GLLC_GUARDED_BY(mutex_);
     std::size_t depth_ GLLC_GUARDED_BY(mutex_) = 0;
     bool closed_ GLLC_GUARDED_BY(mutex_) = false;
 };

@@ -1,9 +1,13 @@
 #include "service/protocol.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
+#include <climits>
 #include <cstdio>
 #include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/json.hh"
@@ -14,40 +18,142 @@ namespace gllc
 namespace
 {
 
-/** Read exactly @p len bytes; short count = EOF, -1 = errno. */
-ssize_t
-readFull(int fd, char *buf, std::size_t len)
+/**
+ * A poll() budget: constructed from a timeout in milliseconds,
+ * 0 (or negative) meaning unbounded.  Mirrors the raw-fd deadline
+ * reader WorkerProcess::receive grew for hung workers — here it
+ * bounds hostile or half-open clients.
+ */
+class Deadline
 {
-    std::size_t done = 0;
-    while (done < len) {
-        const ssize_t n = ::read(fd, buf + done, len - done);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return -1;
-        }
-        if (n == 0)
-            break;
-        done += static_cast<std::size_t>(n);
+  public:
+    explicit Deadline(int timeout_ms) : unbounded_(timeout_ms <= 0)
+    {
+        if (!unbounded_)
+            end_ = std::chrono::steady_clock::now()
+                   + std::chrono::milliseconds(timeout_ms);
     }
-    return static_cast<ssize_t>(done);
+
+    /** poll() timeout argument: -1 = wait forever, >= 0 = budget. */
+    int
+    remainingMs() const
+    {
+        if (unbounded_)
+            return -1;
+        const long long left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                end_ - std::chrono::steady_clock::now())
+                .count();
+        if (left <= 0)
+            return 0;
+        return static_cast<int>(
+            left > INT_MAX ? INT_MAX : left);
+    }
+
+  private:
+    bool unbounded_;
+    std::chrono::steady_clock::time_point end_;
+};
+
+/** How a deadline-bounded wait for fd readiness ended. */
+enum class IoWait : std::uint8_t
+{
+    Ready,
+    Timeout,
+    Error
+};
+
+/** Wait for @p events on @p fd within the deadline. */
+IoWait
+waitForFd(int fd, short events, const Deadline &deadline)
+{
+    for (;;) {
+        const int remaining = deadline.remainingMs();
+        if (remaining == 0)
+            return IoWait::Timeout;
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = events;
+        const int n = ::poll(&pfd, 1, remaining);
+        if (n > 0)
+            return IoWait::Ready;
+        if (n == 0)
+            return IoWait::Timeout;
+        if (errno != EINTR)
+            return IoWait::Error;
+    }
 }
 
-/** Write all of @p len bytes; false on any unrecoverable error. */
-bool
-writeFull(int fd, const char *buf, std::size_t len)
+/** How a deadline-bounded exact-length transfer ended. */
+enum class IoStatus : std::uint8_t
+{
+    Ok,       ///< all bytes transferred
+    Eof,      ///< stream ended early (read side only)
+    Timeout,  ///< deadline expired mid-transfer
+    Error     ///< errno-level failure
+};
+
+/**
+ * Read exactly @p len bytes within the deadline; @p got reports the
+ * transferred count on Eof so framing errors can say how far the
+ * stream reached.
+ */
+IoStatus
+readFull(int fd, char *buf, std::size_t len,
+         const Deadline &deadline, std::size_t &got)
+{
+    got = 0;
+    while (got < len) {
+        const IoWait wait = waitForFd(fd, POLLIN, deadline);
+        if (wait == IoWait::Timeout)
+            return IoStatus::Timeout;
+        if (wait == IoWait::Error)
+            return IoStatus::Error;
+        // Non-blocking for the same reason as writeFull: a spurious
+        // POLLIN must loop back to poll(), not block past the
+        // deadline.
+        const ssize_t n =
+            ::recv(fd, buf + got, len - got, MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
+                continue;
+            return IoStatus::Error;
+        }
+        if (n == 0)
+            return IoStatus::Eof;
+        got += static_cast<std::size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
+/** Write all of @p len bytes within the deadline. */
+IoStatus
+writeFull(int fd, const char *buf, std::size_t len,
+          const Deadline &deadline)
 {
     std::size_t done = 0;
     while (done < len) {
-        const ssize_t n = ::write(fd, buf + done, len - done);
+        const IoWait wait = waitForFd(fd, POLLOUT, deadline);
+        if (wait == IoWait::Timeout)
+            return IoStatus::Timeout;
+        if (wait == IoWait::Error)
+            return IoStatus::Error;
+        // MSG_DONTWAIT matters: POLLOUT only promises *some* buffer
+        // space, and a blocking write of more than that would stall
+        // in the kernel until the peer drains it — past any
+        // deadline.  Partial writes loop back through poll().
+        const ssize_t n = ::send(fd, buf + done, len - done,
+                                 MSG_DONTWAIT | MSG_NOSIGNAL);
         if (n < 0) {
-            if (errno == EINTR)
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
                 continue;
-            return false;
+            return IoStatus::Error;
         }
         done += static_cast<std::size_t>(n);
     }
-    return true;
+    return IoStatus::Ok;
 }
 
 /** Reverse of errorCodeName(); InvalidArgument for unknown names. */
@@ -60,6 +166,7 @@ errorCodeFromName(const std::string &name)
         ErrorCode::Corrupt,      ErrorCode::ChecksumMismatch,
         ErrorCode::LimitExceeded, ErrorCode::InvalidArgument,
         ErrorCode::Injected,     ErrorCode::CellFailed,
+        ErrorCode::Timeout,      ErrorCode::Overloaded,
     };
     for (const ErrorCode code : kCodes) {
         if (name == errorCodeName(code))
@@ -80,12 +187,13 @@ appendHex64(std::string &out, std::uint64_t v)
 } // namespace
 
 Result<Unit>
-writeFrame(int fd, const std::string &payload)
+writeFrame(int fd, const std::string &payload, int timeout_ms)
 {
     if (payload.size() > kMaxFrameBytes)
         return Error::format(ErrorCode::LimitExceeded,
                              "frame of %zu bytes exceeds %u cap",
                              payload.size(), kMaxFrameBytes);
+    const Deadline deadline(timeout_ms);
     const std::uint32_t len =
         static_cast<std::uint32_t>(payload.size());
     char header[4] = {
@@ -94,8 +202,16 @@ writeFrame(int fd, const std::string &payload)
         static_cast<char>((len >> 8) & 0xff),
         static_cast<char>(len & 0xff),
     };
-    if (!writeFull(fd, header, sizeof(header))
-        || !writeFull(fd, payload.data(), payload.size()))
+    IoStatus wrote =
+        writeFull(fd, header, sizeof(header), deadline);
+    if (wrote == IoStatus::Ok)
+        wrote = writeFull(fd, payload.data(), payload.size(),
+                          deadline);
+    if (wrote == IoStatus::Timeout)
+        return Error::format(ErrorCode::Timeout,
+                             "frame write exceeded %d ms deadline",
+                             timeout_ms);
+    if (wrote != IoStatus::Ok)
         return Error::format(ErrorCode::Io,
                              "frame write failed: %s",
                              std::strerror(errno));
@@ -103,21 +219,30 @@ writeFrame(int fd, const std::string &payload)
 }
 
 Result<bool>
-readFrame(int fd, std::string &payload)
+readFrame(int fd, std::string &payload, int timeout_ms)
 {
+    const Deadline deadline(timeout_ms);
     char header[4];
-    const ssize_t got = readFull(fd, header, sizeof(header));
-    if (got < 0)
+    std::size_t got = 0;
+    const IoStatus read_header =
+        readFull(fd, header, sizeof(header), deadline, got);
+    if (read_header == IoStatus::Timeout)
+        return Error::format(ErrorCode::Timeout,
+                             "frame header not received within "
+                             "%d ms (%zu of 4 bytes)",
+                             timeout_ms, got);
+    if (read_header == IoStatus::Error)
         return Error::format(ErrorCode::Io,
                              "frame header read failed: %s",
                              std::strerror(errno));
-    if (got == 0)
-        return false;  // clean close between frames
-    if (got < static_cast<ssize_t>(sizeof(header)))
+    if (read_header == IoStatus::Eof) {
+        if (got == 0)
+            return false;  // clean close between frames
         return Error::format(ErrorCode::Truncated,
                              "connection closed inside a frame "
-                             "header (%zd of 4 bytes)",
+                             "header (%zu of 4 bytes)",
                              got);
+    }
     const std::uint32_t len =
         (static_cast<std::uint32_t>(
              static_cast<unsigned char>(header[0]))
@@ -136,19 +261,89 @@ readFrame(int fd, std::string &payload)
                              len, kMaxFrameBytes);
     payload.resize(len);
     if (len > 0) {
-        const ssize_t body = readFull(fd, payload.data(), len);
-        if (body < 0)
+        std::size_t body = 0;
+        const IoStatus read_body =
+            readFull(fd, payload.data(), len, deadline, body);
+        if (read_body == IoStatus::Timeout)
+            return Error::format(
+                ErrorCode::Timeout,
+                "frame body not received within %d ms "
+                "(%zu of %u bytes)",
+                timeout_ms, body, len);
+        if (read_body == IoStatus::Error)
             return Error::format(ErrorCode::Io,
                                  "frame body read failed: %s",
                                  std::strerror(errno));
-        if (body < static_cast<ssize_t>(len))
+        if (read_body == IoStatus::Eof)
             return Error::format(
                 ErrorCode::Truncated,
                 "connection closed inside a frame body "
-                "(%zd of %u bytes)",
+                "(%zu of %u bytes)",
                 body, len);
     }
     return true;
+}
+
+Result<std::size_t>
+readSomeDeadline(int fd, char *buf, std::size_t cap,
+                 int timeout_ms)
+{
+    const Deadline deadline(timeout_ms);
+    for (;;) {
+        const IoWait wait = waitForFd(fd, POLLIN, deadline);
+        if (wait == IoWait::Timeout)
+            return Error::format(ErrorCode::Timeout,
+                                 "no bytes readable within %d ms",
+                                 timeout_ms);
+        if (wait == IoWait::Error)
+            return Error::format(ErrorCode::Io, "poll(): %s",
+                                 std::strerror(errno));
+        const ssize_t n = ::read(fd, buf, cap);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error::format(ErrorCode::Io, "read(): %s",
+                                 std::strerror(errno));
+        }
+        return static_cast<std::size_t>(n);
+    }
+}
+
+Result<Unit>
+writeAllDeadline(int fd, const char *buf, std::size_t len,
+                 int timeout_ms)
+{
+    const Deadline deadline(timeout_ms);
+    const IoStatus wrote = writeFull(fd, buf, len, deadline);
+    if (wrote == IoStatus::Timeout)
+        return Error::format(ErrorCode::Timeout,
+                             "write exceeded %d ms deadline",
+                             timeout_ms);
+    if (wrote != IoStatus::Ok)
+        return Error::format(ErrorCode::Io, "write failed: %s",
+                             std::strerror(errno));
+    return Unit{};
+}
+
+bool
+peerClosed(int fd)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 0) <= 0)
+        return false;  // nothing pending: the peer is quiet, alive
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0)
+        return true;
+    if ((pfd.revents & POLLIN) != 0) {
+        // Readable might mean pipelined client bytes, not a close:
+        // peek without consuming and check for EOF specifically.
+        char probe = 0;
+        const ssize_t n =
+            ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        return n == 0;
+    }
+    return false;
 }
 
 std::string
@@ -283,9 +478,22 @@ errorFrameJson(const Error &error)
     return out;
 }
 
+std::string
+shedFrameJson(const ShedInfo &shed)
+{
+    std::string out = "{\"gllcd\":";
+    out += std::to_string(kServiceProtocolVersion);
+    out += ",\"type\":\"shed\",\"reason\":\"";
+    out += jsonEscape(shed.reason);
+    out += "\",\"retry_after_ms\":";
+    out += std::to_string(shed.retryAfterMs);
+    out += '}';
+    return out;
+}
+
 Result<bool>
 parseResponseFrame(const std::string &json, ResultHeader &header,
-                   Error &error)
+                   Error &error, ShedInfo *shed)
 {
     Result<JsonValue> parsed = parseJson(json);
     if (!parsed.ok())
@@ -314,6 +522,31 @@ parseResponseFrame(const std::string &json, ResultHeader &header,
             return text.error();
         error = Error(errorCodeFromName(code_name.value()),
                       text.take());
+        return false;
+    }
+    if (type_name.value() == "shed") {
+        const JsonValue *reason = doc.find("reason");
+        if (reason == nullptr)
+            return Error(ErrorCode::Corrupt,
+                         "shed frame needs a reason");
+        Result<std::string> why = reason->asString("reason");
+        if (!why.ok())
+            return why.error();
+        int retry_after_ms = 0;
+        if (const JsonValue *retry = doc.find("retry_after_ms")) {
+            if (!retry->isNumber())
+                return Error(ErrorCode::Corrupt,
+                             "retry_after_ms: expected a number");
+            retry_after_ms = static_cast<int>(retry->number());
+        }
+        if (shed != nullptr) {
+            shed->reason = why.value();
+            shed->retryAfterMs = retry_after_ms;
+        }
+        error = Error::format(
+            ErrorCode::Overloaded,
+            "daemon shed the job (%s); retry after %d ms",
+            why.value().c_str(), retry_after_ms);
         return false;
     }
     if (type_name.value() != "result")

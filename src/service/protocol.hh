@@ -26,6 +26,21 @@
  *                               "jobs":{...},"workers":{...},
  *                               "latency_ms":{...},...}
  *
+ * A submit the daemon refuses to queue (bounded admission) is
+ * answered with a shed frame {"gllcd":1,"type":"shed","reason":R,
+ * "retry_after_ms":N} instead of a result header.  Clients surface
+ * it as an Overloaded error and should back off for roughly the
+ * hinted interval before retrying.
+ *
+ * IO deadlines.  Every helper below takes a timeout in milliseconds
+ * (0 = wait forever, the legacy behavior).  A bounded read or write
+ * polls the fd with the remaining budget and surfaces an expired
+ * deadline as a Timeout error, so a slowloris peer — one that sends
+ * a partial header and then nothing — costs a connection thread at
+ * most the deadline, never forever.  These wrappers (plus
+ * worker.cc's pipe reader) are the only sanctioned raw-fd IO in
+ * src/service/; gllc-lint enforces that.
+ *
  * status_v2 is the telemetry view gllc-top polls: queue depth per
  * priority class, job counters, cache hit rate, and rolling
  * p50/p95 latency quantiles read from the metrics registry.  It is
@@ -61,19 +76,52 @@ constexpr std::uint32_t kServiceProtocolVersion = 1;
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
 /**
- * Write one length-prefixed frame to @p fd.  LimitExceeded when the
- * payload exceeds kMaxFrameBytes; Io when the peer is gone.
+ * Write one length-prefixed frame to @p fd within @p timeout_ms
+ * (0 = wait forever).  LimitExceeded when the payload exceeds
+ * kMaxFrameBytes; Timeout when the deadline expires mid-write; Io
+ * when the peer is gone.
  */
 [[nodiscard]] Result<Unit>
-writeFrame(int fd, const std::string &payload);
+writeFrame(int fd, const std::string &payload, int timeout_ms = 0);
 
 /**
- * Read one frame from @p fd into @p payload.  ok(false) on a clean
- * close (EOF before any header byte) — the peer simply hung up;
- * Truncated when the stream ends inside a frame, LimitExceeded when
- * the header declares more than kMaxFrameBytes, Io on read errors.
+ * Read one frame from @p fd into @p payload within @p timeout_ms
+ * (0 = wait forever).  ok(false) on a clean close (EOF before any
+ * header byte) — the peer simply hung up; Truncated when the stream
+ * ends inside a frame, LimitExceeded when the header declares more
+ * than kMaxFrameBytes, Timeout when the deadline expires with the
+ * frame incomplete, Io on read errors.
  */
-[[nodiscard]] Result<bool> readFrame(int fd, std::string &payload);
+[[nodiscard]] Result<bool>
+readFrame(int fd, std::string &payload, int timeout_ms = 0);
+
+/**
+ * Read up to @p cap bytes once @p fd turns readable, within
+ * @p timeout_ms (0 = wait forever).  ok(0) means EOF; Timeout when
+ * nothing became readable in time; Io on read errors.  For callers
+ * (the exposition HTTP listener) that parse their own stream
+ * framing but must still bound hostile peers.
+ */
+[[nodiscard]] Result<std::size_t>
+readSomeDeadline(int fd, char *buf, std::size_t cap,
+                 int timeout_ms);
+
+/**
+ * Write all @p len bytes within @p timeout_ms (0 = wait forever).
+ * Timeout when the deadline expires mid-write; Io when the peer is
+ * gone.
+ */
+[[nodiscard]] Result<Unit>
+writeAllDeadline(int fd, const char *buf, std::size_t len,
+                 int timeout_ms);
+
+/**
+ * True when the peer of socket @p fd has hung up (orderly close or
+ * error state).  Non-blocking, never consumes stream bytes: the
+ * daemon probes waiting submitters with this so a job whose client
+ * vanished can be cancelled before it ever dispatches.
+ */
+bool peerClosed(int fd);
 
 /** What a request envelope asks for. */
 enum class RequestType : std::uint8_t
@@ -126,13 +174,30 @@ std::string resultHeaderJson(const ResultHeader &header);
 std::string errorFrameJson(const Error &error);
 
 /**
+ * Why (and for how long) the daemon refused to queue a submit.
+ * Reasons are stable wire strings: "queue_full", "tenant_quota",
+ * "conn_limit", "shutdown".
+ */
+struct ShedInfo
+{
+    std::string reason;
+    int retryAfterMs = 0;  ///< client backoff hint, milliseconds
+};
+
+/** Serialize a load-shed response as a shed frame. */
+std::string shedFrameJson(const ShedInfo &shed);
+
+/**
  * Classify a response frame: fills exactly one of @p header (result;
  * caller then reads the payload frame) or @p error (the daemon's
  * typed Error, reconstructed).  Returns false for an error frame.
+ * A shed frame also returns false, with @p error carrying
+ * ErrorCode::Overloaded and, when @p shed is non-null, the parsed
+ * reason and retry-after hint.
  */
 [[nodiscard]] Result<bool>
 parseResponseFrame(const std::string &json, ResultHeader &header,
-                   Error &error);
+                   Error &error, ShedInfo *shed = nullptr);
 
 } // namespace gllc
 

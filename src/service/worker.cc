@@ -38,30 +38,14 @@ namespace gllc
 namespace
 {
 
-/** Seal a line the way the checkpoint journal does. */
-std::string
-sealLine(std::string line)
-{
-    char hash[24];
-    std::snprintf(hash, sizeof(hash), "%016" PRIx64,
-                  fnv1a64(line.data(), line.size()));
-    line += ",\"line_hash\":\"";
-    line += hash;
-    line += "\"}\n";
-    return line;
-}
-
-/** Verify a sealed line's trailing checksum. */
+/** Verify a sealed line's trailing checksum (keeps @p line whole). */
 bool
 verifySeal(const std::string &line)
 {
-    const std::size_t tail = line.find(",\"line_hash\":\"");
-    if (tail == std::string::npos)
-        return false;
-    char want[24];
-    std::snprintf(want, sizeof(want), "%016" PRIx64,
-                  fnv1a64(line.data(), tail));
-    return line.compare(tail + 15, 16, want) == 0;
+    std::string copy = line;
+    if (!copy.empty() && copy.back() == '\n')
+        copy.pop_back();
+    return unsealJournalLine(copy);
 }
 
 /** The failed-cell line of the worker protocol (sealed). */
@@ -80,7 +64,7 @@ failedCellLine(const CellKey &key, unsigned attempts,
     line += ",\"error\":\"";
     line += jsonEscape(error);
     line += '"';
-    return sealLine(std::move(line));
+    return sealJournalLine(std::move(line));
 }
 
 /** Parsed failure report. */

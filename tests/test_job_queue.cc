@@ -44,9 +44,9 @@ drain(JobQueue &queue)
 TEST(JobQueue, FifoWithinOneTenant)
 {
     JobQueue queue;
-    ASSERT_TRUE(queue.push(job(1, "a")));
-    ASSERT_TRUE(queue.push(job(2, "a")));
-    ASSERT_TRUE(queue.push(job(3, "a")));
+    ASSERT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(2, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(3, "a")), JobQueue::PushOutcome::Ok);
     EXPECT_EQ(queue.depth(), 3u);
     EXPECT_EQ(drain(queue), (std::vector<std::uint64_t>{1, 2, 3}));
     EXPECT_EQ(queue.depth(), 0u);
@@ -57,12 +57,12 @@ TEST(JobQueue, TenantsTakeTurnsWithinAClass)
     JobQueue queue;
     // Tenant a floods the queue before b and c submit one job each:
     // the rotation must alternate instead of serving a back-to-back.
-    ASSERT_TRUE(queue.push(job(1, "a")));
-    ASSERT_TRUE(queue.push(job(2, "a")));
-    ASSERT_TRUE(queue.push(job(3, "a")));
-    ASSERT_TRUE(queue.push(job(4, "b")));
-    ASSERT_TRUE(queue.push(job(5, "c")));
-    ASSERT_TRUE(queue.push(job(6, "c")));
+    ASSERT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(2, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(3, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(4, "b")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(5, "c")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(6, "c")), JobQueue::PushOutcome::Ok);
     EXPECT_EQ(drain(queue),
               (std::vector<std::uint64_t>{1, 4, 5, 2, 6, 3}));
 }
@@ -70,10 +70,10 @@ TEST(JobQueue, TenantsTakeTurnsWithinAClass)
 TEST(JobQueue, HigherPriorityClassRunsFirst)
 {
     JobQueue queue;
-    ASSERT_TRUE(queue.push(job(1, "a", 0)));
-    ASSERT_TRUE(queue.push(job(2, "b", 10)));
-    ASSERT_TRUE(queue.push(job(3, "a", -5)));
-    ASSERT_TRUE(queue.push(job(4, "c", 10)));
+    ASSERT_EQ(queue.push(job(1, "a", 0)), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(2, "b", 10)), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(3, "a", -5)), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(4, "c", 10)), JobQueue::PushOutcome::Ok);
     EXPECT_EQ(drain(queue),
               (std::vector<std::uint64_t>{2, 4, 1, 3}));
 }
@@ -83,10 +83,10 @@ TEST(JobQueue, RotationIsDeterministicInArrivalOrder)
     // Same jobs pushed in the same order pop in the same order.
     for (int round = 0; round < 3; ++round) {
         JobQueue queue;
-        ASSERT_TRUE(queue.push(job(1, "x")));
-        ASSERT_TRUE(queue.push(job(2, "y")));
-        ASSERT_TRUE(queue.push(job(3, "x")));
-        ASSERT_TRUE(queue.push(job(4, "y")));
+        ASSERT_EQ(queue.push(job(1, "x")), JobQueue::PushOutcome::Ok);
+        ASSERT_EQ(queue.push(job(2, "y")), JobQueue::PushOutcome::Ok);
+        ASSERT_EQ(queue.push(job(3, "x")), JobQueue::PushOutcome::Ok);
+        ASSERT_EQ(queue.push(job(4, "y")), JobQueue::PushOutcome::Ok);
         EXPECT_EQ(drain(queue),
                   (std::vector<std::uint64_t>{1, 2, 3, 4}));
     }
@@ -108,7 +108,7 @@ TEST(JobQueue, WaitPopDeliversAcrossThreads)
         if (queue.waitPop(got))
             got_id = got.id;
     });
-    ASSERT_TRUE(queue.push(job(7, "a")));
+    ASSERT_EQ(queue.push(job(7, "a")), JobQueue::PushOutcome::Ok);
     consumer.join();
     EXPECT_EQ(got_id, 7u);
 }
@@ -133,13 +133,109 @@ TEST(JobQueue, CloseReleasesBlockedWaiters)
 TEST(JobQueue, PushAfterCloseIsRefused)
 {
     JobQueue queue;
-    EXPECT_TRUE(queue.push(job(1, "a")));
+    EXPECT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
     queue.close();
     // A push that lost the race with close() must be refused —
     // nothing will ever pop it, so accepting it would strand a
     // client waiting on the job forever.
-    EXPECT_FALSE(queue.push(job(2, "a")));
+    EXPECT_EQ(queue.push(job(2, "a")), JobQueue::PushOutcome::Closed);
     EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(JobQueue, DepthCapShedsWithTypedReason)
+{
+    JobQueue queue;
+    queue.configureLimits({2, 0});
+    EXPECT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
+    EXPECT_EQ(queue.push(job(2, "b")), JobQueue::PushOutcome::Ok);
+    EXPECT_EQ(queue.push(job(3, "c")),
+              JobQueue::PushOutcome::QueueFull);
+    EXPECT_EQ(queue.depth(), 2u);
+
+    // Popping frees capacity again: the cap bounds depth, it is not
+    // a one-way valve.
+    QueuedJob got;
+    ASSERT_TRUE(queue.pop(got));
+    EXPECT_EQ(queue.push(job(4, "c")), JobQueue::PushOutcome::Ok);
+}
+
+TEST(JobQueue, TenantQuotaShedsOnlyTheGreedyTenant)
+{
+    JobQueue queue;
+    queue.configureLimits({0, 2});
+    EXPECT_EQ(queue.push(job(1, "greedy")),
+              JobQueue::PushOutcome::Ok);
+    // The quota counts across priority classes, so spreading the
+    // flood over priorities must not evade it.
+    EXPECT_EQ(queue.push(job(2, "greedy", 5)),
+              JobQueue::PushOutcome::Ok);
+    EXPECT_EQ(queue.push(job(3, "greedy")),
+              JobQueue::PushOutcome::TenantQuotaExceeded);
+    EXPECT_EQ(queue.push(job(4, "polite")),
+              JobQueue::PushOutcome::Ok);
+
+    // Draining the tenant's jobs restores its quota.
+    QueuedJob got;
+    ASSERT_TRUE(queue.pop(got));
+    EXPECT_EQ(got.id, 2u);  // higher priority class first
+    EXPECT_EQ(queue.push(job(5, "greedy")),
+              JobQueue::PushOutcome::Ok);
+}
+
+TEST(JobQueue, QueueFullWinsOverTenantQuota)
+{
+    JobQueue queue;
+    queue.configureLimits({1, 1});
+    EXPECT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
+    // Both limits are violated; the global one is reported (it is
+    // the one a retrying client can do nothing about).
+    EXPECT_EQ(queue.push(job(2, "a")),
+              JobQueue::PushOutcome::QueueFull);
+}
+
+TEST(JobQueue, CancelRemovesQueuedJob)
+{
+    JobQueue queue;
+    ASSERT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(2, "b")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(3, "a")), JobQueue::PushOutcome::Ok);
+
+    EXPECT_TRUE(queue.cancel(2));
+    EXPECT_FALSE(queue.cancel(2));  // already gone
+    EXPECT_FALSE(queue.cancel(99));
+    EXPECT_EQ(queue.depth(), 2u);
+    EXPECT_EQ(drain(queue), (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(JobQueue, CancelLastJobOfTenantKeepsRotationSound)
+{
+    JobQueue queue;
+    // b's only job is cancelled; the rotation must forget b or a
+    // later pop would assert on an empty lane.
+    ASSERT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(2, "b")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(3, "a")), JobQueue::PushOutcome::Ok);
+    EXPECT_TRUE(queue.cancel(2));
+    EXPECT_EQ(drain(queue), (std::vector<std::uint64_t>{1, 3}));
+
+    // Cancelling the sole job of the sole tenant empties the queue.
+    ASSERT_EQ(queue.push(job(4, "c", 7)),
+              JobQueue::PushOutcome::Ok);
+    EXPECT_TRUE(queue.cancel(4));
+    EXPECT_EQ(queue.depth(), 0u);
+    QueuedJob got;
+    EXPECT_FALSE(queue.pop(got));
+}
+
+TEST(JobQueue, CancelReleasesTenantQuota)
+{
+    JobQueue queue;
+    queue.configureLimits({0, 1});
+    ASSERT_EQ(queue.push(job(1, "a")), JobQueue::PushOutcome::Ok);
+    ASSERT_EQ(queue.push(job(2, "a")),
+              JobQueue::PushOutcome::TenantQuotaExceeded);
+    EXPECT_TRUE(queue.cancel(1));
+    EXPECT_EQ(queue.push(job(3, "a")), JobQueue::PushOutcome::Ok);
 }
 
 TEST(JobQueue, ConcurrentPushersAndPopperLoseNothing)
@@ -173,7 +269,8 @@ TEST(JobQueue, ConcurrentPushersAndPopperLoseNothing)
                 const std::uint64_t id =
                     t * kJobsPerPusher + i + 1;
                 if (queue.push(job(id, tenant,
-                                   static_cast<int>(i % 2))))
+                                   static_cast<int>(i % 2)))
+                    == JobQueue::PushOutcome::Ok)
                     ++accepted;
             }
         });

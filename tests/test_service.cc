@@ -44,6 +44,8 @@
 #include "common/metrics.hh"
 #include "service/client.hh"
 #include "service/daemon.hh"
+#include "service/job_journal.hh"
+#include "service/protocol.hh"
 #include "workload/app_profile.hh"
 
 using namespace gllc;
@@ -666,6 +668,387 @@ TEST_F(ServiceTest, SigtermedDaemonLeavesValidArtifacts)
             saw_stopping = true;
     }
     EXPECT_TRUE(saw_stopping);
+}
+
+TEST_F(ServiceTest, SlowlorisConnectionIsReapedAtDeadline)
+{
+    DaemonOptions options;
+    options.workers = 2;
+    options.connTimeoutMs = 100;
+    startDaemonWith(std::move(options));
+
+    // A hostile client: two header bytes, then silence.  Without
+    // the IO deadline the connection thread would block forever on
+    // the rest of the header.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, daemon_->socketPath().c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_EQ(::write(fd, "\x00\x00", 2), 2);
+
+    // The daemon answers with a typed Timeout error and hangs up;
+    // crucially, it keeps serving well-behaved clients throughout.
+    ServiceClient polite = connect();
+    EXPECT_TRUE(polite.submit(tinySpec()).ok());
+
+    std::string response;
+    Result<bool> read = readFrame(fd, response, 5000);
+    ASSERT_TRUE(read.ok()) << read.error().toString();
+    ASSERT_TRUE(read.value());
+    ResultHeader header;
+    Error error;
+    Result<bool> kind = parseResponseFrame(response, header, error);
+    ASSERT_TRUE(kind.ok()) << kind.error().toString();
+    EXPECT_FALSE(kind.value());
+    EXPECT_EQ(error.code, ErrorCode::Timeout);
+
+    // And then EOF: the stalled connection really was reaped.
+    read = readFrame(fd, response, 5000);
+    ASSERT_TRUE(read.ok()) << read.error().toString();
+    EXPECT_FALSE(read.value());
+    ::close(fd);
+}
+
+TEST_F(ServiceTest, DisconnectedClientCancelsItsQueuedJob)
+{
+    // One worker and 100 ms per cell: the four-cell job up front
+    // holds the dispatcher ~400 ms, far longer than the ~200 ms
+    // disconnect probe needs to notice the second job's client is
+    // gone.
+    DaemonOptions options;
+    options.workers = 1;
+    startDaemonWith(std::move(options));
+    ::setenv("GLLC_FAULT", "cell.delay:p=1", 1);
+    SweepJobSpec slow = tinySpec();
+    slow.policies = {"DRRIP+UCD", "GSPC+UCD"};
+
+    std::thread blocker([&] {
+        ServiceClient client = connect();
+        EXPECT_TRUE(client.submit(slow, "a").ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // Submit a second, distinct job and hang up immediately: the
+    // job is queued behind the slow one and must never execute.
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, daemon_->socketPath().c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(
+            ::connect(fd,
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)),
+            0);
+        ASSERT_TRUE(
+            writeFrame(fd, submitEnvelopeJson("ghost", 0)).ok());
+        ASSERT_TRUE(writeFrame(fd, tinySpec().toJson()).ok());
+        ::close(fd);
+    }
+
+    // The probe fires within ~200 ms; give slow CI plenty of rope.
+    bool cancelled = false;
+    for (int i = 0; i < 200 && !cancelled; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        cancelled = daemon_->jobsCancelled() == 1;
+    }
+    EXPECT_TRUE(cancelled);
+
+    blocker.join();
+    ::unsetenv("GLLC_FAULT");
+    // Only the surviving client's job ever executed.
+    EXPECT_EQ(daemon_->jobsCompleted(), 1u);
+}
+
+TEST_F(ServiceTest, FullQueueShedsWithTypedReasonAndHint)
+{
+    DaemonOptions options;
+    options.workers = 1;
+    options.maxQueue = 1;
+    startDaemonWith(std::move(options));
+    ::setenv("GLLC_FAULT", "cell.delay:p=1", 1);
+
+    // Job A occupies the dispatcher; job B fills the queue; job C
+    // must bounce with a typed shed, instantly, instead of queuing
+    // unboundedly or blocking.
+    SweepJobSpec spec_a = tinySpec();
+    SweepJobSpec spec_b = tinySpec();
+    spec_b.llcBytes = 4ull << 20;
+    SweepJobSpec spec_c = tinySpec();
+    spec_c.llcBytes = 2ull << 20;
+
+    std::thread submit_a([&] {
+        ServiceClient client = connect();
+        EXPECT_TRUE(client.submit(spec_a, "a").ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::thread submit_b([&] {
+        ServiceClient client = connect();
+        EXPECT_TRUE(client.submit(spec_b, "b").ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    ServiceClient client = connect();
+    ShedInfo shed;
+    Result<SubmitOutcome> outcome =
+        client.submit(spec_c, "c", 0, &shed);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, ErrorCode::Overloaded);
+    EXPECT_EQ(shed.reason, "queue_full");
+    EXPECT_GT(shed.retryAfterMs, 0);
+    EXPECT_EQ(daemon_->jobsShed(), 1u);
+
+    // The shed connection is still usable (framing stayed in
+    // sync), and once the queue drains the same job is accepted.
+    submit_a.join();
+    submit_b.join();
+    ::unsetenv("GLLC_FAULT");
+    Result<SubmitOutcome> retry = client.submit(spec_c, "c");
+    EXPECT_TRUE(retry.ok()) << retry.error().toString();
+}
+
+TEST_F(ServiceTest, TenantQuotaShedsOnlyTheFloodingTenant)
+{
+    DaemonOptions options;
+    options.workers = 1;
+    options.tenantQuota = 1;
+    startDaemonWith(std::move(options));
+    ::setenv("GLLC_FAULT", "cell.delay:p=1", 1);
+
+    SweepJobSpec spec_a = tinySpec();
+    SweepJobSpec spec_b = tinySpec();
+    spec_b.llcBytes = 4ull << 20;
+    SweepJobSpec spec_c = tinySpec();
+    spec_c.llcBytes = 2ull << 20;
+    SweepJobSpec spec_d = tinySpec();
+    spec_d.llcBytes = 1ull << 20;
+
+    // A's first job dispatches (leaves the queue), A's second sits
+    // queued at its quota; A's third must shed while B still gets
+    // in — per-tenant isolation, not a global brake.
+    std::thread submit_1([&] {
+        ServiceClient client = connect();
+        EXPECT_TRUE(client.submit(spec_a, "a").ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::thread submit_2([&] {
+        ServiceClient client = connect();
+        EXPECT_TRUE(client.submit(spec_b, "a").ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    ServiceClient flooder = connect();
+    ShedInfo shed;
+    Result<SubmitOutcome> refused =
+        flooder.submit(spec_c, "a", 0, &shed);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.error().code, ErrorCode::Overloaded);
+    EXPECT_EQ(shed.reason, "tenant_quota");
+
+    std::thread submit_b([&] {
+        ServiceClient client = connect();
+        EXPECT_TRUE(client.submit(spec_d, "b").ok());
+    });
+
+    submit_1.join();
+    submit_2.join();
+    submit_b.join();
+    ::unsetenv("GLLC_FAULT");
+    EXPECT_EQ(daemon_->jobsShed(), 1u);
+    EXPECT_EQ(daemon_->jobsCompleted(), 3u);
+}
+
+TEST_F(ServiceTest, ConnectionCapShedsExtraConnections)
+{
+    DaemonOptions options;
+    options.workers = 2;
+    options.maxConns = 1;
+    startDaemonWith(std::move(options));
+
+    // The first connection occupies the only slot...
+    ServiceClient holder = connect();
+    ASSERT_TRUE(holder.status().ok());
+
+    // ...so the second is turned away with a typed conn_limit shed
+    // before any request is read.
+    ServiceClient extra = connect();
+    ShedInfo shed;
+    Result<SubmitOutcome> outcome =
+        extra.submit(tinySpec(), "t", 0, &shed);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code, ErrorCode::Overloaded);
+    EXPECT_EQ(shed.reason, "conn_limit");
+
+    // The admitted connection never noticed.
+    EXPECT_TRUE(holder.submit(tinySpec()).ok());
+}
+
+TEST_F(ServiceTest, KilledDaemonRecoversEveryAcceptedJob)
+{
+    // The headline crash-recovery property, end to end: kill -9 a
+    // real daemon with accepted jobs outstanding, restart it with
+    // --recover, and every accepted job completes with bytes
+    // identical to a local in-process run.
+    const std::string socket_path = tempPath("kill_sock");
+    const std::string store_dir = tempPath("kill_store");
+    const std::string journal_path = tempPath("kill.wal");
+    std::remove(journal_path.c_str());
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Slow cells keep jobs in flight while we pull the plug.
+        ::setenv("GLLC_FAULT", "cell.delay:p=1", 1);
+        ::execl(GLLC_GLLCD_PATH, GLLC_GLLCD_PATH, "--socket",
+                socket_path.c_str(), "--store", store_dir.c_str(),
+                "--journal", journal_path.c_str(), "--workers",
+                "1", static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    SweepJobSpec spec_a = tinySpec();
+    SweepJobSpec spec_b = tinySpec();
+    spec_b.llcBytes = 4ull << 20;
+
+    // Wait until the daemon accepts connections.
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        up = ServiceClient::connectUnix(socket_path).ok();
+    }
+    ASSERT_TRUE(up);
+
+    // Two submits that will never be answered: the daemon dies
+    // with both jobs accepted (journaled) but unfinished.
+    std::thread doomed_a([&] {
+        Result<ServiceClient> client =
+            ServiceClient::connectUnix(socket_path);
+        if (client.ok()) {
+            ServiceClient conn = client.take();
+            (void)conn.submit(spec_a, "a");
+        }
+    });
+    std::thread doomed_b([&] {
+        Result<ServiceClient> client =
+            ServiceClient::connectUnix(socket_path);
+        if (client.ok()) {
+            ServiceClient conn = client.take();
+            (void)conn.submit(spec_b, "b");
+        }
+    });
+
+    // Kill only after both accept records are durably journaled.
+    bool journaled = false;
+    for (int i = 0; i < 400 && !journaled; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        std::ifstream is(journal_path);
+        std::string line;
+        int accepts = 0;
+        while (std::getline(is, line))
+            if (line.find("\"accept\":1") != std::string::npos)
+                ++accepts;
+        journaled = accepts >= 2;
+    }
+    ASSERT_TRUE(journaled);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    doomed_a.join();
+    doomed_b.join();
+
+    // Restart (in-process this time) with --recover semantics: the
+    // journal replays and both jobs complete unattended.
+    DaemonOptions options;
+    options.workers = 2;
+    options.storeDir = store_dir;
+    options.journalPath = journal_path;
+    options.recover = true;
+    startDaemonWith(std::move(options));
+    EXPECT_EQ(daemon_->jobsRecovered(), 2u);
+
+    bool completed = false;
+    for (int i = 0; i < 1200 && !completed; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        completed = daemon_->jobsCompleted() == 2;
+    }
+    ASSERT_TRUE(completed);
+
+    // Resubmitting now serves from the store — and the bytes are
+    // identical to a local in-process run of the same spec.
+    ServiceClient client = connect();
+    Result<SubmitOutcome> got_a = client.submit(spec_a, "a");
+    ASSERT_TRUE(got_a.ok()) << got_a.error().toString();
+    EXPECT_TRUE(got_a.value().header.cached);
+    EXPECT_EQ(got_a.value().payload, localPayload(spec_a));
+    Result<SubmitOutcome> got_b = client.submit(spec_b, "b");
+    ASSERT_TRUE(got_b.ok()) << got_b.error().toString();
+    EXPECT_TRUE(got_b.value().header.cached);
+    EXPECT_EQ(got_b.value().payload, localPayload(spec_b));
+
+    // A second recovery pass finds nothing left to do.
+    daemon_->stop();
+    Result<JournalRecovery> reloaded =
+        JobJournal::load(journal_path);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.error().toString();
+    EXPECT_TRUE(reloaded.value().pending.empty());
+}
+
+TEST_F(ServiceTest, DaemonCrashFaultSiteKillsWithTypedExitCode)
+{
+    // The chaos harness's daemon.crash site: a real daemon dies
+    // mid-dispatch with the documented exit code, leaving its
+    // journal owing the job — the recovery drill in CI starts here.
+    const std::string socket_path = tempPath("crash_sock");
+    const std::string journal_path = tempPath("crash.wal");
+    std::remove(journal_path.c_str());
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::setenv("GLLC_FAULT", "daemon.crash:p=1", 1);
+        ::execl(GLLC_GLLCD_PATH, GLLC_GLLCD_PATH, "--socket",
+                socket_path.c_str(), "--journal",
+                journal_path.c_str(), "--workers", "1",
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        up = ServiceClient::connectUnix(socket_path).ok();
+    }
+    ASSERT_TRUE(up);
+
+    std::thread doomed([&] {
+        Result<ServiceClient> client =
+            ServiceClient::connectUnix(socket_path);
+        if (client.ok()) {
+            ServiceClient conn = client.take();
+            (void)conn.submit(tinySpec(), "a");
+        }
+    });
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    doomed.join();
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), kDaemonCrashExitCode);
+
+    // The job was accepted but never finished: exactly one journal
+    // debt for --recover to collect.
+    Result<JournalRecovery> loaded =
+        JobJournal::load(journal_path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(loaded.value().pending.size(), 1u);
 }
 
 TEST_F(ServiceTest, StatusAnswersConcurrentlyWithRunningJobs)

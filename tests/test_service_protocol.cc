@@ -10,9 +10,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <string>
+#include <thread>
 
 #include "service/protocol.hh"
 
@@ -249,4 +251,109 @@ TEST(ServiceProtocol, GarbageResponseFrameIsCorrupt)
         parseResponseFrame("\x00\x01garbage", header, error);
     ASSERT_FALSE(kind.ok());
     EXPECT_EQ(kind.error().code, ErrorCode::Corrupt);
+}
+
+TEST(ServiceProtocol, ShedFrameRoundTrip)
+{
+    ShedInfo sent;
+    sent.reason = "queue_full";
+    sent.retryAfterMs = 700;
+
+    ResultHeader header;
+    Error error;
+    ShedInfo got;
+    Result<bool> kind = parseResponseFrame(shedFrameJson(sent),
+                                           header, error, &got);
+    ASSERT_TRUE(kind.ok()) << kind.error().toString();
+    // A shed is "not a result": the caller sees a typed Overloaded
+    // error plus the machine-readable reason and backoff hint.
+    EXPECT_FALSE(kind.value());
+    EXPECT_EQ(error.code, ErrorCode::Overloaded);
+    EXPECT_EQ(got.reason, "queue_full");
+    EXPECT_EQ(got.retryAfterMs, 700);
+
+    // Callers that don't care about the details may pass no out
+    // param and still get the typed error.
+    kind = parseResponseFrame(shedFrameJson(sent), header, error);
+    ASSERT_TRUE(kind.ok());
+    EXPECT_FALSE(kind.value());
+    EXPECT_EQ(error.code, ErrorCode::Overloaded);
+}
+
+TEST(ServiceProtocol, ReadFrameDeadlineCatchesSlowloris)
+{
+    SocketPair pair;
+    // Two header bytes, then silence: without a deadline this read
+    // would block forever; with one it must fail as Timeout, fast.
+    writeRaw(pair.writer(), std::string("\x00\x00", 2));
+    std::string got;
+    const auto before = std::chrono::steady_clock::now();
+    Result<bool> read = readFrame(pair.reader(), got, 50);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - before);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.error().code, ErrorCode::Timeout);
+    EXPECT_GE(elapsed.count(), 45);
+    EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(ServiceProtocol, ReadFrameDeadlineCoversTheBodyToo)
+{
+    SocketPair pair;
+    // A complete header promising 8 bytes, 3 delivered, then stall.
+    writeRaw(pair.writer(),
+             std::string("\x00\x00\x00\x08", 4) + "abc");
+    std::string got;
+    Result<bool> read = readFrame(pair.reader(), got, 50);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.error().code, ErrorCode::Timeout);
+}
+
+TEST(ServiceProtocol, WriteFrameDeadlineCatchesUnreadPeer)
+{
+    SocketPair pair;
+    // The peer never reads, so the kernel buffers fill and the
+    // write must time out rather than block the daemon forever.
+    ::signal(SIGPIPE, SIG_IGN);
+    Result<Unit> wrote = Unit{};
+    for (int i = 0; i < 64 && wrote.ok(); ++i)
+        wrote = writeFrame(pair.writer(),
+                           std::string(1 << 20, 'x'), 50);
+    ASSERT_FALSE(wrote.ok());
+    EXPECT_EQ(wrote.error().code, ErrorCode::Timeout);
+}
+
+TEST(ServiceProtocol, ZeroTimeoutStaysFullyBlocking)
+{
+    // timeout_ms = 0 is the legacy contract: no deadline at all.
+    // Deliver the frame from another thread after a pause longer
+    // than any plausible accidental default.
+    SocketPair pair;
+    std::thread writer([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+        ASSERT_TRUE(writeFrame(pair.writer(), "late").ok());
+    });
+    std::string got;
+    Result<bool> read = readFrame(pair.reader(), got, 0);
+    writer.join();
+    ASSERT_TRUE(read.ok()) << read.error().toString();
+    EXPECT_TRUE(read.value());
+    EXPECT_EQ(got, "late");
+}
+
+TEST(ServiceProtocol, PeerClosedSeesHangupAndLiveness)
+{
+    SocketPair pair;
+    // A connected, quiet peer is not closed.
+    EXPECT_FALSE(peerClosed(pair.reader()));
+    // Buffered unread data alone must not read as a hangup.
+    writeRaw(pair.writer(), "ping");
+    EXPECT_FALSE(peerClosed(pair.reader()));
+    // After the peer hangs up it must read as closed (even with
+    // that data still buffered: the daemon's question is "is
+    // anybody still waiting", not "is the buffer empty").
+    pair.closeWrite();
+    EXPECT_TRUE(peerClosed(pair.reader()));
 }

@@ -24,6 +24,19 @@ GETENV_ALLOWLIST = {
     Path("src/common/env.cc"),
 }
 
+RAW_SOCKET_IO = re.compile(
+    r"(?<![\w.>])(?:::)?(?:read|write|recv|send|readv|writev|"
+    r"recvmsg|sendmsg)\s*\(")
+
+# Service files exempt from the deadline-IO rule: protocol.cc
+# implements the deadline wrappers themselves, and worker.cc talks to
+# its forked worker over a pipe it owns end to end (bounded by the
+# cell timeout, not a connection deadline).
+CONN_DEADLINE_ALLOWLIST = {
+    Path("src/service/protocol.cc"),
+    Path("src/service/worker.cc"),
+}
+
 
 @register
 class BareAssert:
@@ -83,6 +96,35 @@ class RawStderr:
                     self.name, str(ctx.rel), lineno,
                     "raw fprintf(stderr); use warn()/note() "
                     "(common/logging.hh) or the progress reporter")
+
+
+@register
+class ConnDeadline:
+    """A slow or dead client must never pin a connection thread: all
+    client-socket IO in the service layer goes through the
+    deadline-bounded wrappers (readFrame/writeFrame with timeout_ms,
+    readSomeDeadline/writeAllDeadline), never raw read/write/recv/
+    send.  One unbounded call is a slowloris foothold."""
+
+    name = "conn-deadline"
+    description = ("raw socket IO in src/service/; use the deadline "
+                   "wrappers from service/protocol.hh")
+
+    def check_file(self, ctx):
+        if len(ctx.rel.parts) < 2 or ctx.rel.parts[:2] != (
+                "src", "service"):
+            return
+        if ctx.rel in CONN_DEADLINE_ALLOWLIST or ctx.is_header:
+            return
+        for lineno, line in enumerate(ctx.code_lines, start=1):
+            if RAW_SOCKET_IO.search(line):
+                yield Finding(
+                    self.name, str(ctx.rel), lineno,
+                    "raw socket IO in the service layer; use the "
+                    "deadline-bounded helpers in service/protocol.hh "
+                    "(readFrame/writeFrame with timeout_ms, "
+                    "readSomeDeadline/writeAllDeadline) so a slow "
+                    "client cannot pin this thread")
 
 
 @register

@@ -89,6 +89,34 @@ class TestConventions(LintFixture):
         findings = self.run_checker("raw-getenv")
         self.assertEqual([f.path for f in findings], ["src/a.cc"])
 
+    def test_conn_deadline_flags_raw_socket_io_in_service(self):
+        self.write("src/service/daemon.cc",
+                   "void f(int fd) { char c;\n"
+                   "    ::read(fd, &c, 1);\n"
+                   "    send(fd, &c, 1, 0); }\n")
+        findings = self.run_checker("conn-deadline")
+        self.assertEqual([(f.path, f.line) for f in findings],
+                         [("src/service/daemon.cc", 2),
+                          ("src/service/daemon.cc", 3)])
+
+    def test_conn_deadline_allowlists_and_scope(self):
+        raw = "void f(int fd) { char c; ::recv(fd, &c, 1, 0); }\n"
+        # The wrapper implementation and the pipe-owning worker are
+        # exempt; so is everything outside src/service/.
+        self.write("src/service/protocol.cc", raw)
+        self.write("src/service/worker.cc", raw)
+        self.write("src/common/io.cc", raw)
+        self.write("tests/t.cc", raw)
+        self.assertEqual(self.run_checker("conn-deadline"), [])
+
+    def test_conn_deadline_ignores_methods_and_wrappers(self):
+        self.write("src/service/daemon.cc",
+                   "void f() { store_.read(k);\n"
+                   "    stream->write(b);\n"
+                   "    readFrame(fd, payload, 100);\n"
+                   "    writeAllDeadline(fd, p, n, 100); }\n")
+        self.assertEqual(self.run_checker("conn-deadline"), [])
+
     def test_suppression_comment(self):
         self.write(
             "src/a.cc",

@@ -6,6 +6,7 @@
  *   gllc-submit (--socket PATH | --port N | --local)
  *               [--policies A,B,C] [--llc-bytes N]
  *               [--tenant NAME] [--priority N] [--out PATH]
+ *               [--retries N] [--backoff-ms N]
  *   gllc-submit (--socket PATH | --port N) --status
  *
  * The job is built exactly the way the bench harnesses build
@@ -16,21 +17,34 @@
  * the same writeSweepJson() bytes — CI diffs the two outputs to
  * prove the service is byte-faithful.
  *
+ * A daemon that is down (connection refused) or shedding load
+ * (typed shed frame) is retried with jittered exponential backoff:
+ * --retries N attempts (default 5, 0 disables retry) spaced from
+ * --backoff-ms (default 100) doubling per attempt, never less than
+ * the daemon's own retry-after hint.
+ *
  * Exit status: 0 on a clean result, 75 (EX_TEMPFAIL, matching the
- * bench harnesses) when the result contains quarantined cells, 1 on
- * any hard failure.
+ * bench harnesses) when the result contains quarantined cells, 69
+ * (EX_UNAVAILABLE) when every retry was refused or shed — scripts
+ * can tell "the service turned us away" from "cells quarantined" —
+ * and 1 on any hard failure.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "analysis/report.hh"
 #include "analysis/sweep.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "service/client.hh"
 
 namespace
@@ -51,6 +65,30 @@ splitList(const std::string &csv)
         pos = end + 1;
     }
     return out;
+}
+
+/** Retries turned away by an unavailable daemon end in this. */
+constexpr int kExitUnavailable = 69;  // EX_UNAVAILABLE
+
+/** Exponential-backoff ceiling between attempts. */
+constexpr int kMaxBackoffMs = 10000;
+
+/**
+ * Jittered exponential backoff: --backoff-ms doubled per attempt,
+ * scaled by a uniform [0.5, 1.5) factor so a shed thundering herd
+ * does not reconverge, floored at the daemon's retry-after hint.
+ */
+int
+backoffDelayMs(int base_ms, int attempt, int retry_after_ms,
+               gllc::Rng &rng)
+{
+    double delay = static_cast<double>(base_ms);
+    for (int i = 0; i < attempt; ++i)
+        delay *= 2.0;
+    delay *= 0.5 + rng.uniform();
+    const int jittered = static_cast<int>(
+        std::min(delay, static_cast<double>(kMaxBackoffMs)));
+    return std::max(jittered, retry_after_ms);
 }
 
 /** Write @p payload to @p path ("" or "-" = stdout). */
@@ -86,6 +124,8 @@ main(int argc, char **argv)
     std::string out_path;
     std::vector<std::string> policies{"DRRIP+UCD", "GSPC+UCD"};
     std::uint64_t llc_bytes = 8ull << 20;
+    int retries = 5;
+    int backoff_ms = 100;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -114,6 +154,10 @@ main(int argc, char **argv)
             priority = std::atoi(value.c_str());
         else if (flag == "--out")
             out_path = value;
+        else if (flag == "--retries")
+            retries = std::atoi(value.c_str());
+        else if (flag == "--backoff-ms")
+            backoff_ms = std::atoi(value.c_str());
         else
             fatal("unknown flag %s", flag.c_str());
     }
@@ -153,17 +197,49 @@ main(int argc, char **argv)
         return result.quarantined().empty() ? 0 : 75;
     }
 
-    Result<ServiceClient> client =
-        socket_path.empty()
-            ? ServiceClient::connectTcp(port)
-            : ServiceClient::connectUnix(socket_path);
-    if (!client.ok())
-        fatal("%s", client.error().toString().c_str());
-    ServiceClient conn = client.take();
+    Rng rng(static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now()
+                    .time_since_epoch()
+                    .count())
+            ^ static_cast<std::uint64_t>(::getpid()));
     Result<SubmitOutcome> outcome =
-        conn.submit(spec, tenant, priority);
-    if (!outcome.ok())
-        fatal("%s", outcome.error().toString().c_str());
+        Error(ErrorCode::Io, "not attempted");
+    for (int attempt = 0;; ++attempt) {
+        ShedInfo shed;
+        Result<ServiceClient> client =
+            socket_path.empty()
+                ? ServiceClient::connectTcp(port)
+                : ServiceClient::connectUnix(socket_path);
+        if (client.ok()) {
+            ServiceClient conn = client.take();
+            outcome = conn.submit(spec, tenant, priority, &shed);
+            if (outcome.ok())
+                break;
+            // Only a typed shed is worth retrying here: other
+            // daemon errors (bad spec, execution failure) will
+            // fail identically every time.
+            if (outcome.error().code != ErrorCode::Overloaded)
+                fatal("%s",
+                      outcome.error().toString().c_str());
+        } else {
+            // Daemon down or restarting: same retry loop as shed.
+            outcome = client.error();
+        }
+        if (attempt >= retries) {
+            warn("%s", outcome.error().toString().c_str());
+            warn("gllc-submit: giving up after %d attempt(s)",
+                 attempt + 1);
+            return kExitUnavailable;
+        }
+        const int delay_ms = backoffDelayMs(
+            backoff_ms, attempt, shed.retryAfterMs, rng);
+        note("gllc-submit: %s; retrying in %d ms (attempt "
+             "%d/%d)",
+             outcome.error().toString().c_str(), delay_ms,
+             attempt + 1, retries);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+    }
 
     const SubmitOutcome &got = outcome.value();
     note("job %llu: %s, %u quarantined cell(s)",

@@ -97,6 +97,12 @@ render(const gllc::JsonValue &status, bool clear_screen)
     std::printf("       cache hits %.0f  inflight joins %.0f\n",
                 numberOr(jobs, "cache_hits", 0.0),
                 numberOr(jobs, "inflight_joins", 0.0));
+    std::printf("       shed %.0f  cancelled %.0f  "
+                "recovered %.0f  client gone %.0f\n",
+                numberOr(jobs, "shed", 0.0),
+                numberOr(jobs, "cancelled", 0.0),
+                numberOr(jobs, "recovered", 0.0),
+                numberOr(jobs, "client_gone", 0.0));
 
     std::printf("\nworkers  configured %.0f  crashes %.0f  "
                 "cell timeouts %.0f\n",

@@ -6,6 +6,9 @@
  *   gllcd --socket /run/gllcd.sock [--port N] [--workers N]
  *         [--store DIR] [--print-port]
  *         [--metrics-port N] [--trace-dir DIR] [--events PATH]
+ *         [--max-queue N] [--tenant-quota N]
+ *         [--conn-timeout-ms N] [--max-conns N]
+ *         [--journal PATH] [--recover]
  *   gllcd --worker            # internal: cell worker on stdin/stdout
  *
  * Serves sweep jobs per src/service/protocol.hh until SIGINT or
@@ -25,6 +28,18 @@
  *                      worker-subprocess spans.
  *   --events PATH      structured JSON-lines event log
  *                      ("gllcd-events-v1").
+ *
+ * Overload and recovery plane:
+ *   --max-queue N        queue depth cap; over-limit submits get a
+ *                        typed shed frame (0 = unbounded).
+ *   --tenant-quota N     per-tenant in-queue cap (0 = unlimited).
+ *   --conn-timeout-ms N  deadline on every client read/write;
+ *                        stalled peers are disconnected (0 = none).
+ *   --max-conns N        concurrent-connection cap (0 = unlimited).
+ *   --journal PATH       durable job journal (WAL): accepted jobs
+ *                        are fsync'd before they queue.
+ *   --recover            replay the journal at startup, re-queuing
+ *                        unfinished jobs in acceptance order.
  *
  * A SIGTERM'd daemon flushes GLLC_STATS_JSON / GLLC_TRACE_OUT
  * explicitly after stop(), so terminated daemons still leave valid
@@ -73,6 +88,10 @@ main(int argc, char **argv)
             print_port = true;
             continue;
         }
+        if (flag == "--recover") {
+            options.recover = true;
+            continue;
+        }
         if (i + 1 >= argc)
             fatal("%s requires a value", flag.c_str());
         const std::string value = argv[++i];
@@ -91,6 +110,19 @@ main(int argc, char **argv)
             options.traceDir = value;
         else if (flag == "--events")
             options.eventLogPath = value;
+        else if (flag == "--max-queue")
+            options.maxQueue = static_cast<std::size_t>(
+                std::atol(value.c_str()));
+        else if (flag == "--tenant-quota")
+            options.tenantQuota = static_cast<std::size_t>(
+                std::atol(value.c_str()));
+        else if (flag == "--conn-timeout-ms")
+            options.connTimeoutMs = std::atoi(value.c_str());
+        else if (flag == "--max-conns")
+            options.maxConns = static_cast<std::size_t>(
+                std::atol(value.c_str()));
+        else if (flag == "--journal")
+            options.journalPath = value;
         else
             fatal("unknown flag %s", flag.c_str());
     }
